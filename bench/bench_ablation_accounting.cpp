@@ -1,0 +1,112 @@
+// Ablation: modeling-choice sensitivity for the Banyan buffer penalty.
+//
+// Three knobs the paper leaves implicit:
+//   1. charge WRITE+READ per buffered word vs a single access (Eq. 5
+//      charges E_B once per contended stage),
+//   2. the buffer energy scale (Table 2 datasheet values vs a CACTI-lite
+//      on-chip macro ~100x cheaper),
+//   3. payload toggle activity.
+// Each moves the load point where the 32x32 Banyan stops being the
+// cheapest architecture — the headline of section 6 observation 1.
+#include <iostream>
+
+#include "common/units.hpp"
+#include "power/analytical.hpp"
+#include "power/buffer_energy.hpp"
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+/// Analytical crossover: smallest load where Banyan's average bit energy
+/// exceeds the cheapest dedicated-path fabric's.
+double analytical_crossover(const sfab::AnalyticalModel& model,
+                            double buffer_bit_energy_j, double accesses) {
+  using namespace sfab;
+  for (double load = 0.01; load <= 1.0; load += 0.01) {
+    AnalyticalModel::AverageParams p;
+    p.toggle_activity = 0.5;
+    const double rival =
+        std::min(model.crossbar_avg_bit_energy(32, p),
+                 std::min(model.fully_connected_avg_bit_energy(32, p),
+                          model.batcher_banyan_avg_bit_energy(32, p)));
+    const double contention =
+        AnalyticalModel::uniform_stage_contention_prob(load);
+    const double banyan =
+        model.banyan_avg_bit_energy(
+            32, AnalyticalModel::AverageParams{0.5, 0.0, true}) +
+        5.0 * contention * accesses * buffer_bit_energy_j;
+    if (banyan > rival) return load;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sfab;
+  using units::pJ;
+
+  std::cout << "=== Ablation: buffer accounting choices (Banyan 32x32) "
+               "===\n\n";
+
+  // 1. simulated: write+read vs single access.
+  TextTable t1;
+  t1.set_header({"accounting", "power @50%", "buffer power @50%"});
+  for (const bool read_and_write : {true, false}) {
+    SimConfig c;
+    c.arch = Architecture::kBanyan;
+    c.ports = 32;
+    c.offered_load = 0.5;
+    c.charge_buffer_read_and_write = read_and_write;
+    c.warmup_cycles = 3'000;
+    c.measure_cycles = 20'000;
+    c.seed = 77;
+    const SimResult r = run_simulation(c);
+    t1.add_row({read_and_write ? "write + read (default)" : "single access",
+                format_power(r.power_w), format_power(r.buffer_power_w)});
+  }
+  t1.print(std::cout);
+
+  // 2. analytical crossover under both buffer-energy scales.
+  const AnalyticalModel model;
+  const double datasheet = SramBufferModel::for_banyan(32).bit_energy_j();
+  const double cacti =
+      CactiLiteModel{SramBufferModel::for_banyan(32).capacity_bits()}
+          .access_energy_per_bit_j();
+  std::cout << "\nAnalytical 32x32 crossover load (Banyan stops being "
+               "cheapest):\n";
+  TextTable t2;
+  t2.set_header({"buffer model", "E_B (pJ/bit)", "accesses",
+                 "crossover load"});
+  t2.add_row({"Table 2 datasheet", format_fixed(datasheet / pJ, 1), "2",
+              format_percent(analytical_crossover(model, datasheet, 2.0))});
+  t2.add_row({"Table 2 datasheet", format_fixed(datasheet / pJ, 1), "1",
+              format_percent(analytical_crossover(model, datasheet, 1.0))});
+  t2.add_row({"CACTI-lite macro", format_fixed(cacti / pJ, 3), "2",
+              format_percent(analytical_crossover(model, cacti, 2.0))});
+  t2.print(std::cout);
+
+  // 3. payload toggle activity (simulated).
+  std::cout << "\nToggle-activity sensitivity (Banyan 32x32, 30% load):\n";
+  TextTable t3;
+  t3.set_header({"payload", "power", "wire power"});
+  for (const auto payload :
+       {PayloadKind::kZero, PayloadKind::kRandom, PayloadKind::kAlternating}) {
+    SimConfig c;
+    c.arch = Architecture::kBanyan;
+    c.ports = 32;
+    c.offered_load = 0.3;
+    c.payload = payload;
+    c.warmup_cycles = 3'000;
+    c.measure_cycles = 20'000;
+    c.seed = 78;
+    const SimResult r = run_simulation(c);
+    const char* name = payload == PayloadKind::kZero ? "all zeros"
+                       : payload == PayloadKind::kRandom ? "random"
+                                                         : "alternating";
+    t3.add_row({name, format_power(r.power_w), format_power(r.wire_power_w)});
+  }
+  t3.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: traffic pattern sensitivity at 16x16, 40% offered load.
+//
+// The paper evaluates uniform random destinations only; this bench adds
+// bit-reversal permutation (adversarial for banyan-class networks),
+// hotspot and bursty arrivals, showing how pattern choice moves both
+// throughput and the power split.
+#include <iostream>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+int main() {
+  using namespace sfab;
+
+  std::cout << "=== Ablation: traffic patterns, 16x16, 40% offered load "
+               "===\n\n";
+
+  for (const auto pattern :
+       {TrafficPatternKind::kUniform, TrafficPatternKind::kBitReversal,
+        TrafficPatternKind::kHotspot, TrafficPatternKind::kBursty}) {
+    std::cout << "--- " << to_string(pattern) << " ---\n";
+    TextTable t;
+    t.set_header({"architecture", "throughput", "power", "buffer power",
+                  "mean latency", "drops"});
+    for (const Architecture arch : all_architectures()) {
+      SimConfig c;
+      c.arch = arch;
+      c.ports = 16;
+      c.offered_load = 0.4;
+      c.pattern = pattern;
+      c.hotspot_fraction = 0.3;
+      c.mean_burst_cycles = 300.0;
+      c.warmup_cycles = 3'000;
+      c.measure_cycles = 25'000;
+      c.seed = 99;
+      const SimResult r = run_simulation(c);
+      t.add_row({std::string(to_string(arch)),
+                 format_percent(r.egress_throughput), format_power(r.power_w),
+                 format_power(r.buffer_power_w),
+                 format_fixed(r.mean_packet_latency_cycles, 1) + " cyc",
+                 std::to_string(r.input_queue_drops)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Notes: permutation flows remove destination contention "
+               "(throughput -> offered);\nhotspot caps aggregate throughput "
+               "at the hot egress; bursty arrivals raise latency\nand "
+               "Banyan buffer power at equal mean load.\n";
+  return 0;
+}

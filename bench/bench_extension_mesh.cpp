@@ -1,0 +1,51 @@
+// Extension bench: the 2-D mesh NoC against the paper's four fabrics.
+//
+// The paper's bit-energy method applied to the topology its keywords
+// anticipate. Meshes trade the crossbar's global wires for short hops plus
+// per-hop router energy and queueing — the comparison shows where each
+// wins as port count grows.
+#include <iostream>
+
+#include "fabric/mesh.hpp"
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+int main() {
+  using namespace sfab;
+
+  std::cout << "=== Extension: 2-D mesh NoC vs the paper's fabrics "
+               "(uniform traffic) ===\n\n";
+
+  for (const unsigned ports : {16u, 64u}) {
+    std::cout << "--- " << ports << " ports ---\n";
+    TextTable t;
+    t.set_header({"architecture", "offered", "throughput", "power",
+                  "energy/bit", "mean latency"});
+    for (const Architecture arch : extended_architectures()) {
+      // Banyan-class fabrics need power-of-two ports; mesh needs a square.
+      // 16 and 64 satisfy both.
+      for (const double load : {0.2, 0.4}) {
+        SimConfig c;
+        c.arch = arch;
+        c.ports = ports;
+        c.offered_load = load;
+        c.warmup_cycles = 3'000;
+        c.measure_cycles = 20'000;
+        c.seed = 64;
+        const SimResult r = run_simulation(c);
+        t.add_row({std::string(to_string(arch)), format_percent(load),
+                   format_percent(r.egress_throughput),
+                   format_power(r.power_w),
+                   format_energy(r.energy_per_bit_j),
+                   format_fixed(r.mean_packet_latency_cycles, 1) + " cyc"});
+      }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "hop accounting sanity (16 ports, 4x4 mesh): average "
+               "uniform-traffic hop distance is\n~2.67; each hop costs one "
+               "5-port router transit plus an 8-grid wire.\n";
+  return 0;
+}

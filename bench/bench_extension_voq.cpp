@@ -1,0 +1,92 @@
+// Extension bench: what the paper's 58.6% HOL ceiling costs, and what the
+// fabrics do when a VOQ/iSLIP scheduler actually loads them.
+//
+// Left table: saturation throughput, FIFO (paper's scheme) vs VOQ+iSLIP.
+// Right table: fabric power at the operating points only VOQ can reach.
+#include <iostream>
+
+#include "fabric/factory.hpp"
+#include "router/router.hpp"
+#include "router/voq_router.hpp"
+#include "sim/report.hpp"
+#include "traffic/generator.hpp"
+
+namespace {
+
+using namespace sfab;
+
+struct Measured {
+  double throughput;
+  double power_w;
+};
+
+Measured run_fifo(Architecture arch, unsigned ports, double load) {
+  FabricConfig fc;
+  fc.ports = ports;
+  Router router(make_fabric(arch, fc),
+                TrafficGenerator::uniform_bernoulli(ports, load, 16, 7),
+                RouterConfig{32});
+  router.run(5'000);  // warm-up
+  router.fabric().reset_energy();
+  router.egress().reset_counters();
+  router.run(30'000);
+  return {router.egress().throughput(30'000),
+          router.fabric().ledger().total() /
+              (30'000 * router.fabric().config().tech.cycle_time_s())};
+}
+
+Measured run_voq(Architecture arch, unsigned ports, double load) {
+  FabricConfig fc;
+  fc.ports = ports;
+  VoqRouter router(make_fabric(arch, fc),
+                   TrafficGenerator::uniform_bernoulli(ports, load, 16, 7),
+                   VoqRouterConfig{128, 0});
+  router.run(5'000);
+  router.fabric().reset_energy();
+  router.egress().reset_counters();
+  router.run(30'000);
+  return {router.egress().throughput(30'000),
+          router.fabric().ledger().total() /
+              (30'000 * router.fabric().config().tech.cycle_time_s())};
+}
+
+}  // namespace
+
+int main() {
+  using namespace sfab;
+
+  std::cout << "=== Extension: VOQ + iSLIP vs the paper's FIFO input "
+               "queueing ===\n\n";
+
+  std::cout << "saturation throughput at offered load 100% (uniform, "
+               "16-word packets):\n";
+  TextTable sat;
+  sat.set_header({"ports", "FIFO (paper)", "VOQ+iSLIP"});
+  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
+    sat.add_row({std::to_string(ports) + "x" + std::to_string(ports),
+                 format_percent(
+                     run_fifo(Architecture::kCrossbar, ports, 1.0).throughput),
+                 format_percent(
+                     run_voq(Architecture::kCrossbar, ports, 1.0).throughput)});
+  }
+  sat.print(std::cout);
+
+  std::cout << "\nfabric power at high load, 16x16 (FIFO cannot reach "
+               "these throughputs):\n";
+  TextTable p;
+  p.set_header({"architecture", "offered", "VOQ throughput", "VOQ power"});
+  for (const Architecture arch : all_architectures()) {
+    for (const double load : {0.6, 0.8, 0.95}) {
+      const Measured m = run_voq(arch, 16, load);
+      p.add_row({std::string(to_string(arch)), format_percent(load),
+                 format_percent(m.throughput), format_power(m.power_w)});
+    }
+  }
+  p.print(std::cout);
+
+  std::cout << "\nreading: removing HOL blocking exposes the fabrics to "
+               "loads the paper never\nmeasured — the Banyan's buffer "
+               "penalty explodes, the dedicated-path fabrics just\nscale "
+               "linearly to the line rate.\n";
+  return 0;
+}

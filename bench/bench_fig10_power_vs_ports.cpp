@@ -1,0 +1,55 @@
+// Reproduces paper Fig. 10: "Power Consumption Under Different Number of
+// Ports" — all four architectures at 50% offered load, N = 4..32, with the
+// fully-connected vs Batcher-Banyan gap the paper calls out (37% at 4x4
+// narrowing to 20% at 32x32 on their testbed). Each point is replicated
+// over three seeds and reported with a Student-t 95% confidence interval.
+#include <iostream>
+
+#include "sim/replicate.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+std::string with_ci(const sfab::Statistic& s) {
+  return sfab::format_power(s.mean) + " ±" +
+         sfab::format_fixed(s.ci95_half * 1e3, 1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sfab;
+
+  std::cout << "=== Fig. 10: fabric power vs number of ports at 50% "
+               "offered load ===\n(mean of 3 seeds, ±95% CI in mW)\n\n";
+
+  TextTable t;
+  t.set_header({"ports", "crossbar", "fully-conn", "banyan",
+                "batcher-banyan", "FC-vs-BB gap"});
+  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
+    double mean_power[4] = {};
+    std::vector<std::string> row{std::to_string(ports) + "x" +
+                                 std::to_string(ports)};
+    int k = 0;
+    for (const Architecture arch : all_architectures()) {
+      SimConfig c;
+      c.arch = arch;
+      c.ports = ports;
+      c.offered_load = 0.5;
+      c.warmup_cycles = 3'000;
+      c.measure_cycles = 20'000;
+      c.seed = 2002;
+      const ReplicatedResult r = replicate(c, 3);
+      mean_power[k++] = r.power_w.mean;
+      row.push_back(with_ci(r.power_w));
+    }
+    const double gap = (mean_power[3] - mean_power[1]) / mean_power[3];
+    row.push_back(format_percent(gap));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::cout << "\npaper's gap trajectory: 37% (4x4) -> 20% (32x32); the "
+               "reproduced shape is the monotone narrowing.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 9: "Power Consumption Under Different Traffic
+// Throughput" — power vs measured egress throughput (10%..50%) for the
+// four architectures at 4x4, 8x8, 16x16 and 32x32 ports, plus the 32x32
+// Banyan crossover scan behind section 6 observation 1.
+#include <iostream>
+#include <vector>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+sfab::SimConfig base_config(sfab::Architecture arch, unsigned ports,
+                            double load) {
+  sfab::SimConfig c;
+  c.arch = arch;
+  c.ports = ports;
+  c.offered_load = load;
+  c.warmup_cycles = 3'000;
+  c.measure_cycles = 25'000;
+  c.seed = 2002;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sfab;
+  const std::vector<double> loads{0.10, 0.20, 0.30, 0.40, 0.50};
+
+  std::cout << "=== Fig. 9: fabric power vs egress throughput (uniform "
+               "traffic, 133 MHz, 32-bit bus) ===\n";
+  std::cout << "(input-buffered; theoretical max throughput 58.6%)\n";
+
+  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
+    std::cout << "\n--- " << ports << "x" << ports << " ---\n";
+    TextTable t;
+    t.set_header({"architecture", "offered", "throughput", "power",
+                  "switch", "buffer", "wire"});
+    for (const Architecture arch : all_architectures()) {
+      for (const double load : loads) {
+        const SimResult r = run_simulation(base_config(arch, ports, load));
+        t.add_row({std::string(to_string(arch)),
+                   format_percent(r.offered_load),
+                   format_percent(r.egress_throughput),
+                   format_power(r.power_w), format_power(r.switch_power_w),
+                   format_power(r.buffer_power_w),
+                   format_power(r.wire_power_w)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  // Section 6, observation 1: where does the 32x32 Banyan stop being the
+  // cheapest fabric? (paper: below ~35% throughput it is the cheapest)
+  std::cout << "\n--- 32x32 Banyan crossover scan (observation 1) ---\n";
+  TextTable x;
+  x.set_header({"throughput", "banyan", "cheapest other", "banyan wins"});
+  for (double load = 0.05; load <= 0.55; load += 0.05) {
+    const double banyan =
+        run_simulation(base_config(Architecture::kBanyan, 32, load)).power_w;
+    double best_other = 1e30;
+    Architecture best_arch = Architecture::kCrossbar;
+    for (const Architecture arch :
+         {Architecture::kCrossbar, Architecture::kFullyConnected,
+          Architecture::kBatcherBanyan}) {
+      const double p = run_simulation(base_config(arch, 32, load)).power_w;
+      if (p < best_other) {
+        best_other = p;
+        best_arch = arch;
+      }
+    }
+    x.add_row({format_percent(load), format_power(banyan),
+               format_power(best_other) + " (" +
+                   std::string(to_string(best_arch)) + ")",
+               banyan < best_other ? "yes" : "no"});
+  }
+  x.print(std::cout);
+  return 0;
+}

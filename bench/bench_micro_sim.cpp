@@ -1,0 +1,48 @@
+// Simulator performance microbenchmarks (google-benchmark): cycles/second
+// per architecture — the practical replacement-for-Simulink claim.
+#include <benchmark/benchmark.h>
+
+#include "fabric/factory.hpp"
+#include "router/router.hpp"
+#include "traffic/generator.hpp"
+
+namespace {
+
+using namespace sfab;
+
+void run_router_cycles(benchmark::State& state, Architecture arch) {
+  const auto ports = static_cast<unsigned>(state.range(0));
+  FabricConfig fc;
+  fc.ports = ports;
+  Router router(make_fabric(arch, fc),
+                TrafficGenerator::uniform_bernoulli(ports, 0.4, 16, 7));
+  for (auto _ : state) {
+    router.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_Crossbar(benchmark::State& state) {
+  run_router_cycles(state, Architecture::kCrossbar);
+}
+void BM_FullyConnected(benchmark::State& state) {
+  run_router_cycles(state, Architecture::kFullyConnected);
+}
+void BM_Banyan(benchmark::State& state) {
+  run_router_cycles(state, Architecture::kBanyan);
+}
+void BM_BatcherBanyan(benchmark::State& state) {
+  run_router_cycles(state, Architecture::kBatcherBanyan);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Crossbar)->Arg(8)->Arg(32);
+BENCHMARK(BM_FullyConnected)->Arg(8)->Arg(32);
+BENCHMARK(BM_Banyan)->Arg(8)->Arg(32);
+BENCHMARK(BM_BatcherBanyan)->Arg(8)->Arg(32);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Verifies the paper's section 5.2 claim: with input buffering, the
+// theoretical maximum egress throughput is 2 - sqrt(2) = 58.6% (and "in
+// reality, the 58.6% throughput is not achievable"). We overdrive every
+// fabric size at offered load 1.0 and report the measured saturation.
+#include <cmath>
+#include <iostream>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+int main() {
+  using namespace sfab;
+
+  std::cout << "=== Input-queued saturation throughput (offered load 100%, "
+               "uniform traffic) ===\n";
+  std::cout << "HOL-blocking limit for large N: 2 - sqrt(2) = 58.6%\n\n";
+
+  TextTable t;
+  t.set_header({"ports", "crossbar", "fully-conn", "batcher-banyan",
+                "banyan"});
+  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
+    std::vector<std::string> row{std::to_string(ports) + "x" +
+                                 std::to_string(ports)};
+    for (const Architecture arch :
+         {Architecture::kCrossbar, Architecture::kFullyConnected,
+          Architecture::kBatcherBanyan, Architecture::kBanyan}) {
+      SimConfig c;
+      c.arch = arch;
+      c.ports = ports;
+      c.offered_load = 1.0;
+      c.warmup_cycles = 5'000;
+      c.measure_cycles = 40'000;
+      c.ingress_queue_packets = 16;
+      c.seed = 586;
+      row.push_back(format_percent(run_simulation(c).egress_throughput));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpected: dedicated-path fabrics approach 58.6% from "
+               "above as N grows\n(finite-N input queueing saturates "
+               "higher: 75% at N=2, 65.5% at N=4, ...);\nthe Banyan "
+               "saturates lower because internal blocking adds its own "
+               "back-pressure.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Architecture exploration: which switch fabric should a router use?
+//
+// Sweeps all four architectures over a load range for a given port count
+// and prints the winner per operating point — the paper's design-space
+// question ("this framework can be applied to the architectural
+// exploration for low power high performance network router designs").
+//
+// Usage: architecture_explorer [ports] [packet_words]
+//        defaults: 16 ports, 16-word packets.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sfab;
+
+  const unsigned ports = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 16;
+  const unsigned packet_words =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 16;
+  if (ports < 4 || (ports & (ports - 1)) != 0) {
+    std::cerr << "ports must be a power of two >= 4\n";
+    return 1;
+  }
+
+  std::cout << "architecture exploration: " << ports << "x" << ports
+            << " fabric, " << packet_words << "-word packets, uniform "
+            << "traffic\n\n";
+
+  TextTable t;
+  t.set_header({"load", "crossbar", "fully-conn", "banyan", "batcher-banyan",
+                "lowest power"});
+  for (const double load : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    std::vector<std::string> row{format_percent(load)};
+    double best = 1e30;
+    Architecture winner = Architecture::kCrossbar;
+    for (const Architecture arch : all_architectures()) {
+      SimConfig c;
+      c.arch = arch;
+      c.ports = ports;
+      c.offered_load = load;
+      c.packet_words = packet_words;
+      c.measure_cycles = 15'000;
+      c.seed = 4;
+      const SimResult r = run_simulation(c);
+      row.push_back(format_power(r.power_w));
+      if (r.power_w < best) {
+        best = r.power_w;
+        winner = arch;
+      }
+    }
+    row.emplace_back(to_string(winner));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nreading the table: Banyan wins while its buffers stay "
+               "cold; once contention sets in,\nthe dedicated-path fabrics "
+               "take over (crossbar at small N, fully-connected vs\n"
+               "batcher-banyan depending on wire vs switch balance).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scenario study: a 16-port edge router facing realistic traffic.
+//
+// The paper's intro motivates single-chip routers where the fabric is a
+// big slice of the power budget. This example walks a concrete planning
+// question: an edge aggregation router sees bursty, partially hot-spotted
+// traffic — not the uniform Bernoulli ideal. How do the four fabrics hold
+// up on power AND latency when the traffic gets ugly?
+#include <iostream>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+sfab::SimConfig scenario(sfab::Architecture arch,
+                         sfab::TrafficPatternKind pattern) {
+  sfab::SimConfig c;
+  c.arch = arch;
+  c.ports = 16;
+  c.offered_load = 0.35;       // provisioned at ~1/3 line rate
+  c.packet_words = 16;         // 64-byte cells
+  c.pattern = pattern;
+  c.hotspot_fraction = 0.25;   // a popular uplink
+  c.hotspot_port = 0;
+  c.mean_burst_cycles = 400.0; // TCP-ish bursts
+  c.measure_cycles = 25'000;
+  c.warmup_cycles = 4'000;
+  c.seed = 1717;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sfab;
+
+  std::cout << "edge router study: 16x16 fabric, 35% provisioned load, "
+               "64-byte cells\n";
+
+  const struct {
+    TrafficPatternKind pattern;
+    const char* story;
+  } cases[] = {
+      {TrafficPatternKind::kUniform, "ideal uniform (the paper's workload)"},
+      {TrafficPatternKind::kBursty, "bursty arrivals (TCP-like)"},
+      {TrafficPatternKind::kHotspot, "hot uplink (25% of flows to port 0)"},
+  };
+
+  for (const auto& [pattern, story] : cases) {
+    std::cout << "\n--- " << story << " ---\n";
+    TextTable t;
+    t.set_header({"architecture", "throughput", "power", "energy/bit",
+                  "latency", "queue drops"});
+    for (const Architecture arch : all_architectures()) {
+      const SimResult r = run_simulation(scenario(arch, pattern));
+      t.add_row({std::string(to_string(arch)),
+                 format_percent(r.egress_throughput),
+                 format_power(r.power_w), format_energy(r.energy_per_bit_j),
+                 format_fixed(r.mean_packet_latency_cycles, 1) + " cyc",
+                 std::to_string(r.input_queue_drops)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout
+      << "\ntakeaways:\n"
+         "  * bursty traffic inflates Banyan's buffer power well beyond "
+         "its uniform-load figure;\n"
+         "  * the hotspot throttles everyone's throughput equally (it is "
+         "a destination-contention\n    effect, resolved before the "
+         "fabric), but power follows delivered words;\n"
+         "  * dedicated-path fabrics trade a flat energy/bit for "
+         "insensitivity to contention.\n";
+  return 0;
+}

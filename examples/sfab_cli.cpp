@@ -1,0 +1,170 @@
+// Command-line front end: run any single simulation from the shell.
+//
+//   sfab_cli --arch banyan --ports 16 --load 0.35 --cycles 20000 \
+//            --packet-words 16 --pattern uniform --seed 1
+//
+// Prints the full measurement block (throughput, power split, energy/bit,
+// latency, contention counters). `--help` lists every knob. This is the
+// scripting entry point: sweep it from a shell loop and plot the columns.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace sfab;
+
+void print_usage() {
+  std::cout <<
+      "usage: sfab_cli [options]\n"
+      "  --arch NAME        crossbar | fully-connected | banyan |\n"
+      "                     batcher-banyan | mesh          [crossbar]\n"
+      "  --ports N          port count (power of two; mesh: square) [16]\n"
+      "  --load F           offered load, words/port/cycle in (0,1]  [0.4]\n"
+      "  --cycles N         measured cycles                      [20000]\n"
+      "  --warmup N         warm-up cycles                        [2000]\n"
+      "  --packet-words N   packet length incl. header word         [16]\n"
+      "  --pattern NAME     uniform | bit-reversal | hotspot | bursty\n"
+      "                                                        [uniform]\n"
+      "  --payload NAME     random | alternating | zero         [random]\n"
+      "  --seed N           RNG seed                                 [1]\n"
+      "  --tech NODE        0.25um | 0.18um | 0.13um            [0.18um]\n"
+      "  --buffer-words N   node FIFO capacity in words            [128]\n"
+      "  --skid N           skid bypass slots                        [1]\n"
+      "  --dram             DRAM-backed node buffers (adds refresh)\n"
+      "  --csv              one machine-readable CSV line instead of table\n"
+      "  --help             this text\n";
+}
+
+Architecture parse_arch(const std::string& name) {
+  static const std::map<std::string, Architecture> names{
+      {"crossbar", Architecture::kCrossbar},
+      {"fully-connected", Architecture::kFullyConnected},
+      {"banyan", Architecture::kBanyan},
+      {"batcher-banyan", Architecture::kBatcherBanyan},
+      {"mesh", Architecture::kMesh}};
+  const auto it = names.find(name);
+  if (it == names.end()) throw std::invalid_argument("unknown --arch " + name);
+  return it->second;
+}
+
+TrafficPatternKind parse_pattern(const std::string& name) {
+  static const std::map<std::string, TrafficPatternKind> names{
+      {"uniform", TrafficPatternKind::kUniform},
+      {"bit-reversal", TrafficPatternKind::kBitReversal},
+      {"hotspot", TrafficPatternKind::kHotspot},
+      {"bursty", TrafficPatternKind::kBursty}};
+  const auto it = names.find(name);
+  if (it == names.end()) {
+    throw std::invalid_argument("unknown --pattern " + name);
+  }
+  return it->second;
+}
+
+PayloadKind parse_payload(const std::string& name) {
+  if (name == "random") return PayloadKind::kRandom;
+  if (name == "alternating") return PayloadKind::kAlternating;
+  if (name == "zero") return PayloadKind::kZero;
+  throw std::invalid_argument("unknown --payload " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sfab;
+
+  SimConfig config;
+  config.ports = 16;
+  config.offered_load = 0.4;
+  bool csv = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(flag + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (flag == "--help") {
+        print_usage();
+        return 0;
+      } else if (flag == "--arch") {
+        config.arch = parse_arch(next());
+      } else if (flag == "--ports") {
+        config.ports = static_cast<unsigned>(std::stoul(next()));
+      } else if (flag == "--load") {
+        config.offered_load = std::stod(next());
+      } else if (flag == "--cycles") {
+        config.measure_cycles = std::stoull(next());
+      } else if (flag == "--warmup") {
+        config.warmup_cycles = std::stoull(next());
+      } else if (flag == "--packet-words") {
+        config.packet_words = static_cast<unsigned>(std::stoul(next()));
+      } else if (flag == "--pattern") {
+        config.pattern = parse_pattern(next());
+      } else if (flag == "--payload") {
+        config.payload = parse_payload(next());
+      } else if (flag == "--seed") {
+        config.seed = std::stoull(next());
+      } else if (flag == "--tech") {
+        config.tech = TechnologyParams::preset(next());
+        config.switches =
+            SwitchEnergyTables::paper_defaults().scaled_to(config.tech);
+      } else if (flag == "--buffer-words") {
+        config.buffer_words_per_switch =
+            static_cast<unsigned>(std::stoul(next()));
+      } else if (flag == "--skid") {
+        config.buffer_skid_words = static_cast<unsigned>(std::stoul(next()));
+      } else if (flag == "--dram") {
+        config.dram_buffers = true;
+      } else if (flag == "--csv") {
+        csv = true;
+      } else {
+        throw std::invalid_argument("unknown option " + flag);
+      }
+    }
+
+    const SimResult r = run_simulation(config);
+
+    if (csv) {
+      std::cout << to_string(r.arch) << ',' << r.ports << ','
+                << r.offered_load << ',' << r.egress_throughput << ','
+                << r.power_w << ',' << r.switch_power_w << ','
+                << r.buffer_power_w << ',' << r.wire_power_w << ','
+                << r.energy_per_bit_j << ','
+                << r.mean_packet_latency_cycles << ','
+                << r.words_buffered << ',' << r.input_queue_drops << '\n';
+      return 0;
+    }
+
+    std::cout << to_string(config.arch) << " " << config.ports << "x"
+              << config.ports << ", " << to_string(config.pattern)
+              << " traffic at " << format_percent(config.offered_load)
+              << " offered load\n\n";
+    TextTable t;
+    t.set_header({"metric", "value"});
+    t.add_row({"egress throughput", format_percent(r.egress_throughput)});
+    t.add_row({"total power", format_power(r.power_w)});
+    t.add_row({"  switches", format_power(r.switch_power_w)});
+    t.add_row({"  buffers", format_power(r.buffer_power_w)});
+    t.add_row({"  wires", format_power(r.wire_power_w)});
+    t.add_row({"energy per bit", format_energy(r.energy_per_bit_j)});
+    t.add_row({"mean packet latency",
+               format_fixed(r.mean_packet_latency_cycles, 1) + " cycles"});
+    t.add_row({"words buffered", std::to_string(r.words_buffered)});
+    t.add_row({"  of which SRAM", std::to_string(r.sram_buffered_words)});
+    t.add_row({"input-queue drops", std::to_string(r.input_queue_drops)});
+    t.print(std::cout);
+  } catch (const std::exception& error) {
+    std::cerr << "sfab_cli: " << error.what() << "\n\n";
+    print_usage();
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Small bit-manipulation helpers used by the energy tracer and the fabrics.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sfab {
+
+/// Number of 1-bits in `w`.
+[[nodiscard]] inline constexpr int popcount(Word w) noexcept {
+  return std::popcount(w);
+}
+
+/// Number of bit positions whose polarity differs between consecutive words
+/// on a bus — exactly the bits that charge wire energy in the paper's model
+/// (E_W is nonzero only for 0->1 and 1->0 transitions).
+[[nodiscard]] inline constexpr int toggled_bits(Word previous, Word current) noexcept {
+  return std::popcount(previous ^ current);
+}
+
+/// True iff `v` is a power of two (and nonzero).
+[[nodiscard]] inline constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return std::has_single_bit(v);
+}
+
+/// floor(log2(v)); requires v >= 1.
+[[nodiscard]] inline constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  assert(v >= 1);
+  return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+/// log2 of a power of two; requires is_pow2(v).
+[[nodiscard]] inline constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  assert(is_pow2(v));
+  return log2_floor(v);
+}
+
+/// Extract bit `pos` (0 = LSB) of `v` as 0 or 1.
+[[nodiscard]] inline constexpr unsigned bit_of(std::uint64_t v, unsigned pos) noexcept {
+  return static_cast<unsigned>((v >> pos) & 1u);
+}
+
+/// Mask of the low `n` bits; n must be <= 63 for uint64 use below 64.
+[[nodiscard]] inline constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  assert(n < 64);
+  return (std::uint64_t{1} << n) - 1;
+}
+
+}  // namespace sfab

@@ -1,0 +1,52 @@
+// Deterministic, seedable random number generation.
+//
+// The whole framework must be reproducible run-to-run (the paper's platform
+// traces individual bits; regression tests depend on bit-identical streams),
+// so we ship our own tiny xoshiro256** generator rather than relying on
+// std::mt19937 distribution details that the standard leaves unspecified
+// (std::uniform_int_distribution is not portable across library versions).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sfab {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 (Blackman/Vigna) with convenience draws.
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  /// Next raw 64-bit draw.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Next raw 32-bit draw (upper half of a 64-bit draw).
+  [[nodiscard]] std::uint32_t next_u32() noexcept;
+
+  /// Uniform in [0, 1) with 53-bit resolution.
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform integer in [0, bound); bound must be >= 1.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool next_bernoulli(double p) noexcept;
+
+  /// One random bus word (all 32 bits independent).
+  [[nodiscard]] Word next_word() noexcept;
+
+  /// Split off an independent child generator. Children seeded from distinct
+  /// streams never correlate with the parent's subsequent draws.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sfab

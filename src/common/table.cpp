@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfab {
+
+PiecewiseLinear::PiecewiseLinear(
+    std::initializer_list<std::pair<double, double>> points)
+    : pts_(points) {
+  validate_and_sort();
+}
+
+PiecewiseLinear::PiecewiseLinear(std::vector<std::pair<double, double>> points)
+    : pts_(std::move(points)) {
+  validate_and_sort();
+}
+
+void PiecewiseLinear::validate_and_sort() {
+  std::sort(pts_.begin(), pts_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].first == pts_[i - 1].first) {
+      throw std::invalid_argument("PiecewiseLinear: duplicate x value");
+    }
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (pts_.empty()) throw std::logic_error("PiecewiseLinear: empty table");
+  if (pts_.size() == 1) return pts_.front().second;
+
+  // Find the segment [i-1, i] whose x-range brackets x; clamp to the first /
+  // last segment for extrapolation.
+  std::size_t hi = 1;
+  while (hi + 1 < pts_.size() && pts_[hi].first < x) ++hi;
+  const auto& [x0, y0] = pts_[hi - 1];
+  const auto& [x1, y1] = pts_[hi];
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double PiecewiseLinear::at_least(double x, double floor) const {
+  return std::max(operator()(x), floor);
+}
+
+double PiecewiseLinear::min_x() const {
+  if (pts_.empty()) throw std::logic_error("PiecewiseLinear: empty table");
+  return pts_.front().first;
+}
+
+double PiecewiseLinear::max_x() const {
+  if (pts_.empty()) throw std::logic_error("PiecewiseLinear: empty table");
+  return pts_.back().first;
+}
+
+}  // namespace sfab

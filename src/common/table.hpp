@@ -1,0 +1,45 @@
+// Piecewise-linear lookup table over (x, y) calibration points.
+//
+// Used to interpolate energy characterizations that the paper provides only
+// at a few sizes: the N-input MUX bit energies (Table 1: N = 4, 8, 16, 32)
+// and the shared-SRAM access energies (Table 2: 16K..320K bits). Between
+// points we interpolate linearly; outside the calibrated range we
+// extrapolate from the nearest segment (clamped at zero), which matches how
+// an engineer would extend a sparse datasheet characterization.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace sfab {
+
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+
+  /// Points need not be pre-sorted; they are sorted by x on construction.
+  /// Duplicate x values are invalid and rejected (throws std::invalid_argument).
+  PiecewiseLinear(std::initializer_list<std::pair<double, double>> points);
+  explicit PiecewiseLinear(std::vector<std::pair<double, double>> points);
+
+  /// Interpolated / extrapolated value at x. Requires at least one point.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Same as operator() but clamped below at `floor`.
+  [[nodiscard]] double at_least(double x, double floor) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return pts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pts_.empty(); }
+
+  /// Smallest / largest calibrated x (requires non-empty).
+  [[nodiscard]] double min_x() const;
+  [[nodiscard]] double max_x() const;
+
+ private:
+  void validate_and_sort();
+  std::vector<std::pair<double, double>> pts_;
+};
+
+}  // namespace sfab

@@ -1,0 +1,25 @@
+// Core scalar aliases shared by every sfab subsystem.
+//
+// All energies are SI joules, all times SI seconds, all frequencies SI hertz
+// (see units.hpp for readable literals). Ports, cycles and word payloads use
+// the fixed-width aliases below so interfaces stay unambiguous.
+#pragma once
+
+#include <cstdint>
+
+namespace sfab {
+
+/// Index of an ingress or egress port (0-based).
+using PortId = std::uint32_t;
+
+/// Simulation time in clock cycles.
+using Cycle = std::uint64_t;
+
+/// One bus word. The paper's fabrics move 16- or 32-bit-wide parallel buses;
+/// we default to 32 bits everywhere (configurable via SimConfig::bus_width).
+using Word = std::uint32_t;
+
+/// Sentinel for "no port" / "invalid port".
+inline constexpr PortId kInvalidPort = 0xFFFFFFFFu;
+
+}  // namespace sfab

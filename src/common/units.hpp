@@ -1,0 +1,45 @@
+// SI unit helpers. sfab stores energy in joules, time in seconds, frequency
+// in hertz, capacitance in farads and length in metres; these constexpr
+// factors keep call sites readable (e.g. `220.0 * units::fJ`).
+#pragma once
+
+namespace sfab::units {
+
+// --- energy ---------------------------------------------------------------
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+
+// --- power ----------------------------------------------------------------
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+
+// --- time -----------------------------------------------------------------
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// --- frequency ------------------------------------------------------------
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// --- capacitance ----------------------------------------------------------
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+// --- length ---------------------------------------------------------------
+inline constexpr double m = 1.0;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+}  // namespace sfab::units

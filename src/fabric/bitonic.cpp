@@ -1,0 +1,55 @@
+#include "fabric/bitonic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace sfab {
+
+std::vector<BitonicStage> bitonic_schedule(unsigned n_elements) {
+  if (n_elements < 2 || !is_pow2(n_elements)) {
+    throw std::invalid_argument(
+        "bitonic_schedule: element count must be a power of two >= 2");
+  }
+  const unsigned n = log2_exact(n_elements);
+  std::vector<BitonicStage> schedule;
+  schedule.reserve(n * (n + 1) / 2);
+  for (unsigned phase = 0; phase < n; ++phase) {
+    for (unsigned span = phase + 1; span-- > 0;) {
+      schedule.push_back(BitonicStage{phase, span});
+    }
+  }
+  return schedule;
+}
+
+bool bitonic_ascending(unsigned row, unsigned phase) noexcept {
+  // Blocks of size 2^(phase+1) alternate direction; the final phase's block
+  // covers the whole array, so everything merges ascending.
+  return (row & (1u << (phase + 1))) == 0;
+}
+
+void bitonic_apply_stage(std::span<std::uint64_t> keys,
+                         const BitonicStage& stage) {
+  if (keys.size() < 2 || !is_pow2(keys.size())) {
+    throw std::invalid_argument("bitonic_apply_stage: bad key count");
+  }
+  const unsigned span = 1u << stage.span_log2;
+  for (unsigned i = 0; i < keys.size(); ++i) {
+    const unsigned partner = i ^ span;
+    if (partner <= i) continue;  // visit each pair once, from its low row
+    const bool ascending = bitonic_ascending(i, stage.phase);
+    if ((keys[i] > keys[partner]) == ascending) {
+      std::swap(keys[i], keys[partner]);
+    }
+  }
+}
+
+void bitonic_sort(std::span<std::uint64_t> keys) {
+  for (const BitonicStage& stage :
+       bitonic_schedule(static_cast<unsigned>(keys.size()))) {
+    bitonic_apply_stage(keys, stage);
+  }
+}
+
+}  // namespace sfab

@@ -1,0 +1,38 @@
+// Batcher's bitonic sorting network (the sorter half of Batcher-Banyan).
+//
+// For N = 2^n elements the network has n merge phases; phase p (0-based)
+// contains substages with comparator spans 2^p, 2^(p-1), ..., 1, for a
+// total of n(n+1)/2 substages of N/2 compare-exchange switches each — the
+// 1/2 * log2(N) * (log2(N) + 1) stage count the paper quotes. Element i is
+// compared with i ^ span; the block parity (i & 2^(p+1)) picks ascending or
+// descending order so the final phase merges one global bitonic sequence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sfab {
+
+struct BitonicStage {
+  unsigned phase = 0;      ///< merge phase p in [0, n)
+  unsigned span_log2 = 0;  ///< comparator span is 2^span_log2
+};
+
+/// The full substage schedule for `n_elements` (a power of two >= 2), in
+/// network order. Size: n(n+1)/2 with n = log2(n_elements).
+[[nodiscard]] std::vector<BitonicStage> bitonic_schedule(unsigned n_elements);
+
+/// True if the compare-exchange pair containing `row` sorts ascending in
+/// this phase (block parity rule).
+[[nodiscard]] bool bitonic_ascending(unsigned row, unsigned phase) noexcept;
+
+/// Applies one substage's compare-exchange column to `keys` in place.
+void bitonic_apply_stage(std::span<std::uint64_t> keys,
+                         const BitonicStage& stage);
+
+/// Runs the whole network. Sorts any input ascending (bitonic networks are
+/// data-oblivious comparison sorts).
+void bitonic_sort(std::span<std::uint64_t> keys);
+
+}  // namespace sfab

@@ -1,0 +1,35 @@
+#include "fabric/fabric.hpp"
+
+#include <stdexcept>
+
+namespace sfab {
+
+std::string_view to_string(Architecture arch) noexcept {
+  switch (arch) {
+    case Architecture::kCrossbar:
+      return "crossbar";
+    case Architecture::kFullyConnected:
+      return "fully-connected";
+    case Architecture::kBanyan:
+      return "banyan";
+    case Architecture::kBatcherBanyan:
+      return "batcher-banyan";
+    case Architecture::kMesh:
+      return "mesh";
+  }
+  return "unknown";
+}
+
+SwitchFabric::SwitchFabric(FabricConfig config) : config_(config) {
+  if (config_.ports < 2) {
+    throw std::invalid_argument("SwitchFabric: need at least 2 ports");
+  }
+}
+
+void SwitchFabric::check_ingress(PortId ingress) const {
+  if (ingress >= config_.ports) {
+    throw std::out_of_range("SwitchFabric: ingress port out of range");
+  }
+}
+
+}  // namespace sfab

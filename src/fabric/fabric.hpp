@@ -1,0 +1,164 @@
+// The switch-fabric abstraction every architecture implements.
+//
+// A fabric moves bus words (flits) from ingress ports to egress ports, one
+// word per link per cycle, and records every joule it burns in an
+// EnergyLedger split into the paper's three components (switches, buffers,
+// wires). Destination contention is resolved *before* the fabric by the
+// router's arbiter (paper assumption): at any moment at most one packet is
+// in flight toward each egress port. Interconnect contention (internal
+// blocking) is the fabric's own business — only the Banyan has it.
+//
+// Cycle protocol (driven by router::Router or directly by tests):
+//   1. For each ingress with pending words: if can_accept(i), inject(...).
+//      At most one word per ingress per cycle.
+//   2. tick(sink): the fabric advances one clock, delivering words that
+//      reach egress ports to the sink.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "power/ledger.hpp"
+#include "power/switch_energy.hpp"
+#include "power/technology.hpp"
+
+namespace sfab {
+
+/// The four architectures the paper analyzes, plus the mesh NoC extension.
+enum class Architecture {
+  kCrossbar,
+  kFullyConnected,
+  kBanyan,
+  kBatcherBanyan,
+  kMesh,  ///< 2-D mesh NoC (framework extension, fabric/mesh.hpp)
+};
+
+[[nodiscard]] std::string_view to_string(Architecture arch) noexcept;
+
+/// One bus word in flight, with the sideband the fabric needs.
+struct Flit {
+  Word data = 0;
+  PortId dest = kInvalidPort;
+  bool tail = false;
+  std::uint64_t packet_id = 0;
+  /// Current row position inside multistage fabrics (set on inject; used to
+  /// tell straight from crossing links). Callers may leave it defaulted.
+  PortId row = kInvalidPort;
+  /// Word index within the packet (0 = header). Multistage fabrics use it
+  /// to keep a packet's words in order when arbitration could tie.
+  std::uint32_t seq = 0;
+};
+
+/// Receives words that reached their egress port.
+class EgressSink {
+ public:
+  virtual ~EgressSink() = default;
+  virtual void deliver(PortId egress, const Flit& flit) = 0;
+};
+
+struct FabricConfig {
+  unsigned ports = 4;
+  TechnologyParams tech{};
+  SwitchEnergyTables switches = SwitchEnergyTables::paper_defaults();
+  /// Banyan node-switch queue capacity in words (4 Kbit / 32-bit bus = 128).
+  unsigned buffer_words_per_switch = 128;
+  /// Bypass ("skid") slots at the head of each node FIFO: a word that joins
+  /// a queue no deeper than this rides a pipeline register instead of the
+  /// shared SRAM and pays no access energy. A full-rate stream delayed by
+  /// one cycle would otherwise push its entire remaining packet through the
+  /// SRAM — standard switch datapaths bypass exactly that case. Set to 0
+  /// for the strict reading of Eq. 5 (every buffered word is an SRAM
+  /// access).
+  unsigned buffer_skid_words = 1;
+  /// Charge both the WRITE and the later READ of each buffered word (the
+  /// physical reading of E_access per memory operation). Disable to charge
+  /// a single access per buffering event (the strict Eq. 5 reading).
+  bool charge_buffer_read_and_write = true;
+  /// Back the node buffers with DRAM instead of SRAM: same access energy
+  /// model, plus the continuous refresh power of Eq. 1's E_ref term
+  /// (charged to the buffer bucket every cycle, busy or not).
+  bool dram_buffers = false;
+  /// DRAM retention period for the refresh-power calculation.
+  double dram_retention_s = 64e-3;
+};
+
+class SwitchFabric {
+ public:
+  explicit SwitchFabric(FabricConfig config);
+  virtual ~SwitchFabric() = default;
+
+  SwitchFabric(const SwitchFabric&) = delete;
+  SwitchFabric& operator=(const SwitchFabric&) = delete;
+
+  [[nodiscard]] unsigned ports() const noexcept { return config_.ports; }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+  [[nodiscard]] virtual Architecture architecture() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept {
+    return to_string(architecture());
+  }
+
+  /// True when every word traverses the fabric in the same number of
+  /// cycles (no internal queueing). The router may then release an egress
+  /// as soon as a packet's tail is *injected*: successive packets cannot
+  /// overtake or overlap inside a fixed-latency pipeline. Fabrics with
+  /// internal buffering (Banyan) return false and the egress stays locked
+  /// until the tail is *delivered*.
+  [[nodiscard]] virtual bool fixed_latency() const noexcept { return true; }
+
+  /// True if ingress `i` can take a word before the next tick.
+  [[nodiscard]] virtual bool can_accept(PortId ingress) const = 0;
+
+  /// Hands one word to ingress `i`. Precondition: can_accept(i) and at most
+  /// one inject per ingress per cycle (violations throw std::logic_error).
+  virtual void inject(PortId ingress, const Flit& flit) = 0;
+
+  /// Advances one clock cycle; delivered words go to `sink`.
+  virtual void tick(EgressSink& sink) = 0;
+
+  /// True when nothing is in flight inside the fabric.
+  [[nodiscard]] virtual bool idle() const = 0;
+
+  /// Everything the fabric burned since construction (or reset_energy()).
+  [[nodiscard]] const EnergyLedger& ledger() const noexcept { return ledger_; }
+  void reset_energy() noexcept { ledger_.reset(); }
+
+  /// Words the fabric accepted / delivered since construction.
+  [[nodiscard]] std::uint64_t words_injected() const noexcept {
+    return words_injected_;
+  }
+  [[nodiscard]] std::uint64_t words_delivered() const noexcept {
+    return words_delivered_;
+  }
+
+  // --- contention introspection (zero for contention-free fabrics) ----------
+
+  /// Words that entered a node FIFO (skid or SRAM).
+  [[nodiscard]] virtual std::uint64_t words_buffered() const noexcept {
+    return 0;
+  }
+  /// Subset of words_buffered() that paid shared-SRAM access energy.
+  [[nodiscard]] virtual std::uint64_t sram_words_buffered() const noexcept {
+    return 0;
+  }
+  /// Cycles a word stalled on a link because a node FIFO was full.
+  [[nodiscard]] virtual std::uint64_t stall_cycles() const noexcept {
+    return 0;
+  }
+
+ protected:
+  void check_ingress(PortId ingress) const;
+  void note_injected() noexcept { ++words_injected_; }
+  void note_delivered() noexcept { ++words_delivered_; }
+
+  FabricConfig config_;
+  EnergyLedger ledger_;
+
+ private:
+  std::uint64_t words_injected_ = 0;
+  std::uint64_t words_delivered_ = 0;
+};
+
+}  // namespace sfab

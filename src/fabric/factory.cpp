@@ -1,0 +1,46 @@
+#include "fabric/factory.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "fabric/banyan.hpp"
+#include "fabric/batcher_banyan.hpp"
+#include "fabric/crossbar.hpp"
+#include "fabric/fully_connected.hpp"
+#include "fabric/mesh.hpp"
+
+namespace sfab {
+
+std::unique_ptr<SwitchFabric> make_fabric(Architecture arch,
+                                          FabricConfig config) {
+  switch (arch) {
+    case Architecture::kCrossbar:
+      return std::make_unique<CrossbarFabric>(config);
+    case Architecture::kFullyConnected:
+      return std::make_unique<FullyConnectedFabric>(config);
+    case Architecture::kBanyan:
+      return std::make_unique<BanyanFabric>(config);
+    case Architecture::kBatcherBanyan:
+      return std::make_unique<BatcherBanyanFabric>(config);
+    case Architecture::kMesh:
+      return std::make_unique<MeshFabric>(config);
+  }
+  throw std::invalid_argument("make_fabric: unknown architecture");
+}
+
+const std::array<Architecture, 4>& all_architectures() noexcept {
+  static const std::array<Architecture, 4> kAll = {
+      Architecture::kCrossbar, Architecture::kFullyConnected,
+      Architecture::kBanyan, Architecture::kBatcherBanyan};
+  return kAll;
+}
+
+const std::array<Architecture, 5>& extended_architectures() noexcept {
+  static const std::array<Architecture, 5> kAll = {
+      Architecture::kCrossbar, Architecture::kFullyConnected,
+      Architecture::kBanyan, Architecture::kBatcherBanyan,
+      Architecture::kMesh};
+  return kAll;
+}
+
+}  // namespace sfab

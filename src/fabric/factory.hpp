@@ -1,0 +1,24 @@
+// Construction of fabrics by architecture tag.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "fabric/fabric.hpp"
+
+namespace sfab {
+
+/// Builds the requested fabric. Throws std::invalid_argument when the
+/// configuration is invalid for that architecture (e.g. non-power-of-two
+/// ports for Banyan-class fabrics).
+[[nodiscard]] std::unique_ptr<SwitchFabric> make_fabric(Architecture arch,
+                                                        FabricConfig config);
+
+/// The paper's four architectures, in its presentation order.
+[[nodiscard]] const std::array<Architecture, 4>& all_architectures() noexcept;
+
+/// The paper's four plus the framework extensions (mesh NoC). Mesh needs a
+/// perfect-square port count.
+[[nodiscard]] const std::array<Architecture, 5>& extended_architectures() noexcept;
+
+}  // namespace sfab

@@ -1,0 +1,246 @@
+#include "fabric/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sfab {
+
+namespace {
+
+[[nodiscard]] unsigned integer_sqrt(unsigned value) {
+  auto root = static_cast<unsigned>(std::lround(std::sqrt(value)));
+  while (root * root > value) --root;
+  while ((root + 1) * (root + 1) <= value) ++root;
+  return root;
+}
+
+}  // namespace
+
+MeshFabric::MeshFabric(FabricConfig config)
+    : SwitchFabric(config),
+      wires_(config_.tech),
+      buffer_model_(static_cast<double>(config_.buffer_words_per_switch) *
+                    config_.tech.bus_width *
+                    // Shared across all k*k routers, like the Banyan's
+                    // shared node-switch memory.
+                    config_.ports),
+      router_energy_per_bit_j_(
+          config_.switches.mux_energy_per_bit(kDirections)),
+      side_(integer_sqrt(config_.ports)) {
+  if (side_ * side_ != config_.ports || side_ < 2) {
+    throw std::invalid_argument(
+        "MeshFabric: ports must be a perfect square >= 4");
+  }
+  in_reg_.resize(config_.ports);
+  fifo_.resize(config_.ports);
+  out_wire_.resize(config_.ports);
+  rr_.assign(config_.ports, 0);
+}
+
+MeshFabric::Direction MeshFabric::route(unsigned router, PortId dest) const {
+  if (router == dest) return kLocal;
+  const unsigned x = router_x(router), dx = router_x(dest);
+  if (x < dx) return kEast;
+  if (x > dx) return kWest;
+  return router_y(router) < router_y(dest) ? kSouth : kNorth;
+}
+
+unsigned MeshFabric::neighbor(unsigned router, Direction dir) const {
+  switch (dir) {
+    case kEast:
+      return router + 1;
+    case kWest:
+      return router - 1;
+    case kNorth:
+      return router - side_;
+    case kSouth:
+      return router + side_;
+    default:
+      throw std::logic_error("MeshFabric: no neighbor for local direction");
+  }
+}
+
+MeshFabric::Direction MeshFabric::arrival_side(Direction dir) {
+  switch (dir) {
+    case kEast:
+      return kWest;
+    case kWest:
+      return kEast;
+    case kNorth:
+      return kSouth;
+    case kSouth:
+      return kNorth;
+    default:
+      return kLocal;
+  }
+}
+
+unsigned MeshFabric::hop_distance(PortId a, PortId b) const {
+  if (a >= ports() || b >= ports()) {
+    throw std::out_of_range("MeshFabric: bad terminal");
+  }
+  const auto dx = static_cast<int>(router_x(a)) - static_cast<int>(router_x(b));
+  const auto dy = static_cast<int>(router_y(a)) - static_cast<int>(router_y(b));
+  return static_cast<unsigned>(std::abs(dx) + std::abs(dy));
+}
+
+bool MeshFabric::can_accept(PortId ingress) const {
+  check_ingress(ingress);
+  return !in_reg_[ingress][kLocal].has_value();
+}
+
+void MeshFabric::inject(PortId ingress, const Flit& flit) {
+  check_ingress(ingress);
+  if (flit.dest >= ports()) {
+    throw std::out_of_range("MeshFabric: destination out of range");
+  }
+  if (in_reg_[ingress][kLocal].has_value()) {
+    throw std::logic_error("MeshFabric: inject into occupied local port");
+  }
+  Flit placed = flit;
+  placed.row = ingress;
+  in_reg_[ingress][kLocal] = placed;
+  note_injected();
+}
+
+void MeshFabric::tick(EgressSink& sink) {
+  const double access_j =
+      buffer_model_.access_energy_per_bit_j() * config_.tech.bus_width;
+  const double switch_j = router_energy_per_bit_j_ * config_.tech.bus_width;
+
+  // Moves commit into target registers only at the end of the tick (a word
+  // advances at most one hop per cycle), but freed *source* registers are
+  // visible immediately, and the decision sweep repeats until a fixpoint so
+  // a full-rate chain advances every word one hop per cycle regardless of
+  // router iteration order. One word per output link per cycle.
+  struct PendingMove {
+    unsigned router;
+    Direction side;
+    Flit flit;
+  };
+  std::vector<PendingMove> pending;
+  std::vector<std::array<char, kDirections>> target_claimed(ports());
+  std::vector<std::array<char, kDirections>> output_used(ports());
+  for (unsigned r = 0; r < ports(); ++r) {
+    target_claimed[r].fill(0);
+    output_used[r].fill(0);
+    ++rr_[r];
+  }
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (unsigned r = 0; r < ports(); ++r) {
+      auto& fifo = fifo_[r];
+      const unsigned rr_start = rr_[r];
+
+      for (unsigned o = 0; o < kDirections; ++o) {
+        const auto out = static_cast<Direction>(o);
+        if (output_used[r][o]) continue;
+        // Edge routers have no link in the off-mesh directions.
+        if ((out == kEast && router_x(r) + 1 == side_) ||
+            (out == kWest && router_x(r) == 0) ||
+            (out == kNorth && router_y(r) == 0) ||
+            (out == kSouth && router_y(r) + 1 == side_)) {
+          continue;
+        }
+
+        // Forwarding target must be free now and unclaimed this cycle.
+        unsigned target_router = 0;
+        Direction target_side = kLocal;
+        if (out != kLocal) {
+          target_router = neighbor(r, out);
+          target_side = arrival_side(out);
+          if (in_reg_[target_router][target_side].has_value() ||
+              target_claimed[target_router][target_side]) {
+            continue;
+          }
+        }
+
+        // Oldest buffered word headed this way goes first (packet order).
+        auto buffered = std::find_if(
+            fifo.begin(), fifo.end(), [&](const BufferedWord& b) {
+              return route(r, b.flit.dest) == out;
+            });
+        std::optional<Flit> mover;
+        if (buffered != fifo.end()) {
+          mover = buffered->flit;
+          if (buffered->in_sram && config_.charge_buffer_read_and_write) {
+            ledger_.add(EnergyKind::kBuffer, access_j);  // SRAM read-out
+          }
+          fifo.erase(buffered);
+        } else {
+          for (unsigned k = 0; k < kDirections; ++k) {
+            const unsigned d = (rr_start + k) % kDirections;
+            auto& slot = in_reg_[r][d];
+            if (slot.has_value() && route(r, slot->dest) == out) {
+              mover = *slot;
+              slot.reset();
+              break;
+            }
+          }
+        }
+        if (!mover.has_value()) continue;
+
+        output_used[r][o] = 1;
+        progress = true;
+        ledger_.add(EnergyKind::kSwitch, switch_j);
+        const int flips = out_wire_[r][o].transmit(mover->data);
+        ledger_.add(EnergyKind::kWire,
+                    wires_.flip_energy_j(flips, hop_wire_grids()));
+
+        if (out == kLocal) {
+          sink.deliver(static_cast<PortId>(r), *mover);
+          note_delivered();
+        } else {
+          target_claimed[target_router][target_side] = 1;
+          Flit forwarded = *mover;
+          forwarded.row = static_cast<PortId>(target_router);
+          pending.push_back(
+              PendingMove{target_router, target_side, forwarded});
+        }
+      }
+    }
+  }
+
+  // Leftover input words join the FIFO (skid bypass, then SRAM), or stall
+  // on their link when the FIFO is full.
+  for (unsigned r = 0; r < ports(); ++r) {
+    auto& fifo = fifo_[r];
+    for (unsigned d = 0; d < kDirections; ++d) {
+      auto& slot = in_reg_[r][d];
+      if (!slot.has_value()) continue;
+      if (fifo.size() < config_.buffer_words_per_switch) {
+        const bool in_sram = fifo.size() >= config_.buffer_skid_words;
+        if (in_sram) {
+          ledger_.add(EnergyKind::kBuffer, access_j);
+          ++sram_words_buffered_;
+        }
+        ++words_buffered_;
+        fifo.push_back(BufferedWord{*slot, in_sram});
+        slot.reset();
+      } else {
+        ++stall_cycles_;
+      }
+    }
+  }
+
+  for (const PendingMove& move : pending) {
+    in_reg_[move.router][move.side] = move.flit;
+  }
+}
+
+bool MeshFabric::idle() const {
+  for (const auto& regs : in_reg_) {
+    for (const auto& slot : regs) {
+      if (slot.has_value()) return false;
+    }
+  }
+  for (const auto& fifo : fifo_) {
+    if (!fifo.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace sfab

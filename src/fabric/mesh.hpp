@@ -1,0 +1,115 @@
+// 2-D mesh network-on-chip fabric (framework extension).
+//
+// The paper's keywords — "Networks on Chip, Interconnect Networks" — point
+// at the direction this framework was built for, and the authors' own
+// follow-up work applied the bit-energy method to NoC meshes. This fabric
+// arranges N = k x k ports as terminals of a k x k mesh of 5-port routers
+// (Local, East, West, North, South) with XY dimension-order routing:
+// deterministic, deadlock-free (the X->Y dependency order is acyclic), and
+// trivially in-order per packet.
+//
+// Energy model, in the paper's three components:
+//  * switches: one word transiting a router charges the 5-input MUX bit
+//    energy (interpolated from Table 1's N-input MUX column) per bus bit —
+//    a mesh router is one 5:1 mux per output plus control;
+//  * wires: one hop spans a 5x5 router square plus routing channel, ~8
+//    Thompson grids; charged per flipped bit with per-link polarity memory;
+//  * buffers: contention losers queue in a per-router FIFO backed by the
+//    same shared-SRAM model (and skid-register bypass) as the Banyan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "power/buffer_energy.hpp"
+#include "power/wire_energy.hpp"
+
+namespace sfab {
+
+class MeshFabric final : public SwitchFabric {
+ public:
+  /// Ports must be a perfect square >= 4 (k x k mesh, one terminal per
+  /// router).
+  explicit MeshFabric(FabricConfig config);
+
+  [[nodiscard]] Architecture architecture() const noexcept override {
+    return Architecture::kMesh;
+  }
+  /// Queueing at routers makes latency variable.
+  [[nodiscard]] bool fixed_latency() const noexcept override { return false; }
+  [[nodiscard]] bool can_accept(PortId ingress) const override;
+  void inject(PortId ingress, const Flit& flit) override;
+  void tick(EgressSink& sink) override;
+  [[nodiscard]] bool idle() const override;
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] unsigned side() const noexcept { return side_; }
+  [[nodiscard]] std::uint64_t words_buffered() const noexcept override {
+    return words_buffered_;
+  }
+  [[nodiscard]] std::uint64_t sram_words_buffered() const noexcept override {
+    return sram_words_buffered_;
+  }
+  [[nodiscard]] std::uint64_t stall_cycles() const noexcept override {
+    return stall_cycles_;
+  }
+  /// XY hop count between two terminals (excluding ejection).
+  [[nodiscard]] unsigned hop_distance(PortId a, PortId b) const;
+  /// Thompson-grid length of one mesh hop.
+  [[nodiscard]] static constexpr double hop_wire_grids() noexcept {
+    return 8.0;
+  }
+
+ private:
+  enum Direction : unsigned {
+    kLocal = 0,
+    kEast = 1,
+    kWest = 2,
+    kNorth = 3,
+    kSouth = 4,
+    kDirections = 5,
+  };
+
+  struct BufferedWord {
+    Flit flit;
+    bool in_sram = false;
+  };
+
+  [[nodiscard]] unsigned router_x(unsigned router) const {
+    return router % side_;
+  }
+  [[nodiscard]] unsigned router_y(unsigned router) const {
+    return router / side_;
+  }
+  /// Next output direction under XY routing for a word at `router` headed
+  /// to terminal `dest` (kLocal = eject here).
+  [[nodiscard]] Direction route(unsigned router, PortId dest) const;
+  /// Neighbor router in direction `dir` (must not walk off the mesh).
+  [[nodiscard]] unsigned neighbor(unsigned router, Direction dir) const;
+  /// The input-register index at the neighbor for a word leaving via dir.
+  [[nodiscard]] static Direction arrival_side(Direction dir);
+
+  WireEnergyModel wires_;
+  SramBufferModel buffer_model_;
+  double router_energy_per_bit_j_;
+  unsigned side_;
+
+  /// in_reg_[router][direction]: word waiting at that router input.
+  std::vector<std::array<std::optional<Flit>, kDirections>> in_reg_;
+  /// Per-router contention FIFO (shared across outputs).
+  std::vector<std::deque<BufferedWord>> fifo_;
+  /// Per-link polarity memory [router][output direction].
+  std::vector<std::array<WireState, kDirections>> out_wire_;
+  /// Round-robin start offset per router.
+  std::vector<unsigned> rr_;
+
+  std::uint64_t words_buffered_ = 0;
+  std::uint64_t sram_words_buffered_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace sfab

@@ -1,0 +1,94 @@
+#include "gatelevel/gates.hpp"
+
+#include "common/units.hpp"
+
+namespace sfab::gatelevel {
+
+std::string_view to_string(GateType type) noexcept {
+  switch (type) {
+    case GateType::kBuf: return "BUF";
+    case GateType::kInv: return "INV";
+    case GateType::kAnd2: return "AND2";
+    case GateType::kOr2: return "OR2";
+    case GateType::kNand2: return "NAND2";
+    case GateType::kNor2: return "NOR2";
+    case GateType::kXor2: return "XOR2";
+    case GateType::kMux2: return "MUX2";
+    case GateType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+unsigned input_count(GateType type) noexcept {
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kInv:
+    case GateType::kDff:
+      return 1;
+    case GateType::kAnd2:
+    case GateType::kOr2:
+    case GateType::kNand2:
+    case GateType::kNor2:
+    case GateType::kXor2:
+      return 2;
+    case GateType::kMux2:
+      return 3;
+  }
+  return 0;
+}
+
+bool evaluate(GateType type, std::uint32_t inputs) noexcept {
+  const bool a = (inputs & 1u) != 0;
+  const bool b = (inputs & 2u) != 0;
+  const bool s = (inputs & 4u) != 0;
+  switch (type) {
+    case GateType::kBuf: return a;
+    case GateType::kInv: return !a;
+    case GateType::kAnd2: return a && b;
+    case GateType::kOr2: return a || b;
+    case GateType::kNand2: return !(a && b);
+    case GateType::kNor2: return !(a || b);
+    case GateType::kXor2: return a != b;
+    case GateType::kMux2: return s ? b : a;
+    case GateType::kDff: return a;  // value latched by the netlist engine
+  }
+  return false;
+}
+
+GateEnergy energy_of(GateType type, double scale) noexcept {
+  // At 3.3 V a rail-to-rail swing of ~8 fF (drain + local wire) is
+  // 1/2 * C * V^2 ~ 44 fJ; larger cells carry proportionally more internal
+  // capacitance. DFFs are assumed clock-gated when data is idle, so their
+  // per-cycle idle (clock buffer) energy is small.
+  using units::fJ;
+  GateEnergy e{};
+  switch (type) {
+    case GateType::kBuf:
+      e = {50.0 * fJ, 18.0 * fJ, 0.0};
+      break;
+    case GateType::kInv:
+      e = {40.0 * fJ, 18.0 * fJ, 0.0};
+      break;
+    case GateType::kAnd2:
+    case GateType::kOr2:
+      e = {70.0 * fJ, 18.0 * fJ, 0.0};
+      break;
+    case GateType::kNand2:
+    case GateType::kNor2:
+      e = {55.0 * fJ, 18.0 * fJ, 0.0};
+      break;
+    case GateType::kXor2:
+      e = {100.0 * fJ, 18.0 * fJ, 0.0};
+      break;
+    case GateType::kMux2:
+      e = {90.0 * fJ, 18.0 * fJ, 0.0};
+      break;
+    case GateType::kDff:
+      // Clock node fires on data captures; clock-gated otherwise.
+      e = {130.0 * fJ, 18.0 * fJ, 1.5 * fJ};
+      break;
+  }
+  return {e.toggle_j * scale, e.per_fanout_j * scale, e.idle_j * scale};
+}
+
+}  // namespace sfab::gatelevel

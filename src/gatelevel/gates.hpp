@@ -1,0 +1,55 @@
+// Standard-cell gate library for the gate-level power characterizer.
+//
+// The paper derives its node-switch bit-energy LUTs (Table 1) by simulating
+// each switch circuit with Synopsys Power Compiler in a 0.18 um library.
+// That tool is proprietary; src/gatelevel is our substitute: a small
+// two-valued, levelized netlist simulator over this cell library. Energy
+// per cell is the classic activity model — every output toggle charges the
+// cell's switched capacitance (intrinsic + fanout load) at Vdd — with
+// coefficients representative of a 0.18 um / 3.3 V standard-cell library.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sfab::gatelevel {
+
+enum class GateType : std::uint8_t {
+  kBuf,    ///< 1-input buffer
+  kInv,    ///< 1-input inverter
+  kAnd2,   ///< 2-input AND
+  kOr2,    ///< 2-input OR
+  kNand2,  ///< 2-input NAND
+  kNor2,   ///< 2-input NOR
+  kXor2,   ///< 2-input XOR
+  kMux2,   ///< 2:1 multiplexer, inputs: {a, b, select}; out = select ? b : a
+  kDff,    ///< D flip-flop, inputs: {d}; out updates on the cycle boundary
+};
+
+[[nodiscard]] std::string_view to_string(GateType type) noexcept;
+
+/// Number of input pins for a gate type.
+[[nodiscard]] unsigned input_count(GateType type) noexcept;
+
+/// Combinational evaluation. `inputs` is a bitmask, bit i = input pin i.
+/// kDff is sequential and must not be evaluated through here.
+[[nodiscard]] bool evaluate(GateType type, std::uint32_t inputs) noexcept;
+
+/// Per-cell energy coefficients (joules). Representative 0.18 um / 3.3 V
+/// values: switching a minimum inverter output (~4 fF total at the drain)
+/// costs ~20 fJ rail to rail; larger cells scale with internal capacitance.
+struct GateEnergy {
+  /// Energy per output toggle (intrinsic switched capacitance).
+  double toggle_j;
+  /// Energy added per fan-out load the output drives, per toggle.
+  double per_fanout_j;
+  /// Clock/internal energy per cycle even without an output toggle
+  /// (nonzero only for kDff: the clock buffer always fires).
+  double idle_j;
+};
+
+/// Library lookup; coefficients can be globally rescaled for other nodes
+/// via `scale` (E ~ C * V^2 relative to the 0.18 um reference).
+[[nodiscard]] GateEnergy energy_of(GateType type, double scale = 1.0) noexcept;
+
+}  // namespace sfab::gatelevel

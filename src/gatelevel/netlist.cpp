@@ -1,0 +1,172 @@
+#include "gatelevel/netlist.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace sfab::gatelevel {
+
+NetId Netlist::add_net(std::string name) {
+  if (finalized_) throw std::logic_error("add_net after finalize");
+  const auto id = static_cast<NetId>(fanout_.size());
+  fanout_.push_back(0);
+  names_.push_back(std::move(name));
+  has_driver_.push_back(0);
+  value_.push_back(0);
+  return id;
+}
+
+void Netlist::mark_input(NetId net) {
+  if (finalized_) throw std::logic_error("mark_input after finalize");
+  if (net >= fanout_.size()) throw std::out_of_range("mark_input: bad net");
+  if (has_driver_[net]) {
+    throw std::invalid_argument("mark_input: net already driven by a gate");
+  }
+  has_driver_[net] = 1;
+  inputs_.push_back(net);
+}
+
+void Netlist::add_gate(GateType type, const std::vector<NetId>& inputs,
+                       NetId output) {
+  if (finalized_) throw std::logic_error("add_gate after finalize");
+  if (inputs.size() != input_count(type)) {
+    throw std::invalid_argument("add_gate: wrong number of input pins");
+  }
+  for (NetId in : inputs) {
+    if (in >= fanout_.size()) throw std::out_of_range("add_gate: bad input");
+  }
+  if (output >= fanout_.size()) throw std::out_of_range("add_gate: bad output");
+  if (has_driver_[output]) {
+    throw std::invalid_argument("add_gate: output net already driven");
+  }
+  has_driver_[output] = 1;
+  for (NetId in : inputs) ++fanout_[in];
+  gates_.push_back(Gate{type, inputs, output});
+}
+
+const std::string& Netlist::net_name(NetId net) const {
+  if (net >= names_.size()) throw std::out_of_range("net_name: bad net");
+  return names_[net];
+}
+
+void Netlist::finalize() {
+  if (finalized_) throw std::logic_error("finalize called twice");
+  for (NetId net = 0; net < has_driver_.size(); ++net) {
+    if (!has_driver_[net]) {
+      throw std::logic_error("finalize: net '" + names_[net] +
+                             "' has no driver and is not an input");
+    }
+  }
+
+  // Kahn levelization over combinational gates. DFF outputs act as sources
+  // (their Q is known at the start of each cycle), so DFFs never join the
+  // combinational order.
+  std::vector<char> net_ready(fanout_.size(), 0);
+  for (NetId in : inputs_) net_ready[in] = 1;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i].type == GateType::kDff) {
+      dffs_.push_back(i);
+      net_ready[gates_[i].out] = 1;
+    }
+  }
+  dff_state_.assign(dffs_.size(), 0);
+
+  std::vector<char> scheduled(gates_.size(), 0);
+  level_order_.clear();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+      if (scheduled[i] || gates_[i].type == GateType::kDff) continue;
+      bool ready = true;
+      for (NetId in : gates_[i].in) {
+        if (!net_ready[in]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        scheduled[i] = 1;
+        net_ready[gates_[i].out] = 1;
+        level_order_.push_back(i);
+        progress = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (!scheduled[i] && gates_[i].type != GateType::kDff) {
+      throw std::logic_error(
+          "finalize: combinational cycle detected (gate output net '" +
+          names_[gates_[i].out] + "')");
+    }
+  }
+  finalized_ = true;
+}
+
+void Netlist::reset() {
+  if (!finalized_) throw std::logic_error("reset before finalize");
+  std::fill(value_.begin(), value_.end(), 0);
+  std::fill(dff_state_.begin(), dff_state_.end(), 0);
+  energy_j_ = 0.0;
+  toggles_ = 0;
+}
+
+void Netlist::set_energy_scale(double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("set_energy_scale: scale <= 0");
+  energy_scale_ = scale;
+}
+
+void Netlist::charge_toggle(const Gate& g) {
+  const GateEnergy e = energy_of(g.type, energy_scale_);
+  energy_j_ += e.toggle_j + e.per_fanout_j * fanout_[g.out];
+  ++toggles_;
+}
+
+void Netlist::step(const std::vector<bool>& input_values) {
+  if (!finalized_) throw std::logic_error("step before finalize");
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("step: wrong number of input values");
+  }
+
+  // 1. DFF outputs present their latched state; clock energy always burns.
+  for (std::size_t k = 0; k < dffs_.size(); ++k) {
+    const Gate& g = gates_[dffs_[k]];
+    const bool q = dff_state_[k] != 0;
+    energy_j_ += energy_of(g.type, energy_scale_).idle_j;
+    if (value_[g.out] != static_cast<char>(q)) {
+      value_[g.out] = static_cast<char>(q);
+      charge_toggle(g);
+    }
+  }
+
+  // 2. Primary inputs (testbench drives these; their wire energy belongs to
+  // the upstream driver, so no charge here).
+  for (std::size_t k = 0; k < inputs_.size(); ++k) {
+    value_[inputs_[k]] = input_values[k] ? 1 : 0;
+  }
+
+  // 3. Combinational settle in topological order.
+  for (std::size_t gi : level_order_) {
+    const Gate& g = gates_[gi];
+    std::uint32_t in_mask = 0;
+    for (std::size_t pin = 0; pin < g.in.size(); ++pin) {
+      in_mask |= static_cast<std::uint32_t>(value_[g.in[pin]] != 0) << pin;
+    }
+    const bool out = evaluate(g.type, in_mask);
+    if (value_[g.out] != static_cast<char>(out)) {
+      value_[g.out] = static_cast<char>(out);
+      charge_toggle(g);
+    }
+  }
+
+  // 4. DFFs capture D for the next cycle.
+  for (std::size_t k = 0; k < dffs_.size(); ++k) {
+    dff_state_[k] = value_[gates_[dffs_[k]].in[0]];
+  }
+}
+
+bool Netlist::value(NetId net) const {
+  if (net >= value_.size()) throw std::out_of_range("value: bad net");
+  return value_[net] != 0;
+}
+
+}  // namespace sfab::gatelevel

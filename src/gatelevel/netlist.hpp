@@ -1,0 +1,96 @@
+// Gate-level netlist with a levelized two-valued simulator and an
+// activity-based power accumulator.
+//
+// Combinational gates are evaluated in topological order each cycle; DFFs
+// latch their D input at the cycle boundary (classic zero-delay cycle
+// semantics — adequate for average switching activity, which is what the
+// bit-energy LUT characterization needs; glitch power is outside this
+// model's scope and is absorbed by the calibration factor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gatelevel/gates.hpp"
+
+namespace sfab::gatelevel {
+
+using NetId = std::uint32_t;
+
+class Netlist {
+ public:
+  /// Creates a new net, optionally named (names are for debugging only).
+  NetId add_net(std::string name = {});
+
+  /// Declares `net` a primary input (driven by the testbench).
+  void mark_input(NetId net);
+
+  /// Adds a gate driving `output` from `inputs` (pin order matters for
+  /// kMux2: {a, b, select}). Each net may have at most one driver.
+  void add_gate(GateType type, const std::vector<NetId>& inputs, NetId output);
+
+  [[nodiscard]] std::size_t num_nets() const noexcept { return fanout_.size(); }
+  [[nodiscard]] std::size_t num_gates() const noexcept { return gates_.size(); }
+  [[nodiscard]] const std::string& net_name(NetId net) const;
+
+  /// Finalizes the netlist: checks every non-input net has a driver,
+  /// levelizes the combinational gates, rejects combinational cycles.
+  /// Must be called once before simulation.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  // --- simulation ----------------------------------------------------------
+
+  /// Resets all nets and DFF states to 0 and clears accumulated energy.
+  void reset();
+
+  /// Advances one clock cycle: DFF outputs take their latched values, then
+  /// `input_values[i]` is applied to the i-th marked input (in mark order),
+  /// then combinational logic settles. Energy for every toggled net is
+  /// accumulated. Requires finalize().
+  void step(const std::vector<bool>& input_values);
+
+  /// Current value of a net.
+  [[nodiscard]] bool value(NetId net) const;
+
+  /// Energy accumulated since reset() (J), including DFF idle clock energy.
+  [[nodiscard]] double energy_j() const noexcept { return energy_j_; }
+
+  /// Total output toggles since reset().
+  [[nodiscard]] std::uint64_t toggles() const noexcept { return toggles_; }
+
+  /// Global energy scale (technology factor), default 1.0; applied to all
+  /// gate coefficients. Set before simulating.
+  void set_energy_scale(double scale);
+
+  [[nodiscard]] const std::vector<NetId>& inputs() const noexcept {
+    return inputs_;
+  }
+
+ private:
+  struct Gate {
+    GateType type;
+    std::vector<NetId> in;
+    NetId out;
+  };
+
+  void charge_toggle(const Gate& g);
+
+  std::vector<Gate> gates_;
+  std::vector<std::uint32_t> fanout_;   // per net: number of gate input pins
+  std::vector<std::string> names_;
+  std::vector<NetId> inputs_;
+  std::vector<char> has_driver_;
+  std::vector<char> value_;             // current net values
+  std::vector<std::size_t> level_order_;  // combinational gates, topo order
+  std::vector<std::size_t> dffs_;       // indices into gates_
+  std::vector<char> dff_state_;         // latched Q per DFF
+  double energy_scale_ = 1.0;
+  double energy_j_ = 0.0;
+  std::uint64_t toggles_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sfab::gatelevel

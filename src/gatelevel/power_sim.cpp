@@ -1,0 +1,85 @@
+#include "gatelevel/power_sim.hpp"
+
+#include <stdexcept>
+
+namespace sfab::gatelevel {
+
+std::vector<std::uint32_t> all_masks(unsigned ports) {
+  if (ports >= 20) {
+    throw std::invalid_argument("all_masks: too many ports for full sweep");
+  }
+  std::vector<std::uint32_t> masks(1u << ports);
+  for (std::uint32_t m = 0; m < masks.size(); ++m) masks[m] = m;
+  return masks;
+}
+
+std::vector<MaskEnergy> characterize(SwitchHarness& harness,
+                                     const std::vector<std::uint32_t>& masks,
+                                     const CharacterizationConfig& config) {
+  if (config.cycles == 0) {
+    throw std::invalid_argument("characterize: cycles must be >= 1");
+  }
+  const auto ports = static_cast<unsigned>(harness.port_data.size());
+  Netlist& nl = harness.netlist;
+  if (!nl.finalized()) {
+    throw std::invalid_argument("characterize: netlist not finalized");
+  }
+
+  Rng rng{config.seed};
+  std::vector<MaskEnergy> results;
+  results.reserve(masks.size());
+
+  std::vector<bool> stimulus(nl.inputs().size(), false);
+
+  for (const std::uint32_t mask : masks) {
+    if (ports < 32 && mask >= (1u << ports)) {
+      throw std::invalid_argument("characterize: mask exceeds port count");
+    }
+
+    const auto drive_cycle = [&] {
+      std::fill(stimulus.begin(), stimulus.end(), false);
+      for (unsigned p = 0; p < ports; ++p) {
+        const bool active = ((mask >> p) & 1u) != 0;
+        if (harness.port_valid[p] != SwitchHarness::npos) {
+          stimulus[harness.port_valid[p]] = active;
+        }
+        if (active) {
+          for (const std::size_t idx : harness.port_data[p]) {
+            stimulus[idx] = rng.next_bernoulli(0.5);
+          }
+          for (const std::size_t idx : harness.port_addr[p]) {
+            stimulus[idx] = rng.next_bernoulli(0.5);
+          }
+        }
+      }
+      nl.step(stimulus);
+    };
+
+    nl.reset();
+    for (unsigned c = 0; c < config.warmup; ++c) drive_cycle();
+    const double energy_before = nl.energy_j();
+    for (unsigned c = 0; c < config.cycles; ++c) drive_cycle();
+    const double per_cycle =
+        (nl.energy_j() - energy_before) / config.cycles;
+
+    MaskEnergy entry;
+    entry.mask = mask;
+    entry.energy_per_cycle_j = per_cycle;
+    entry.energy_per_bit_j = per_cycle / harness.bits_per_port;
+    results.push_back(entry);
+  }
+  return results;
+}
+
+std::vector<double> characterize_two_port_lut(
+    SwitchHarness& harness, const CharacterizationConfig& config) {
+  if (harness.port_data.size() != 2) {
+    throw std::invalid_argument("characterize_two_port_lut: need 2 ports");
+  }
+  const auto measured = characterize(harness, all_masks(2), config);
+  std::vector<double> lut(4, 0.0);
+  for (const MaskEnergy& m : measured) lut[m.mask] = m.energy_per_bit_j;
+  return lut;
+}
+
+}  // namespace sfab::gatelevel

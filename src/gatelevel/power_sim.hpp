@@ -1,0 +1,52 @@
+// Random-vector power characterization — the stand-in for the paper's
+// Synopsys Power Compiler flow.
+//
+// For every requested input-occupancy mask the harness drives active ports
+// with fresh random payload (and random addresses) each cycle, holds idle
+// ports at zero, lets the netlist settle, and averages the accumulated
+// switching energy per cycle. Dividing by the payload width yields energy
+// per bit-slot — the exact quantity Table 1 tabulates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gatelevel/switch_netlists.hpp"
+
+namespace sfab::gatelevel {
+
+struct CharacterizationConfig {
+  /// Measured cycles per occupancy mask (after warm-up).
+  unsigned cycles = 4000;
+  /// Warm-up cycles excluded from the energy average.
+  unsigned warmup = 64;
+  std::uint64_t seed = 0xC0FFEEull;
+};
+
+struct MaskEnergy {
+  std::uint32_t mask = 0;
+  /// Average energy per cycle in that state (J).
+  double energy_per_cycle_j = 0.0;
+  /// Energy per payload bit-slot (energy_per_cycle / bits_per_port), the
+  /// Table 1 quantity (J).
+  double energy_per_bit_j = 0.0;
+};
+
+/// Characterizes the harness for each mask in `masks` (bit p set = port p
+/// active). Masks must fit the harness's port count.
+[[nodiscard]] std::vector<MaskEnergy> characterize(
+    SwitchHarness& harness, const std::vector<std::uint32_t>& masks,
+    const CharacterizationConfig& config = {});
+
+/// All 2^ports masks in order — convenient for 1- and 2-port switches; do
+/// not use for wide MUXes (exponential).
+[[nodiscard]] std::vector<std::uint32_t> all_masks(unsigned ports);
+
+/// Characterizes a 2-port switch and returns the 4-entry LUT
+/// {E[00], E[01], E[10], E[11]} in joules per bit — ready to feed into
+/// sfab::VectorIndexedLut.
+[[nodiscard]] std::vector<double> characterize_two_port_lut(
+    SwitchHarness& harness, const CharacterizationConfig& config = {});
+
+}  // namespace sfab::gatelevel

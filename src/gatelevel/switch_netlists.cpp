@@ -1,0 +1,299 @@
+#include "gatelevel/switch_netlists.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/bitops.hpp"
+
+namespace sfab::gatelevel {
+
+namespace {
+
+/// Adds a primary input and returns its index in inputs() order.
+std::size_t add_input(Netlist& nl, std::string name,
+                      std::vector<NetId>* net_out = nullptr) {
+  const NetId net = nl.add_net(std::move(name));
+  nl.mark_input(net);
+  if (net_out) net_out->push_back(net);
+  return nl.inputs().size() - 1;
+}
+
+}  // namespace
+
+SwitchHarness build_crosspoint(unsigned width) {
+  if (width < 1) throw std::invalid_argument("build_crosspoint: width >= 1");
+  SwitchHarness h;
+  Netlist& nl = h.netlist;
+
+  std::vector<NetId> data_nets;
+  std::vector<std::size_t> data_idx;
+  for (unsigned b = 0; b < width; ++b) {
+    data_idx.push_back(add_input(nl, "d" + std::to_string(b), &data_nets));
+  }
+  std::vector<NetId> enable_net;
+  const std::size_t enable_idx = add_input(nl, "en", &enable_net);
+
+  // Enable buffer fans out to all bit cells (this is the input-gate load a
+  // row bit sees at every crosspoint).
+  const NetId en_buf = nl.add_net("en_buf");
+  nl.add_gate(GateType::kBuf, {enable_net[0]}, en_buf);
+  for (unsigned b = 0; b < width; ++b) {
+    const NetId out = nl.add_net("q" + std::to_string(b));
+    nl.add_gate(GateType::kAnd2, {data_nets[b], en_buf}, out);
+  }
+  nl.finalize();
+
+  h.port_data = {data_idx};
+  h.port_addr = {{}};
+  h.port_valid = {enable_idx};
+  h.bits_per_port = width;
+  return h;
+}
+
+SwitchHarness build_banyan_switch(unsigned width) {
+  if (width < 1) throw std::invalid_argument("build_banyan_switch: width >= 1");
+  SwitchHarness h;
+  Netlist& nl = h.netlist;
+
+  std::vector<std::vector<NetId>> data_nets(2);
+  h.port_data.resize(2);
+  h.port_addr.resize(2);
+  h.port_valid.resize(2);
+  std::vector<NetId> dest(2), valid(2);
+
+  for (unsigned p = 0; p < 2; ++p) {
+    const std::string prefix = "p" + std::to_string(p) + "_";
+    for (unsigned b = 0; b < width; ++b) {
+      h.port_data[p].push_back(
+          add_input(nl, prefix + "d" + std::to_string(b), &data_nets[p]));
+    }
+    std::vector<NetId> tmp;
+    h.port_addr[p].push_back(add_input(nl, prefix + "dest", &tmp));
+    dest[p] = tmp[0];
+    tmp.clear();
+    h.port_valid[p] = add_input(nl, prefix + "valid", &tmp);
+    valid[p] = tmp[0];
+  }
+
+  // --- header data path: allocator -----------------------------------------
+  // Input p requests output `dest[p]` when valid. Output 0 is taken from
+  // input 0 when input 0 wants it, else from input 1; output 1 dually
+  // (fixed-priority arbitration; contention handling lives in the fabric
+  // model, the circuit just needs representative switching structure).
+  const NetId n_dest0 = nl.add_net("n_dest0");
+  nl.add_gate(GateType::kInv, {dest[0]}, n_dest0);
+  const NetId n_dest1 = nl.add_net("n_dest1");
+  nl.add_gate(GateType::kInv, {dest[1]}, n_dest1);
+
+  const NetId req00 = nl.add_net("req00");  // input 0 wants output 0
+  nl.add_gate(GateType::kAnd2, {valid[0], n_dest0}, req00);
+  const NetId req01 = nl.add_net("req01");  // input 0 wants output 1
+  nl.add_gate(GateType::kAnd2, {valid[0], dest[0]}, req01);
+  const NetId req10 = nl.add_net("req10");
+  nl.add_gate(GateType::kAnd2, {valid[1], n_dest1}, req10);
+  const NetId req11 = nl.add_net("req11");
+  nl.add_gate(GateType::kAnd2, {valid[1], dest[1]}, req11);
+
+  // sel_out0 = 1 when output 0 carries input 1 (i.e. input 0 didn't claim it).
+  const NetId n_req00 = nl.add_net("n_req00");
+  nl.add_gate(GateType::kInv, {req00}, n_req00);
+  const NetId sel_out0 = nl.add_net("sel_out0");
+  nl.add_gate(GateType::kAnd2, {req10, n_req00}, sel_out0);
+  const NetId n_req01 = nl.add_net("n_req01");
+  nl.add_gate(GateType::kInv, {req01}, n_req01);
+  const NetId sel_out1 = nl.add_net("sel_out1");
+  nl.add_gate(GateType::kAnd2, {req11, n_req01}, sel_out1);
+
+  // Allocation register: the grant is latched and held during the packet
+  // (paper: "the allocator allocates the output port to the packet and
+  // preserves the allocation throughout the packet transmission").
+  const NetId sel0_q = nl.add_net("sel0_q");
+  nl.add_gate(GateType::kDff, {sel_out0}, sel0_q);
+  const NetId sel1_q = nl.add_net("sel1_q");
+  nl.add_gate(GateType::kDff, {sel_out1}, sel1_q);
+
+  const NetId out0_en = nl.add_net("out0_en");
+  nl.add_gate(GateType::kOr2, {req00, req10}, out0_en);
+  const NetId out1_en = nl.add_net("out1_en");
+  nl.add_gate(GateType::kOr2, {req01, req11}, out1_en);
+
+  // --- payload data path ----------------------------------------------------
+  // Input and output pipeline registers bracket the mux banks: the paper's
+  // switches latch data through the fabric's synchronous stages, and the
+  // registers carry a realistic share of a 3.3 V switch's datapath energy.
+  for (unsigned b = 0; b < width; ++b) {
+    const std::string sb = std::to_string(b);
+    const NetId r0 = nl.add_net("reg0_" + sb);
+    nl.add_gate(GateType::kDff, {data_nets[0][b]}, r0);
+    const NetId r1 = nl.add_net("reg1_" + sb);
+    nl.add_gate(GateType::kDff, {data_nets[1][b]}, r1);
+
+    const NetId m0 = nl.add_net("mux0_" + sb);
+    nl.add_gate(GateType::kMux2, {r0, r1, sel0_q}, m0);
+    const NetId g0 = nl.add_net("gate0_" + sb);
+    nl.add_gate(GateType::kAnd2, {m0, out0_en}, g0);
+    const NetId q0 = nl.add_net("out0_" + sb);
+    nl.add_gate(GateType::kDff, {g0}, q0);
+
+    const NetId m1 = nl.add_net("mux1_" + sb);
+    nl.add_gate(GateType::kMux2, {r0, r1, sel1_q}, m1);
+    const NetId g1 = nl.add_net("gate1_" + sb);
+    nl.add_gate(GateType::kAnd2, {m1, out1_en}, g1);
+    const NetId q1 = nl.add_net("out1_" + sb);
+    nl.add_gate(GateType::kDff, {g1}, q1);
+  }
+  nl.finalize();
+  h.bits_per_port = width;
+  return h;
+}
+
+SwitchHarness build_sorter_switch(unsigned width, unsigned addr_bits) {
+  if (width < 1 || addr_bits < 1) {
+    throw std::invalid_argument("build_sorter_switch: width/addr_bits >= 1");
+  }
+  SwitchHarness h;
+  Netlist& nl = h.netlist;
+
+  std::vector<std::vector<NetId>> data_nets(2), addr_nets(2);
+  std::vector<NetId> valid(2);
+  h.port_data.resize(2);
+  h.port_addr.resize(2);
+  h.port_valid.resize(2);
+
+  for (unsigned p = 0; p < 2; ++p) {
+    const std::string prefix = (p == 0 ? "a_" : "b_");
+    for (unsigned b = 0; b < width; ++b) {
+      h.port_data[p].push_back(
+          add_input(nl, prefix + "d" + std::to_string(b), &data_nets[p]));
+    }
+    for (unsigned b = 0; b < addr_bits; ++b) {
+      h.port_addr[p].push_back(
+          add_input(nl, prefix + "addr" + std::to_string(b), &addr_nets[p]));
+    }
+    std::vector<NetId> tmp;
+    h.port_valid[p] = add_input(nl, prefix + "valid", &tmp);
+    valid[p] = tmp[0];
+  }
+
+  // --- magnitude comparator: gt = (A > B), ripple from LSB to MSB ----------
+  // gt_i = a_i & ~b_i  |  (a_i == b_i) & gt_{i-1}
+  NetId gt = nl.add_net("gt_seed");  // constant 0 via XOR(x, x)
+  nl.add_gate(GateType::kXor2, {addr_nets[0][0], addr_nets[0][0]}, gt);
+  for (unsigned b = 0; b < addr_bits; ++b) {
+    const std::string sb = std::to_string(b);
+    const NetId nb = nl.add_net("nb" + sb);
+    nl.add_gate(GateType::kInv, {addr_nets[1][b]}, nb);
+    const NetId a_gt_b = nl.add_net("a_gt_b" + sb);
+    nl.add_gate(GateType::kAnd2, {addr_nets[0][b], nb}, a_gt_b);
+    const NetId eq = nl.add_net("eq" + sb);
+    const NetId ne = nl.add_net("ne" + sb);
+    nl.add_gate(GateType::kXor2, {addr_nets[0][b], addr_nets[1][b]}, ne);
+    nl.add_gate(GateType::kInv, {ne}, eq);
+    const NetId carry = nl.add_net("carry" + sb);
+    nl.add_gate(GateType::kAnd2, {eq, gt}, carry);
+    const NetId gt_next = nl.add_net("gt" + sb);
+    nl.add_gate(GateType::kOr2, {a_gt_b, carry}, gt_next);
+    gt = gt_next;
+  }
+
+  // Idle inputs sort as +infinity: swap also when A is invalid and B valid.
+  const NetId n_valid0 = nl.add_net("n_valid0");
+  nl.add_gate(GateType::kInv, {valid[0]}, n_valid0);
+  const NetId idle_swap = nl.add_net("idle_swap");
+  nl.add_gate(GateType::kAnd2, {n_valid0, valid[1]}, idle_swap);
+  const NetId swap_now = nl.add_net("swap_now");
+  nl.add_gate(GateType::kOr2, {gt, idle_swap}, swap_now);
+
+  // Swap decision latched for the packet duration.
+  const NetId swap_q = nl.add_net("swap_q");
+  nl.add_gate(GateType::kDff, {swap_now}, swap_q);
+
+  // --- swap stage -----------------------------------------------------------
+  // As in the Banyan switch, pipeline registers bracket the swap muxes.
+  for (unsigned b = 0; b < width; ++b) {
+    const std::string sb = std::to_string(b);
+    const NetId ra = nl.add_net("rega" + sb);
+    nl.add_gate(GateType::kDff, {data_nets[0][b]}, ra);
+    const NetId rb = nl.add_net("regb" + sb);
+    nl.add_gate(GateType::kDff, {data_nets[1][b]}, rb);
+
+    const NetId lo = nl.add_net("lo" + sb);
+    nl.add_gate(GateType::kMux2, {ra, rb, swap_q}, lo);
+    const NetId lo_q = nl.add_net("lo_q" + sb);
+    nl.add_gate(GateType::kDff, {lo}, lo_q);
+    const NetId hi = nl.add_net("hi" + sb);
+    nl.add_gate(GateType::kMux2, {rb, ra, swap_q}, hi);
+    const NetId hi_q = nl.add_net("hi_q" + sb);
+    nl.add_gate(GateType::kDff, {hi}, hi_q);
+  }
+  nl.finalize();
+  h.bits_per_port = width;
+  return h;
+}
+
+SwitchHarness build_mux(unsigned n_inputs, unsigned width) {
+  if (n_inputs < 2 || !is_pow2(n_inputs)) {
+    throw std::invalid_argument("build_mux: n_inputs must be a power of two");
+  }
+  if (width < 1) throw std::invalid_argument("build_mux: width >= 1");
+  const unsigned sel_bits = log2_exact(n_inputs);
+
+  SwitchHarness h;
+  Netlist& nl = h.netlist;
+
+  std::vector<std::vector<NetId>> data_nets(n_inputs);
+  std::vector<std::vector<std::size_t>> data_idx(n_inputs);
+  for (unsigned i = 0; i < n_inputs; ++i) {
+    for (unsigned b = 0; b < width; ++b) {
+      data_idx[i].push_back(add_input(
+          nl, "i" + std::to_string(i) + "_d" + std::to_string(b),
+          &data_nets[i]));
+    }
+  }
+  std::vector<NetId> sel(sel_bits);
+  std::vector<std::size_t> sel_idx;
+  for (unsigned s = 0; s < sel_bits; ++s) {
+    std::vector<NetId> tmp;
+    sel_idx.push_back(add_input(nl, "sel" + std::to_string(s), &tmp));
+    sel[s] = tmp[0];
+  }
+
+  // Balanced MUX2 tree per payload bit: level s collapses pairs that differ
+  // in select bit s.
+  for (unsigned b = 0; b < width; ++b) {
+    std::vector<NetId> layer;
+    for (unsigned i = 0; i < n_inputs; ++i) layer.push_back(data_nets[i][b]);
+    for (unsigned s = 0; s < sel_bits; ++s) {
+      std::vector<NetId> next;
+      for (std::size_t k = 0; k + 1 < layer.size(); k += 2) {
+        const NetId out = nl.add_net("m_b" + std::to_string(b) + "_l" +
+                                     std::to_string(s) + "_" +
+                                     std::to_string(k / 2));
+        nl.add_gate(GateType::kMux2, {layer[k], layer[k + 1], sel[s]}, out);
+        next.push_back(out);
+      }
+      layer = std::move(next);
+    }
+  }
+  nl.finalize();
+
+  // Characterized as a single logical port: the selected input's data pins.
+  // The select lines are driven as "address" pins so the characterizer can
+  // exercise them.
+  h.port_data = {data_idx[0]};
+  h.port_addr = {sel_idx};
+  h.port_valid = {SwitchHarness::npos};
+  h.bits_per_port = width;
+
+  // Keep the remaining inputs known to the harness: append them as extra
+  // "ports" without valid pins so the characterizer drives them too when
+  // asked for multi-active vectors.
+  for (unsigned i = 1; i < n_inputs; ++i) {
+    h.port_data.push_back(data_idx[i]);
+    h.port_addr.push_back({});
+    h.port_valid.push_back(SwitchHarness::npos);
+  }
+  return h;
+}
+
+}  // namespace sfab::gatelevel

@@ -1,0 +1,56 @@
+// Synthetic gate netlists of the paper's node switches.
+//
+// These are representative implementations of the circuits the paper
+// characterized with Synopsys Power Compiler ("a few hundred gates to 10K
+// gates"): a crossbar crosspoint (tri-state style pass element), the Banyan
+// 2x2 binary switch (destination-bit allocator + payload muxes), the
+// Batcher 2x2 sorting switch (address comparator + swap muxes) and the
+// N-input MUX (a MUX2 tree per bit). Characterizing them with
+// gatelevel::characterize() yields per-bit energy LUTs comparable in shape
+// to Table 1; absolute values depend on the cell-energy calibration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gatelevel/netlist.hpp"
+
+namespace sfab::gatelevel {
+
+/// A netlist plus the testbench hookup the characterizer needs. All index
+/// vectors refer to positions in `netlist.inputs()` order.
+struct SwitchHarness {
+  Netlist netlist;
+  /// Per port: indices of that port's payload data pins.
+  std::vector<std::vector<std::size_t>> port_data;
+  /// Per port: indices of that port's destination-address pins (may be
+  /// empty for switches that don't look at addresses).
+  std::vector<std::vector<std::size_t>> port_addr;
+  /// Per port: index of the packet-present (valid) pin, or npos if the
+  /// switch has no valid pin.
+  std::vector<std::size_t> port_valid;
+  /// Payload width per port in bits.
+  unsigned bits_per_port = 0;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// Crossbar crosspoint: per payload bit an enable-gated pass element.
+/// 1 port; the enable pin doubles as the valid pin.
+[[nodiscard]] SwitchHarness build_crosspoint(unsigned width);
+
+/// Banyan 2x2 binary switch: two input ports with a 1-bit destination
+/// address each; an allocator decides the output assignment and a register
+/// holds it through the packet; payload crosses two W-wide 2:1 mux banks.
+[[nodiscard]] SwitchHarness build_banyan_switch(unsigned width);
+
+/// Batcher 2x2 sorting switch: `addr_bits`-wide magnitude comparator plus a
+/// swap stage; packets leave in (min, max) destination order.
+[[nodiscard]] SwitchHarness build_sorter_switch(unsigned width,
+                                                unsigned addr_bits = 5);
+
+/// N-input MUX: per payload bit a balanced MUX2 tree; log2(N) select lines.
+/// Modeled as one logical port (the selected one) for characterization.
+[[nodiscard]] SwitchHarness build_mux(unsigned n_inputs, unsigned width);
+
+}  // namespace sfab::gatelevel

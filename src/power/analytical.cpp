@@ -1,0 +1,170 @@
+#include "power/analytical.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace sfab {
+
+AnalyticalModel::AnalyticalModel(TechnologyParams tech,
+                                 SwitchEnergyTables switches,
+                                 double per_switch_buffer_bits)
+    : tech_(tech),
+      switches_(std::move(switches)),
+      per_switch_buffer_bits_(per_switch_buffer_bits) {
+  if (per_switch_buffer_bits <= 0.0) {
+    throw std::invalid_argument(
+        "AnalyticalModel: per-switch buffer bits must be positive");
+  }
+}
+
+unsigned AnalyticalModel::require_pow2_ports(unsigned ports, unsigned minimum) {
+  if (ports < minimum || !is_pow2(ports)) {
+    throw std::invalid_argument(
+        "AnalyticalModel: ports must be a power of two >= minimum for this "
+        "architecture");
+  }
+  return log2_exact(ports);
+}
+
+// --- wire lengths -----------------------------------------------------------
+
+double AnalyticalModel::crossbar_wire_grids(unsigned ports) {
+  if (ports < 1) throw std::invalid_argument("crossbar: ports must be >= 1");
+  return 8.0 * ports;  // row (4N) + column (4N)
+}
+
+double AnalyticalModel::fully_connected_wire_grids(unsigned ports) {
+  if (ports < 2) throw std::invalid_argument("fully connected: ports >= 2");
+  return 0.5 * static_cast<double>(ports) * static_cast<double>(ports);
+}
+
+double AnalyticalModel::banyan_wire_grids(unsigned ports) {
+  const unsigned n = require_pow2_ports(ports, 2);
+  double grids = 0.0;
+  for (unsigned i = 0; i < n; ++i) grids += 4.0 * static_cast<double>(1u << i);
+  return grids;  // = 4 (N - 1)
+}
+
+double AnalyticalModel::batcher_banyan_wire_grids(unsigned ports) {
+  const unsigned n = require_pow2_ports(ports, 4);
+  double sorter = 0.0;
+  for (unsigned j = 0; j < n; ++j) {
+    for (unsigned i = 0; i <= j; ++i) {
+      sorter += 4.0 * static_cast<double>(1u << i);
+    }
+  }
+  return sorter + banyan_wire_grids(ports);
+}
+
+// --- worst-case bit energies -------------------------------------------------
+
+double AnalyticalModel::crossbar_bit_energy(unsigned ports) const {
+  if (ports < 1) throw std::invalid_argument("crossbar: ports must be >= 1");
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  const double e_s = switches_.crosspoint.energy_per_bit(1u);
+  return ports * e_s + crossbar_wire_grids(ports) * e_t;
+}
+
+double AnalyticalModel::fully_connected_bit_energy(unsigned ports) const {
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  return switches_.mux_energy_per_bit(ports) +
+         fully_connected_wire_grids(ports) * e_t;
+}
+
+double AnalyticalModel::banyan_bit_energy(
+    unsigned ports, std::span<const int> contention) const {
+  const unsigned n = require_pow2_ports(ports, 2);
+  if (contention.size() != n) {
+    throw std::invalid_argument(
+        "banyan_bit_energy: need one contention indicator per stage");
+  }
+  const SramBufferModel buffer = banyan_buffer(ports);
+  double buffered = 0.0;
+  for (int q : contention) {
+    if (q != 0 && q != 1) {
+      throw std::invalid_argument("banyan_bit_energy: q_i must be 0 or 1");
+    }
+    buffered += q * buffer.bit_energy_j();
+  }
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  const double e_s = switches_.banyan2x2.energy_per_bit(true, false);
+  return buffered + banyan_wire_grids(ports) * e_t + n * e_s;
+}
+
+double AnalyticalModel::banyan_bit_energy_no_contention(unsigned ports) const {
+  const unsigned n = require_pow2_ports(ports, 2);
+  const std::vector<int> q(n, 0);
+  return banyan_bit_energy(ports, q);
+}
+
+double AnalyticalModel::banyan_bit_energy_full_contention(unsigned ports) const {
+  const unsigned n = require_pow2_ports(ports, 2);
+  const std::vector<int> q(n, 1);
+  return banyan_bit_energy(ports, q);
+}
+
+double AnalyticalModel::batcher_banyan_bit_energy(unsigned ports) const {
+  const unsigned n = require_pow2_ports(ports, 4);
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  const double e_ss = switches_.sorter2x2.energy_per_bit(true, false);
+  const double e_sb = switches_.banyan2x2.energy_per_bit(true, false);
+  return batcher_banyan_wire_grids(ports) * e_t +
+         0.5 * n * (n + 1) * e_ss + n * e_sb;
+}
+
+// --- average-case variants ----------------------------------------------------
+
+double AnalyticalModel::crossbar_avg_bit_energy(unsigned ports,
+                                                const AverageParams& p) const {
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  const double e_s = switches_.crosspoint.energy_per_bit(1u);
+  return ports * e_s +
+         p.toggle_activity * crossbar_wire_grids(ports) * e_t;
+}
+
+double AnalyticalModel::fully_connected_avg_bit_energy(
+    unsigned ports, const AverageParams& p) const {
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  return switches_.mux_energy_per_bit(ports) +
+         p.toggle_activity * fully_connected_wire_grids(ports) * e_t;
+}
+
+double AnalyticalModel::banyan_avg_bit_energy(unsigned ports,
+                                              const AverageParams& p) const {
+  const unsigned n = require_pow2_ports(ports, 2);
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  const double e_s = switches_.banyan2x2.energy_per_bit(true, false);
+  const double accesses = p.charge_read_and_write ? 2.0 : 1.0;
+  const double buffer_term = n * p.stage_contention_prob * accesses *
+                             banyan_buffer(ports).bit_energy_j();
+  return buffer_term + p.toggle_activity * banyan_wire_grids(ports) * e_t +
+         n * e_s;
+}
+
+double AnalyticalModel::batcher_banyan_avg_bit_energy(
+    unsigned ports, const AverageParams& p) const {
+  const unsigned n = require_pow2_ports(ports, 4);
+  const double e_t = tech_.grid_wire_bit_energy_j();
+  const double e_ss = switches_.sorter2x2.energy_per_bit(true, false);
+  const double e_sb = switches_.banyan2x2.energy_per_bit(true, false);
+  return p.toggle_activity * batcher_banyan_wire_grids(ports) * e_t +
+         0.5 * n * (n + 1) * e_ss + n * e_sb;
+}
+
+double AnalyticalModel::uniform_stage_contention_prob(double link_load) {
+  if (link_load < 0.0 || link_load > 1.0) {
+    throw std::invalid_argument(
+        "uniform_stage_contention_prob: load must be in [0, 1]");
+  }
+  // Both inputs busy with probability load^2; they pick the same output with
+  // probability 1/2; the buffered word is one of 2*load in flight.
+  return link_load / 4.0;
+}
+
+SramBufferModel AnalyticalModel::banyan_buffer(unsigned ports) const {
+  return SramBufferModel::for_banyan(ports, per_switch_buffer_bits_);
+}
+
+}  // namespace sfab

@@ -1,0 +1,108 @@
+// Closed-form bit-energy models for the four fabrics (paper Eqs. 3-6).
+//
+// These are the paper's worst-case expressions: every wire bit flips, the
+// longest path is taken, and for Banyan a contention indicator q_i in {0,1}
+// selects which stages buffer. The average-case variants scale the wire
+// terms by a toggle activity factor (random payloads flip ~50 % of bits) and
+// replace q_i by a per-stage contention probability — useful both for quick
+// architectural exploration and as an independent cross-check of the
+// bit-accurate simulator (tests force the simulator into the worst case and
+// require exact agreement with these formulas).
+#pragma once
+
+#include <span>
+
+#include "power/buffer_energy.hpp"
+#include "power/switch_energy.hpp"
+#include "power/technology.hpp"
+
+namespace sfab {
+
+class AnalyticalModel {
+ public:
+  explicit AnalyticalModel(TechnologyParams tech = {},
+                           SwitchEnergyTables switches =
+                               SwitchEnergyTables::paper_defaults(),
+                           double per_switch_buffer_bits = 4096.0);
+
+  // --- Thompson wire lengths (grids) travelled by one bit ----------------
+
+  /// Crossbar: full input row (4N) plus full output column (4N).  (Eq. 3)
+  [[nodiscard]] static double crossbar_wire_grids(unsigned ports);
+  /// Fully connected: N^2 / 2 grids.                              (Eq. 4)
+  [[nodiscard]] static double fully_connected_wire_grids(unsigned ports);
+  /// Banyan, worst case (every stage crosses): 4 * sum 2^i = 4(N-1). (Eq. 5)
+  [[nodiscard]] static double banyan_wire_grids(unsigned ports);
+  /// Batcher sorter wire plus the Banyan wire.                    (Eq. 6)
+  [[nodiscard]] static double batcher_banyan_wire_grids(unsigned ports);
+
+  // --- Worst-case bit energies (J / bit), paper Eqs. 3-6 ------------------
+
+  /// Eq. 3: N * E_S + 8N * E_T.
+  [[nodiscard]] double crossbar_bit_energy(unsigned ports) const;
+
+  /// Eq. 4: E_S(mux, N) + 1/2 * N^2 * E_T.
+  [[nodiscard]] double fully_connected_bit_energy(unsigned ports) const;
+
+  /// Eq. 5 with explicit per-stage contention indicators q (size log2 N,
+  /// each 0 or 1). Each q_i = 1 charges one buffer access (E_B_bit).
+  [[nodiscard]] double banyan_bit_energy(unsigned ports,
+                                         std::span<const int> contention) const;
+
+  /// Eq. 5 with q_i = 0 everywhere (uncongested Banyan).
+  [[nodiscard]] double banyan_bit_energy_no_contention(unsigned ports) const;
+
+  /// Eq. 5 with q_i = 1 everywhere (every stage blocks).
+  [[nodiscard]] double banyan_bit_energy_full_contention(unsigned ports) const;
+
+  /// Eq. 6: sorter wire + banyan wire + 1/2 n(n+1) E_SS + n E_SB.
+  [[nodiscard]] double batcher_banyan_bit_energy(unsigned ports) const;
+
+  // --- Average-case variants ----------------------------------------------
+
+  struct AverageParams {
+    /// Probability a payload bit flips polarity on a wire (random data: 0.5).
+    double toggle_activity = 0.5;
+    /// Probability that a bit passing one Banyan stage loses a contention
+    /// and is buffered there.
+    double stage_contention_prob = 0.0;
+    /// Charge both the WRITE and the later READ of a buffered bit (two
+    /// accesses). The paper's Eq. 5 charges E_B once per blocked stage;
+    /// set false for that strict reading.
+    bool charge_read_and_write = true;
+  };
+
+  [[nodiscard]] double crossbar_avg_bit_energy(unsigned ports,
+                                               const AverageParams& p) const;
+  [[nodiscard]] double fully_connected_avg_bit_energy(
+      unsigned ports, const AverageParams& p) const;
+  [[nodiscard]] double banyan_avg_bit_energy(unsigned ports,
+                                             const AverageParams& p) const;
+  [[nodiscard]] double batcher_banyan_avg_bit_energy(
+      unsigned ports, const AverageParams& p) const;
+
+  /// Crude uniform-traffic estimate of the probability that a bit crossing
+  /// one Banyan stage is buffered: two independent arrivals (each with link
+  /// load `link_load`) collide on the same output with probability 1/2, and
+  /// the loss affects one of the (up to two) bits in flight.
+  [[nodiscard]] static double uniform_stage_contention_prob(double link_load);
+
+  // --- accessors -----------------------------------------------------------
+  [[nodiscard]] const TechnologyParams& technology() const noexcept {
+    return tech_;
+  }
+  [[nodiscard]] const SwitchEnergyTables& switches() const noexcept {
+    return switches_;
+  }
+  /// Shared-SRAM model used for the Banyan buffer term at `ports` ports.
+  [[nodiscard]] SramBufferModel banyan_buffer(unsigned ports) const;
+
+ private:
+  static unsigned require_pow2_ports(unsigned ports, unsigned minimum);
+
+  TechnologyParams tech_;
+  SwitchEnergyTables switches_;
+  double per_switch_buffer_bits_;
+};
+
+}  // namespace sfab

@@ -1,0 +1,124 @@
+#include "power/buffer_energy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/units.hpp"
+
+namespace sfab {
+
+namespace {
+
+/// Table 2 calibration: per-bit access energy (J) vs shared capacity (bits).
+/// Between the published points we interpolate; beyond 320 Kbit we continue
+/// the last segment; below 16 Kbit the 140 pJ periphery floor holds.
+const PiecewiseLinear& table2_calibration() {
+  using units::pJ;
+  static const PiecewiseLinear table{
+      {16.0 * 1024.0, 140.0 * pJ},
+      {48.0 * 1024.0, 140.0 * pJ},
+      {128.0 * 1024.0, 154.0 * pJ},
+      {320.0 * 1024.0, 222.0 * pJ},
+  };
+  return table;
+}
+
+}  // namespace
+
+SramBufferModel::SramBufferModel(double capacity_bits)
+    : capacity_bits_(capacity_bits) {
+  if (capacity_bits <= 0.0) {
+    throw std::invalid_argument("SramBufferModel: capacity must be positive");
+  }
+  // The 140 pJ floor is the periphery cost (decoder, sense amps, IO) that
+  // does not shrink with the array; extrapolating the 16K..48K plateau
+  // downward would otherwise under-charge tiny buffers.
+  access_j_ = table2_calibration().at_least(capacity_bits, 140.0 * units::pJ);
+}
+
+unsigned SramBufferModel::banyan_switch_count(unsigned ports) {
+  if (ports < 2 || !is_pow2(ports)) {
+    throw std::invalid_argument(
+        "banyan_switch_count: ports must be a power of two >= 2");
+  }
+  return ports / 2 * log2_exact(ports);
+}
+
+SramBufferModel SramBufferModel::for_banyan(unsigned ports,
+                                            double per_switch_bits) {
+  if (per_switch_bits <= 0.0) {
+    throw std::invalid_argument("for_banyan: per-switch bits must be positive");
+  }
+  return SramBufferModel{banyan_switch_count(ports) * per_switch_bits};
+}
+
+CactiLiteModel::CactiLiteModel(double capacity_bits)
+    : CactiLiteModel(capacity_bits, TechnologyParams{}) {}
+
+CactiLiteModel::CactiLiteModel(double capacity_bits,
+                               const TechnologyParams& tech)
+    : CactiLiteModel(capacity_bits, tech, Params{}) {}
+
+CactiLiteModel::CactiLiteModel(double capacity_bits,
+                               const TechnologyParams& tech,
+                               const Params& params)
+    : p_(params) {
+  if (capacity_bits < 1.0) {
+    throw std::invalid_argument("CactiLiteModel: capacity must be >= 1 bit");
+  }
+  // Near-square organization, columns a multiple of the word width so a full
+  // word sits in one row.
+  const auto bits = static_cast<unsigned long long>(std::ceil(capacity_bits));
+  unsigned cols = p_.word_bits;
+  while (cols * cols < bits) cols *= 2;
+  rows_ = static_cast<unsigned>((bits + cols - 1) / cols);
+  cols_ = cols;
+
+  const double v = tech.vdd_v;
+  const double scale = tech.energy_scale_vs_reference();
+  // Wordline: charges the pass gates of every cell in the row, full swing.
+  const double wordline_j =
+      0.5 * p_.cell_gate_cap_f * cols_ * v * v * (tech.feature_um / 0.18);
+  // Bitlines: every column pair precharged, reduced swing, load grows with
+  // the number of rows hanging off each bitline.
+  const double bitline_j = 0.5 * p_.cell_drain_cap_f * rows_ *
+                           p_.bitline_swing_v * p_.bitline_swing_v * cols_ *
+                           (tech.feature_um / 0.18);
+  const double periphery_j =
+      (p_.decoder_energy_j + p_.senseamp_energy_j * p_.word_bits) * scale;
+  word_access_j_ = wordline_j + bitline_j + periphery_j;
+}
+
+double CactiLiteModel::access_energy_per_bit_j() const noexcept {
+  return word_access_j_ / p_.word_bits;
+}
+
+DramBufferModel::DramBufferModel(double capacity_bits, double retention_s,
+                                 double row_refresh_energy_j)
+    : sram_(capacity_bits),
+      capacity_bits_(capacity_bits),
+      retention_s_(retention_s),
+      row_refresh_j_(row_refresh_energy_j) {
+  if (retention_s <= 0.0) {
+    throw std::invalid_argument("DramBufferModel: retention must be positive");
+  }
+}
+
+double DramBufferModel::refresh_power_w() const noexcept {
+  // Rows of 256 bits refreshed once per retention period.
+  const double rows = std::ceil(capacity_bits_ / 256.0);
+  return rows * row_refresh_j_ / retention_s_;
+}
+
+double DramBufferModel::refresh_energy_per_bit_j(double accesses_per_s,
+                                                 unsigned word_bits) const {
+  if (accesses_per_s <= 0.0) {
+    throw std::invalid_argument(
+        "refresh_energy_per_bit: access rate must be positive to amortize");
+  }
+  const double bits_per_s = accesses_per_s * word_bits;
+  return refresh_power_w() / bits_per_s;
+}
+
+}  // namespace sfab

@@ -1,0 +1,142 @@
+// Internal-buffer (shared SRAM / DRAM) energy models (paper section 3.2).
+//
+// E_B_bit = E_access + E_ref (paper Eq. 1): every READ or WRITE charges the
+// per-bit access energy of the shared memory; DRAM additionally pays a
+// periodic refresh energy (zero for SRAM).
+//
+// The paper calibrates E_access against an off-the-shelf 0.18 um / 3.3 V
+// SRAM at 133 MHz and reports, for the shared buffer of an NxN Banyan
+// (4 Kbit per node switch, 1/2 * N * log2(N) switches):
+//
+//     N      switches   shared size   E_access/bit
+//     4x4        4          16 Kbit      140 pJ
+//     8x8       12          48 Kbit      140 pJ
+//     16x16     32         128 Kbit      154 pJ
+//     32x32     80         320 Kbit      222 pJ          (Table 2)
+//
+// `SramBufferModel` interpolates those calibration points (per-bit energy as
+// a function of shared capacity). `CactiLiteModel` is an alternative
+// physically-derived decomposition (decoder + wordline + bitline precharge +
+// sense amps) exposed for ablations: honest 0.18 um constants give access
+// energies ~100x below the datasheet-derived Table 2 values, and
+// bench_ablation_accounting shows how much the Banyan conclusions depend on
+// that scale.
+#pragma once
+
+#include "common/table.hpp"
+#include "power/technology.hpp"
+
+namespace sfab {
+
+/// Datasheet-calibrated SRAM model: per-bit access energy as a piecewise-
+/// linear function of shared-memory capacity, matching Table 2 exactly at
+/// the four published sizes.
+class SramBufferModel {
+ public:
+  /// `capacity_bits` is the size of the shared memory the buffer queue lives
+  /// in (affects per-access energy: bigger arrays burn more per access).
+  explicit SramBufferModel(double capacity_bits);
+
+  /// Energy per bit per READ or WRITE access (J).
+  [[nodiscard]] double access_energy_per_bit_j() const noexcept {
+    return access_j_;
+  }
+
+  /// SRAM does not refresh: E_ref = 0.
+  [[nodiscard]] double refresh_energy_per_bit_j() const noexcept { return 0.0; }
+
+  /// E_B_bit = E_access + E_ref (paper Eq. 1).
+  [[nodiscard]] double bit_energy_j() const noexcept {
+    return access_energy_per_bit_j() + refresh_energy_per_bit_j();
+  }
+
+  [[nodiscard]] double capacity_bits() const noexcept { return capacity_bits_; }
+
+  /// Shared-buffer model for an NxN Banyan with `per_switch_bits` of queue
+  /// at each of its 1/2 * N * log2(N) node switches (paper defaults: 4 Kbit
+  /// per switch). N must be a power of two >= 2.
+  [[nodiscard]] static SramBufferModel for_banyan(unsigned ports,
+                                                  double per_switch_bits = 4096.0);
+
+  /// Number of 2x2 node switches in an NxN Banyan: 1/2 * N * log2(N).
+  [[nodiscard]] static unsigned banyan_switch_count(unsigned ports);
+
+ private:
+  double capacity_bits_;
+  double access_j_;
+};
+
+/// CACTI-style physical decomposition of SRAM access energy, for ablation
+/// against the datasheet calibration. The array is organized as close to
+/// square as possible; one access decodes a row, swings the wordline across
+/// all columns, precharges/discharges every bitline pair, and senses
+/// `word_bits` columns.
+class CactiLiteModel {
+ public:
+  struct Params {
+    double cell_gate_cap_f = 1.8e-15;   ///< pass-gate load per cell on a wordline
+    double cell_drain_cap_f = 0.9e-15;  ///< drain load per cell on a bitline
+    double bitline_swing_v = 0.4;       ///< reduced-swing bitline (sense amp)
+    double decoder_energy_j = 1.2e-12;  ///< row decoder per access
+    double senseamp_energy_j = 0.15e-12;  ///< per sensed column
+    unsigned word_bits = 32;            ///< columns read per access
+  };
+
+  explicit CactiLiteModel(double capacity_bits);
+  CactiLiteModel(double capacity_bits, const TechnologyParams& tech);
+  CactiLiteModel(double capacity_bits, const TechnologyParams& tech,
+                 const Params& params);
+
+  /// Energy per access of one `word_bits`-wide word (J).
+  [[nodiscard]] double access_energy_per_word_j() const noexcept {
+    return word_access_j_;
+  }
+
+  /// Energy per bit per access (J) — the quantity comparable to Table 2.
+  [[nodiscard]] double access_energy_per_bit_j() const noexcept;
+
+  [[nodiscard]] unsigned rows() const noexcept { return rows_; }
+  [[nodiscard]] unsigned cols() const noexcept { return cols_; }
+
+ private:
+  Params p_;
+  unsigned rows_ = 0;
+  unsigned cols_ = 0;
+  double word_access_j_ = 0.0;
+};
+
+/// DRAM extension: same access model as SRAM plus distributed refresh.
+/// Refresh walks all rows every `retention_s`; we amortize that energy over
+/// accesses as an equivalent per-bit adder (paper Eq. 1's E_ref term).
+class DramBufferModel {
+ public:
+  DramBufferModel(double capacity_bits, double retention_s = 64e-3,
+                  double row_refresh_energy_j = 15e-12);
+
+  [[nodiscard]] double access_energy_per_bit_j() const noexcept {
+    return sram_.access_energy_per_bit_j();
+  }
+
+  /// Average refresh power of the whole array (W).
+  [[nodiscard]] double refresh_power_w() const noexcept;
+
+  /// Per-bit refresh adder given an observed access rate (accesses/s over
+  /// the whole array); the less you access, the more refresh dominates.
+  [[nodiscard]] double refresh_energy_per_bit_j(double accesses_per_s,
+                                                unsigned word_bits = 32) const;
+
+  /// E_B_bit at the given access rate.
+  [[nodiscard]] double bit_energy_j(double accesses_per_s,
+                                    unsigned word_bits = 32) const {
+    return access_energy_per_bit_j() +
+           refresh_energy_per_bit_j(accesses_per_s, word_bits);
+  }
+
+ private:
+  SramBufferModel sram_;
+  double capacity_bits_;
+  double retention_s_;
+  double row_refresh_j_;
+};
+
+}  // namespace sfab

@@ -1,0 +1,51 @@
+// Energy ledger: where every traced joule is recorded.
+//
+// The simulator charges each energy event to one of the paper's three
+// component classes (node switches, internal buffers, interconnect wires);
+// the ledger keeps running totals plus event counts so experiments can
+// report both power and the activity that produced it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace sfab {
+
+enum class EnergyKind : unsigned {
+  kSwitch = 0,  ///< node-switch logic (E_S_bit)
+  kBuffer = 1,  ///< internal buffer accesses (E_B_bit)
+  kWire = 2,    ///< interconnect polarity flips (E_W_bit)
+};
+
+[[nodiscard]] std::string_view to_string(EnergyKind kind) noexcept;
+
+class EnergyLedger {
+ public:
+  /// Records `joules` of energy of the given kind (one event).
+  void add(EnergyKind kind, double joules) noexcept;
+
+  /// Total energy of one kind (J).
+  [[nodiscard]] double of(EnergyKind kind) const noexcept;
+
+  /// Number of events recorded for one kind.
+  [[nodiscard]] std::uint64_t events(EnergyKind kind) const noexcept;
+
+  /// Sum over all kinds (J).
+  [[nodiscard]] double total() const noexcept;
+
+  /// Average power over `duration_s` seconds (W).
+  [[nodiscard]] double average_power_w(double duration_s) const;
+
+  /// Adds every bucket of `other` into this ledger.
+  void merge(const EnergyLedger& other) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  static constexpr unsigned kKinds = 3;
+  std::array<double, kKinds> joules_{};
+  std::array<std::uint64_t, kKinds> events_{};
+};
+
+}  // namespace sfab

@@ -1,0 +1,75 @@
+#include "power/switch_energy.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/units.hpp"
+
+namespace sfab {
+
+VectorIndexedLut::VectorIndexedLut(std::vector<double> energies_j)
+    : energies_(std::move(energies_j)) {
+  if (energies_.size() < 2 || !is_pow2(energies_.size())) {
+    throw std::invalid_argument(
+        "VectorIndexedLut: table size must be a power of two >= 2");
+  }
+  for (double e : energies_) {
+    if (e < 0.0) throw std::invalid_argument("VectorIndexedLut: negative energy");
+  }
+  inputs_ = log2_exact(energies_.size());
+}
+
+double VectorIndexedLut::energy_per_bit(std::uint32_t occupancy_mask) const {
+  if (occupancy_mask >= energies_.size()) {
+    throw std::out_of_range("VectorIndexedLut: occupancy mask out of range");
+  }
+  return energies_[occupancy_mask];
+}
+
+VectorIndexedLut VectorIndexedLut::scaled(double factor) const {
+  std::vector<double> scaled_energies(energies_);
+  for (double& e : scaled_energies) e *= factor;
+  return VectorIndexedLut{std::move(scaled_energies)};
+}
+
+double SwitchEnergyTables::mux_energy_per_bit(unsigned n_inputs) const {
+  if (n_inputs < 2) {
+    throw std::invalid_argument("mux_energy_per_bit: a MUX needs >= 2 inputs");
+  }
+  // Clamp extrapolation below zero is impossible here (table is increasing),
+  // but guard anyway: energy cannot be negative.
+  return mux_by_inputs.at_least(static_cast<double>(n_inputs), 0.0);
+}
+
+SwitchEnergyTables SwitchEnergyTables::paper_defaults() {
+  using units::fJ;
+  SwitchEnergyTables t;
+  t.crosspoint = VectorIndexedLut{{0.0, 220.0 * fJ}};
+  t.banyan2x2 =
+      VectorIndexedLut{{0.0, 1080.0 * fJ, 1080.0 * fJ, 1821.0 * fJ}};
+  t.sorter2x2 =
+      VectorIndexedLut{{0.0, 1253.0 * fJ, 1253.0 * fJ, 2025.0 * fJ}};
+  t.mux_by_inputs = PiecewiseLinear{{4.0, 431.0 * fJ},
+                                    {8.0, 782.0 * fJ},
+                                    {16.0, 1350.0 * fJ},
+                                    {32.0, 2515.0 * fJ}};
+  return t;
+}
+
+SwitchEnergyTables SwitchEnergyTables::scaled_to(
+    const TechnologyParams& tech) const {
+  const double k = tech.energy_scale_vs_reference();
+  SwitchEnergyTables t;
+  t.crosspoint = crosspoint.scaled(k);
+  t.banyan2x2 = banyan2x2.scaled(k);
+  t.sorter2x2 = sorter2x2.scaled(k);
+  // PiecewiseLinear has no scale(); rebuild from the calibrated sizes.
+  t.mux_by_inputs = PiecewiseLinear{
+      {4.0, mux_by_inputs(4.0) * k},
+      {8.0, mux_by_inputs(8.0) * k},
+      {16.0, mux_by_inputs(16.0) * k},
+      {32.0, mux_by_inputs(32.0) * k}};
+  return t;
+}
+
+}  // namespace sfab

@@ -1,0 +1,86 @@
+// Node-switch bit-energy look-up tables (paper Table 1).
+//
+// The bit energy of a node switch is *input-state dependent*: processing two
+// simultaneous packets costs more than one but less than twice as much
+// (paper section 3.1). The paper pre-characterizes each switch circuit with
+// Synopsys Power Compiler in a 0.18 um library and tabulates energy per bit
+// per input-occupancy vector. We ship those exact numbers as defaults and
+// additionally provide src/gatelevel, a small gate-level characterizer that
+// derives comparable tables from synthetic netlists (our substitute for the
+// proprietary tool).
+//
+// LUT semantics used throughout sfab: `energy_per_bit(vector)` is the energy
+// the switch consumes per *bus bit-slot per cycle* given that occupancy
+// vector; for two-input switches the [1,1] entry already covers both active
+// inputs together. A fabric therefore charges LUT[v] * bus_width joules per
+// switch per cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table.hpp"
+#include "power/technology.hpp"
+
+namespace sfab {
+
+/// Energy LUT indexed by an input-occupancy bitmask (bit i set = packet
+/// present on input i). A switch with `inputs()` ports has 2^inputs entries.
+class VectorIndexedLut {
+ public:
+  VectorIndexedLut() = default;
+
+  /// `energies_j[mask]` = energy per bit for that occupancy mask, joules.
+  /// Size must be a power of two (2^n for an n-input switch) and >= 2.
+  explicit VectorIndexedLut(std::vector<double> energies_j);
+
+  /// Number of switch inputs n (table has 2^n entries).
+  [[nodiscard]] unsigned inputs() const noexcept { return inputs_; }
+
+  /// Energy per bit for the given occupancy mask (J). Mask must be < 2^n.
+  [[nodiscard]] double energy_per_bit(std::uint32_t occupancy_mask) const;
+
+  /// Convenience for 2-input switches.
+  [[nodiscard]] double energy_per_bit(bool in0, bool in1) const {
+    return energy_per_bit(static_cast<std::uint32_t>(in0) |
+                          (static_cast<std::uint32_t>(in1) << 1));
+  }
+
+  /// Returns a copy with every entry multiplied by `factor` (for technology
+  /// scaling: dynamic energy ~ C * V^2).
+  [[nodiscard]] VectorIndexedLut scaled(double factor) const;
+
+ private:
+  std::vector<double> energies_;
+  unsigned inputs_ = 0;
+};
+
+/// The complete switch characterization a fabric needs, with the paper's
+/// Table 1 values as defaults (0.18 um / 3.3 V).
+struct SwitchEnergyTables {
+  /// Crossbar crosspoint (1 input): [0] = 0, [1] = 220 fJ.
+  VectorIndexedLut crosspoint;
+  /// Banyan 2x2 binary switch: [00] = 0, [01] = [10] = 1080 fJ,
+  /// [11] = 1821 fJ.
+  VectorIndexedLut banyan2x2;
+  /// Batcher 2x2 sorting switch: [00] = 0, [01] = [10] = 1253 fJ,
+  /// [11] = 2025 fJ.
+  VectorIndexedLut sorter2x2;
+  /// N-input MUX bit energy vs N (paper: 431/782/1350/2515 fJ at
+  /// N = 4/8/16/32; "values are very close among different input vectors",
+  /// so a single per-N value is used regardless of occupancy).
+  PiecewiseLinear mux_by_inputs;
+
+  /// Energy per bit of an N-input MUX with at least one active input (J).
+  /// Interpolated between, and extrapolated beyond, the calibrated sizes.
+  [[nodiscard]] double mux_energy_per_bit(unsigned n_inputs) const;
+
+  /// The paper's Table 1 numbers.
+  [[nodiscard]] static SwitchEnergyTables paper_defaults();
+
+  /// Same tables rescaled to another technology node (E ~ C * V^2 relative
+  /// to the 0.18 um / 3.3 V reference the tables were characterized in).
+  [[nodiscard]] SwitchEnergyTables scaled_to(const TechnologyParams& tech) const;
+};
+
+}  // namespace sfab

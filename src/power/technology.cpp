@@ -1,0 +1,40 @@
+#include "power/technology.hpp"
+
+#include <stdexcept>
+
+namespace sfab {
+
+double TechnologyParams::energy_scale_vs_reference() const noexcept {
+  const TechnologyParams ref{};
+  const double cap_scale = feature_um / ref.feature_um;
+  const double v_scale = (vdd_v / ref.vdd_v) * (vdd_v / ref.vdd_v);
+  return cap_scale * v_scale;
+}
+
+TechnologyParams TechnologyParams::preset(const std::string& name) {
+  if (name == "0.25um") {
+    TechnologyParams t;
+    t.feature_um = 0.25;
+    t.vdd_v = 2.5;
+    t.clock_hz = 100.0e6;
+    t.wire_cap_per_um_f = 0.55e-15;
+    t.wire_pitch_um = 1.4;
+    return t;
+  }
+  if (name == "0.18um") {
+    return TechnologyParams{};
+  }
+  if (name == "0.13um") {
+    TechnologyParams t;
+    t.feature_um = 0.13;
+    t.vdd_v = 1.2;
+    t.clock_hz = 200.0e6;
+    t.wire_cap_per_um_f = 0.45e-15;
+    t.wire_pitch_um = 0.7;
+    return t;
+  }
+  throw std::invalid_argument("TechnologyParams::preset: unknown node '" +
+                              name + "'");
+}
+
+}  // namespace sfab

@@ -1,0 +1,67 @@
+// Process / circuit technology parameters.
+//
+// The paper's case study is a 0.18 um, 3.3 V process clocked at 133 MHz with
+// 32-bit buses: global wire pitch ~1 um so one Thompson grid is ~32 um, and
+// global wire capacitance ~0.50 fF/um, giving the per-grid wire bit energy
+// E_T_bit = 1/2 * C * V^2 = 87 fJ (paper section 5.1). Everything here is
+// parameterized so the same models answer "what if" questions at other nodes
+// (bench_ablation_technology).
+#pragma once
+
+#include <string>
+
+namespace sfab {
+
+struct TechnologyParams {
+  /// Drawn feature size in micrometres (identifies the node).
+  double feature_um = 0.18;
+  /// Rail-to-rail supply voltage in volts.
+  double vdd_v = 3.3;
+  /// Fabric clock in hertz. One bus word moves per link per cycle.
+  double clock_hz = 133.0e6;
+  /// Global-wire capacitance per micrometre, in farads.
+  double wire_cap_per_um_f = 0.50e-15;
+  /// Data-path bus width in bits (the paper uses 16- or 32-bit buses; all
+  /// published numbers assume 32).
+  unsigned bus_width = 32;
+  /// Global-bus wire pitch in micrometres; one Thompson grid spans
+  /// bus_width * wire_pitch_um micrometres.
+  double wire_pitch_um = 1.0;
+
+  /// Side length of one Thompson grid square in micrometres.
+  [[nodiscard]] double thompson_grid_um() const noexcept {
+    return bus_width * wire_pitch_um;
+  }
+
+  /// Wire capacitance of one bit line crossing one Thompson grid, in farads.
+  [[nodiscard]] double grid_wire_cap_f() const noexcept {
+    return wire_cap_per_um_f * thompson_grid_um();
+  }
+
+  /// E_T_bit: energy of one polarity flip on a one-grid wire (J).
+  /// 1/2 * C_W * V^2 (paper Eq. 2); 87 fJ with the defaults above.
+  [[nodiscard]] double grid_wire_bit_energy_j() const noexcept {
+    return 0.5 * grid_wire_cap_f() * vdd_v * vdd_v;
+  }
+
+  /// Clock period in seconds.
+  [[nodiscard]] double cycle_time_s() const noexcept { return 1.0 / clock_hz; }
+
+  /// Dynamic-energy scale factor of this node relative to the paper's
+  /// 0.18 um / 3.3 V reference: E ~ C * V^2 with C ~ feature size.
+  [[nodiscard]] double energy_scale_vs_reference() const noexcept;
+
+  /// Named presets. Voltages/freqs follow typical values for each node:
+  ///   "0.25um" -> 2.5 V, 100 MHz   "0.18um" -> 3.3 V, 133 MHz (reference;
+  ///   the paper's SRAM is a 3.3 V part even at 0.18 um)
+  ///   "0.13um" -> 1.2 V, 200 MHz
+  /// Throws std::invalid_argument for unknown names.
+  [[nodiscard]] static TechnologyParams preset(const std::string& name);
+
+  /// The paper's reference technology (same as default construction).
+  [[nodiscard]] static TechnologyParams paper_reference() noexcept {
+    return TechnologyParams{};
+  }
+};
+
+}  // namespace sfab

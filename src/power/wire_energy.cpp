@@ -1,0 +1,5 @@
+#include "power/wire_energy.hpp"
+
+// WireEnergyModel and WireState are header-only; this translation unit
+// exists so the library has a home for future out-of-line additions and so
+// the header is compiled stand-alone at least once (include hygiene).

@@ -1,0 +1,61 @@
+// Interconnect-wire energy model (paper section 3.3).
+//
+// A bit on an interconnect wire dissipates energy only when its polarity
+// flips relative to the previous bit on the same wire: E = 1/2 * C_W * V^2
+// per flip, where C_W is the wire + fan-in capacitance the bit drives. Wire
+// length is measured in Thompson grids (section 3.4); a wire of m grids
+// costs m * E_T_bit per flipped bit.
+#pragma once
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+#include "power/technology.hpp"
+
+namespace sfab {
+
+class WireEnergyModel {
+ public:
+  explicit WireEnergyModel(const TechnologyParams& tech = {}) noexcept
+      : e_t_bit_j_(tech.grid_wire_bit_energy_j()) {}
+
+  /// E_T_bit: energy per polarity flip per Thompson grid (J).
+  [[nodiscard]] double grid_bit_energy_j() const noexcept { return e_t_bit_j_; }
+
+  /// Energy to move `flips` flipped bits across a wire of `length_grids`
+  /// Thompson grids (J). Non-flipped bits are free (E_0->0 = E_1->1 = 0).
+  [[nodiscard]] double flip_energy_j(int flips, double length_grids) const noexcept {
+    return static_cast<double>(flips) * length_grids * e_t_bit_j_;
+  }
+
+  /// Energy to transmit `current` on a `length_grids`-long bus whose lines
+  /// still hold `previous` (J). This is the bit-accurate form used by the
+  /// simulator: XOR/popcount counts exactly the flipped polarities.
+  [[nodiscard]] double word_energy_j(Word previous, Word current,
+                                     double length_grids) const noexcept {
+    return flip_energy_j(toggled_bits(previous, current), length_grids);
+  }
+
+ private:
+  double e_t_bit_j_;
+};
+
+/// Per-bus polarity memory: remembers the last word seen on a wire so the
+/// next transmission can be charged for exactly the flipped bits.
+class WireState {
+ public:
+  /// Charges for transmitting `w` and records it as the new wire state.
+  /// Returns the number of flipped bits.
+  int transmit(Word w) noexcept {
+    const int flips = toggled_bits(last_, w);
+    last_ = w;
+    return flips;
+  }
+
+  [[nodiscard]] Word last() const noexcept { return last_; }
+  void reset(Word value = 0) noexcept { last_ = value; }
+
+ private:
+  Word last_ = 0;
+};
+
+}  // namespace sfab

@@ -1,0 +1,62 @@
+#include "router/arbiter.hpp"
+
+#include <stdexcept>
+
+namespace sfab {
+
+Arbiter::Arbiter(unsigned ports) : locked_(ports, 0), rr_next_(ports, 0) {
+  if (ports < 2) throw std::invalid_argument("Arbiter: ports >= 2");
+}
+
+void Arbiter::lock(PortId egress) {
+  if (egress >= ports()) throw std::out_of_range("Arbiter: bad egress");
+  if (locked_[egress]) throw std::logic_error("Arbiter: egress already locked");
+  locked_[egress] = 1;
+}
+
+void Arbiter::unlock(PortId egress) {
+  if (egress >= ports()) throw std::out_of_range("Arbiter: bad egress");
+  if (!locked_[egress]) throw std::logic_error("Arbiter: egress not locked");
+  locked_[egress] = 0;
+}
+
+bool Arbiter::locked(PortId egress) const {
+  if (egress >= ports()) throw std::out_of_range("Arbiter: bad egress");
+  return locked_[egress] != 0;
+}
+
+std::vector<ArbiterRequest> Arbiter::arbitrate(
+    const std::vector<ArbiterRequest>& requests) {
+  // Best request per egress under (FCFS, round-robin distance) ordering.
+  std::vector<std::optional<ArbiterRequest>> best(ports());
+
+  const auto rr_distance = [this](PortId egress, PortId ingress) {
+    // Positions ahead of the round-robin pointer win ties.
+    return (ingress + ports() - rr_next_[egress]) % ports();
+  };
+
+  for (const ArbiterRequest& req : requests) {
+    if (req.ingress >= ports() || req.egress >= ports()) {
+      throw std::out_of_range("Arbiter: bad request port");
+    }
+    if (locked_[req.egress]) continue;
+    auto& incumbent = best[req.egress];
+    if (!incumbent.has_value() ||
+        req.waiting_since < incumbent->waiting_since ||
+        (req.waiting_since == incumbent->waiting_since &&
+         rr_distance(req.egress, req.ingress) <
+             rr_distance(req.egress, incumbent->ingress))) {
+      incumbent = req;
+    }
+  }
+
+  std::vector<ArbiterRequest> grants;
+  for (PortId egress = 0; egress < ports(); ++egress) {
+    if (!best[egress].has_value()) continue;
+    grants.push_back(*best[egress]);
+    rr_next_[egress] = (best[egress]->ingress + 1) % ports();
+  }
+  return grants;
+}
+
+}  // namespace sfab

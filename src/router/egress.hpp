@@ -1,0 +1,68 @@
+// Egress process units: throughput measurement point (paper section 5.2).
+//
+// The paper measures throughput at the egress units; this sink counts
+// delivered words and packets per port and records packet latencies
+// (injection-grant to tail-delivery) so experiments can report both power
+// and delay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+
+namespace sfab {
+
+class EgressCollector final : public EgressSink {
+ public:
+  explicit EgressCollector(unsigned ports);
+
+  void deliver(PortId egress, const Flit& flit) override;
+
+  /// Hook called by the router before tick() so latency can be measured;
+  /// records when each packet's head was injected.
+  void note_head_injected(std::uint64_t packet_id, Cycle now);
+  /// The router advances this clock each cycle.
+  void set_now(Cycle now) noexcept { now_ = now; }
+
+  /// Tail flits delivered since construction whose egress should unlock;
+  /// drained by the router each cycle.
+  [[nodiscard]] std::vector<PortId>& pending_unlocks() noexcept {
+    return pending_unlocks_;
+  }
+
+  // --- measurements ----------------------------------------------------------
+  [[nodiscard]] std::uint64_t words_delivered() const noexcept {
+    return total_words_;
+  }
+  [[nodiscard]] std::uint64_t packets_delivered() const noexcept {
+    return total_packets_;
+  }
+  [[nodiscard]] std::uint64_t words_at(PortId egress) const;
+
+  /// Mean packet latency in cycles (head injected -> tail delivered).
+  [[nodiscard]] double mean_packet_latency() const;
+  [[nodiscard]] Cycle max_packet_latency() const noexcept {
+    return max_latency_;
+  }
+
+  /// Egress throughput in words per port per cycle over `cycles`.
+  [[nodiscard]] double throughput(Cycle cycles) const;
+
+  void reset_counters();
+
+ private:
+  unsigned ports_;
+  Cycle now_ = 0;
+  std::vector<std::uint64_t> words_per_port_;
+  std::uint64_t total_words_ = 0;
+  std::uint64_t total_packets_ = 0;
+  double latency_sum_ = 0.0;
+  std::uint64_t latency_count_ = 0;
+  Cycle max_latency_ = 0;
+  std::vector<PortId> pending_unlocks_;
+  /// packet id -> head-injection cycle (bounded: at most N in flight).
+  std::vector<std::pair<std::uint64_t, Cycle>> inflight_heads_;
+};
+
+}  // namespace sfab

@@ -1,0 +1,74 @@
+#include "router/ingress.hpp"
+
+#include <stdexcept>
+
+namespace sfab {
+
+IngressUnit::IngressUnit(PortId port, std::size_t queue_packets)
+    : port_(port), capacity_(queue_packets) {
+  if (queue_packets < 1) {
+    throw std::invalid_argument("IngressUnit: queue capacity >= 1 packet");
+  }
+}
+
+bool IngressUnit::enqueue(Packet packet, Cycle now) {
+  if (queue_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  const bool was_empty = queue_.empty();
+  queue_.push_back(std::move(packet));
+  if (was_empty && !streaming_) head_since_ = now;
+  return true;
+}
+
+const Packet* IngressUnit::head_of_line() const {
+  if (streaming_ || queue_.empty()) return nullptr;
+  return &queue_.front();
+}
+
+void IngressUnit::grant(Cycle /*now*/) {
+  if (streaming_) throw std::logic_error("IngressUnit: grant while streaming");
+  if (queue_.empty()) throw std::logic_error("IngressUnit: grant on empty queue");
+  streaming_ = true;
+  word_index_ = 0;
+}
+
+Word IngressUnit::peek_word() const {
+  if (!streaming_) throw std::logic_error("IngressUnit: not streaming");
+  return queue_.front().words[word_index_];
+}
+
+bool IngressUnit::peek_is_tail() const {
+  if (!streaming_) throw std::logic_error("IngressUnit: not streaming");
+  return word_index_ + 1 == queue_.front().words.size();
+}
+
+std::uint64_t IngressUnit::streaming_packet_id() const {
+  if (!streaming_) throw std::logic_error("IngressUnit: not streaming");
+  return queue_.front().id;
+}
+
+PortId IngressUnit::streaming_dest() const {
+  if (!streaming_) throw std::logic_error("IngressUnit: not streaming");
+  return queue_.front().dest;
+}
+
+std::uint32_t IngressUnit::streaming_word_index() const {
+  if (!streaming_) throw std::logic_error("IngressUnit: not streaming");
+  return static_cast<std::uint32_t>(word_index_);
+}
+
+void IngressUnit::advance(Cycle now) {
+  if (!streaming_) throw std::logic_error("IngressUnit: not streaming");
+  ++word_index_;
+  if (word_index_ == queue_.front().words.size()) {
+    queue_.pop_front();
+    streaming_ = false;
+    word_index_ = 0;
+    ++packets_sent_;
+    head_since_ = now;  // the next packet (if any) becomes head now
+  }
+}
+
+}  // namespace sfab

@@ -1,0 +1,76 @@
+// Ingress process unit (paper section 2 / 5.2).
+//
+// Each ingress port owns an input queue of whole packets (the paper's input
+// buffering scheme for destination contention: these queues sit *outside*
+// the switch fabric and are not charged to fabric power). The head-of-line
+// packet waits for an arbiter grant, then streams into the fabric one word
+// per cycle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+#include "traffic/packet.hpp"
+
+namespace sfab {
+
+class IngressUnit {
+ public:
+  /// `queue_packets` is the input-queue capacity in whole packets.
+  IngressUnit(PortId port, std::size_t queue_packets);
+
+  /// Queues an arriving packet; returns false (and counts a drop) if full.
+  bool enqueue(Packet packet, Cycle now);
+
+  /// Head-of-line packet awaiting a grant (nullptr if none or streaming).
+  [[nodiscard]] const Packet* head_of_line() const;
+
+  /// Cycle the current head-of-line packet reached the queue head (for the
+  /// arbiter's FCFS ordering).
+  [[nodiscard]] Cycle head_since() const { return head_since_; }
+
+  /// True while a granted packet still has words to send.
+  [[nodiscard]] bool streaming() const noexcept { return streaming_; }
+
+  /// Arbiter grant: begins streaming the head-of-line packet.
+  void grant(Cycle now);
+
+  /// Next word to inject (valid only while streaming()).
+  [[nodiscard]] Word peek_word() const;
+  [[nodiscard]] bool peek_is_tail() const;
+  [[nodiscard]] std::uint64_t streaming_packet_id() const;
+  [[nodiscard]] PortId streaming_dest() const;
+  /// Index of the word peek_word() returns (0 = header).
+  [[nodiscard]] std::uint32_t streaming_word_index() const;
+
+  /// Marks the current word as injected; advances to the next word and
+  /// retires the packet when the tail goes out.
+  void advance(Cycle now);
+
+  // --- stats -----------------------------------------------------------------
+  [[nodiscard]] PortId port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t queued_packets() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+    return packets_sent_;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return queue_.empty() && !streaming_;
+  }
+
+ private:
+  PortId port_;
+  std::size_t capacity_;
+  std::deque<Packet> queue_;
+  Cycle head_since_ = 0;
+  bool streaming_ = false;
+  std::size_t word_index_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace sfab

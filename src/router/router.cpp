@@ -1,0 +1,129 @@
+#include "router/router.hpp"
+
+#include <stdexcept>
+
+namespace sfab {
+
+Router::Router(std::unique_ptr<SwitchFabric> fabric, TrafficGenerator traffic,
+               RouterConfig config)
+    : Router(std::move(fabric),
+             std::make_unique<TrafficGenerator>(std::move(traffic)), config) {}
+
+Router::Router(std::unique_ptr<SwitchFabric> fabric,
+               std::unique_ptr<TrafficSource> traffic, RouterConfig config)
+    : fabric_(std::move(fabric)),
+      traffic_(std::move(traffic)),
+      arbiter_(fabric_ ? fabric_->ports() : 2),
+      egress_(fabric_ ? fabric_->ports() : 2) {
+  if (!fabric_) throw std::invalid_argument("Router: null fabric");
+  if (!traffic_) throw std::invalid_argument("Router: null traffic source");
+  if (traffic_->ports() != fabric_->ports()) {
+    throw std::invalid_argument("Router: traffic/fabric port mismatch");
+  }
+  ingresses_.reserve(fabric_->ports());
+  for (PortId p = 0; p < fabric_->ports(); ++p) {
+    ingresses_.emplace_back(p, config.ingress_queue_packets);
+  }
+}
+
+void Router::step() {
+  egress_.set_now(cycle_);
+
+  // 1. Traffic arrivals into the input queues.
+  if (traffic_enabled_) {
+    for (PortId p = 0; p < ports(); ++p) {
+      if (auto packet = traffic_->poll(p, cycle_)) {
+        ingresses_[p].enqueue(std::move(*packet), cycle_);
+      }
+    }
+  }
+
+  // 2. Arbitration of head-of-line packets onto free egresses.
+  std::vector<ArbiterRequest> requests;
+  for (PortId p = 0; p < ports(); ++p) {
+    if (const Packet* hol = ingresses_[p].head_of_line()) {
+      requests.push_back(
+          ArbiterRequest{p, hol->dest, ingresses_[p].head_since()});
+    }
+  }
+  for (const ArbiterRequest& grant : arbiter_.arbitrate(requests)) {
+    arbiter_.lock(grant.egress);
+    ingresses_[grant.ingress].grant(cycle_);
+    egress_.note_head_injected(
+        ingresses_[grant.ingress].streaming_packet_id(), cycle_);
+  }
+
+  // 3. Word injection with back-pressure.
+  for (PortId p = 0; p < ports(); ++p) {
+    IngressUnit& in = ingresses_[p];
+    if (!in.streaming() || !fabric_->can_accept(p)) continue;
+    Flit flit;
+    flit.data = in.peek_word();
+    flit.dest = in.streaming_dest();
+    flit.tail = in.peek_is_tail();
+    flit.packet_id = in.streaming_packet_id();
+    flit.seq = in.streaming_word_index();
+    fabric_->inject(p, flit);
+    in.advance(cycle_);
+    // Fixed-latency pipelines cannot reorder or overlap packets, so the
+    // egress frees up as soon as the tail goes in; buffered fabrics wait
+    // for the tail to come out (step 5).
+    if (flit.tail && fabric_->fixed_latency()) {
+      arbiter_.unlock(flit.dest);
+    }
+  }
+
+  // 4. Fabric advances; deliveries hit the egress collector.
+  fabric_->tick(egress_);
+
+  // 5. Unlock egresses whose packet tail arrived (variable-latency
+  // fabrics only; fixed-latency ones already unlocked at tail injection).
+  if (!fabric_->fixed_latency()) {
+    for (const PortId egress : egress_.pending_unlocks()) {
+      arbiter_.unlock(egress);
+    }
+  }
+  egress_.pending_unlocks().clear();
+
+  ++cycle_;
+}
+
+void Router::run(Cycle cycles) {
+  for (Cycle c = 0; c < cycles; ++c) step();
+}
+
+bool Router::drain(Cycle max_cycles) {
+  set_traffic_enabled(false);
+  for (Cycle c = 0; c < max_cycles; ++c) {
+    if (quiescent()) return true;
+    step();
+  }
+  return quiescent();
+}
+
+const IngressUnit& Router::ingress(PortId port) const {
+  if (port >= ingresses_.size()) throw std::out_of_range("Router: bad port");
+  return ingresses_[port];
+}
+
+std::uint64_t Router::total_drops() const {
+  std::uint64_t sum = 0;
+  for (const IngressUnit& in : ingresses_) sum += in.drops();
+  return sum;
+}
+
+std::size_t Router::total_queued() const {
+  std::size_t sum = 0;
+  for (const IngressUnit& in : ingresses_) sum += in.queued_packets();
+  return sum;
+}
+
+bool Router::quiescent() const {
+  if (!fabric_->idle()) return false;
+  for (const IngressUnit& in : ingresses_) {
+    if (!in.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace sfab

@@ -1,0 +1,84 @@
+// The network router: ingress units + arbiter + switch fabric + egress
+// units wired together (paper Fig. 1), driven one cycle at a time.
+//
+// Cycle order (all within step()):
+//   1. traffic generation into the ingress input queues (input-buffered
+//      scheme; these queues are outside the fabric and cost no fabric power)
+//   2. FCFS/round-robin arbitration of head-of-line packets onto free
+//      egress ports (destination-contention resolution)
+//   3. word injection: every streaming ingress pushes one word into the
+//      fabric when the fabric can accept it (back-pressure otherwise)
+//   4. fabric tick: words advance, deliveries land at the egress collector
+//   5. egress unlock for packets whose tail word was just delivered
+#pragma once
+
+#include <memory>
+
+#include "fabric/fabric.hpp"
+#include "router/arbiter.hpp"
+#include "router/egress.hpp"
+#include "router/ingress.hpp"
+#include "traffic/generator.hpp"
+#include "traffic/source.hpp"
+
+namespace sfab {
+
+struct RouterConfig {
+  /// Ingress input-queue capacity in whole packets.
+  std::size_t ingress_queue_packets = 64;
+};
+
+class Router {
+ public:
+  Router(std::unique_ptr<SwitchFabric> fabric,
+         std::unique_ptr<TrafficSource> traffic, RouterConfig config = {});
+
+  /// Convenience: wraps a concrete generator (the common case).
+  Router(std::unique_ptr<SwitchFabric> fabric, TrafficGenerator traffic,
+         RouterConfig config = {});
+
+  /// Advances one clock cycle.
+  void step();
+
+  /// Runs `cycles` cycles.
+  void run(Cycle cycles);
+
+  /// Stops traffic generation (drain mode) or restarts it.
+  void set_traffic_enabled(bool enabled) noexcept {
+    traffic_enabled_ = enabled;
+  }
+
+  /// Runs with traffic off until every queue and the fabric are empty;
+  /// returns false if `max_cycles` elapsed first. Traffic stays disabled.
+  bool drain(Cycle max_cycles);
+
+  // --- access ------------------------------------------------------------------
+  [[nodiscard]] Cycle now() const noexcept { return cycle_; }
+  [[nodiscard]] unsigned ports() const noexcept { return fabric_->ports(); }
+  [[nodiscard]] SwitchFabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] const SwitchFabric& fabric() const noexcept { return *fabric_; }
+  [[nodiscard]] EgressCollector& egress() noexcept { return egress_; }
+  [[nodiscard]] const EgressCollector& egress() const noexcept {
+    return egress_;
+  }
+  [[nodiscard]] const IngressUnit& ingress(PortId port) const;
+  [[nodiscard]] const Arbiter& arbiter() const noexcept { return arbiter_; }
+
+  /// Sum of input-queue drops over all ingress units.
+  [[nodiscard]] std::uint64_t total_drops() const;
+  /// Packets currently queued across all ingress units.
+  [[nodiscard]] std::size_t total_queued() const;
+  /// True when all queues are empty and the fabric is idle.
+  [[nodiscard]] bool quiescent() const;
+
+ private:
+  std::unique_ptr<SwitchFabric> fabric_;
+  std::unique_ptr<TrafficSource> traffic_;
+  Arbiter arbiter_;
+  EgressCollector egress_;
+  std::vector<IngressUnit> ingresses_;
+  Cycle cycle_ = 0;
+  bool traffic_enabled_ = true;
+};
+
+}  // namespace sfab

@@ -1,0 +1,113 @@
+#include "router/voq.hpp"
+
+#include <stdexcept>
+
+namespace sfab {
+
+VoqBank::VoqBank(PortId port, unsigned egress_ports,
+                 std::size_t capacity_packets)
+    : port_(port), capacity_(capacity_packets), queues_(egress_ports) {
+  if (egress_ports < 2) throw std::invalid_argument("VoqBank: ports >= 2");
+  if (capacity_packets < 1) {
+    throw std::invalid_argument("VoqBank: capacity >= 1 packet");
+  }
+}
+
+bool VoqBank::enqueue(Packet packet) {
+  if (packet.dest >= queues_.size()) {
+    throw std::out_of_range("VoqBank: destination out of range");
+  }
+  if (total_ >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  queues_[packet.dest].push_back(std::move(packet));
+  ++total_;
+  return true;
+}
+
+bool VoqBank::has_packet_for(PortId egress) const {
+  if (egress >= queues_.size()) throw std::out_of_range("VoqBank: egress");
+  return !queues_[egress].empty();
+}
+
+Packet VoqBank::pop(PortId egress) {
+  if (!has_packet_for(egress)) {
+    throw std::logic_error("VoqBank: pop from empty VOQ");
+  }
+  Packet p = std::move(queues_[egress].front());
+  queues_[egress].pop_front();
+  --total_;
+  return p;
+}
+
+IslipArbiter::IslipArbiter(unsigned ports, unsigned iterations)
+    : ports_(ports),
+      iterations_(iterations == 0 ? ports : iterations),
+      grant_pointer_(ports, 0),
+      accept_pointer_(ports, 0) {
+  if (ports < 2) throw std::invalid_argument("IslipArbiter: ports >= 2");
+}
+
+std::vector<Match> IslipArbiter::match(
+    const std::vector<std::vector<char>>& requests) {
+  if (requests.size() != ports_) {
+    throw std::invalid_argument("IslipArbiter: request matrix shape");
+  }
+  for (const auto& row : requests) {
+    if (row.size() != ports_) {
+      throw std::invalid_argument("IslipArbiter: request matrix shape");
+    }
+  }
+
+  std::vector<char> ingress_matched(ports_, 0);
+  std::vector<char> egress_matched(ports_, 0);
+  std::vector<Match> matches;
+
+  for (unsigned iter = 0; iter < iterations_; ++iter) {
+    // Grant phase: each unmatched egress grants the first requesting,
+    // unmatched ingress at or after its grant pointer.
+    std::vector<std::optional<PortId>> grant(ports_);
+    for (PortId egress = 0; egress < ports_; ++egress) {
+      if (egress_matched[egress]) continue;
+      for (unsigned k = 0; k < ports_; ++k) {
+        const PortId ingress = (grant_pointer_[egress] + k) % ports_;
+        if (!ingress_matched[ingress] && requests[ingress][egress]) {
+          grant[egress] = ingress;
+          break;
+        }
+      }
+    }
+
+    // Accept phase: each ingress accepts the first granting egress at or
+    // after its accept pointer.
+    bool any_accept = false;
+    for (PortId ingress = 0; ingress < ports_; ++ingress) {
+      if (ingress_matched[ingress]) continue;
+      std::optional<PortId> accepted;
+      for (unsigned k = 0; k < ports_; ++k) {
+        const PortId egress = (accept_pointer_[ingress] + k) % ports_;
+        if (grant[egress].has_value() && *grant[egress] == ingress) {
+          accepted = egress;
+          break;
+        }
+      }
+      if (!accepted) continue;
+
+      matches.push_back(Match{ingress, *accepted});
+      ingress_matched[ingress] = 1;
+      egress_matched[*accepted] = 1;
+      any_accept = true;
+      // Pointers advance one past the accepted partner, and only on the
+      // first iteration (the iSLIP rule that prevents starvation).
+      if (iter == 0) {
+        grant_pointer_[*accepted] = (ingress + 1) % ports_;
+        accept_pointer_[ingress] = (*accepted + 1) % ports_;
+      }
+    }
+    if (!any_accept) break;  // matching is maximal; further rounds are idle
+  }
+  return matches;
+}
+
+}  // namespace sfab

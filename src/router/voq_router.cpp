@@ -1,0 +1,131 @@
+#include "router/voq_router.hpp"
+
+#include <stdexcept>
+
+namespace sfab {
+
+VoqRouter::VoqRouter(std::unique_ptr<SwitchFabric> fabric,
+                     TrafficGenerator traffic, VoqRouterConfig config)
+    : VoqRouter(std::move(fabric),
+                std::make_unique<TrafficGenerator>(std::move(traffic)),
+                config) {}
+
+VoqRouter::VoqRouter(std::unique_ptr<SwitchFabric> fabric,
+                     std::unique_ptr<TrafficSource> traffic,
+                     VoqRouterConfig config)
+    : fabric_(std::move(fabric)),
+      traffic_(std::move(traffic)),
+      islip_(fabric_ ? fabric_->ports() : 2, config.islip_iterations),
+      egress_(fabric_ ? fabric_->ports() : 2) {
+  if (!fabric_) throw std::invalid_argument("VoqRouter: null fabric");
+  if (!traffic_) throw std::invalid_argument("VoqRouter: null traffic source");
+  if (traffic_->ports() != fabric_->ports()) {
+    throw std::invalid_argument("VoqRouter: traffic/fabric port mismatch");
+  }
+  banks_.reserve(fabric_->ports());
+  for (PortId p = 0; p < fabric_->ports(); ++p) {
+    banks_.emplace_back(p, fabric_->ports(), config.ingress_queue_packets);
+  }
+  streaming_.resize(fabric_->ports());
+  egress_busy_.assign(fabric_->ports(), 0);
+}
+
+void VoqRouter::step() {
+  egress_.set_now(cycle_);
+
+  // 1. Traffic arrivals into the VOQ banks.
+  if (traffic_enabled_) {
+    for (PortId p = 0; p < ports(); ++p) {
+      if (auto packet = traffic_->poll(p, cycle_)) {
+        banks_[p].enqueue(std::move(*packet));
+      }
+    }
+  }
+
+  // 2. iSLIP matching between idle ingresses and free egresses.
+  std::vector<std::vector<char>> requests(
+      ports(), std::vector<char>(ports(), 0));
+  for (PortId i = 0; i < ports(); ++i) {
+    if (streaming_[i].has_value()) continue;
+    for (PortId j = 0; j < ports(); ++j) {
+      requests[i][j] = !egress_busy_[j] && banks_[i].has_packet_for(j);
+    }
+  }
+  for (const Match& m : islip_.match(requests)) {
+    StreamingPacket s;
+    s.packet = banks_[m.ingress].pop(m.egress);
+    egress_.note_head_injected(s.packet.id, cycle_);
+    streaming_[m.ingress] = std::move(s);
+    egress_busy_[m.egress] = 1;
+  }
+
+  // 3. Word injection with back-pressure.
+  for (PortId p = 0; p < ports(); ++p) {
+    auto& slot = streaming_[p];
+    if (!slot.has_value() || !fabric_->can_accept(p)) continue;
+    const Packet& packet = slot->packet;
+    Flit flit;
+    flit.data = packet.words[slot->word];
+    flit.dest = packet.dest;
+    flit.tail = (slot->word + 1 == packet.words.size());
+    flit.packet_id = packet.id;
+    flit.seq = static_cast<std::uint32_t>(slot->word);
+    fabric_->inject(p, flit);
+    ++slot->word;
+    if (flit.tail) {
+      if (fabric_->fixed_latency()) egress_busy_[flit.dest] = 0;
+      slot.reset();
+    }
+  }
+
+  // 4. Fabric advances.
+  fabric_->tick(egress_);
+
+  // 5. Variable-latency fabrics free their egress on tail delivery.
+  if (!fabric_->fixed_latency()) {
+    for (const PortId egress : egress_.pending_unlocks()) {
+      egress_busy_[egress] = 0;
+    }
+  }
+  egress_.pending_unlocks().clear();
+
+  ++cycle_;
+}
+
+void VoqRouter::run(Cycle cycles) {
+  for (Cycle c = 0; c < cycles; ++c) step();
+}
+
+bool VoqRouter::drain(Cycle max_cycles) {
+  set_traffic_enabled(false);
+  for (Cycle c = 0; c < max_cycles; ++c) {
+    if (quiescent()) return true;
+    step();
+  }
+  return quiescent();
+}
+
+std::uint64_t VoqRouter::total_drops() const {
+  std::uint64_t sum = 0;
+  for (const VoqBank& bank : banks_) sum += bank.drops();
+  return sum;
+}
+
+std::size_t VoqRouter::total_queued() const {
+  std::size_t sum = 0;
+  for (const VoqBank& bank : banks_) sum += bank.total_queued();
+  return sum;
+}
+
+bool VoqRouter::quiescent() const {
+  if (!fabric_->idle()) return false;
+  for (const VoqBank& bank : banks_) {
+    if (!bank.empty()) return false;
+  }
+  for (const auto& slot : streaming_) {
+    if (slot.has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace sfab

@@ -1,0 +1,76 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfab {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  if (!rows_.empty() && header.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: header/row column mismatch");
+  }
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row has wrong column count");
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  const auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c >= width.size()) width.resize(c + 1, 0);
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (const std::size_t w : width) total += w;
+    os << std::string(total + 2 * (width.size() - 1), '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(digits);
+  ss << value;
+  return ss.str();
+}
+
+std::string format_power(double watts) {
+  if (std::abs(watts) < 1.0) return format_fixed(watts * 1e3, 3) + " mW";
+  return format_fixed(watts, 4) + " W";
+}
+
+std::string format_energy(double joules) {
+  const double magnitude = std::abs(joules);
+  if (magnitude < 1e-12) return format_fixed(joules * 1e15, 1) + " fJ";
+  if (magnitude < 1e-9) return format_fixed(joules * 1e12, 1) + " pJ";
+  return format_fixed(joules * 1e9, 2) + " nJ";
+}
+
+std::string format_percent(double fraction) {
+  return format_fixed(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace sfab

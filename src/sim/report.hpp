@@ -1,0 +1,41 @@
+// Plain-text table formatting shared by the benchmark binaries.
+//
+// Every bench regenerates one of the paper's tables or figures as rows on
+// stdout; TextTable keeps the column alignment readable without dragging in
+// a formatting library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfab {
+
+class TextTable {
+ public:
+  /// Sets the header row (defines the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with per-column width = widest cell, two-space gutters.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision helpers for the benches.
+[[nodiscard]] std::string format_fixed(double value, int digits);
+/// e.g. 0.01234 W -> "12.34 mW"; picks mW below 1 W, W above.
+[[nodiscard]] std::string format_power(double watts);
+/// e.g. 2.2e-13 J -> "220.0 fJ"; picks fJ / pJ / nJ by magnitude.
+[[nodiscard]] std::string format_energy(double joules);
+/// 0.42 -> "42.0%".
+[[nodiscard]] std::string format_percent(double fraction);
+
+}  // namespace sfab

@@ -1,0 +1,123 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+
+
+namespace sfab {
+
+std::string_view to_string(TrafficPatternKind kind) noexcept {
+  switch (kind) {
+    case TrafficPatternKind::kUniform:
+      return "uniform";
+    case TrafficPatternKind::kBitReversal:
+      return "bit-reversal";
+    case TrafficPatternKind::kHotspot:
+      return "hotspot";
+    case TrafficPatternKind::kBursty:
+      return "bursty";
+  }
+  return "unknown";
+}
+
+namespace {
+
+TrafficGenerator make_traffic(const SimConfig& c) {
+  switch (c.pattern) {
+    case TrafficPatternKind::kUniform:
+      return TrafficGenerator::uniform_bernoulli(
+          c.ports, c.offered_load, c.packet_words, c.seed, c.payload);
+    case TrafficPatternKind::kBitReversal:
+      return TrafficGenerator::bit_reversal_permutation(
+          c.ports, c.offered_load, c.packet_words, c.seed, c.payload);
+    case TrafficPatternKind::kHotspot:
+      return TrafficGenerator::hotspot(c.ports, c.offered_load,
+                                       c.packet_words, c.hotspot_port,
+                                       c.hotspot_fraction, c.seed, c.payload);
+    case TrafficPatternKind::kBursty:
+      return TrafficGenerator::bursty_uniform(c.ports, c.offered_load,
+                                              c.packet_words,
+                                              c.mean_burst_cycles, c.seed,
+                                              c.payload);
+  }
+  throw std::invalid_argument("make_traffic: unknown pattern");
+}
+
+}  // namespace
+
+SimResult run_simulation(const SimConfig& config) {
+  if (config.measure_cycles == 0) {
+    throw std::invalid_argument("run_simulation: measure_cycles >= 1");
+  }
+
+  FabricConfig fabric_config;
+  fabric_config.ports = config.ports;
+  fabric_config.tech = config.tech;
+  fabric_config.switches = config.switches;
+  fabric_config.buffer_words_per_switch = config.buffer_words_per_switch;
+  fabric_config.buffer_skid_words = config.buffer_skid_words;
+  fabric_config.charge_buffer_read_and_write =
+      config.charge_buffer_read_and_write;
+  fabric_config.dram_buffers = config.dram_buffers;
+  fabric_config.dram_retention_s = config.dram_retention_s;
+
+  RouterConfig router_config;
+  router_config.ingress_queue_packets = config.ingress_queue_packets;
+
+  Router router(make_fabric(config.arch, fabric_config),
+                make_traffic(config), router_config);
+
+  // Warm-up: reach steady state, then zero the meters.
+  router.run(config.warmup_cycles);
+  router.fabric().reset_energy();
+  router.egress().reset_counters();
+  const std::uint64_t drops_before = router.total_drops();
+  const std::uint64_t buffered_before = router.fabric().words_buffered();
+  const std::uint64_t sram_before = router.fabric().sram_words_buffered();
+  const std::uint64_t stalls_before = router.fabric().stall_cycles();
+
+  router.run(config.measure_cycles);
+
+  const EnergyLedger& ledger = router.fabric().ledger();
+  const double duration_s =
+      static_cast<double>(config.measure_cycles) * config.tech.cycle_time_s();
+
+  SimResult r;
+  r.arch = config.arch;
+  r.ports = config.ports;
+  r.offered_load = config.offered_load;
+  r.measured_cycles = config.measure_cycles;
+
+  r.delivered_words = router.egress().words_delivered();
+  r.delivered_packets = router.egress().packets_delivered();
+  r.egress_throughput = router.egress().throughput(config.measure_cycles);
+  r.input_queue_drops = router.total_drops() - drops_before;
+  r.mean_packet_latency_cycles = router.egress().mean_packet_latency();
+
+  r.power_w = ledger.total() / duration_s;
+  r.switch_power_w = ledger.of(EnergyKind::kSwitch) / duration_s;
+  r.buffer_power_w = ledger.of(EnergyKind::kBuffer) / duration_s;
+  r.wire_power_w = ledger.of(EnergyKind::kWire) / duration_s;
+  const double delivered_bits =
+      static_cast<double>(r.delivered_words) * config.tech.bus_width;
+  r.energy_per_bit_j =
+      delivered_bits > 0.0 ? ledger.total() / delivered_bits : 0.0;
+
+  r.words_buffered = router.fabric().words_buffered() - buffered_before;
+  r.sram_buffered_words =
+      router.fabric().sram_words_buffered() - sram_before;
+  r.stall_cycles = router.fabric().stall_cycles() - stalls_before;
+  return r;
+}
+
+std::vector<SimResult> sweep_offered_load(SimConfig base,
+                                          const std::vector<double>& loads) {
+  std::vector<SimResult> results;
+  results.reserve(loads.size());
+  for (const double load : loads) {
+    base.offered_load = load;
+    results.push_back(run_simulation(base));
+  }
+  return results;
+}
+
+}  // namespace sfab

@@ -1,0 +1,100 @@
+// One-call simulation harness: configure, run, get measurements.
+//
+// This replaces the paper's Simulink platform. A run builds the traffic
+// generator, router and fabric, executes a warm-up window (energy and
+// counters then reset so measurements capture steady state), measures for
+// the configured window, and reports throughput, power split by component,
+// energy per bit and latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/factory.hpp"
+#include "power/ledger.hpp"
+#include "router/router.hpp"
+#include "traffic/generator.hpp"
+
+namespace sfab {
+
+/// Traffic shapes available to experiments.
+enum class TrafficPatternKind {
+  kUniform,      ///< Bernoulli arrivals, uniform random destinations (paper)
+  kBitReversal,  ///< fixed bit-reversal permutation flows
+  kHotspot,      ///< a fraction of packets converge on one port
+  kBursty,       ///< Markov on/off arrivals, uniform destinations
+};
+
+[[nodiscard]] std::string_view to_string(TrafficPatternKind kind) noexcept;
+
+struct SimConfig {
+  Architecture arch = Architecture::kCrossbar;
+  unsigned ports = 16;
+  /// Offered load in words per port per cycle (fraction of line rate).
+  double offered_load = 0.5;
+  /// Packet length in bus words including the header word. 16 words of a
+  /// 32-bit bus = 64-byte cells.
+  unsigned packet_words = 16;
+  Cycle warmup_cycles = 2'000;
+  Cycle measure_cycles = 20'000;
+  std::uint64_t seed = 1;
+  PayloadKind payload = PayloadKind::kRandom;
+  TrafficPatternKind pattern = TrafficPatternKind::kUniform;
+  /// Hotspot parameters (pattern == kHotspot).
+  double hotspot_fraction = 0.3;
+  PortId hotspot_port = 0;
+  /// Bursty parameter (pattern == kBursty): mean burst length in cycles.
+  double mean_burst_cycles = 200.0;
+
+  TechnologyParams tech{};
+  SwitchEnergyTables switches = SwitchEnergyTables::paper_defaults();
+  unsigned buffer_words_per_switch = 128;  ///< 4 Kbit at 32-bit bus
+  /// Bypass slots ahead of the node SRAM (see FabricConfig).
+  unsigned buffer_skid_words = 1;
+  bool charge_buffer_read_and_write = true;
+  /// DRAM-backed node buffers: adds Eq. 1's continuous refresh power.
+  bool dram_buffers = false;
+  double dram_retention_s = 64e-3;
+  std::size_t ingress_queue_packets = 64;
+};
+
+struct SimResult {
+  // --- identification --------------------------------------------------------
+  Architecture arch{};
+  unsigned ports = 0;
+  double offered_load = 0.0;
+
+  // --- traffic ---------------------------------------------------------------
+  /// Measured egress throughput, words per port per cycle.
+  double egress_throughput = 0.0;
+  std::uint64_t delivered_words = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t input_queue_drops = 0;
+  double mean_packet_latency_cycles = 0.0;
+
+  // --- power -------------------------------------------------------------------
+  double power_w = 0.0;
+  double switch_power_w = 0.0;
+  double buffer_power_w = 0.0;
+  double wire_power_w = 0.0;
+  /// Average fabric energy per delivered payload bit (J).
+  double energy_per_bit_j = 0.0;
+
+  // --- fabric internals (Banyan-class) ----------------------------------------
+  std::uint64_t words_buffered = 0;
+  /// Subset of words_buffered that overflowed the skid slots into shared
+  /// SRAM and paid access energy.
+  std::uint64_t sram_buffered_words = 0;
+  std::uint64_t stall_cycles = 0;
+
+  Cycle measured_cycles = 0;
+};
+
+/// Runs one simulation to completion and returns its measurements.
+[[nodiscard]] SimResult run_simulation(const SimConfig& config);
+
+/// Runs `base` once per load value (same seed per run for paired sweeps).
+[[nodiscard]] std::vector<SimResult> sweep_offered_load(
+    SimConfig base, const std::vector<double>& loads);
+
+}  // namespace sfab

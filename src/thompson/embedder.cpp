@@ -1,0 +1,266 @@
+#include "thompson/embedder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+namespace sfab::thompson {
+
+namespace {
+
+/// Dense grid-edge occupancy. Horizontal edge (x,y)-(x+1,y) and vertical
+/// edge (x,y)-(x,y+1) are tracked separately.
+class EdgeOccupancy {
+ public:
+  EdgeOccupancy(int width, int height)
+      : width_(width),
+        height_(height),
+        horizontal_(static_cast<std::size_t>(width - 1) * height, false),
+        vertical_(static_cast<std::size_t>(width) * (height - 1), false) {}
+
+  [[nodiscard]] bool used_h(int x, int y) const {
+    return horizontal_[static_cast<std::size_t>(y) * (width_ - 1) + x];
+  }
+  [[nodiscard]] bool used_v(int x, int y) const {
+    return vertical_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void set_h(int x, int y) {
+    horizontal_[static_cast<std::size_t>(y) * (width_ - 1) + x] = true;
+  }
+  void set_v(int x, int y) {
+    vertical_[static_cast<std::size_t>(y) * width_ + x] = true;
+  }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<bool> horizontal_;
+  std::vector<bool> vertical_;
+};
+
+[[nodiscard]] std::size_t index_of(GridPoint p, int width) {
+  return static_cast<std::size_t>(p.y) * width + p.x;
+}
+
+}  // namespace
+
+long EmbeddingResult::total_wire_length() const {
+  long sum = 0;
+  for (const RoutedEdge& r : routes) sum += r.length;
+  return sum;
+}
+
+int EmbeddingResult::max_wire_length() const {
+  int best = 0;
+  for (const RoutedEdge& r : routes) best = std::max(best, r.length);
+  return best;
+}
+
+Placement auto_place(const SourceGraph& g, int spacing) {
+  if (spacing < 0) throw std::invalid_argument("auto_place: negative spacing");
+  const auto deg = g.degrees();
+  Placement placement;
+  placement.corner.resize(g.num_vertices());
+  placement.side.resize(g.num_vertices());
+
+  const auto count = g.num_vertices();
+  const int per_row = std::max(
+      1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(count)))));
+
+  // Column widths / row heights sized to the largest square they contain.
+  int cursor_y = spacing;
+  for (unsigned row = 0; row * per_row < count; ++row) {
+    int cursor_x = spacing;
+    int row_height = 1;
+    for (int col = 0; col < per_row; ++col) {
+      const unsigned v = row * per_row + col;
+      if (v >= count) break;
+      const int side = std::max(1, static_cast<int>(deg[v]));
+      placement.corner[v] = GridPoint{cursor_x, cursor_y};
+      placement.side[v] = side;
+      cursor_x += side + spacing;
+      row_height = std::max(row_height, side);
+    }
+    cursor_y += row_height + spacing;
+  }
+  return placement;
+}
+
+ThompsonEmbedder::ThompsonEmbedder(int width, int height)
+    : width_(width), height_(height) {
+  if (width < 1 || height < 1) {
+    throw std::invalid_argument("ThompsonEmbedder: grid must be >= 1x1");
+  }
+}
+
+EmbeddingResult ThompsonEmbedder::embed(const SourceGraph& g,
+                                        const Placement& placement) {
+  if (placement.corner.size() != g.num_vertices() ||
+      placement.side.size() != g.num_vertices()) {
+    throw std::invalid_argument("embed: placement size mismatch");
+  }
+  for (unsigned v = 0; v < g.num_vertices(); ++v) {
+    const auto [x, y] = placement.corner[v];
+    const int side = placement.side[v];
+    if (side < 1 || x < 0 || y < 0 || x + side > width_ || y + side > height_) {
+      throw std::invalid_argument("embed: vertex square outside grid");
+    }
+  }
+
+  EmbeddingResult result;
+  result.width = width_;
+  result.height = height_;
+  result.routes.resize(g.num_edges());
+
+  EdgeOccupancy occupied(width_, height_);
+
+  // Collect the boundary vertices of a vertex's square — legal pin sites.
+  const auto pins_of = [&](VertexId v) {
+    std::vector<GridPoint> pins;
+    const auto [cx, cy] = placement.corner[v];
+    const int side = placement.side[v];
+    for (int dx = 0; dx < side; ++dx) {
+      for (int dy = 0; dy < side; ++dy) {
+        if (dx == 0 || dy == 0 || dx == side - 1 || dy == side - 1) {
+          pins.push_back(GridPoint{cx + dx, cy + dy});
+        }
+      }
+    }
+    return pins;
+  };
+
+  // Route longer (farther-apart) edges first: they have the fewest detour
+  // options, so give them first pick of grid edges.
+  std::vector<std::size_t> order(g.num_edges());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const auto manhattan = [&](std::size_t e) {
+    const auto& edge = g.edges()[e];
+    const auto a = placement.corner[edge.u];
+    const auto b = placement.corner[edge.v];
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return manhattan(a) > manhattan(b);
+  });
+
+  std::vector<std::int32_t> parent(
+      static_cast<std::size_t>(width_) * height_, -1);
+
+  for (std::size_t edge_index : order) {
+    const Edge& e = g.edges()[edge_index];
+    const auto sources = pins_of(e.u);
+    const auto sinks = pins_of(e.v);
+
+    // Multi-source multi-sink BFS over unused grid edges.
+    std::fill(parent.begin(), parent.end(), -1);
+    std::deque<GridPoint> frontier;
+    std::vector<bool> is_sink(parent.size(), false);
+    for (GridPoint p : sinks) is_sink[index_of(p, width_)] = true;
+
+    std::optional<GridPoint> reached;
+    for (GridPoint p : sources) {
+      const auto i = index_of(p, width_);
+      if (parent[i] == -1) {
+        parent[i] = static_cast<std::int32_t>(i);  // root marks itself
+        frontier.push_back(p);
+        if (is_sink[i]) reached = p;
+      }
+    }
+
+    while (!reached && !frontier.empty()) {
+      const GridPoint cur = frontier.front();
+      frontier.pop_front();
+      const auto cur_index = index_of(cur, width_);
+
+      const auto try_step = [&](GridPoint next, bool edge_used) {
+        if (edge_used || reached) return;
+        const auto ni = index_of(next, width_);
+        if (parent[ni] != -1) return;
+        parent[ni] = static_cast<std::int32_t>(cur_index);
+        if (is_sink[ni]) {
+          reached = next;
+          return;
+        }
+        frontier.push_back(next);
+      };
+
+      if (cur.x + 1 < width_) {
+        try_step(GridPoint{cur.x + 1, cur.y}, occupied.used_h(cur.x, cur.y));
+      }
+      if (cur.x > 0) {
+        try_step(GridPoint{cur.x - 1, cur.y},
+                 occupied.used_h(cur.x - 1, cur.y));
+      }
+      if (cur.y + 1 < height_) {
+        try_step(GridPoint{cur.x, cur.y + 1}, occupied.used_v(cur.x, cur.y));
+      }
+      if (cur.y > 0) {
+        try_step(GridPoint{cur.x, cur.y - 1},
+                 occupied.used_v(cur.x, cur.y - 1));
+      }
+    }
+
+    if (!reached) {
+      result.success = false;
+      result.routes.clear();
+      return result;
+    }
+
+    // Walk back to a source pin, marking grid edges used.
+    RoutedEdge routed;
+    GridPoint walk = *reached;
+    routed.path.push_back(walk);
+    while (true) {
+      const auto i = index_of(walk, width_);
+      const auto pi = static_cast<std::size_t>(parent[i]);
+      if (pi == i) break;  // reached a BFS root (source pin)
+      const GridPoint prev{static_cast<int>(pi % width_),
+                           static_cast<int>(pi / width_)};
+      if (prev.y == walk.y) {
+        occupied.set_h(std::min(prev.x, walk.x), walk.y);
+      } else {
+        occupied.set_v(walk.x, std::min(prev.y, walk.y));
+      }
+      ++routed.length;
+      walk = prev;
+      routed.path.push_back(walk);
+    }
+    result.routes[edge_index] = std::move(routed);
+  }
+
+  result.success = true;
+  return result;
+}
+
+std::optional<int> minimum_grid_side(const SourceGraph& g, int max_side,
+                                     int spacing) {
+  const auto fits = [&](int side) {
+    const Placement placement = auto_place(g, spacing);
+    // Reject immediately if the placement itself overflows the grid.
+    for (unsigned v = 0; v < g.num_vertices(); ++v) {
+      if (placement.corner[v].x + placement.side[v] > side ||
+          placement.corner[v].y + placement.side[v] > side) {
+        return false;
+      }
+    }
+    ThompsonEmbedder embedder(side, side);
+    return embedder.embed(g, placement).success;
+  };
+
+  if (!fits(max_side)) return std::nullopt;
+  int lo = 1;
+  int hi = max_side;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (fits(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+}  // namespace sfab::thompson

@@ -1,0 +1,83 @@
+// Generic Thompson grid embedder.
+//
+// Routes every source-graph edge through a p x q grid with *edge-disjoint*
+// paths (Thompson's constraint: no two interconnects share a grid edge;
+// crossing at a grid vertex is allowed). Vertices are pre-placed on d x d
+// squares. Routing is sequential BFS (shortest available path first), which
+// is not optimal but — like the paper's manual embeddings — is an effective
+// planning tool for the regular topologies switch fabrics use.
+//
+// `minimum_grid` searches for the smallest grid (p_min, q_min in the
+// paper's terms) that still routes everything, by bisecting a square grid's
+// side length.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "thompson/graph.hpp"
+
+namespace sfab::thompson {
+
+/// Top-left corner of the d x d square a source vertex occupies.
+struct GridPoint {
+  int x = 0;
+  int y = 0;
+};
+
+struct Placement {
+  /// One entry per source vertex.
+  std::vector<GridPoint> corner;
+  /// Side of each vertex's square (max(1, degree) unless overridden).
+  std::vector<int> side;
+};
+
+/// Builds the canonical placement for `g`: vertices in row-major order on a
+/// square-ish arrangement, each on a d x d square (d = max(1, degree)) with
+/// `spacing` empty grid columns/rows between squares for routing.
+[[nodiscard]] Placement auto_place(const SourceGraph& g, int spacing = 2);
+
+struct RoutedEdge {
+  /// Number of grid edges covered — the Thompson wire length.
+  int length = 0;
+  /// The grid vertices along the path (size length + 1).
+  std::vector<GridPoint> path;
+};
+
+struct EmbeddingResult {
+  bool success = false;
+  /// Per source edge, in insertion order (valid only on success).
+  std::vector<RoutedEdge> routes;
+  /// Grid extent actually used.
+  int width = 0;
+  int height = 0;
+
+  /// Total and maximum wire length over all edges (0 when empty).
+  [[nodiscard]] long total_wire_length() const;
+  [[nodiscard]] int max_wire_length() const;
+};
+
+class ThompsonEmbedder {
+ public:
+  /// Grid of `width` x `height` vertices. Both must be >= 1.
+  ThompsonEmbedder(int width, int height);
+
+  /// Routes all edges of `g` with the given placement. Squares must fit in
+  /// the grid (throws std::invalid_argument otherwise). Returns a result
+  /// with success=false if some edge cannot be routed edge-disjointly.
+  [[nodiscard]] EmbeddingResult embed(const SourceGraph& g,
+                                      const Placement& placement);
+
+ private:
+  int width_;
+  int height_;
+};
+
+/// Smallest square grid side that embeds `g` under auto_place, found by
+/// bisection between a lower bound and `max_side`. Returns std::nullopt if
+/// even `max_side` fails.
+[[nodiscard]] std::optional<int> minimum_grid_side(const SourceGraph& g,
+                                                   int max_side,
+                                                   int spacing = 2);
+
+}  // namespace sfab::thompson

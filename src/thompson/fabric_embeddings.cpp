@@ -1,0 +1,94 @@
+#include "thompson/fabric_embeddings.hpp"
+
+#include <stdexcept>
+
+namespace sfab::thompson {
+
+double BatcherBanyanEmbedding::sorter_worst_case_grids() const {
+  const unsigned n = dimension();
+  double total = 0.0;
+  for (unsigned j = 0; j < n; ++j) {
+    for (unsigned i = 0; i <= j; ++i) {
+      total += cross_link_grids(i);
+    }
+  }
+  return total;
+}
+
+SourceGraph crossbar_graph(unsigned ports) {
+  if (ports < 1) throw std::invalid_argument("crossbar_graph: ports >= 1");
+  // Vertex layout: [0, N) inputs, [N, 2N) outputs, [2N, 2N + N*N)
+  // crosspoints in row-major order.
+  const unsigned n = ports;
+  SourceGraph g(2 * n + n * n);
+  const auto crosspoint = [n](unsigned row, unsigned col) {
+    return 2 * n + row * n + col;
+  };
+  for (unsigned row = 0; row < n; ++row) {
+    g.add_edge(row, crosspoint(row, 0));  // input feeds its row chain
+    for (unsigned col = 0; col + 1 < n; ++col) {
+      g.add_edge(crosspoint(row, col), crosspoint(row, col + 1));
+    }
+  }
+  for (unsigned col = 0; col < n; ++col) {
+    for (unsigned row = 0; row + 1 < n; ++row) {
+      g.add_edge(crosspoint(row, col), crosspoint(row + 1, col));
+    }
+    g.add_edge(crosspoint(n - 1, col), n + col);  // column exits to output
+  }
+  return g;
+}
+
+SourceGraph banyan_graph(unsigned ports) {
+  if (ports < 2 || !is_pow2(ports)) {
+    throw std::invalid_argument("banyan_graph: ports must be a power of two");
+  }
+  const unsigned n = log2_exact(ports);
+  const unsigned switches_per_stage = ports / 2;
+  // Vertex layout: [0, N) ingress, then stage s switch k at
+  // N + s * N/2 + k, then egress at N + n * N/2 + j.
+  SourceGraph g(ports + n * switches_per_stage + ports);
+  const auto switch_at = [&](unsigned stage, unsigned index) {
+    return ports + stage * switches_per_stage + index;
+  };
+  const auto egress_at = [&](unsigned port) {
+    return ports + n * switches_per_stage + port;
+  };
+  // Stage s pairs rows r and r ^ (1 << s); the switch index enumerates the
+  // rows whose bit s is zero.
+  const auto switch_of_row = [&](unsigned stage, unsigned row) {
+    const unsigned low = row & low_mask(stage);
+    const unsigned high = (row >> (stage + 1)) << stage;
+    return switch_at(stage, high | low);
+  };
+  for (unsigned row = 0; row < ports; ++row) {
+    g.add_edge(row, switch_of_row(0, row));
+  }
+  for (unsigned stage = 0; stage + 1 < n; ++stage) {
+    for (unsigned row = 0; row < ports; ++row) {
+      // Each switch output leads to the next stage's switch for this row;
+      // enumerate by row, adding one edge per (row, next-switch) pair. Two
+      // rows share a switch, so add the edge from the row's current switch
+      // only once per row to keep bundles explicit (parallel edges allowed).
+      g.add_edge(switch_of_row(stage, row), switch_of_row(stage + 1, row));
+    }
+  }
+  for (unsigned row = 0; row < ports; ++row) {
+    g.add_edge(switch_of_row(n - 1, row), egress_at(row));
+  }
+  return g;
+}
+
+SourceGraph fully_connected_graph(unsigned ports) {
+  if (ports < 2) throw std::invalid_argument("fully_connected_graph: N >= 2");
+  // Vertices: [0, N) inputs, [N, 2N) MUXes.
+  SourceGraph g(2 * ports);
+  for (unsigned i = 0; i < ports; ++i) {
+    for (unsigned j = 0; j < ports; ++j) {
+      g.add_edge(i, ports + j);
+    }
+  }
+  return g;
+}
+
+}  // namespace sfab::thompson

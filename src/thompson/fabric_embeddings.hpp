@@ -1,0 +1,97 @@
+// Closed-form Thompson embeddings of the four fabric topologies.
+//
+// These are the per-link wire lengths (in Thompson grids) implied by the
+// paper's manual embeddings (Figs. 4-8): the bit-accurate simulator charges
+// wire energy per link using these lengths, and summing the worst-case path
+// reproduces the wire terms of Eqs. 3-6 exactly (tests assert this against
+// power/analytical). Graph builders are provided so the generic embedder
+// (thompson/embedder.hpp) can independently sanity-check the topologies.
+#pragma once
+
+#include "common/bitops.hpp"
+#include "thompson/graph.hpp"
+
+namespace sfab::thompson {
+
+/// NxN crossbar (paper Fig. 5): each crosspoint occupies a 2x2 square plus
+/// two routing grids, so a full input row wire or output column wire spans
+/// 4N grids. Every transported bit drives one full row and one full column.
+struct CrossbarEmbedding {
+  unsigned ports;
+
+  [[nodiscard]] double row_wire_grids() const { return 4.0 * ports; }
+  [[nodiscard]] double column_wire_grids() const { return 4.0 * ports; }
+  [[nodiscard]] double path_grids() const {
+    return row_wire_grids() + column_wire_grids();  // 8N (Eq. 3)
+  }
+};
+
+/// NxN fully-connected / MUX fabric (paper Fig. 6): MUXes placed in a double
+/// row; the paper estimates the total wire a bit propagates as N^2/2 grids.
+struct FullyConnectedEmbedding {
+  unsigned ports;
+
+  [[nodiscard]] double path_grids() const {
+    return 0.5 * static_cast<double>(ports) * ports;  // (Eq. 4)
+  }
+};
+
+/// NxN Banyan as the indirect binary n-cube (butterfly isomorph, paper
+/// Fig. 7): stage i pairs rows that differ in bit i, so a crossing link
+/// spans 2^i switch rows = 4 * 2^i grids; a straight link only hops to the
+/// adjacent column (one switch pitch = 4 grids).
+struct BanyanEmbedding {
+  unsigned ports;
+
+  [[nodiscard]] unsigned stages() const { return log2_exact(ports); }
+  [[nodiscard]] double straight_link_grids() const { return 4.0; }
+  [[nodiscard]] double cross_link_grids(unsigned stage) const {
+    return 4.0 * static_cast<double>(1u << stage);
+  }
+  /// Longest possible path: crossing at every stage, 4 * (N - 1) grids.
+  [[nodiscard]] double worst_case_path_grids() const {
+    double total = 0.0;
+    for (unsigned i = 0; i < stages(); ++i) total += cross_link_grids(i);
+    return total;  // (wire term of Eq. 5)
+  }
+};
+
+/// Batcher bitonic sorter + Banyan (paper Fig. 8). Merge phase j
+/// (j = 0..n-1) contains substages with comparator spans 2^j, 2^(j-1), .., 1;
+/// a substage of span 2^i has crossing links of 4 * 2^i grids.
+struct BatcherBanyanEmbedding {
+  unsigned ports;
+
+  [[nodiscard]] unsigned dimension() const { return log2_exact(ports); }
+  /// Number of sorter substages: n(n+1)/2.
+  [[nodiscard]] unsigned sorter_stages() const {
+    const unsigned n = dimension();
+    return n * (n + 1) / 2;
+  }
+  [[nodiscard]] double straight_link_grids() const { return 4.0; }
+  [[nodiscard]] double cross_link_grids(unsigned span_log2) const {
+    return 4.0 * static_cast<double>(1u << span_log2);
+  }
+  /// Worst-case sorter wire: 4 * sum_{j<n} sum_{i<=j} 2^i grids.
+  [[nodiscard]] double sorter_worst_case_grids() const;
+  /// Worst-case total (sorter + banyan), the wire term of Eq. 6.
+  [[nodiscard]] double worst_case_path_grids() const {
+    return sorter_worst_case_grids() +
+           BanyanEmbedding{ports}.worst_case_path_grids();
+  }
+};
+
+// --- topology graph builders (for the generic embedder) ---------------------
+
+/// Crossbar as a graph: N input ports, N output ports, N^2 crosspoints;
+/// edges along each row and each column chain.
+[[nodiscard]] SourceGraph crossbar_graph(unsigned ports);
+
+/// Banyan (indirect binary n-cube): N ingress + n stages of N/2 switches +
+/// N egress vertices, edges per the stage pairing.
+[[nodiscard]] SourceGraph banyan_graph(unsigned ports);
+
+/// Fully-connected fabric: N inputs, N MUXes, every input wired to every MUX.
+[[nodiscard]] SourceGraph fully_connected_graph(unsigned ports);
+
+}  // namespace sfab::thompson

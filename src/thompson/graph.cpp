@@ -1,0 +1,32 @@
+#include "thompson/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfab::thompson {
+
+std::size_t SourceGraph::add_edge(VertexId u, VertexId v) {
+  if (u == v) throw std::invalid_argument("SourceGraph: self-loop");
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::out_of_range("SourceGraph: vertex id out of range");
+  }
+  edges_.push_back(Edge{u, v});
+  return edges_.size() - 1;
+}
+
+std::vector<unsigned> SourceGraph::degrees() const {
+  std::vector<unsigned> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+unsigned SourceGraph::max_degree() const {
+  const auto deg = degrees();
+  if (deg.empty()) return 0;
+  return *std::max_element(deg.begin(), deg.end());
+}
+
+}  // namespace sfab::thompson

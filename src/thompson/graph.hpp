@@ -1,0 +1,50 @@
+// Source-graph representation for Thompson embedding (paper section 3.4).
+//
+// The source graph G(V_G, E_G) is the switch-fabric topology: vertices are
+// node switches (or ports), edges are interconnects. The Thompson model
+// embeds G into a 2-D grid graph H, mapping each vertex of degree d onto a
+// d x d square of grid vertices and each source edge onto an edge-disjoint
+// grid path; an interconnect's wire length is the number of grid edges its
+// path covers.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sfab::thompson {
+
+using VertexId = std::uint32_t;
+
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+};
+
+class SourceGraph {
+ public:
+  explicit SourceGraph(unsigned num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds an undirected edge; self-loops are rejected, parallel edges are
+  /// allowed (a bus bundle between the same switches). Returns edge index.
+  std::size_t add_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] unsigned num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Degree of every vertex (counting parallel edges).
+  [[nodiscard]] std::vector<unsigned> degrees() const;
+
+  /// Maximum vertex degree, 0 for an edgeless graph.
+  [[nodiscard]] unsigned max_degree() const;
+
+ private:
+  unsigned num_vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace sfab::thompson

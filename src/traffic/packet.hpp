@@ -1,0 +1,58 @@
+// Packets as the fabrics see them.
+//
+// The paper's platform feeds TCP/IP traffic whose headers were already
+// translated to egress-port addresses by the ingress process unit, with
+// random binary payload (only switching activity matters inside the
+// fabric). A packet here is therefore a destination port plus a train of
+// bus words: words[0] is the header word carrying the destination address,
+// the rest are payload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace sfab {
+
+/// What fills the payload words.
+enum class PayloadKind {
+  kRandom,       ///< independent random bits (the paper's workload)
+  kAlternating,  ///< 0xFFFFFFFF / 0x00000000 alternating: every bit flips
+                 ///< every word — the worst case the closed forms assume
+  kZero,         ///< all zeros: minimum switching
+};
+
+struct Packet {
+  std::uint64_t id = 0;
+  PortId source = kInvalidPort;
+  PortId dest = kInvalidPort;
+  Cycle created = 0;
+  /// words[0] is the header (destination address in the low bits).
+  std::vector<Word> words;
+
+  [[nodiscard]] std::size_t size_words() const noexcept { return words.size(); }
+  [[nodiscard]] Word header() const { return words.at(0); }
+};
+
+/// Builds packets of a fixed total length (header + payload_words payload).
+class PacketFactory {
+ public:
+  /// `total_words` includes the header word; must be >= 1.
+  PacketFactory(unsigned total_words, PayloadKind kind, std::uint64_t seed);
+
+  [[nodiscard]] Packet make(PortId source, PortId dest, Cycle now);
+
+  [[nodiscard]] unsigned total_words() const noexcept { return total_words_; }
+  [[nodiscard]] PayloadKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::uint64_t packets_made() const noexcept { return next_id_; }
+
+ private:
+  unsigned total_words_;
+  PayloadKind kind_;
+  Rng rng_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace sfab

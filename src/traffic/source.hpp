@@ -1,0 +1,28 @@
+// The traffic-source abstraction routers consume.
+//
+// Synthetic generators (traffic/generator.hpp) and recorded traces
+// (traffic/trace.hpp) both implement this interface; the router polls one
+// slot per ingress per cycle, which matches the paper's platform where the
+// ingress process units hand parallelized packets to the input buffers.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "traffic/packet.hpp"
+
+namespace sfab {
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Called once per ingress per cycle; returns a packet when one arrives.
+  [[nodiscard]] virtual std::optional<Packet> poll(PortId source,
+                                                   Cycle now) = 0;
+
+  /// Number of ingress ports this source feeds.
+  [[nodiscard]] virtual unsigned ports() const = 0;
+};
+
+}  // namespace sfab

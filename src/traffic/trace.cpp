@@ -1,0 +1,127 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfab {
+
+std::vector<TraceRecord> read_trace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    TraceRecord r;
+    long long cycle = -1, source = -1, dest = -1, words = -1;
+    fields >> cycle >> source >> dest >> words;
+    if (fields.fail() || cycle < 0 || source < 0 || dest < 0 || words < 1) {
+      throw std::invalid_argument("read_trace: malformed record at line " +
+                                  std::to_string(line_number));
+    }
+    std::string trailing;
+    if (fields >> trailing && !trailing.empty() && trailing[0] != '#') {
+      throw std::invalid_argument("read_trace: trailing junk at line " +
+                                  std::to_string(line_number));
+    }
+    r.cycle = static_cast<Cycle>(cycle);
+    r.source = static_cast<PortId>(source);
+    r.dest = static_cast<PortId>(dest);
+    r.words = static_cast<unsigned>(words);
+    records.push_back(r);
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.cycle != b.cycle ? a.cycle < b.cycle
+                                               : a.source < b.source;
+                   });
+  return records;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "# sfab packet trace: cycle source dest words\n";
+  for (const TraceRecord& r : records) {
+    out << r.cycle << ' ' << r.source << ' ' << r.dest << ' ' << r.words
+        << '\n';
+  }
+}
+
+std::vector<TraceRecord> record_trace(TrafficGenerator& generator,
+                                      Cycle cycles) {
+  std::vector<TraceRecord> records;
+  for (Cycle t = 0; t < cycles; ++t) {
+    for (PortId p = 0; p < generator.ports(); ++p) {
+      if (const auto packet = generator.poll(p, t)) {
+        records.push_back(TraceRecord{
+            t, p, packet->dest,
+            static_cast<unsigned>(packet->size_words())});
+      }
+    }
+  }
+  return records;
+}
+
+TraceReplay::TraceReplay(unsigned ports, std::vector<TraceRecord> records,
+                         std::uint64_t seed, PayloadKind payload)
+    : ports_(ports),
+      per_port_(ports),
+      next_index_(ports, 0),
+      payload_rng_(seed),
+      payload_(payload) {
+  if (ports < 2) throw std::invalid_argument("TraceReplay: ports >= 2");
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.cycle < b.cycle;
+                   });
+  for (const TraceRecord& r : records) {
+    if (r.source >= ports || r.dest >= ports) {
+      throw std::invalid_argument("TraceReplay: record port out of range");
+    }
+    if (r.words < 1) {
+      throw std::invalid_argument("TraceReplay: packet needs >= 1 word");
+    }
+    per_port_[r.source].push_back(r);
+  }
+  pending_ = records.size();
+}
+
+std::optional<Packet> TraceReplay::poll(PortId source, Cycle now) {
+  if (source >= ports_) throw std::out_of_range("TraceReplay: bad port");
+  auto& index = next_index_[source];
+  const auto& queue = per_port_[source];
+  if (index >= queue.size() || queue[index].cycle > now) return std::nullopt;
+
+  const TraceRecord& r = queue[index];
+  ++index;
+  --pending_;
+
+  Packet p;
+  p.id = next_id_++;
+  p.source = source;
+  p.dest = r.dest;
+  p.created = now;
+  p.words.reserve(r.words);
+  p.words.push_back(static_cast<Word>(r.dest));
+  for (unsigned w = 1; w < r.words; ++w) {
+    switch (payload_) {
+      case PayloadKind::kRandom:
+        p.words.push_back(payload_rng_.next_word());
+        break;
+      case PayloadKind::kAlternating:
+        p.words.push_back((w % 2 != 0) ? 0xFFFFFFFFu : 0u);
+        break;
+      case PayloadKind::kZero:
+        p.words.push_back(0u);
+        break;
+    }
+  }
+  return p;
+}
+
+}  // namespace sfab

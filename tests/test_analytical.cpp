@@ -1,0 +1,256 @@
+// Tests for the closed-form bit-energy models (paper Eqs. 3-6).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/units.hpp"
+#include "power/analytical.hpp"
+
+namespace sfab {
+namespace {
+
+using units::fJ;
+using units::pJ;
+
+constexpr double kTol = 1e-18;  // well below a femtojoule
+
+// Hand-computed expectations use the paper's parameters: E_T = 87.12 fJ
+// (exact value of 1/2 * 16 fF * 3.3^2), E_S values from Table 1, buffer
+// energies from Table 2.
+double e_t() { return TechnologyParams{}.grid_wire_bit_energy_j(); }
+
+// --- wire length formulas ------------------------------------------------------
+
+TEST(WireGrids, Crossbar8NPattern) {
+  EXPECT_DOUBLE_EQ(AnalyticalModel::crossbar_wire_grids(4), 32.0);
+  EXPECT_DOUBLE_EQ(AnalyticalModel::crossbar_wire_grids(32), 256.0);
+}
+
+TEST(WireGrids, FullyConnectedHalfNSquared) {
+  EXPECT_DOUBLE_EQ(AnalyticalModel::fully_connected_wire_grids(4), 8.0);
+  EXPECT_DOUBLE_EQ(AnalyticalModel::fully_connected_wire_grids(32), 512.0);
+}
+
+TEST(WireGrids, BanyanGeometricSum) {
+  // 4 * (2^n - 1)
+  EXPECT_DOUBLE_EQ(AnalyticalModel::banyan_wire_grids(4), 12.0);
+  EXPECT_DOUBLE_EQ(AnalyticalModel::banyan_wire_grids(8), 28.0);
+  EXPECT_DOUBLE_EQ(AnalyticalModel::banyan_wire_grids(32), 124.0);
+}
+
+TEST(WireGrids, BatcherBanyanNestedSum) {
+  // n=2: sorter = 4*(1 + (1+2)) = 16, banyan = 12 -> 28.
+  EXPECT_DOUBLE_EQ(AnalyticalModel::batcher_banyan_wire_grids(4), 28.0);
+  // n=5: sorter = 4*(2*31 - 5) = 228, banyan = 124 -> 352.
+  EXPECT_DOUBLE_EQ(AnalyticalModel::batcher_banyan_wire_grids(32), 352.0);
+}
+
+TEST(WireGrids, InvalidPortCounts) {
+  EXPECT_THROW((void)AnalyticalModel::banyan_wire_grids(6), std::invalid_argument);
+  EXPECT_THROW((void)AnalyticalModel::batcher_banyan_wire_grids(2),
+               std::invalid_argument);
+  EXPECT_THROW((void)AnalyticalModel::crossbar_wire_grids(0), std::invalid_argument);
+}
+
+// --- Eq. 3: crossbar -------------------------------------------------------------
+
+TEST(Eq3, CrossbarBitEnergy) {
+  const AnalyticalModel m;
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    const double expected = n * 220.0 * fJ + 8.0 * n * e_t();
+    EXPECT_NEAR(m.crossbar_bit_energy(n), expected, kTol) << "N=" << n;
+  }
+}
+
+TEST(Eq3, LinearInPorts) {
+  const AnalyticalModel m;
+  const double e4 = m.crossbar_bit_energy(4);
+  const double e8 = m.crossbar_bit_energy(8);
+  const double e16 = m.crossbar_bit_energy(16);
+  EXPECT_NEAR(e16 - e8, 2.0 * (e8 - e4), kTol);
+}
+
+// --- Eq. 4: fully connected -------------------------------------------------------
+
+TEST(Eq4, FullyConnectedBitEnergy) {
+  const AnalyticalModel m;
+  EXPECT_NEAR(m.fully_connected_bit_energy(4), 431.0 * fJ + 8.0 * e_t(),
+              kTol);
+  EXPECT_NEAR(m.fully_connected_bit_energy(32),
+              2515.0 * fJ + 512.0 * e_t(), kTol);
+}
+
+TEST(Eq4, WireTermDominatesAtLargeN) {
+  const AnalyticalModel m;
+  const double wire = 512.0 * e_t();
+  const double mux = 2515.0 * fJ;
+  EXPECT_GT(wire, mux);  // at N=32 the N^2/2 wire dwarfs the MUX logic
+}
+
+// --- Eq. 5: banyan ---------------------------------------------------------------
+
+TEST(Eq5, NoContentionIsWireePlusSwitches) {
+  const AnalyticalModel m;
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    const unsigned stages = log2_exact(n);
+    const double expected =
+        AnalyticalModel::banyan_wire_grids(n) * e_t() + stages * 1080.0 * fJ;
+    EXPECT_NEAR(m.banyan_bit_energy_no_contention(n), expected, kTol);
+  }
+}
+
+TEST(Eq5, EachContendedStageAddsOneBufferAccess) {
+  const AnalyticalModel m;
+  const double base = m.banyan_bit_energy_no_contention(16);
+  const std::vector<int> one_stage{1, 0, 0, 0};
+  const double e_b = m.banyan_buffer(16).bit_energy_j();
+  EXPECT_NEAR(m.banyan_bit_energy(16, one_stage), base + e_b, kTol);
+  EXPECT_NEAR(m.banyan_bit_energy_full_contention(16), base + 4.0 * e_b,
+              kTol);
+}
+
+TEST(Eq5, BufferTermUsesTable2Energy) {
+  const AnalyticalModel m;
+  EXPECT_NEAR(m.banyan_buffer(16).bit_energy_j(), 154.0 * pJ, 0.01 * pJ);
+  EXPECT_NEAR(m.banyan_buffer(32).bit_energy_j(), 222.0 * pJ, 0.01 * pJ);
+}
+
+TEST(Eq5, ContentionVectorValidation) {
+  const AnalyticalModel m;
+  EXPECT_THROW((void)m.banyan_bit_energy(16, std::vector<int>{1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)m.banyan_bit_energy(16, std::vector<int>{2, 0, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Eq5, BufferPenaltyDwarfsBasePath) {
+  // One buffered stage costs more than the whole uncongested path — the
+  // paper's "buffer penalty".
+  const AnalyticalModel m;
+  const double base = m.banyan_bit_energy_no_contention(32);
+  const double e_b = m.banyan_buffer(32).bit_energy_j();
+  EXPECT_GT(e_b, 5.0 * base);
+}
+
+// --- Eq. 6: batcher-banyan --------------------------------------------------------
+
+TEST(Eq6, BatcherBanyanBitEnergy) {
+  const AnalyticalModel m;
+  // n=2: wire 28 grids; switches: 3 sorter + 2 banyan.
+  const double expected4 =
+      28.0 * e_t() + 3.0 * 1253.0 * fJ + 2.0 * 1080.0 * fJ;
+  EXPECT_NEAR(m.batcher_banyan_bit_energy(4), expected4, kTol);
+  // n=5: wire 352 grids; 15 sorter + 5 banyan switches.
+  const double expected32 =
+      352.0 * e_t() + 15.0 * 1253.0 * fJ + 5.0 * 1080.0 * fJ;
+  EXPECT_NEAR(m.batcher_banyan_bit_energy(32), expected32, kTol);
+}
+
+TEST(Eq6, DeeperThanBanyan) {
+  const AnalyticalModel m;
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_GT(m.batcher_banyan_bit_energy(n),
+              m.banyan_bit_energy_no_contention(n));
+  }
+}
+
+// --- average-case variants ---------------------------------------------------------
+
+TEST(AverageCase, ToggleActivityScalesOnlyWires) {
+  const AnalyticalModel m;
+  AnalyticalModel::AverageParams half;
+  half.toggle_activity = 0.5;
+  AnalyticalModel::AverageParams full;
+  full.toggle_activity = 1.0;
+
+  const double w32 = AnalyticalModel::crossbar_wire_grids(32) * e_t();
+  EXPECT_NEAR(m.crossbar_avg_bit_energy(32, full) -
+                  m.crossbar_avg_bit_energy(32, half),
+              0.5 * w32, kTol);
+  // Switch term unchanged by toggle activity.
+  EXPECT_NEAR(m.crossbar_avg_bit_energy(32, full) - w32,
+              m.crossbar_avg_bit_energy(32, half) - 0.5 * w32, kTol);
+}
+
+TEST(AverageCase, FullToggleMatchesWorstCase) {
+  const AnalyticalModel m;
+  AnalyticalModel::AverageParams p;
+  p.toggle_activity = 1.0;
+  p.stage_contention_prob = 0.0;
+  EXPECT_NEAR(m.crossbar_avg_bit_energy(16, p), m.crossbar_bit_energy(16),
+              kTol);
+  EXPECT_NEAR(m.fully_connected_avg_bit_energy(16, p),
+              m.fully_connected_bit_energy(16), kTol);
+  EXPECT_NEAR(m.banyan_avg_bit_energy(16, p),
+              m.banyan_bit_energy_no_contention(16), kTol);
+  EXPECT_NEAR(m.batcher_banyan_avg_bit_energy(16, p),
+              m.batcher_banyan_bit_energy(16), kTol);
+}
+
+TEST(AverageCase, ContentionProbabilityAddsBufferEnergy) {
+  const AnalyticalModel m;
+  AnalyticalModel::AverageParams p;
+  p.stage_contention_prob = 0.1;
+  p.charge_read_and_write = true;
+  const double base = m.banyan_avg_bit_energy(
+      16, AnalyticalModel::AverageParams{0.5, 0.0, true});
+  const double with = m.banyan_avg_bit_energy(16, p);
+  const double e_b = m.banyan_buffer(16).bit_energy_j();
+  EXPECT_NEAR(with - base, 4.0 * 0.1 * 2.0 * e_b, kTol);
+}
+
+TEST(AverageCase, SingleAccessModeHalvesBufferTerm) {
+  const AnalyticalModel m;
+  AnalyticalModel::AverageParams rw{0.5, 0.2, true};
+  AnalyticalModel::AverageParams w_only{0.5, 0.2, false};
+  const double none =
+      m.banyan_avg_bit_energy(16, AnalyticalModel::AverageParams{0.5, 0.0, true});
+  EXPECT_NEAR(m.banyan_avg_bit_energy(16, rw) - none,
+              2.0 * (m.banyan_avg_bit_energy(16, w_only) - none), kTol);
+}
+
+TEST(AverageCase, UniformContentionHeuristic) {
+  EXPECT_DOUBLE_EQ(AnalyticalModel::uniform_stage_contention_prob(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(AnalyticalModel::uniform_stage_contention_prob(0.4), 0.1);
+  EXPECT_THROW((void)AnalyticalModel::uniform_stage_contention_prob(1.5),
+               std::invalid_argument);
+}
+
+// --- cross-architecture shape checks (paper section 6 setup) ------------------------
+
+TEST(Shapes, BanyanCheapestUncongestedAt32Ports) {
+  // Paper observation 1: at 32x32 the Banyan has the lowest power at low
+  // throughput (no buffer penalty yet).
+  const AnalyticalModel m;
+  const double banyan = m.banyan_bit_energy_no_contention(32);
+  EXPECT_LT(banyan, m.crossbar_bit_energy(32));
+  EXPECT_LT(banyan, m.fully_connected_bit_energy(32));
+  EXPECT_LT(banyan, m.batcher_banyan_bit_energy(32));
+}
+
+TEST(Shapes, FullyConnectedBeatsBatcherBanyanEverywhere) {
+  // Paper observation 2 (the part its own equations support).
+  const AnalyticalModel m;
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_LT(m.fully_connected_bit_energy(n),
+              m.batcher_banyan_bit_energy(n));
+  }
+}
+
+TEST(Shapes, FcToBatcherGapNarrowsWithPorts) {
+  // Paper Fig. 10: 37% at 4x4 shrinking to 20% at 32x32 (our absolute
+  // percentages differ; the monotone narrowing is the reproduced shape).
+  const AnalyticalModel m;
+  double previous_gap = 1.0;
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    const double fc = m.fully_connected_bit_energy(n);
+    const double bb = m.batcher_banyan_bit_energy(n);
+    const double gap = (bb - fc) / bb;
+    EXPECT_LT(gap, previous_gap) << "N=" << n;
+    previous_gap = gap;
+  }
+}
+
+}  // namespace
+}  // namespace sfab

@@ -1,0 +1,163 @@
+// Tests for the buffer energy models (paper Table 2 and Eq. 1).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "power/buffer_energy.hpp"
+
+namespace sfab {
+namespace {
+
+using units::pJ;
+
+// --- Table 2 reproduction ----------------------------------------------------
+
+struct Table2Row {
+  unsigned ports;
+  unsigned switches;
+  double shared_kbits;
+  double bit_energy_pj;
+};
+
+class Table2 : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2, SwitchCountAndSharedSize) {
+  const auto& row = GetParam();
+  EXPECT_EQ(SramBufferModel::banyan_switch_count(row.ports), row.switches);
+  const SramBufferModel m = SramBufferModel::for_banyan(row.ports);
+  EXPECT_DOUBLE_EQ(m.capacity_bits(), row.shared_kbits * 1024.0);
+}
+
+TEST_P(Table2, AccessEnergyMatchesPaper) {
+  const auto& row = GetParam();
+  const SramBufferModel m = SramBufferModel::for_banyan(row.ports);
+  EXPECT_NEAR(m.access_energy_per_bit_j(), row.bit_energy_pj * pJ,
+              0.01 * pJ);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2,
+    ::testing::Values(Table2Row{4, 4, 16.0, 140.0},
+                      Table2Row{8, 12, 48.0, 140.0},
+                      Table2Row{16, 32, 128.0, 154.0},
+                      Table2Row{32, 80, 320.0, 222.0}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.ports);
+    });
+
+TEST(SramBufferModel, PeripheryFloorBelowSmallestCalibration) {
+  // A tiny buffer still pays decoder/senseamp/IO cost.
+  EXPECT_NEAR(SramBufferModel{1024.0}.access_energy_per_bit_j(), 140.0 * pJ,
+              0.01 * pJ);
+}
+
+TEST(SramBufferModel, ExtrapolatesAboveLargestCalibration) {
+  const SramBufferModel big{640.0 * 1024.0};
+  EXPECT_GT(big.access_energy_per_bit_j(), 222.0 * pJ);
+}
+
+TEST(SramBufferModel, MonotoneInCapacityAboveFloor) {
+  double previous = 0.0;
+  for (const double kbits : {64.0, 128.0, 192.0, 256.0, 320.0, 512.0}) {
+    const double e =
+        SramBufferModel{kbits * 1024.0}.access_energy_per_bit_j();
+    EXPECT_GE(e, previous);
+    previous = e;
+  }
+}
+
+TEST(SramBufferModel, SramHasNoRefresh) {
+  const SramBufferModel m{16384.0};
+  EXPECT_DOUBLE_EQ(m.refresh_energy_per_bit_j(), 0.0);
+  EXPECT_DOUBLE_EQ(m.bit_energy_j(), m.access_energy_per_bit_j());
+}
+
+TEST(SramBufferModel, InvalidArguments) {
+  EXPECT_THROW((void)SramBufferModel{0.0}, std::invalid_argument);
+  EXPECT_THROW((void)SramBufferModel{-1.0}, std::invalid_argument);
+  EXPECT_THROW((void)SramBufferModel::banyan_switch_count(6), std::invalid_argument);
+  EXPECT_THROW((void)SramBufferModel::banyan_switch_count(0), std::invalid_argument);
+  EXPECT_THROW((void)SramBufferModel::for_banyan(8, 0.0), std::invalid_argument);
+}
+
+TEST(SramBufferModel, CustomPerSwitchBudget) {
+  // Doubling the per-switch queue doubles the shared capacity.
+  const SramBufferModel small = SramBufferModel::for_banyan(16, 4096.0);
+  const SramBufferModel large = SramBufferModel::for_banyan(16, 8192.0);
+  EXPECT_DOUBLE_EQ(large.capacity_bits(), 2.0 * small.capacity_bits());
+  EXPECT_GE(large.access_energy_per_bit_j(),
+            small.access_energy_per_bit_j());
+}
+
+// --- CACTI-lite physical decomposition ------------------------------------------
+
+TEST(CactiLite, OrganizesNearSquare) {
+  const CactiLiteModel m{128.0 * 1024.0};
+  EXPECT_GE(static_cast<double>(m.rows()) * m.cols(), 128.0 * 1024.0);
+  // Aspect ratio within 2x of square.
+  EXPECT_LE(m.rows(), 2u * m.cols());
+  EXPECT_LE(m.cols(), 4u * m.rows());
+}
+
+TEST(CactiLite, EnergyGrowsWithCapacity) {
+  const CactiLiteModel small{16.0 * 1024.0};
+  const CactiLiteModel large{320.0 * 1024.0};
+  EXPECT_GT(large.access_energy_per_word_j(),
+            small.access_energy_per_word_j());
+}
+
+TEST(CactiLite, PhysicallyHonestModelIsFarBelowDatasheetCalibration) {
+  // The ablation headline: an honest 0.18 um SRAM macro costs orders of
+  // magnitude less per bit than the paper's datasheet-derived numbers.
+  const CactiLiteModel physical{128.0 * 1024.0};
+  const SramBufferModel datasheet{128.0 * 1024.0};
+  EXPECT_LT(physical.access_energy_per_bit_j(),
+            0.1 * datasheet.access_energy_per_bit_j());
+}
+
+TEST(CactiLite, PerBitIsPerWordOverWidth) {
+  const CactiLiteModel m{64.0 * 1024.0};
+  EXPECT_NEAR(m.access_energy_per_bit_j() * 32.0,
+              m.access_energy_per_word_j(), 1e-18);
+}
+
+TEST(CactiLite, RejectsZeroCapacity) {
+  EXPECT_THROW((void)CactiLiteModel{0.0}, std::invalid_argument);
+}
+
+// --- DRAM refresh extension -----------------------------------------------------
+
+TEST(Dram, RefreshPowerPositive) {
+  const DramBufferModel m{320.0 * 1024.0};
+  EXPECT_GT(m.refresh_power_w(), 0.0);
+}
+
+TEST(Dram, RefreshAmortizationFallsWithAccessRate) {
+  const DramBufferModel m{320.0 * 1024.0};
+  const double rare = m.refresh_energy_per_bit_j(1e3);
+  const double frequent = m.refresh_energy_per_bit_j(1e6);
+  EXPECT_GT(rare, frequent);
+  EXPECT_NEAR(rare / frequent, 1000.0, 1.0);
+}
+
+TEST(Dram, BitEnergyAddsRefreshOnTopOfAccess) {
+  const DramBufferModel m{64.0 * 1024.0};
+  const SramBufferModel sram{64.0 * 1024.0};
+  EXPECT_GT(m.bit_energy_j(1e5), sram.bit_energy_j());
+}
+
+TEST(Dram, InvalidArguments) {
+  EXPECT_THROW((void)DramBufferModel(1024.0, 0.0), std::invalid_argument);
+  const DramBufferModel m{1024.0};
+  EXPECT_THROW((void)m.refresh_energy_per_bit_j(0.0), std::invalid_argument);
+}
+
+TEST(BufferPenalty, BufferBitEnergyDwarfsWireGridEnergy) {
+  // Paper section 5.1: storing a packet costs far more than moving it —
+  // Table 2 is in pJ while E_T is 87 fJ.
+  const SramBufferModel buffer = SramBufferModel::for_banyan(16);
+  const double e_t = TechnologyParams{}.grid_wire_bit_energy_j();
+  EXPECT_GT(buffer.bit_energy_j(), 1000.0 * e_t);
+}
+
+}  // namespace
+}  // namespace sfab

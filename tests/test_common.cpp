@@ -1,0 +1,219 @@
+// Unit tests for src/common: RNG, bit operations, interpolation tables.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace sfab {
+namespace {
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng{3};
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng{5};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng{13};
+  std::array<int, 8> counts{};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(8)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 8, n / 8 * 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng{17};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+    EXPECT_FALSE(rng.next_bernoulli(-0.5));
+    EXPECT_TRUE(rng.next_bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng{19};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent{23};
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, WordUsesFullRange) {
+  Rng rng{29};
+  Word all_or = 0, all_and = 0xFFFFFFFFu;
+  for (int i = 0; i < 1000; ++i) {
+    const Word w = rng.next_word();
+    all_or |= w;
+    all_and &= w;
+  }
+  EXPECT_EQ(all_or, 0xFFFFFFFFu);
+  EXPECT_EQ(all_and, 0u);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64_next(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(first, splitmix64_next(state2));
+  EXPECT_NE(splitmix64_next(state), first);
+}
+
+// --- bitops --------------------------------------------------------------------
+
+TEST(BitOps, Popcount) {
+  EXPECT_EQ(popcount(0u), 0);
+  EXPECT_EQ(popcount(1u), 1);
+  EXPECT_EQ(popcount(0xFFFFFFFFu), 32);
+  EXPECT_EQ(popcount(0xAAAAAAAAu), 16);
+}
+
+TEST(BitOps, ToggledBits) {
+  EXPECT_EQ(toggled_bits(0u, 0u), 0);
+  EXPECT_EQ(toggled_bits(0u, 0xFFFFFFFFu), 32);
+  EXPECT_EQ(toggled_bits(0xF0F0F0F0u, 0x0F0F0F0Fu), 32);
+  EXPECT_EQ(toggled_bits(0b1010u, 0b1000u), 1);
+}
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(BitOps, Log2) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_exact(32), 5u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+}
+
+TEST(BitOps, BitOfAndLowMask) {
+  EXPECT_EQ(bit_of(0b1010, 1), 1u);
+  EXPECT_EQ(bit_of(0b1010, 0), 0u);
+  EXPECT_EQ(low_mask(0), 0ull);
+  EXPECT_EQ(low_mask(3), 0b111ull);
+  EXPECT_EQ(low_mask(32), 0xFFFFFFFFull);
+}
+
+// --- PiecewiseLinear -------------------------------------------------------------
+
+TEST(PiecewiseLinear, ExactAtCalibrationPoints) {
+  const PiecewiseLinear t{{1.0, 10.0}, {2.0, 20.0}, {4.0, 10.0}};
+  EXPECT_DOUBLE_EQ(t(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(t(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(t(4.0), 10.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesBetweenPoints) {
+  const PiecewiseLinear t{{0.0, 0.0}, {10.0, 100.0}};
+  EXPECT_DOUBLE_EQ(t(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(t(2.5), 25.0);
+}
+
+TEST(PiecewiseLinear, ExtrapolatesFromEndSegments) {
+  const PiecewiseLinear t{{0.0, 0.0}, {1.0, 1.0}, {2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(t(3.0), 7.0);    // slope 3 continues
+  EXPECT_DOUBLE_EQ(t(-1.0), -1.0);  // slope 1 continues
+}
+
+TEST(PiecewiseLinear, AtLeastClampsBelow) {
+  const PiecewiseLinear t{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(t.at_least(-5.0, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(t.at_least(0.9, 0.25), 0.9);
+}
+
+TEST(PiecewiseLinear, SortsUnorderedInput) {
+  const PiecewiseLinear t{{4.0, 40.0}, {1.0, 10.0}, {2.0, 20.0}};
+  EXPECT_DOUBLE_EQ(t(1.5), 15.0);
+  EXPECT_DOUBLE_EQ(t.min_x(), 1.0);
+  EXPECT_DOUBLE_EQ(t.max_x(), 4.0);
+}
+
+TEST(PiecewiseLinear, RejectsDuplicateX) {
+  EXPECT_THROW((PiecewiseLinear{{1.0, 1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseLinear, EmptyTableThrows) {
+  const PiecewiseLinear t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW((void)t(1.0), std::logic_error);
+  EXPECT_THROW((void)t.min_x(), std::logic_error);
+}
+
+TEST(PiecewiseLinear, SinglePointIsConstant) {
+  const PiecewiseLinear t{{3.0, 42.0}};
+  EXPECT_DOUBLE_EQ(t(-100.0), 42.0);
+  EXPECT_DOUBLE_EQ(t(100.0), 42.0);
+}
+
+// --- units ---------------------------------------------------------------------
+
+TEST(Units, RelativeMagnitudes) {
+  EXPECT_DOUBLE_EQ(units::pJ / units::fJ, 1000.0);
+  EXPECT_DOUBLE_EQ(units::nJ / units::pJ, 1000.0);
+  EXPECT_DOUBLE_EQ(units::GHz / units::MHz, 1000.0);
+  EXPECT_DOUBLE_EQ(units::um / units::nm, 1000.0);
+  EXPECT_DOUBLE_EQ(units::mW * 1000.0, units::W);
+}
+
+}  // namespace
+}  // namespace sfab

@@ -1,0 +1,342 @@
+// Tests for the Banyan fabric: self-routing, contention/buffering, exact
+// agreement with Eq. 5, conservation and ordering invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fabric/banyan.hpp"
+#include "power/analytical.hpp"
+
+namespace sfab {
+namespace {
+
+struct RecordingSink final : EgressSink {
+  std::vector<std::pair<PortId, Flit>> deliveries;
+  std::map<PortId, std::vector<Word>> per_port;
+  void deliver(PortId egress, const Flit& flit) override {
+    deliveries.emplace_back(egress, flit);
+    per_port[egress].push_back(flit.data);
+  }
+};
+
+FabricConfig config_for(unsigned ports) {
+  FabricConfig c;
+  c.ports = ports;
+  return c;
+}
+
+void drain(BanyanFabric& fabric, EgressSink& sink, unsigned max_ticks = 10'000) {
+  for (unsigned t = 0; t < max_ticks && !fabric.idle(); ++t) fabric.tick(sink);
+  ASSERT_TRUE(fabric.idle()) << "fabric failed to drain";
+}
+
+// --- topology ------------------------------------------------------------------
+
+TEST(Banyan, SwitchRowPairing) {
+  BanyanFabric fabric{config_for(8)};
+  // Stage 0 pairs rows differing in bit 0.
+  EXPECT_EQ(fabric.switch_rows(0, 0), (std::pair<PortId, PortId>{0, 1}));
+  EXPECT_EQ(fabric.switch_rows(0, 3), (std::pair<PortId, PortId>{6, 7}));
+  // Stage 1 pairs rows differing in bit 1.
+  EXPECT_EQ(fabric.switch_rows(1, 0), (std::pair<PortId, PortId>{0, 2}));
+  EXPECT_EQ(fabric.switch_rows(1, 1), (std::pair<PortId, PortId>{1, 3}));
+  // Stage 2 pairs rows differing in bit 2.
+  EXPECT_EQ(fabric.switch_rows(2, 2), (std::pair<PortId, PortId>{2, 6}));
+  EXPECT_THROW((void)fabric.switch_rows(3, 0), std::out_of_range);
+}
+
+TEST(Banyan, RejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)BanyanFabric{config_for(6)}, std::invalid_argument);
+}
+
+// --- self-routing: every (ingress, egress) pair, several sizes ----------------------
+
+class BanyanRouting : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BanyanRouting, LonePacketReachesEveryDestinationFromEveryIngress) {
+  const unsigned ports = GetParam();
+  for (PortId i = 0; i < ports; ++i) {
+    for (PortId j = 0; j < ports; ++j) {
+      BanyanFabric fabric{config_for(ports)};
+      RecordingSink sink;
+      fabric.inject(i, Flit{0xC0FFEEu, j, true, 1});
+      drain(fabric, sink);
+      ASSERT_EQ(sink.deliveries.size(), 1u) << "i=" << i << " j=" << j;
+      EXPECT_EQ(sink.deliveries[0].first, j);
+      EXPECT_EQ(sink.deliveries[0].second.data, 0xC0FFEEu);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BanyanRouting,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(Banyan, LonePacketLatencyIsStageCount) {
+  BanyanFabric fabric{config_for(16)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{1u, 9, true, 1});
+  unsigned ticks = 0;
+  while (sink.deliveries.empty()) {
+    fabric.tick(sink);
+    ++ticks;
+    ASSERT_LE(ticks, 16u);
+  }
+  EXPECT_EQ(ticks, fabric.stages());
+}
+
+// --- contention and buffering ---------------------------------------------------------
+
+TEST(Banyan, CollidingStreamsGetBuffered) {
+  // N=4: ingresses 0 and 1 share the stage-0 switch; destinations 3 and 1
+  // agree in bit 0 (both odd) so both want the same stage-0 output. With
+  // the skid bypass disabled, every buffered word is an SRAM access.
+  FabricConfig cfg = config_for(4);
+  cfg.buffer_skid_words = 0;
+  BanyanFabric fabric{cfg};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0x11u, 3, true, 1});
+  fabric.inject(1, Flit{0x22u, 1, true, 2});
+  drain(fabric, sink);
+  EXPECT_EQ(sink.deliveries.size(), 2u);
+  EXPECT_GE(fabric.words_buffered(), 1u);
+  EXPECT_EQ(fabric.sram_words_buffered(), fabric.words_buffered());
+  EXPECT_GT(fabric.ledger().of(EnergyKind::kBuffer), 0.0);
+}
+
+TEST(Banyan, SkidSlotAbsorbsBriefContention) {
+  // Same collision with the default one-word skid: the lone loser rides
+  // the bypass register and pays no SRAM energy.
+  BanyanFabric fabric{config_for(4)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0x11u, 3, true, 1});
+  fabric.inject(1, Flit{0x22u, 1, true, 2});
+  drain(fabric, sink);
+  EXPECT_EQ(sink.deliveries.size(), 2u);
+  EXPECT_GE(fabric.words_buffered(), 1u);
+  EXPECT_EQ(fabric.sram_words_buffered(), 0u);
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kBuffer), 0.0);
+}
+
+TEST(Banyan, DeepBacklogSpillsIntoSram) {
+  // Two full-rate 2x-oversubscribed streams grow a genuine queue that the
+  // one-word skid cannot hide: SRAM accesses must appear.
+  BanyanFabric fabric{config_for(4)};
+  RecordingSink sink;
+  for (int t = 0; t < 32; ++t) {
+    if (fabric.can_accept(0)) {
+      fabric.inject(0, Flit{static_cast<Word>(t), 3, false, 1});
+    }
+    if (fabric.can_accept(1)) {
+      fabric.inject(1, Flit{static_cast<Word>(t), 1, false, 2});
+    }
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  EXPECT_GT(fabric.sram_words_buffered(), 0u);
+  EXPECT_GT(fabric.ledger().of(EnergyKind::kBuffer), 0.0);
+  EXPECT_LT(fabric.sram_words_buffered(), fabric.words_buffered());
+}
+
+TEST(Banyan, DisjointStreamsAreNotBuffered) {
+  // Destinations 2 (bit0=0) and 3 (bit0=1): different stage-0 outputs; at
+  // stage 1 they sit in different switches. No contention anywhere.
+  BanyanFabric fabric{config_for(4)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0x11u, 2, true, 1});
+  fabric.inject(1, Flit{0x22u, 3, true, 2});
+  drain(fabric, sink);
+  EXPECT_EQ(fabric.words_buffered(), 0u);
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kBuffer), 0.0);
+}
+
+TEST(Banyan, BufferEnergyChargesWriteAndReadByDefault) {
+  FabricConfig cfg = config_for(4);
+  cfg.buffer_skid_words = 0;  // every buffered word is an SRAM access
+  BanyanFabric fabric{cfg};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0u, 3, true, 1});  // zero data: no wire energy
+  fabric.inject(1, Flit{0u, 1, true, 2});
+  drain(fabric, sink);
+  const double access_bit =
+      fabric.buffer_model().access_energy_per_bit_j() * 32.0;
+  EXPECT_NEAR(fabric.ledger().of(EnergyKind::kBuffer),
+              fabric.sram_words_buffered() * 2.0 * access_bit, 1e-15);
+}
+
+TEST(Banyan, SingleAccessAccountingMode) {
+  FabricConfig cfg = config_for(4);
+  cfg.buffer_skid_words = 0;
+  cfg.charge_buffer_read_and_write = false;
+  BanyanFabric fabric{cfg};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0u, 3, true, 1});
+  fabric.inject(1, Flit{0u, 1, true, 2});
+  drain(fabric, sink);
+  const double access_bit =
+      fabric.buffer_model().access_energy_per_bit_j() * 32.0;
+  EXPECT_NEAR(fabric.ledger().of(EnergyKind::kBuffer),
+              fabric.sram_words_buffered() * 1.0 * access_bit, 1e-15);
+}
+
+TEST(Banyan, TinyBuffersStallInsteadOfLosingWords) {
+  FabricConfig cfg = config_for(4);
+  cfg.buffer_words_per_switch = 1;
+  BanyanFabric fabric{cfg};
+  RecordingSink sink;
+  // Hammer the same colliding pair for many cycles.
+  unsigned injected = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (fabric.can_accept(0)) {
+      fabric.inject(0, Flit{static_cast<Word>(t), 3, true, 1});
+      ++injected;
+    }
+    if (fabric.can_accept(1)) {
+      fabric.inject(1, Flit{static_cast<Word>(t), 1, true, 2});
+      ++injected;
+    }
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  EXPECT_EQ(sink.deliveries.size(), injected);
+  EXPECT_GT(fabric.stall_cycles(), 0u);
+  EXPECT_LE(fabric.peak_buffer_occupancy(), 1u);
+}
+
+TEST(Banyan, ConservationUnderPermutationTraffic) {
+  const unsigned ports = 16;
+  BanyanFabric fabric{config_for(ports)};
+  RecordingSink sink;
+  // Bit-reversal permutation: heavy internal contention in banyan-class
+  // networks, but every injected word must still come out, exactly once.
+  std::map<PortId, unsigned> sent;
+  for (int t = 0; t < 500; ++t) {
+    for (PortId i = 0; i < ports; ++i) {
+      PortId rev = 0;
+      for (unsigned b = 0; b < 4; ++b) rev |= bit_of(i, b) << (3 - b);
+      if (fabric.can_accept(i)) {
+        fabric.inject(i, Flit{static_cast<Word>(t * ports + i), rev, true,
+                              static_cast<std::uint64_t>(t) * ports + i});
+        ++sent[rev];
+      }
+    }
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  EXPECT_EQ(fabric.words_injected(), fabric.words_delivered());
+  for (const auto& [egress, words] : sink.per_port) {
+    EXPECT_EQ(words.size(), sent[egress]) << "egress " << egress;
+  }
+}
+
+TEST(Banyan, PacketWordOrderSurvivesContention) {
+  const unsigned ports = 8;
+  BanyanFabric fabric{config_for(ports)};
+  RecordingSink sink;
+  // Stream A: ingress 0 -> dest 7 with increasing word values.
+  // Stream B: ingress 1 -> dest 5 (collides with A at stage 0: both odd).
+  Word next_a = 0, next_b = 1000;
+  for (int t = 0; t < 300; ++t) {
+    if (fabric.can_accept(0)) fabric.inject(0, Flit{next_a++, 7, false, 1});
+    if (fabric.can_accept(1)) fabric.inject(1, Flit{next_b++, 5, false, 2});
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  ASSERT_GT(fabric.words_buffered(), 0u);  // contention actually happened
+  for (const PortId egress : {7u, 5u}) {
+    const auto& words = sink.per_port[egress];
+    ASSERT_GT(words.size(), 10u);
+    for (std::size_t k = 1; k < words.size(); ++k) {
+      ASSERT_EQ(words[k], words[k - 1] + 1)
+          << "reordered at egress " << egress << " index " << k;
+    }
+  }
+}
+
+// --- energy vs Eq. 5 ---------------------------------------------------------------
+
+class BanyanEq5 : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BanyanEq5, WorstCaseCrossingPathMatchesAnalyticalModel) {
+  // Route from row 0 to the all-ones destination: the packet crosses at
+  // every stage, covering the full 4*(N-1)-grid worst-case wire of Eq. 5;
+  // alternating payload flips every bit; no contention, so q_i = 0.
+  const unsigned ports = GetParam();
+  BanyanFabric fabric{config_for(ports)};
+  RecordingSink sink;
+  const PortId dest = ports - 1;
+  const int words = 64;
+  for (int w = 0; w < words; ++w) {
+    fabric.inject(0, Flit{(w % 2 == 0) ? 0xFFFFFFFFu : 0u, dest,
+                          w + 1 == words, 1});
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  ASSERT_EQ(fabric.words_buffered(), 0u);
+  const double per_bit = fabric.ledger().total() / (words * 32.0);
+  const AnalyticalModel model;
+  const double expected = model.banyan_bit_energy_no_contention(ports);
+  EXPECT_NEAR(per_bit, expected, 1e-6 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BanyanEq5,
+                         ::testing::Values(4u, 8u, 16u, 32u),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(Banyan, DramRefreshBurnsEvenWhenIdle) {
+  FabricConfig cfg = config_for(8);
+  cfg.dram_buffers = true;
+  BanyanFabric fabric{cfg};
+  RecordingSink sink;
+  for (int t = 0; t < 100; ++t) fabric.tick(sink);  // no traffic at all
+  EXPECT_GT(fabric.ledger().of(EnergyKind::kBuffer), 0.0);
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kSwitch), 0.0);
+  // Refresh power matches the model: rows * E_row / retention.
+  const DramBufferModel dram{fabric.buffer_model().capacity_bits(),
+                             cfg.dram_retention_s};
+  const double expected =
+      dram.refresh_power_w() * 100.0 * cfg.tech.cycle_time_s();
+  EXPECT_NEAR(fabric.ledger().of(EnergyKind::kBuffer), expected,
+              1e-9 * expected);
+}
+
+TEST(Banyan, StraightPathIsCheaperThanCrossingPath) {
+  const auto energy_for = [](PortId ingress, PortId dest) {
+    BanyanFabric fabric{config_for(16)};
+    RecordingSink sink;
+    for (int w = 0; w < 32; ++w) {
+      fabric.inject(ingress, Flit{(w % 2 == 0) ? 0xFFFFFFFFu : 0u, dest,
+                                  false, 1});
+      fabric.tick(sink);
+    }
+    for (unsigned t = 0; t < 8; ++t) fabric.tick(sink);
+    return fabric.ledger().of(EnergyKind::kWire);
+  };
+  // Row 5 -> dest 5 stays straight at every stage; row 0 -> 15 crosses all.
+  EXPECT_LT(energy_for(5, 5), energy_for(0, 15));
+}
+
+TEST(Banyan, SharedSwitchDiscountForConcurrentWords) {
+  // Two non-colliding words through the same stage-0 switch cost the
+  // [1,1] LUT entry, not twice the [0,1] entry.
+  const auto tables = SwitchEnergyTables::paper_defaults();
+  FabricConfig cfg = config_for(4);
+  BanyanFabric together{cfg};
+  RecordingSink sink;
+  together.inject(0, Flit{0u, 2, true, 1});  // bit0=0: upper output
+  together.inject(1, Flit{0u, 3, true, 2});  // bit0=1: lower output
+  together.tick(sink);
+  const double stage0_energy = together.ledger().of(EnergyKind::kSwitch);
+  EXPECT_NEAR(stage0_energy, tables.banyan2x2.energy_per_bit(true, true) * 32.0,
+              1e-18);
+  EXPECT_LT(stage0_energy,
+            2.0 * tables.banyan2x2.energy_per_bit(true, false) * 32.0);
+}
+
+}  // namespace
+}  // namespace sfab

@@ -1,0 +1,193 @@
+// Tests for the crossbar fabric, including exact agreement with Eq. 3.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/crossbar.hpp"
+#include "power/analytical.hpp"
+
+namespace sfab {
+namespace {
+
+/// Collects deliveries for inspection.
+struct RecordingSink final : EgressSink {
+  struct Delivery {
+    PortId egress;
+    Flit flit;
+  };
+  std::vector<Delivery> deliveries;
+  void deliver(PortId egress, const Flit& flit) override {
+    deliveries.push_back({egress, flit});
+  }
+};
+
+FabricConfig config_for(unsigned ports) {
+  FabricConfig c;
+  c.ports = ports;
+  return c;
+}
+
+TEST(Crossbar, DeliversWithOneCycleLatency) {
+  CrossbarFabric fabric{config_for(4)};
+  RecordingSink sink;
+  ASSERT_TRUE(fabric.can_accept(0));
+  fabric.inject(0, Flit{0xABCD1234u, 2, true, 1});
+  EXPECT_FALSE(fabric.can_accept(0));
+  fabric.tick(sink);
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].egress, 2u);
+  EXPECT_EQ(sink.deliveries[0].flit.data, 0xABCD1234u);
+  EXPECT_TRUE(sink.deliveries[0].flit.tail);
+  EXPECT_TRUE(fabric.idle());
+  EXPECT_TRUE(fabric.can_accept(0));
+}
+
+TEST(Crossbar, AllPortPairsWork) {
+  CrossbarFabric fabric{config_for(8)};
+  for (PortId i = 0; i < 8; ++i) {
+    for (PortId j = 0; j < 8; ++j) {
+      RecordingSink sink;
+      fabric.inject(i, Flit{0x5A5A5A5Au, j, true, 0});
+      fabric.tick(sink);
+      ASSERT_EQ(sink.deliveries.size(), 1u);
+      EXPECT_EQ(sink.deliveries[0].egress, j);
+    }
+  }
+}
+
+TEST(Crossbar, ParallelDisjointFlowsInOneCycle) {
+  // Space-division multiplexing: N disjoint pairs move simultaneously.
+  CrossbarFabric fabric{config_for(8)};
+  RecordingSink sink;
+  for (PortId i = 0; i < 8; ++i) {
+    fabric.inject(i, Flit{static_cast<Word>(i), (i + 1) % 8, true, i});
+  }
+  fabric.tick(sink);
+  EXPECT_EQ(sink.deliveries.size(), 8u);
+  EXPECT_EQ(fabric.words_delivered(), 8u);
+}
+
+TEST(Crossbar, DestinationContentionIsAPreconditionViolation) {
+  CrossbarFabric fabric{config_for(4)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{1u, 3, true, 0});
+  fabric.inject(1, Flit{2u, 3, true, 1});
+  EXPECT_THROW((void)fabric.tick(sink), std::logic_error);
+}
+
+TEST(Crossbar, DoubleInjectThrows) {
+  CrossbarFabric fabric{config_for(4)};
+  fabric.inject(0, Flit{1u, 1, true, 0});
+  EXPECT_THROW((void)fabric.inject(0, Flit{2u, 2, true, 1}), std::logic_error);
+}
+
+TEST(Crossbar, BadPortsThrow) {
+  CrossbarFabric fabric{config_for(4)};
+  EXPECT_THROW((void)fabric.inject(9, Flit{1u, 1, true, 0}), std::out_of_range);
+  EXPECT_THROW((void)fabric.inject(0, Flit{1u, 9, true, 0}), std::out_of_range);
+  EXPECT_THROW((void)fabric.can_accept(4), std::out_of_range);
+}
+
+// --- energy accounting ------------------------------------------------------------
+
+TEST(Crossbar, SwitchEnergyPerWordIsEq3Term) {
+  CrossbarFabric fabric{config_for(16)};
+  RecordingSink sink;
+  fabric.inject(3, Flit{0u, 5, true, 0});  // zero data: no wire flips
+  fabric.tick(sink);
+  const double expected =
+      16.0 * 220e-15 * 32.0;  // N * E_S per bit * bus width
+  EXPECT_NEAR(fabric.ledger().of(EnergyKind::kSwitch), expected, 1e-18);
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kWire), 0.0);
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kBuffer), 0.0);
+}
+
+TEST(Crossbar, WireEnergyCountsRowAndColumnFlips) {
+  CrossbarFabric fabric{config_for(8)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0xFFFFFFFFu, 1, true, 0});  // 32 flips from reset
+  fabric.tick(sink);
+  const double e_t = TechnologyParams{}.grid_wire_bit_energy_j();
+  // 32 flips on a 4N row plus 32 on a 4N column.
+  EXPECT_NEAR(fabric.ledger().of(EnergyKind::kWire),
+              32.0 * (32.0 + 32.0) * e_t, 1e-18);
+}
+
+TEST(Crossbar, RepeatedWordCostsNoWireEnergy) {
+  CrossbarFabric fabric{config_for(4)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0xAAAAAAAAu, 1, false, 0});
+  fabric.tick(sink);
+  const double after_first = fabric.ledger().of(EnergyKind::kWire);
+  fabric.inject(0, Flit{0xAAAAAAAAu, 1, true, 0});
+  fabric.tick(sink);
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kWire), after_first);
+}
+
+class CrossbarEq3 : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CrossbarEq3, WorstCasePayloadMatchesAnalyticalModel) {
+  // Alternating all-ones/all-zeros payload makes every bit flip on every
+  // word: per-bit energy must equal Eq. 3 exactly.
+  const unsigned ports = GetParam();
+  CrossbarFabric fabric{config_for(ports)};
+  RecordingSink sink;
+
+  const int words = 64;
+  for (int w = 0; w < words; ++w) {
+    fabric.inject(0, Flit{(w % 2 == 0) ? 0xFFFFFFFFu : 0u, 1,
+                          w + 1 == words, 0});
+    fabric.tick(sink);
+  }
+  const double bits = words * 32.0;
+  const double per_bit = fabric.ledger().total() / bits;
+  const AnalyticalModel model;
+  EXPECT_NEAR(per_bit, model.crossbar_bit_energy(ports),
+              1e-6 * model.crossbar_bit_energy(ports));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossbarEq3,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(Crossbar, EnergyScalesLinearlyWithPorts) {
+  // Doubling N doubles both the switch and the wire term (Eq. 3 shape).
+  const auto energy_for = [](unsigned ports) {
+    CrossbarFabric fabric{config_for(ports)};
+    RecordingSink sink;
+    for (int w = 0; w < 32; ++w) {
+      fabric.inject(0, Flit{(w % 2 == 0) ? 0xFFFFFFFFu : 0u, 1, false, 0});
+      fabric.tick(sink);
+    }
+    return fabric.ledger().total();
+  };
+  EXPECT_NEAR(energy_for(16), 2.0 * energy_for(8), 1e-15);
+}
+
+TEST(Crossbar, WordCounters) {
+  CrossbarFabric fabric{config_for(4)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{1u, 1, true, 0});
+  fabric.inject(1, Flit{2u, 2, true, 1});
+  fabric.tick(sink);
+  EXPECT_EQ(fabric.words_injected(), 2u);
+  EXPECT_EQ(fabric.words_delivered(), 2u);
+}
+
+TEST(Crossbar, ResetEnergyKeepsState) {
+  CrossbarFabric fabric{config_for(4)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0xFFFFFFFFu, 1, true, 0});
+  fabric.tick(sink);
+  fabric.reset_energy();
+  EXPECT_DOUBLE_EQ(fabric.ledger().total(), 0.0);
+  // Wire polarity memory survives: resending the same word is still free.
+  fabric.inject(0, Flit{0xFFFFFFFFu, 1, true, 0});
+  fabric.tick(sink);
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kWire), 0.0);
+}
+
+}  // namespace
+}  // namespace sfab

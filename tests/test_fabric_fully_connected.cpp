@@ -1,0 +1,126 @@
+// Tests for the fully-connected (MUX) fabric, including Eq. 4 agreement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabric/fully_connected.hpp"
+#include "power/analytical.hpp"
+
+namespace sfab {
+namespace {
+
+struct RecordingSink final : EgressSink {
+  std::vector<std::pair<PortId, Flit>> deliveries;
+  void deliver(PortId egress, const Flit& flit) override {
+    deliveries.emplace_back(egress, flit);
+  }
+};
+
+FabricConfig config_for(unsigned ports) {
+  FabricConfig c;
+  c.ports = ports;
+  return c;
+}
+
+TEST(FullyConnected, DeliversAllPairs) {
+  FullyConnectedFabric fabric{config_for(8)};
+  for (PortId i = 0; i < 8; ++i) {
+    for (PortId j = 0; j < 8; ++j) {
+      RecordingSink sink;
+      fabric.inject(i, Flit{0x12345678u, j, true, 0});
+      fabric.tick(sink);
+      ASSERT_EQ(sink.deliveries.size(), 1u);
+      EXPECT_EQ(sink.deliveries[0].first, j);
+    }
+  }
+}
+
+TEST(FullyConnected, ParallelFlowsContentionFree) {
+  FullyConnectedFabric fabric{config_for(16)};
+  RecordingSink sink;
+  for (PortId i = 0; i < 16; ++i) {
+    fabric.inject(i, Flit{i, 15 - i, true, i});
+  }
+  fabric.tick(sink);
+  EXPECT_EQ(sink.deliveries.size(), 16u);
+  EXPECT_TRUE(fabric.idle());
+}
+
+TEST(FullyConnected, DestinationContentionThrows) {
+  FullyConnectedFabric fabric{config_for(4)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{1u, 2, true, 0});
+  fabric.inject(1, Flit{2u, 2, true, 1});
+  EXPECT_THROW((void)fabric.tick(sink), std::logic_error);
+}
+
+TEST(FullyConnected, SwitchEnergyIsOneMuxPerWord) {
+  FullyConnectedFabric fabric{config_for(16)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{0u, 1, true, 0});
+  fabric.tick(sink);
+  const auto tables = SwitchEnergyTables::paper_defaults();
+  EXPECT_NEAR(fabric.ledger().of(EnergyKind::kSwitch),
+              tables.mux_energy_per_bit(16) * 32.0, 1e-18);
+}
+
+TEST(FullyConnected, NoBufferEnergyEver) {
+  FullyConnectedFabric fabric{config_for(8)};
+  RecordingSink sink;
+  for (int w = 0; w < 100; ++w) {
+    for (PortId i = 0; i < 8; ++i) {
+      fabric.inject(i, Flit{static_cast<Word>(w * i), (i + 3) % 8,
+                            false, i});
+    }
+    fabric.tick(sink);
+  }
+  EXPECT_DOUBLE_EQ(fabric.ledger().of(EnergyKind::kBuffer), 0.0);
+}
+
+class FullyConnectedEq4 : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FullyConnectedEq4, WorstCasePayloadMatchesAnalyticalModel) {
+  const unsigned ports = GetParam();
+  FullyConnectedFabric fabric{config_for(ports)};
+  RecordingSink sink;
+  const int words = 64;
+  for (int w = 0; w < words; ++w) {
+    fabric.inject(2 % ports, Flit{(w % 2 == 0) ? 0xFFFFFFFFu : 0u, 0,
+                                  w + 1 == words, 0});
+    fabric.tick(sink);
+  }
+  const double per_bit = fabric.ledger().total() / (words * 32.0);
+  const AnalyticalModel model;
+  EXPECT_NEAR(per_bit, model.fully_connected_bit_energy(ports),
+              1e-6 * model.fully_connected_bit_energy(ports));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FullyConnectedEq4,
+                         ::testing::Values(4u, 8u, 16u, 32u),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(FullyConnected, WireEnergyGrowsQuadraticallyWithPorts) {
+  const auto wire_energy = [](unsigned ports) {
+    FullyConnectedFabric fabric{config_for(ports)};
+    RecordingSink sink;
+    for (int w = 0; w < 16; ++w) {
+      fabric.inject(0, Flit{(w % 2 == 0) ? 0xFFFFFFFFu : 0u, 1, false, 0});
+      fabric.tick(sink);
+    }
+    return fabric.ledger().of(EnergyKind::kWire);
+  };
+  EXPECT_NEAR(wire_energy(16), 4.0 * wire_energy(8), 1e-15);
+}
+
+TEST(FullyConnected, MuxEnergyVsCrossbarRowTradeoff) {
+  // The architectural contrast the paper draws: FC burns one big MUX per
+  // bit, crossbar burns N small crosspoints per bit.
+  const auto tables = SwitchEnergyTables::paper_defaults();
+  EXPECT_LT(tables.mux_energy_per_bit(32),
+            32.0 * tables.crosspoint.energy_per_bit(1u));
+}
+
+}  // namespace
+}  // namespace sfab

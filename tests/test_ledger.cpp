@@ -1,0 +1,65 @@
+// Tests for the energy ledger.
+#include <gtest/gtest.h>
+
+#include "power/ledger.hpp"
+
+namespace sfab {
+namespace {
+
+TEST(Ledger, StartsEmpty) {
+  const EnergyLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
+  for (const auto kind :
+       {EnergyKind::kSwitch, EnergyKind::kBuffer, EnergyKind::kWire}) {
+    EXPECT_DOUBLE_EQ(ledger.of(kind), 0.0);
+    EXPECT_EQ(ledger.events(kind), 0u);
+  }
+}
+
+TEST(Ledger, AccumulatesPerKind) {
+  EnergyLedger ledger;
+  ledger.add(EnergyKind::kSwitch, 1.0);
+  ledger.add(EnergyKind::kSwitch, 2.0);
+  ledger.add(EnergyKind::kWire, 0.5);
+  EXPECT_DOUBLE_EQ(ledger.of(EnergyKind::kSwitch), 3.0);
+  EXPECT_DOUBLE_EQ(ledger.of(EnergyKind::kWire), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.of(EnergyKind::kBuffer), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total(), 3.5);
+  EXPECT_EQ(ledger.events(EnergyKind::kSwitch), 2u);
+  EXPECT_EQ(ledger.events(EnergyKind::kWire), 1u);
+}
+
+TEST(Ledger, AveragePower) {
+  EnergyLedger ledger;
+  ledger.add(EnergyKind::kBuffer, 10.0);
+  EXPECT_DOUBLE_EQ(ledger.average_power_w(2.0), 5.0);
+  EXPECT_THROW((void)ledger.average_power_w(0.0), std::invalid_argument);
+}
+
+TEST(Ledger, MergeCombinesBucketsAndCounts) {
+  EnergyLedger a, b;
+  a.add(EnergyKind::kSwitch, 1.0);
+  b.add(EnergyKind::kSwitch, 2.0);
+  b.add(EnergyKind::kBuffer, 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.of(EnergyKind::kSwitch), 3.0);
+  EXPECT_DOUBLE_EQ(a.of(EnergyKind::kBuffer), 4.0);
+  EXPECT_EQ(a.events(EnergyKind::kSwitch), 2u);
+}
+
+TEST(Ledger, ResetClearsEverything) {
+  EnergyLedger ledger;
+  ledger.add(EnergyKind::kWire, 1.0);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.total(), 0.0);
+  EXPECT_EQ(ledger.events(EnergyKind::kWire), 0u);
+}
+
+TEST(Ledger, KindNames) {
+  EXPECT_EQ(to_string(EnergyKind::kSwitch), "switch");
+  EXPECT_EQ(to_string(EnergyKind::kBuffer), "buffer");
+  EXPECT_EQ(to_string(EnergyKind::kWire), "wire");
+}
+
+}  // namespace
+}  // namespace sfab

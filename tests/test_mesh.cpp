@@ -1,0 +1,203 @@
+// Tests for the 2-D mesh NoC fabric (framework extension).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fabric/mesh.hpp"
+#include "router/router.hpp"
+#include "traffic/generator.hpp"
+
+namespace sfab {
+namespace {
+
+struct RecordingSink final : EgressSink {
+  std::vector<std::pair<PortId, Flit>> deliveries;
+  std::map<PortId, std::vector<Word>> per_port;
+  void deliver(PortId egress, const Flit& flit) override {
+    deliveries.emplace_back(egress, flit);
+    per_port[egress].push_back(flit.data);
+  }
+};
+
+FabricConfig config_for(unsigned ports) {
+  FabricConfig c;
+  c.ports = ports;
+  return c;
+}
+
+void drain(MeshFabric& fabric, EgressSink& sink, unsigned max_ticks = 20'000) {
+  for (unsigned t = 0; t < max_ticks && !fabric.idle(); ++t) fabric.tick(sink);
+  ASSERT_TRUE(fabric.idle()) << "mesh failed to drain";
+}
+
+TEST(Mesh, RequiresPerfectSquare) {
+  EXPECT_THROW((void)MeshFabric{config_for(8)}, std::invalid_argument);
+  EXPECT_THROW((void)MeshFabric{config_for(2)}, std::invalid_argument);
+  EXPECT_NO_THROW(MeshFabric{config_for(4)});
+  EXPECT_NO_THROW(MeshFabric{config_for(16)});
+  EXPECT_EQ(MeshFabric{config_for(16)}.side(), 4u);
+}
+
+TEST(Mesh, HopDistanceIsManhattan) {
+  MeshFabric fabric{config_for(16)};  // 4x4: terminal = y*4 + x
+  EXPECT_EQ(fabric.hop_distance(0, 0), 0u);
+  EXPECT_EQ(fabric.hop_distance(0, 3), 3u);   // (0,0) -> (3,0)
+  EXPECT_EQ(fabric.hop_distance(0, 15), 6u);  // (0,0) -> (3,3)
+  EXPECT_EQ(fabric.hop_distance(5, 6), 1u);
+}
+
+class MeshRouting : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MeshRouting, LonePacketReachesEveryDestination) {
+  const unsigned ports = GetParam();
+  for (PortId i = 0; i < ports; ++i) {
+    for (PortId j = 0; j < ports; ++j) {
+      MeshFabric fabric{config_for(ports)};
+      RecordingSink sink;
+      fabric.inject(i, Flit{0xAB12u, j, true, 1});
+      drain(fabric, sink);
+      ASSERT_EQ(sink.deliveries.size(), 1u) << "i=" << i << " j=" << j;
+      EXPECT_EQ(sink.deliveries[0].first, j);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MeshRouting,
+                         ::testing::Values(4u, 16u, 64u),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST(Mesh, LonePacketLatencyIsHopsPlusEjection) {
+  MeshFabric fabric{config_for(16)};
+  RecordingSink sink;
+  fabric.inject(0, Flit{1u, 15, true, 1});  // 6 hops across + eject
+  unsigned ticks = 0;
+  while (sink.deliveries.empty()) {
+    fabric.tick(sink);
+    ++ticks;
+    ASSERT_LE(ticks, 32u);
+  }
+  EXPECT_EQ(ticks, fabric.hop_distance(0, 15) + 1);
+}
+
+TEST(Mesh, WireEnergyScalesWithHopCount) {
+  const auto wire_energy_for = [](PortId src, PortId dest) {
+    MeshFabric fabric{config_for(16)};
+    RecordingSink sink;
+    for (int w = 0; w < 16; ++w) {
+      if (fabric.can_accept(src)) {
+        fabric.inject(src, Flit{(w % 2 == 0) ? 0xFFFFFFFFu : 0u, dest,
+                                false, 1});
+      }
+      fabric.tick(sink);
+    }
+    for (unsigned t = 0; t < 16; ++t) fabric.tick(sink);
+    return fabric.ledger().of(EnergyKind::kWire);
+  };
+  // 1 hop + eject = 2 links vs 6 hops + eject = 7 links.
+  const double near = wire_energy_for(0, 1);
+  const double far = wire_energy_for(0, 15);
+  EXPECT_NEAR(far / near, 7.0 / 2.0, 0.1);
+}
+
+TEST(Mesh, SwitchEnergyCountsRoutersTraversed) {
+  // Zero payload: only switch energy accrues. 16 words over (hops + 1)
+  // router traversals each.
+  MeshFabric fabric{config_for(16)};
+  RecordingSink sink;
+  for (int w = 0; w < 16; ++w) {
+    fabric.inject(0, Flit{0u, 3, false, 1});
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  const double per_word =
+      SwitchEnergyTables::paper_defaults().mux_energy_per_bit(5) * 32.0;
+  const double expected = 16.0 * (fabric.hop_distance(0, 3) + 1) * per_word;
+  EXPECT_NEAR(fabric.ledger().total(), expected, 1e-12);
+}
+
+TEST(Mesh, XyPathsAvoidEachOther) {
+  // Two streams on disjoint rows/columns never contend.
+  MeshFabric fabric{config_for(16)};
+  RecordingSink sink;
+  for (int t = 0; t < 64; ++t) {
+    if (fabric.can_accept(0)) fabric.inject(0, Flit{1u, 3, false, 1});
+    if (fabric.can_accept(12)) fabric.inject(12, Flit{2u, 15, false, 2});
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  EXPECT_EQ(fabric.words_buffered(), 0u);
+}
+
+TEST(Mesh, MergingStreamsBufferAndConserve) {
+  // Both streams funnel into column 1 southbound: (0,0)->(1,3) turns at
+  // router (1,0) where (1,0)->(1,2) is also heading south. The shared
+  // South links are 2x oversubscribed, so words must buffer; none may be
+  // lost.
+  MeshFabric fabric{config_for(16)};
+  RecordingSink sink;
+  unsigned injected = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (fabric.can_accept(0)) {
+      fabric.inject(0, Flit{static_cast<Word>(t), 13, true, 1});
+      ++injected;
+    }
+    if (fabric.can_accept(1)) {
+      fabric.inject(1, Flit{static_cast<Word>(t), 9, true, 2});
+      ++injected;
+    }
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  EXPECT_EQ(sink.deliveries.size(), injected);
+  EXPECT_EQ(fabric.words_injected(), fabric.words_delivered());
+  EXPECT_GT(fabric.words_buffered(), 0u);
+}
+
+TEST(Mesh, PacketWordOrderPreserved) {
+  MeshFabric fabric{config_for(16)};
+  RecordingSink sink;
+  Word next_a = 0, next_b = 1000;
+  for (int t = 0; t < 300; ++t) {
+    if (fabric.can_accept(1)) fabric.inject(1, Flit{next_a++, 13, false, 1});
+    if (fabric.can_accept(4)) fabric.inject(4, Flit{next_b++, 7, false, 2});
+    fabric.tick(sink);
+  }
+  drain(fabric, sink);
+  for (const PortId egress : {13u, 7u}) {
+    const auto& words = sink.per_port[egress];
+    ASSERT_GT(words.size(), 50u);
+    for (std::size_t k = 1; k < words.size(); ++k) {
+      ASSERT_EQ(words[k], words[k - 1] + 1) << "egress " << egress;
+    }
+  }
+}
+
+TEST(Mesh, ConservationUnderRandomTrafficViaRouter) {
+  FabricConfig fc = config_for(16);
+  Router router(std::make_unique<MeshFabric>(fc),
+                TrafficGenerator::uniform_bernoulli(16, 0.4, 8, 9));
+  router.run(5'000);
+  ASSERT_TRUE(router.drain(100'000));
+  EXPECT_EQ(router.fabric().words_injected(),
+            router.fabric().words_delivered());
+  EXPECT_GT(router.egress().packets_delivered(), 100u);
+}
+
+TEST(Mesh, UniformTrafficPowerSplitsAcrossComponents) {
+  FabricConfig fc = config_for(16);
+  Router router(std::make_unique<MeshFabric>(fc),
+                TrafficGenerator::uniform_bernoulli(16, 0.4, 8, 11));
+  router.run(10'000);
+  const EnergyLedger& ledger = router.fabric().ledger();
+  EXPECT_GT(ledger.of(EnergyKind::kSwitch), 0.0);
+  EXPECT_GT(ledger.of(EnergyKind::kWire), 0.0);
+  // Shared columns under uniform traffic produce real contention.
+  const auto& mesh = dynamic_cast<const MeshFabric&>(router.fabric());
+  EXPECT_GT(mesh.words_buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace sfab

@@ -1,0 +1,97 @@
+// Tests for multi-seed replication statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/replicate.hpp"
+
+namespace sfab {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  const Statistic s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);  // sample (n-1) stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_GT(s.ci95_half, 0.0);
+}
+
+TEST(Summarize, SingleSampleHasNoSpread) {
+  const Statistic s = summarize({3.5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Summarize, ConstantSamplesHaveZeroCi) {
+  const Statistic s = summarize({1.0, 1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(Summarize, TwoSamplesUseWideTQuantile) {
+  // dof = 1: t = 12.706; half-width = t * s / sqrt(2).
+  const Statistic s = summarize({0.0, 2.0});
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.ci95_half, 12.706 * std::sqrt(2.0) / std::sqrt(2.0), 1e-9);
+}
+
+TEST(Summarize, EmptyThrows) {
+  EXPECT_THROW((void)summarize({}), std::invalid_argument);
+}
+
+TEST(Statistic, Distinguishability) {
+  Statistic a;
+  a.mean = 1.0;
+  a.ci95_half = 0.1;
+  Statistic b;
+  b.mean = 1.5;
+  b.ci95_half = 0.1;
+  EXPECT_TRUE(a.distinguishable_from(b));
+  b.mean = 1.15;
+  EXPECT_FALSE(a.distinguishable_from(b));
+}
+
+TEST(Replicate, RunsDistinctSeedsAndSummarizes) {
+  SimConfig c;
+  c.arch = Architecture::kCrossbar;
+  c.ports = 8;
+  c.offered_load = 0.3;
+  c.warmup_cycles = 500;
+  c.measure_cycles = 10'000;
+  c.seed = 7;
+  const ReplicatedResult r = replicate(c, 5);
+  ASSERT_EQ(r.replications, 5u);
+  ASSERT_EQ(r.runs.size(), 5u);
+  // Seeds differ, so runs are not bit-identical...
+  EXPECT_GT(r.power_w.stddev, 0.0);
+  // ...but steady-state power is tight across seeds.
+  EXPECT_LT(r.power_w.ci95_half, 0.10 * r.power_w.mean);
+  EXPECT_NEAR(r.egress_throughput.mean, 0.3, 0.02);
+  EXPECT_GE(r.power_w.max, r.power_w.mean);
+  EXPECT_LE(r.power_w.min, r.power_w.mean);
+}
+
+TEST(Replicate, ArchitecturalGapsAreStatisticallyReal) {
+  // FC vs crossbar at 16 ports must be distinguishable at 95% confidence —
+  // the kind of claim EXPERIMENTS.md makes, backed properly.
+  SimConfig c;
+  c.ports = 16;
+  c.offered_load = 0.4;
+  c.warmup_cycles = 500;
+  c.measure_cycles = 4'000;
+  c.arch = Architecture::kCrossbar;
+  const ReplicatedResult crossbar = replicate(c, 4);
+  c.arch = Architecture::kFullyConnected;
+  const ReplicatedResult fc = replicate(c, 4);
+  EXPECT_TRUE(crossbar.power_w.distinguishable_from(fc.power_w));
+}
+
+TEST(Replicate, Validation) {
+  SimConfig c;
+  EXPECT_THROW((void)replicate(c, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfab

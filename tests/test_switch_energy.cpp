@@ -1,0 +1,136 @@
+// Tests for the node-switch bit-energy LUTs (paper Table 1).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "power/switch_energy.hpp"
+
+namespace sfab {
+namespace {
+
+using units::fJ;
+
+TEST(VectorIndexedLut, OneInputSwitch) {
+  const VectorIndexedLut lut{{0.0, 220.0 * fJ}};
+  EXPECT_EQ(lut.inputs(), 1u);
+  EXPECT_DOUBLE_EQ(lut.energy_per_bit(0u), 0.0);
+  EXPECT_DOUBLE_EQ(lut.energy_per_bit(1u), 220.0 * fJ);
+}
+
+TEST(VectorIndexedLut, TwoInputConvenience) {
+  const VectorIndexedLut lut{{0.0, 1.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(lut.energy_per_bit(false, false), 0.0);
+  EXPECT_DOUBLE_EQ(lut.energy_per_bit(true, false), 1.0);
+  EXPECT_DOUBLE_EQ(lut.energy_per_bit(false, true), 2.0);
+  EXPECT_DOUBLE_EQ(lut.energy_per_bit(true, true), 3.0);
+}
+
+TEST(VectorIndexedLut, MaskOutOfRangeThrows) {
+  const VectorIndexedLut lut{{0.0, 1.0}};
+  EXPECT_THROW((void)lut.energy_per_bit(2u), std::out_of_range);
+}
+
+TEST(VectorIndexedLut, RejectsBadTableSizes) {
+  EXPECT_THROW((void)VectorIndexedLut{std::vector<double>{1.0}},
+               std::invalid_argument);
+  EXPECT_THROW((void)VectorIndexedLut(std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(VectorIndexedLut, RejectsNegativeEnergy) {
+  EXPECT_THROW((void)VectorIndexedLut(std::vector<double>{0.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(VectorIndexedLut, ScaledMultipliesEveryEntry) {
+  const VectorIndexedLut lut{{0.0, 2.0, 4.0, 6.0}};
+  const VectorIndexedLut half = lut.scaled(0.5);
+  for (std::uint32_t m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(half.energy_per_bit(m), lut.energy_per_bit(m) * 0.5);
+  }
+}
+
+// --- paper Table 1 defaults -----------------------------------------------------
+
+TEST(SwitchEnergyTables, CrosspointMatchesTable1) {
+  const auto t = SwitchEnergyTables::paper_defaults();
+  EXPECT_DOUBLE_EQ(t.crosspoint.energy_per_bit(0u), 0.0);
+  EXPECT_DOUBLE_EQ(t.crosspoint.energy_per_bit(1u), 220.0 * fJ);
+}
+
+TEST(SwitchEnergyTables, BanyanSwitchMatchesTable1) {
+  const auto t = SwitchEnergyTables::paper_defaults();
+  EXPECT_DOUBLE_EQ(t.banyan2x2.energy_per_bit(false, false), 0.0);
+  EXPECT_DOUBLE_EQ(t.banyan2x2.energy_per_bit(true, false), 1080.0 * fJ);
+  EXPECT_DOUBLE_EQ(t.banyan2x2.energy_per_bit(false, true), 1080.0 * fJ);
+  EXPECT_DOUBLE_EQ(t.banyan2x2.energy_per_bit(true, true), 1821.0 * fJ);
+}
+
+TEST(SwitchEnergyTables, SorterSwitchMatchesTable1) {
+  const auto t = SwitchEnergyTables::paper_defaults();
+  EXPECT_DOUBLE_EQ(t.sorter2x2.energy_per_bit(true, false), 1253.0 * fJ);
+  EXPECT_DOUBLE_EQ(t.sorter2x2.energy_per_bit(true, true), 2025.0 * fJ);
+}
+
+TEST(SwitchEnergyTables, MuxMatchesTable1AtCalibratedSizes) {
+  const auto t = SwitchEnergyTables::paper_defaults();
+  EXPECT_DOUBLE_EQ(t.mux_energy_per_bit(4), 431.0 * fJ);
+  EXPECT_DOUBLE_EQ(t.mux_energy_per_bit(8), 782.0 * fJ);
+  EXPECT_DOUBLE_EQ(t.mux_energy_per_bit(16), 1350.0 * fJ);
+  EXPECT_DOUBLE_EQ(t.mux_energy_per_bit(32), 2515.0 * fJ);
+}
+
+TEST(SwitchEnergyTables, MuxInterpolatesBetweenSizes) {
+  const auto t = SwitchEnergyTables::paper_defaults();
+  const double e12 = t.mux_energy_per_bit(12);
+  EXPECT_GT(e12, 782.0 * fJ);
+  EXPECT_LT(e12, 1350.0 * fJ);
+  // Midpoint of the 8..16 segment.
+  EXPECT_NEAR(e12, (782.0 + 1350.0) / 2.0 * fJ, 1e-18);
+}
+
+TEST(SwitchEnergyTables, MuxExtrapolatesAbove32) {
+  const auto t = SwitchEnergyTables::paper_defaults();
+  EXPECT_GT(t.mux_energy_per_bit(64), t.mux_energy_per_bit(32));
+}
+
+TEST(SwitchEnergyTables, MuxRejectsDegenerateSizes) {
+  const auto t = SwitchEnergyTables::paper_defaults();
+  EXPECT_THROW((void)t.mux_energy_per_bit(1), std::invalid_argument);
+}
+
+TEST(SwitchEnergyTables, TwoPacketsCostMoreButLessThanTwice) {
+  // The paper's key observation about state-dependent switch energy.
+  const auto t = SwitchEnergyTables::paper_defaults();
+  const double one = t.banyan2x2.energy_per_bit(true, false);
+  const double both = t.banyan2x2.energy_per_bit(true, true);
+  EXPECT_GT(both, one);
+  EXPECT_LT(both, 2.0 * one);
+  const double sorter_one = t.sorter2x2.energy_per_bit(true, false);
+  const double sorter_both = t.sorter2x2.energy_per_bit(true, true);
+  EXPECT_GT(sorter_both, sorter_one);
+  EXPECT_LT(sorter_both, 2.0 * sorter_one);
+}
+
+TEST(SwitchEnergyTables, SorterCostsMoreThanBanyanSwitch) {
+  // Sorting switches have comparator logic on top of routing.
+  const auto t = SwitchEnergyTables::paper_defaults();
+  EXPECT_GT(t.sorter2x2.energy_per_bit(true, false),
+            t.banyan2x2.energy_per_bit(true, false));
+}
+
+TEST(SwitchEnergyTables, ScaledToNewerNodeShrinksEverything) {
+  const auto ref = SwitchEnergyTables::paper_defaults();
+  const auto scaled = ref.scaled_to(TechnologyParams::preset("0.13um"));
+  const double k =
+      TechnologyParams::preset("0.13um").energy_scale_vs_reference();
+  EXPECT_LT(k, 1.0);
+  EXPECT_NEAR(scaled.banyan2x2.energy_per_bit(true, false),
+              ref.banyan2x2.energy_per_bit(true, false) * k, 1e-21);
+  EXPECT_NEAR(scaled.mux_energy_per_bit(16), ref.mux_energy_per_bit(16) * k,
+              1e-21);
+  EXPECT_NEAR(scaled.crosspoint.energy_per_bit(1u),
+              ref.crosspoint.energy_per_bit(1u) * k, 1e-21);
+}
+
+}  // namespace
+}  // namespace sfab

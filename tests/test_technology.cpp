@@ -1,0 +1,81 @@
+// Tests for the technology parameter model (paper section 5.1 numbers).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "power/technology.hpp"
+
+namespace sfab {
+namespace {
+
+TEST(Technology, PaperReferenceDefaults) {
+  const TechnologyParams t = TechnologyParams::paper_reference();
+  EXPECT_DOUBLE_EQ(t.feature_um, 0.18);
+  EXPECT_DOUBLE_EQ(t.vdd_v, 3.3);
+  EXPECT_DOUBLE_EQ(t.clock_hz, 133.0e6);
+  EXPECT_EQ(t.bus_width, 32u);
+}
+
+TEST(Technology, ThompsonGridIs32Micron) {
+  // 32-bit bus at 1 um global pitch (paper section 5.1).
+  EXPECT_DOUBLE_EQ(TechnologyParams{}.thompson_grid_um(), 32.0);
+}
+
+TEST(Technology, GridWireBitEnergyMatchesPaper) {
+  // E_T_bit = 1/2 * (0.5 fF/um * 32 um) * 3.3^2 = 87.12 fJ; the paper
+  // rounds to 87e-15 J.
+  const double e_t = TechnologyParams{}.grid_wire_bit_energy_j();
+  EXPECT_NEAR(e_t, 87.0 * units::fJ, 0.5 * units::fJ);
+}
+
+TEST(Technology, GridWireCapacitance) {
+  EXPECT_NEAR(TechnologyParams{}.grid_wire_cap_f(), 16.0 * units::fF,
+              1e-18);
+}
+
+TEST(Technology, CycleTime) {
+  EXPECT_NEAR(TechnologyParams{}.cycle_time_s(), 1.0 / 133.0e6, 1e-15);
+}
+
+TEST(Technology, ReferenceScaleIsUnity) {
+  EXPECT_DOUBLE_EQ(TechnologyParams{}.energy_scale_vs_reference(), 1.0);
+}
+
+TEST(Technology, ScalingTracksCapAndVoltage) {
+  TechnologyParams t;
+  t.feature_um = 0.09;  // half the capacitance
+  t.vdd_v = 1.65;       // quarter the V^2
+  EXPECT_NEAR(t.energy_scale_vs_reference(), 0.5 * 0.25, 1e-12);
+}
+
+TEST(Technology, PresetsExist) {
+  const TechnologyParams old_node = TechnologyParams::preset("0.25um");
+  const TechnologyParams ref = TechnologyParams::preset("0.18um");
+  const TechnologyParams new_node = TechnologyParams::preset("0.13um");
+  EXPECT_GT(old_node.feature_um, ref.feature_um);
+  EXPECT_LT(new_node.feature_um, ref.feature_um);
+  EXPECT_GT(old_node.energy_scale_vs_reference(), 0.0);
+  // Newer node, lower voltage: less energy per operation.
+  EXPECT_LT(new_node.energy_scale_vs_reference(), 1.0);
+}
+
+TEST(Technology, UnknownPresetThrows) {
+  EXPECT_THROW((void)TechnologyParams::preset("7nm"), std::invalid_argument);
+}
+
+TEST(Technology, WireEnergyScalesWithVoltageSquared) {
+  TechnologyParams t;
+  t.vdd_v = 6.6;
+  EXPECT_NEAR(t.grid_wire_bit_energy_j(),
+              4.0 * TechnologyParams{}.grid_wire_bit_energy_j(), 1e-18);
+}
+
+TEST(Technology, NarrowBusShrinksGrid) {
+  TechnologyParams t;
+  t.bus_width = 16;
+  EXPECT_DOUBLE_EQ(t.thompson_grid_um(), 16.0);
+  EXPECT_LT(t.grid_wire_bit_energy_j(),
+            TechnologyParams{}.grid_wire_bit_energy_j());
+}
+
+}  // namespace
+}  // namespace sfab

@@ -1,0 +1,222 @@
+// Tests for the Thompson embedding machinery (paper section 3.4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "power/analytical.hpp"
+#include "thompson/embedder.hpp"
+#include "thompson/fabric_embeddings.hpp"
+#include "thompson/graph.hpp"
+
+namespace sfab::thompson {
+namespace {
+
+// --- SourceGraph -----------------------------------------------------------------
+
+TEST(SourceGraph, DegreesCountParallelEdges) {
+  SourceGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto deg = g.degrees();
+  EXPECT_EQ(deg[0], 2u);
+  EXPECT_EQ(deg[1], 3u);
+  EXPECT_EQ(deg[2], 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(SourceGraph, RejectsSelfLoopsAndBadIds) {
+  SourceGraph g(2);
+  EXPECT_THROW((void)g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_edge(0, 5), std::out_of_range);
+}
+
+TEST(SourceGraph, EmptyGraphHasZeroMaxDegree) {
+  EXPECT_EQ(SourceGraph(4).max_degree(), 0u);
+}
+
+// --- ThompsonEmbedder ---------------------------------------------------------------
+
+TEST(Embedder, RoutesASingleEdge) {
+  SourceGraph g(2);
+  g.add_edge(0, 1);
+  const Placement placement = auto_place(g);
+  ThompsonEmbedder embedder(32, 32);
+  const EmbeddingResult result = embedder.embed(g, placement);
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.routes.size(), 1u);
+  EXPECT_GT(result.routes[0].length, 0);
+  EXPECT_EQ(result.routes[0].path.size(),
+            static_cast<std::size_t>(result.routes[0].length) + 1);
+}
+
+TEST(Embedder, PathsAreGridAdjacentSteps) {
+  SourceGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ThompsonEmbedder embedder(32, 32);
+  const auto result = embedder.embed(g, auto_place(g));
+  ASSERT_TRUE(result.success);
+  for (const RoutedEdge& route : result.routes) {
+    for (std::size_t i = 1; i < route.path.size(); ++i) {
+      const int dx = std::abs(route.path[i].x - route.path[i - 1].x);
+      const int dy = std::abs(route.path[i].y - route.path[i - 1].y);
+      EXPECT_EQ(dx + dy, 1);
+    }
+  }
+}
+
+TEST(Embedder, EdgeDisjointness) {
+  // A K4: 6 edges between 4 vertices; every grid edge may carry one wire.
+  SourceGraph g(4);
+  for (unsigned u = 0; u < 4; ++u) {
+    for (unsigned v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  ThompsonEmbedder embedder(40, 40);
+  const auto result = embedder.embed(g, auto_place(g));
+  ASSERT_TRUE(result.success);
+
+  std::set<std::pair<std::pair<int, int>, std::pair<int, int>>> used;
+  for (const RoutedEdge& route : result.routes) {
+    for (std::size_t i = 1; i < route.path.size(); ++i) {
+      auto a = std::make_pair(route.path[i - 1].x, route.path[i - 1].y);
+      auto b = std::make_pair(route.path[i].x, route.path[i].y);
+      if (b < a) std::swap(a, b);
+      EXPECT_TRUE(used.insert({a, b}).second)
+          << "grid edge reused at (" << a.first << "," << a.second << ")";
+    }
+  }
+}
+
+TEST(Embedder, FailsGracefullyWhenGridTooTight) {
+  // Many parallel edges between two vertices cannot all fit through a
+  // corridor narrower than the bundle.
+  SourceGraph g(2);
+  for (int i = 0; i < 12; ++i) g.add_edge(0, 1);
+  Placement placement;
+  placement.corner = {GridPoint{0, 0}, GridPoint{4, 0}};
+  placement.side = {2, 2};
+  ThompsonEmbedder embedder(8, 3);
+  EXPECT_FALSE(embedder.embed(g, placement).success);
+}
+
+TEST(Embedder, RejectsPlacementOutsideGrid) {
+  SourceGraph g(1);
+  Placement placement;
+  placement.corner = {GridPoint{30, 30}};
+  placement.side = {4};
+  ThompsonEmbedder embedder(32, 32);
+  EXPECT_THROW((void)embedder.embed(g, placement), std::invalid_argument);
+}
+
+TEST(Embedder, TotalAndMaxWireLength) {
+  SourceGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  ThompsonEmbedder embedder(32, 32);
+  const auto result = embedder.embed(g, auto_place(g));
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.total_wire_length(),
+            result.routes[0].length + result.routes[1].length);
+  EXPECT_EQ(result.max_wire_length(),
+            std::max(result.routes[0].length, result.routes[1].length));
+}
+
+TEST(Embedder, MinimumGridSideFindsAFit) {
+  SourceGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto side = minimum_grid_side(g, 64);
+  ASSERT_TRUE(side.has_value());
+  EXPECT_LE(*side, 64);
+  EXPECT_GE(*side, 2);
+}
+
+// --- closed-form fabric embeddings ---------------------------------------------------
+
+TEST(FabricEmbeddings, CrossbarMatchesEq3Wire) {
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    const CrossbarEmbedding e{n};
+    EXPECT_DOUBLE_EQ(e.path_grids(),
+                     sfab::AnalyticalModel::crossbar_wire_grids(n));
+    EXPECT_DOUBLE_EQ(e.row_wire_grids(), 4.0 * n);
+  }
+}
+
+TEST(FabricEmbeddings, FullyConnectedMatchesEq4Wire) {
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_DOUBLE_EQ(FullyConnectedEmbedding{n}.path_grids(),
+                     sfab::AnalyticalModel::fully_connected_wire_grids(n));
+  }
+}
+
+TEST(FabricEmbeddings, BanyanWorstCaseMatchesEq5Wire) {
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_DOUBLE_EQ(BanyanEmbedding{n}.worst_case_path_grids(),
+                     sfab::AnalyticalModel::banyan_wire_grids(n));
+  }
+}
+
+TEST(FabricEmbeddings, BanyanLinkLengths) {
+  const BanyanEmbedding e{16};
+  EXPECT_EQ(e.stages(), 4u);
+  EXPECT_DOUBLE_EQ(e.straight_link_grids(), 4.0);
+  EXPECT_DOUBLE_EQ(e.cross_link_grids(0), 4.0);
+  EXPECT_DOUBLE_EQ(e.cross_link_grids(3), 32.0);
+}
+
+TEST(FabricEmbeddings, BatcherMatchesEq6Wire) {
+  for (const unsigned n : {4u, 8u, 16u, 32u}) {
+    EXPECT_DOUBLE_EQ(BatcherBanyanEmbedding{n}.worst_case_path_grids(),
+                     sfab::AnalyticalModel::batcher_banyan_wire_grids(n));
+  }
+}
+
+TEST(FabricEmbeddings, BatcherStageCount) {
+  EXPECT_EQ(BatcherBanyanEmbedding{4}.sorter_stages(), 3u);
+  EXPECT_EQ(BatcherBanyanEmbedding{32}.sorter_stages(), 15u);
+}
+
+// --- topology graph builders -----------------------------------------------------------
+
+TEST(FabricGraphs, CrossbarCounts) {
+  const SourceGraph g = crossbar_graph(4);
+  // 4 inputs + 4 outputs + 16 crosspoints.
+  EXPECT_EQ(g.num_vertices(), 24u);
+  // Per row: 1 input feed + 3 chain edges; per column: 3 chain + 1 exit.
+  EXPECT_EQ(g.num_edges(), 4u * 4u + 4u * 4u);
+}
+
+TEST(FabricGraphs, BanyanCounts) {
+  const SourceGraph g = banyan_graph(8);
+  // 8 ingress + 3 stages x 4 switches + 8 egress.
+  EXPECT_EQ(g.num_vertices(), 8u + 12u + 8u);
+  // 8 ingress edges + 2 inter-stage bundles of 8 + 8 egress edges.
+  EXPECT_EQ(g.num_edges(), 8u + 16u + 8u);
+}
+
+TEST(FabricGraphs, FullyConnectedIsCompleteBipartite) {
+  const SourceGraph g = fully_connected_graph(4);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 16u);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(FabricGraphs, SmallBanyanEmbedsOnGenericGrid) {
+  // End-to-end: the generic embedder can route the real 4x4 Banyan topology.
+  const SourceGraph g = banyan_graph(4);
+  ThompsonEmbedder embedder(64, 64);
+  const auto result = embedder.embed(g, auto_place(g, 3));
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(result.total_wire_length(), 0);
+}
+
+TEST(FabricGraphs, InvalidSizes) {
+  EXPECT_THROW((void)banyan_graph(6), std::invalid_argument);
+  EXPECT_THROW((void)fully_connected_graph(1), std::invalid_argument);
+  EXPECT_THROW((void)crossbar_graph(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfab::thompson

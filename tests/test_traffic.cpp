@@ -1,0 +1,247 @@
+// Tests for packets and traffic generation (paper section 5.2 workload).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "traffic/generator.hpp"
+#include "traffic/packet.hpp"
+
+namespace sfab {
+namespace {
+
+// --- PacketFactory -----------------------------------------------------------
+
+TEST(PacketFactory, HeaderCarriesDestination) {
+  PacketFactory factory{16, PayloadKind::kRandom, 1};
+  const Packet p = factory.make(2, 7, 100);
+  EXPECT_EQ(p.source, 2u);
+  EXPECT_EQ(p.dest, 7u);
+  EXPECT_EQ(p.created, 100u);
+  EXPECT_EQ(p.size_words(), 16u);
+  EXPECT_EQ(p.header(), 7u);
+}
+
+TEST(PacketFactory, IdsIncrease) {
+  PacketFactory factory{4, PayloadKind::kRandom, 1};
+  const Packet a = factory.make(0, 1, 0);
+  const Packet b = factory.make(0, 1, 0);
+  EXPECT_EQ(b.id, a.id + 1);
+  EXPECT_EQ(factory.packets_made(), 2u);
+}
+
+TEST(PacketFactory, AlternatingPayloadFlipsEveryBit) {
+  PacketFactory factory{6, PayloadKind::kAlternating, 1};
+  const Packet p = factory.make(0, 1, 0);
+  for (std::size_t w = 1; w + 1 < p.words.size(); ++w) {
+    EXPECT_EQ(p.words[w] ^ p.words[w + 1], 0xFFFFFFFFu);
+  }
+  EXPECT_EQ(p.words[1], 0xFFFFFFFFu);
+}
+
+TEST(PacketFactory, ZeroPayload) {
+  PacketFactory factory{4, PayloadKind::kZero, 1};
+  const Packet p = factory.make(0, 3, 0);
+  EXPECT_EQ(p.words[1], 0u);
+  EXPECT_EQ(p.words[2], 0u);
+}
+
+TEST(PacketFactory, RandomPayloadVaries) {
+  PacketFactory factory{32, PayloadKind::kRandom, 1};
+  const Packet p = factory.make(0, 1, 0);
+  std::set<Word> distinct(p.words.begin() + 1, p.words.end());
+  EXPECT_GT(distinct.size(), 20u);
+}
+
+TEST(PacketFactory, SingleWordPacketIsHeaderOnly) {
+  PacketFactory factory{1, PayloadKind::kRandom, 1};
+  EXPECT_EQ(factory.make(0, 5, 0).size_words(), 1u);
+  EXPECT_THROW((PacketFactory{0, PayloadKind::kRandom, 1}),
+               std::invalid_argument);
+}
+
+// --- destination patterns ------------------------------------------------------
+
+TEST(UniformPattern, NeverPicksSource) {
+  UniformPattern pattern{8};
+  Rng rng{1};
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(pattern.pick(3, rng), 3u);
+  }
+}
+
+TEST(UniformPattern, CoversAllOtherPorts) {
+  UniformPattern pattern{8};
+  Rng rng{2};
+  std::set<PortId> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(pattern.pick(0, rng));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(UniformPattern, RoughlyUniform) {
+  UniformPattern pattern{4};
+  Rng rng{3};
+  std::map<PortId, int> counts;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) ++counts[pattern.pick(0, rng)];
+  for (const auto& [port, count] : counts) {
+    EXPECT_NEAR(count, n / 3, n / 3 * 0.1) << "port " << port;
+  }
+}
+
+TEST(PermutationPattern, BitReversal) {
+  auto pattern = PermutationPattern::bit_reversal(8);
+  Rng rng{1};
+  EXPECT_EQ(pattern.pick(0, rng), 0u);   // 000 -> 000
+  EXPECT_EQ(pattern.pick(1, rng), 4u);   // 001 -> 100
+  EXPECT_EQ(pattern.pick(3, rng), 6u);   // 011 -> 110
+  EXPECT_EQ(pattern.pick(5, rng), 5u);   // 101 -> 101
+}
+
+TEST(PermutationPattern, RejectsNonPermutations) {
+  EXPECT_THROW((void)PermutationPattern(std::vector<PortId>{0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)PermutationPattern(std::vector<PortId>{0, 5}),
+               std::invalid_argument);
+}
+
+TEST(HotspotPattern, HotFractionObserved) {
+  HotspotPattern pattern{16, 5, 0.4};
+  Rng rng{7};
+  int hot = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) hot += (pattern.pick(0, rng) == 5u);
+  // 40% direct plus ~1/15 of the uniform remainder.
+  const double expected = 0.4 + 0.6 / 15.0;
+  EXPECT_NEAR(static_cast<double>(hot) / n, expected, 0.02);
+}
+
+TEST(HotspotPattern, Validation) {
+  EXPECT_THROW((void)HotspotPattern(8, 9, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)HotspotPattern(8, 0, 1.5), std::invalid_argument);
+}
+
+// --- arrival processes ------------------------------------------------------------
+
+TEST(BernoulliArrival, MatchesRate) {
+  BernoulliArrival arrivals{0.05};
+  Rng rng{9};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += arrivals.arrives(0, rng);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.05, 0.005);
+  EXPECT_DOUBLE_EQ(arrivals.mean_rate(), 0.05);
+}
+
+TEST(BernoulliArrival, Validation) {
+  EXPECT_THROW((void)BernoulliArrival{-0.1}, std::invalid_argument);
+  EXPECT_THROW((void)BernoulliArrival{1.1}, std::invalid_argument);
+}
+
+TEST(BurstyArrival, LongRunRateMatchesMean) {
+  BurstyArrival arrivals{1, 0.4, 0.01, 0.01};  // 50% duty at 0.4
+  Rng rng{11};
+  int hits = 0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) hits += arrivals.arrives(0, rng);
+  EXPECT_NEAR(static_cast<double>(hits) / n, arrivals.mean_rate(), 0.02);
+  EXPECT_NEAR(arrivals.mean_rate(), 0.2, 1e-12);
+}
+
+TEST(BurstyArrival, IsActuallyBursty) {
+  // Arrivals cluster: the variance of per-window counts far exceeds a
+  // Bernoulli process of the same mean rate.
+  BurstyArrival bursty{1, 0.8, 0.005, 0.005};
+  BernoulliArrival smooth{0.4};
+  Rng rng_a{13}, rng_b{13};
+  const int windows = 300, window = 200;
+  const auto window_variance = [&](auto& process, Rng& rng) {
+    std::vector<double> counts;
+    for (int w = 0; w < windows; ++w) {
+      int c = 0;
+      for (int i = 0; i < window; ++i) c += process.arrives(0, rng);
+      counts.push_back(c);
+    }
+    double mean = 0.0;
+    for (const double c : counts) mean += c;
+    mean /= windows;
+    double var = 0.0;
+    for (const double c : counts) var += (c - mean) * (c - mean);
+    return var / windows;
+  };
+  EXPECT_GT(window_variance(bursty, rng_a),
+            3.0 * window_variance(smooth, rng_b));
+}
+
+TEST(BurstyArrival, Validation) {
+  EXPECT_THROW((void)BurstyArrival(1, 0.5, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)BurstyArrival(1, 1.5, 0.5, 0.5), std::invalid_argument);
+}
+
+// --- TrafficGenerator ----------------------------------------------------------------
+
+TEST(TrafficGenerator, OfferedLoadAccountsForPacketLength) {
+  auto gen = TrafficGenerator::uniform_bernoulli(8, 0.5, 16, 42);
+  EXPECT_NEAR(gen.offered_load_words(), 0.5, 1e-12);
+}
+
+TEST(TrafficGenerator, MeasuredWordRateNearOffered) {
+  auto gen = TrafficGenerator::uniform_bernoulli(4, 0.4, 8, 42);
+  std::uint64_t words = 0;
+  const Cycle cycles = 200'000;
+  for (Cycle t = 0; t < cycles; ++t) {
+    for (PortId p = 0; p < 4; ++p) {
+      if (const auto packet = gen.poll(p, t)) words += packet->size_words();
+    }
+  }
+  const double rate = static_cast<double>(words) / (4.0 * cycles);
+  EXPECT_NEAR(rate, 0.4, 0.02);
+}
+
+TEST(TrafficGenerator, DeterministicForSameSeed) {
+  auto a = TrafficGenerator::uniform_bernoulli(4, 0.3, 8, 7);
+  auto b = TrafficGenerator::uniform_bernoulli(4, 0.3, 8, 7);
+  for (Cycle t = 0; t < 2000; ++t) {
+    for (PortId p = 0; p < 4; ++p) {
+      const auto pa = a.poll(p, t);
+      const auto pb = b.poll(p, t);
+      ASSERT_EQ(pa.has_value(), pb.has_value());
+      if (pa) {
+        EXPECT_EQ(pa->dest, pb->dest);
+        EXPECT_EQ(pa->words, pb->words);
+      }
+    }
+  }
+}
+
+TEST(TrafficGenerator, HotspotFactoryWiring) {
+  auto gen = TrafficGenerator::hotspot(8, 0.5, 8, 2, 0.5, 21);
+  int to_hot = 0, total = 0;
+  for (Cycle t = 0; t < 50'000; ++t) {
+    for (PortId p = 0; p < 8; ++p) {
+      if (const auto packet = gen.poll(p, t)) {
+        ++total;
+        to_hot += (packet->dest == 2u);
+      }
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(to_hot) / total, 0.4);
+}
+
+TEST(TrafficGenerator, BitReversalFactoryWiring) {
+  auto gen = TrafficGenerator::bit_reversal_permutation(8, 0.9, 4, 5);
+  for (Cycle t = 0; t < 5000; ++t) {
+    if (const auto packet = gen.poll(1, t)) {
+      EXPECT_EQ(packet->dest, 4u);
+    }
+  }
+}
+
+TEST(TrafficGenerator, PollValidation) {
+  auto gen = TrafficGenerator::uniform_bernoulli(4, 0.5, 8, 1);
+  EXPECT_THROW((void)gen.poll(4, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sfab

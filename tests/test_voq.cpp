@@ -1,0 +1,198 @@
+// Tests for virtual output queueing and iSLIP (framework extension that
+// removes the 58.6% HOL cap the paper works under).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fabric/factory.hpp"
+#include "router/router.hpp"
+#include "router/voq_router.hpp"
+
+namespace sfab {
+namespace {
+
+Packet make_packet(std::uint64_t id, PortId src, PortId dest,
+                   unsigned words = 4) {
+  PacketFactory factory{words, PayloadKind::kZero, id};
+  Packet p = factory.make(src, dest, 0);
+  p.id = id;
+  return p;
+}
+
+// --- VoqBank ---------------------------------------------------------------------
+
+TEST(VoqBank, RoutesPacketsToTheirQueue) {
+  VoqBank bank{0, 4, 8};
+  ASSERT_TRUE(bank.enqueue(make_packet(1, 0, 2)));
+  ASSERT_TRUE(bank.enqueue(make_packet(2, 0, 3)));
+  EXPECT_TRUE(bank.has_packet_for(2));
+  EXPECT_TRUE(bank.has_packet_for(3));
+  EXPECT_FALSE(bank.has_packet_for(1));
+  EXPECT_EQ(bank.total_queued(), 2u);
+  EXPECT_EQ(bank.pop(2).id, 1u);
+  EXPECT_FALSE(bank.has_packet_for(2));
+}
+
+TEST(VoqBank, FifoWithinAQueue) {
+  VoqBank bank{0, 4, 8};
+  (void)bank.enqueue(make_packet(1, 0, 2));
+  (void)bank.enqueue(make_packet(2, 0, 2));
+  EXPECT_EQ(bank.pop(2).id, 1u);
+  EXPECT_EQ(bank.pop(2).id, 2u);
+}
+
+TEST(VoqBank, SharedCapacityDrops) {
+  VoqBank bank{0, 4, 2};
+  EXPECT_TRUE(bank.enqueue(make_packet(1, 0, 1)));
+  EXPECT_TRUE(bank.enqueue(make_packet(2, 0, 2)));
+  EXPECT_FALSE(bank.enqueue(make_packet(3, 0, 3)));
+  EXPECT_EQ(bank.drops(), 1u);
+}
+
+TEST(VoqBank, Validation) {
+  EXPECT_THROW((VoqBank{0, 1, 4}), std::invalid_argument);
+  EXPECT_THROW((VoqBank{0, 4, 0}), std::invalid_argument);
+  VoqBank bank{0, 4, 4};
+  EXPECT_THROW((void)bank.pop(1), std::logic_error);
+  EXPECT_THROW((void)bank.has_packet_for(9), std::out_of_range);
+}
+
+// --- IslipArbiter -----------------------------------------------------------------
+
+std::vector<std::vector<char>> request_matrix(
+    unsigned ports, const std::set<std::pair<PortId, PortId>>& pairs) {
+  std::vector<std::vector<char>> m(ports, std::vector<char>(ports, 0));
+  for (const auto& [i, j] : pairs) m[i][j] = 1;
+  return m;
+}
+
+TEST(Islip, MatchesDisjointRequestsFully) {
+  IslipArbiter islip{4};
+  const auto matches =
+      islip.match(request_matrix(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST(Islip, MatchingIsConflictFree) {
+  IslipArbiter islip{4};
+  // Everybody wants everything: the matching must still be a partial
+  // permutation (each ingress and egress at most once).
+  std::vector<std::vector<char>> all(4, std::vector<char>(4, 1));
+  const auto matches = islip.match(all);
+  EXPECT_EQ(matches.size(), 4u);  // full matching exists and is found
+  std::set<PortId> ins, outs;
+  for (const Match& m : matches) {
+    EXPECT_TRUE(ins.insert(m.ingress).second);
+    EXPECT_TRUE(outs.insert(m.egress).second);
+  }
+}
+
+TEST(Islip, RespectsRequestMatrix) {
+  IslipArbiter islip{4};
+  const auto matches = islip.match(request_matrix(4, {{0, 2}}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].ingress, 0u);
+  EXPECT_EQ(matches[0].egress, 2u);
+}
+
+TEST(Islip, PointersRotateFairly) {
+  // Two ingresses fighting for one egress must alternate over time.
+  IslipArbiter islip{2};
+  int wins0 = 0;
+  for (int round = 0; round < 10; ++round) {
+    const auto matches = islip.match(request_matrix(2, {{0, 1}, {1, 1}}));
+    ASSERT_EQ(matches.size(), 1u);
+    wins0 += (matches[0].ingress == 0);
+  }
+  EXPECT_EQ(wins0, 5);
+}
+
+TEST(Islip, MultipleIterationsImproveTheMatch) {
+  // Classic iSLIP example: with one iteration a grant conflict can leave
+  // an obviously matchable pair unmatched; more iterations pick it up.
+  IslipArbiter one_iter{4, 1};
+  IslipArbiter three_iter{4, 3};
+  const auto requests =
+      request_matrix(4, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}});
+  std::size_t best_single = 0, best_multi = 0;
+  for (int round = 0; round < 8; ++round) {
+    best_single = std::max(best_single, one_iter.match(requests).size());
+    best_multi = std::max(best_multi, three_iter.match(requests).size());
+  }
+  EXPECT_GE(best_multi, best_single);
+  EXPECT_EQ(best_multi, 3u);
+}
+
+TEST(Islip, ShapeValidation) {
+  IslipArbiter islip{4};
+  EXPECT_THROW((void)islip.match({{1, 0}}), std::invalid_argument);
+  EXPECT_THROW((IslipArbiter{1}), std::invalid_argument);
+}
+
+// --- VoqRouter end-to-end -----------------------------------------------------------
+
+VoqRouter make_voq_router(Architecture arch, unsigned ports, double load,
+                          std::uint64_t seed = 1) {
+  FabricConfig fc;
+  fc.ports = ports;
+  return VoqRouter(make_fabric(arch, fc),
+                   TrafficGenerator::uniform_bernoulli(ports, load, 8, seed));
+}
+
+TEST(VoqRouter, DeliversTraffic) {
+  VoqRouter router = make_voq_router(Architecture::kCrossbar, 8, 0.4);
+  router.run(10'000);
+  EXPECT_GT(router.egress().packets_delivered(), 100u);
+  EXPECT_NEAR(router.egress().throughput(router.now()), 0.4, 0.05);
+}
+
+TEST(VoqRouter, ConservationAfterDrain) {
+  for (const Architecture arch : all_architectures()) {
+    VoqRouter router = make_voq_router(arch, 8, 0.5, 3);
+    router.run(3'000);
+    ASSERT_TRUE(router.drain(200'000)) << to_string(arch);
+    EXPECT_EQ(router.fabric().words_injected(),
+              router.fabric().words_delivered())
+        << to_string(arch);
+  }
+}
+
+TEST(VoqRouter, BreaksTheHolThroughputCap) {
+  // The headline: at offered load 1.0 the FIFO router saturates near
+  // 2 - sqrt(2) = 58.6%, the VOQ router sails past 80%.
+  FabricConfig fc;
+  fc.ports = 16;
+  Router hol(make_fabric(Architecture::kCrossbar, fc),
+             TrafficGenerator::uniform_bernoulli(16, 1.0, 8, 5),
+             RouterConfig{16});
+  VoqRouter voq(make_fabric(Architecture::kCrossbar, fc),
+                TrafficGenerator::uniform_bernoulli(16, 1.0, 8, 5),
+                VoqRouterConfig{64, 0});
+  hol.run(30'000);
+  voq.run(30'000);
+  const double hol_throughput = hol.egress().throughput(hol.now());
+  const double voq_throughput = voq.egress().throughput(voq.now());
+  EXPECT_LT(hol_throughput, 0.70);
+  EXPECT_GT(voq_throughput, 0.80);
+  EXPECT_GT(voq_throughput, hol_throughput + 0.15);
+}
+
+TEST(VoqRouter, DeterministicAcrossRuns) {
+  VoqRouter a = make_voq_router(Architecture::kBanyan, 8, 0.5, 42);
+  VoqRouter b = make_voq_router(Architecture::kBanyan, 8, 0.5, 42);
+  a.run(5'000);
+  b.run(5'000);
+  EXPECT_EQ(a.egress().words_delivered(), b.egress().words_delivered());
+  EXPECT_DOUBLE_EQ(a.fabric().ledger().total(), b.fabric().ledger().total());
+}
+
+TEST(VoqRouter, PortMismatchRejected) {
+  FabricConfig fc;
+  fc.ports = 8;
+  EXPECT_THROW((void)VoqRouter(make_fabric(Architecture::kCrossbar, fc),
+                         TrafficGenerator::uniform_bernoulli(4, 0.5, 8, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfab

@@ -1,0 +1,85 @@
+// Tests for the toggle-gated interconnect wire energy model (paper Eq. 2).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "power/wire_energy.hpp"
+
+namespace sfab {
+namespace {
+
+using units::fJ;
+
+TEST(WireEnergy, GridBitEnergyComesFromTechnology) {
+  const WireEnergyModel m{TechnologyParams{}};
+  EXPECT_NEAR(m.grid_bit_energy_j(), 87.0 * fJ, 0.5 * fJ);
+}
+
+TEST(WireEnergy, NoFlipsNoEnergy) {
+  const WireEnergyModel m;
+  EXPECT_DOUBLE_EQ(m.flip_energy_j(0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.word_energy_j(0xDEADBEEFu, 0xDEADBEEFu, 64.0), 0.0);
+}
+
+TEST(WireEnergy, LinearInFlipsAndLength) {
+  const WireEnergyModel m;
+  const double one = m.flip_energy_j(1, 1.0);
+  EXPECT_DOUBLE_EQ(m.flip_energy_j(8, 1.0), 8.0 * one);
+  EXPECT_DOUBLE_EQ(m.flip_energy_j(1, 8.0), 8.0 * one);
+  EXPECT_DOUBLE_EQ(m.flip_energy_j(4, 16.0), 64.0 * one);
+}
+
+TEST(WireEnergy, WordEnergyCountsExactPolarityFlips) {
+  const WireEnergyModel m;
+  // 0 -> all ones: all 32 bits flip.
+  EXPECT_DOUBLE_EQ(m.word_energy_j(0u, 0xFFFFFFFFu, 1.0),
+                   m.flip_energy_j(32, 1.0));
+  // One-bit change.
+  EXPECT_DOUBLE_EQ(m.word_energy_j(0b1000u, 0b1001u, 2.0),
+                   m.flip_energy_j(1, 2.0));
+}
+
+TEST(WireEnergy, SymmetricInDirection) {
+  // E(0->1) and E(1->0) are the same charging/discharging event.
+  const WireEnergyModel m;
+  EXPECT_DOUBLE_EQ(m.word_energy_j(0u, 0xFFu, 3.0),
+                   m.word_energy_j(0xFFu, 0u, 3.0));
+}
+
+TEST(WireState, StartsAtZeroAndRemembers) {
+  WireState w;
+  EXPECT_EQ(w.last(), 0u);
+  EXPECT_EQ(w.transmit(0xF0F0F0F0u), 16);
+  EXPECT_EQ(w.last(), 0xF0F0F0F0u);
+  EXPECT_EQ(w.transmit(0xF0F0F0F0u), 0);  // same word again: no flips
+  EXPECT_EQ(w.transmit(0x0F0F0F0Fu), 32);
+}
+
+TEST(WireState, ResetRestoresValue) {
+  WireState w;
+  (void)w.transmit(0xFFFFFFFFu);
+  w.reset();
+  EXPECT_EQ(w.last(), 0u);
+  w.reset(0xAAAAAAAAu);
+  EXPECT_EQ(w.transmit(0x55555555u), 32);
+}
+
+TEST(WireState, AlternatingPatternFlipsEverything) {
+  // The worst-case payload used by the analytical-agreement tests.
+  WireState w;
+  int total = w.transmit(0xFFFFFFFFu);
+  for (int i = 0; i < 10; ++i) {
+    total += w.transmit((i % 2 == 0) ? 0u : 0xFFFFFFFFu);
+  }
+  EXPECT_EQ(total, 11 * 32);
+}
+
+TEST(WireEnergy, ScalesWithTechnology) {
+  TechnologyParams low_v;
+  low_v.vdd_v = 1.65;  // half voltage: quarter energy
+  const WireEnergyModel ref{TechnologyParams{}};
+  const WireEnergyModel low{low_v};
+  EXPECT_NEAR(low.grid_bit_energy_j(), ref.grid_bit_energy_j() / 4.0, 1e-18);
+}
+
+}  // namespace
+}  // namespace sfab
