@@ -7,14 +7,16 @@
 //      on-chip macro ~100x cheaper),
 //   3. payload toggle activity.
 // Each moves the load point where the 32x32 Banyan stops being the
-// cheapest architecture — the headline of section 6 observation 1.
+// cheapest architecture — the headline of section 6 observation 1. The
+// simulated knobs (1, 3) run as one-axis sweeps through the engine.
 #include <iostream>
 
 #include "common/units.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "power/analytical.hpp"
 #include "power/buffer_energy.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 namespace {
 
@@ -41,6 +43,15 @@ double analytical_crossover(const sfab::AnalyticalModel& model,
   return 1.0;
 }
 
+sfab::SimConfig banyan32() {
+  sfab::SimConfig c;
+  c.arch = sfab::Architecture::kBanyan;
+  c.ports = 32;
+  c.warmup_cycles = 3'000;
+  c.measure_cycles = 20'000;
+  return c;
+}
+
 }  // namespace
 
 int main() {
@@ -51,22 +62,24 @@ int main() {
                "===\n\n";
 
   // 1. simulated: write+read vs single access.
-  TextTable t1;
-  t1.set_header({"accounting", "power @50%", "buffer power @50%"});
-  for (const bool read_and_write : {true, false}) {
-    SimConfig c;
-    c.arch = Architecture::kBanyan;
-    c.ports = 32;
-    c.offered_load = 0.5;
-    c.charge_buffer_read_and_write = read_and_write;
-    c.warmup_cycles = 3'000;
-    c.measure_cycles = 20'000;
-    c.seed = 77;
-    const SimResult r = run_simulation(c);
-    t1.add_row({read_and_write ? "write + read (default)" : "single access",
-                format_power(r.power_w), format_power(r.buffer_power_w)});
-  }
-  t1.print(std::cout);
+  SweepSpec accounting;
+  accounting.base = banyan32();
+  accounting.base.offered_load = 0.5;
+  accounting.base.seed = 77;
+  accounting.over_charge_read_and_write({true, false});
+  print_records(
+      std::cout, run_sweep(accounting),
+      {{"accounting",
+        [](const RunRecord& r) {
+          return std::string(r.config.charge_buffer_read_and_write
+                                 ? "write + read (default)"
+                                 : "single access");
+        }},
+       {"power @50%",
+        [](const RunRecord& r) { return format_power(r.result.power_w); }},
+       {"buffer power @50%", [](const RunRecord& r) {
+          return format_power(r.result.buffer_power_w);
+        }}});
 
   // 2. analytical crossover under both buffer-energy scales.
   const AnalyticalModel model;
@@ -89,24 +102,22 @@ int main() {
 
   // 3. payload toggle activity (simulated).
   std::cout << "\nToggle-activity sensitivity (Banyan 32x32, 30% load):\n";
-  TextTable t3;
-  t3.set_header({"payload", "power", "wire power"});
-  for (const auto payload :
-       {PayloadKind::kZero, PayloadKind::kRandom, PayloadKind::kAlternating}) {
-    SimConfig c;
-    c.arch = Architecture::kBanyan;
-    c.ports = 32;
-    c.offered_load = 0.3;
-    c.payload = payload;
-    c.warmup_cycles = 3'000;
-    c.measure_cycles = 20'000;
-    c.seed = 78;
-    const SimResult r = run_simulation(c);
-    const char* name = payload == PayloadKind::kZero ? "all zeros"
-                       : payload == PayloadKind::kRandom ? "random"
-                                                         : "alternating";
-    t3.add_row({name, format_power(r.power_w), format_power(r.wire_power_w)});
-  }
-  t3.print(std::cout);
+  SweepSpec toggle;
+  toggle.base = banyan32();
+  toggle.base.offered_load = 0.3;
+  toggle.base.seed = 78;
+  toggle.over_payloads(
+      {PayloadKind::kZero, PayloadKind::kRandom, PayloadKind::kAlternating});
+  print_records(
+      std::cout, run_sweep(toggle),
+      {{"payload",
+        [](const RunRecord& r) {
+          return std::string(to_string(r.config.payload));
+        }},
+       {"power",
+        [](const RunRecord& r) { return format_power(r.result.power_w); }},
+       {"wire power", [](const RunRecord& r) {
+          return format_power(r.result.wire_power_w);
+        }}});
   return 0;
 }

@@ -2,13 +2,14 @@
 //
 // The paper fixes 4 Kbit per node switch, citing [10][11] that "buffer
 // size of a few packets will actually achieve ideal throughput". This
-// bench sweeps the queue depth to show where that plateau starts and what
-// each extra word of buffering costs in SRAM access energy.
+// bench sweeps the queue depth (one engine axis) to show where that
+// plateau starts and what each extra word of buffering costs in SRAM
+// access energy.
 #include <iostream>
 
-#include "fabric/banyan.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 int main() {
   using namespace sfab;
@@ -16,26 +17,43 @@ int main() {
   std::cout << "=== Ablation: Banyan 16x16 node-buffer depth at 50% offered "
                "load ===\n(paper default: 128 words = 4 Kbit/switch)\n\n";
 
-  TextTable t;
-  t.set_header({"buffer (words)", "throughput", "mean latency", "power",
-                "buffer power", "words buffered", "stalls"});
-  for (const unsigned words : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-    SimConfig c;
-    c.arch = Architecture::kBanyan;
-    c.ports = 16;
-    c.offered_load = 0.5;
-    c.buffer_words_per_switch = words;
-    c.warmup_cycles = 3'000;
-    c.measure_cycles = 25'000;
-    c.seed = 4242;
-    const SimResult r = run_simulation(c);
-    t.add_row({std::to_string(words), format_percent(r.egress_throughput),
-               format_fixed(r.mean_packet_latency_cycles, 1) + " cyc",
-               format_power(r.power_w), format_power(r.buffer_power_w),
-               std::to_string(r.words_buffered),
-               std::to_string(r.stall_cycles)});
-  }
-  t.print(std::cout);
+  SweepSpec spec;
+  spec.base.arch = Architecture::kBanyan;
+  spec.base.ports = 16;
+  spec.base.offered_load = 0.5;
+  spec.base.warmup_cycles = 3'000;
+  spec.base.measure_cycles = 25'000;
+  spec.base.seed = 4242;
+  spec.over_buffer_words({1, 2, 4, 8, 16, 32, 64, 128, 256});
+
+  print_records(
+      std::cout, run_sweep(spec),
+      {{"buffer (words)",
+        [](const RunRecord& r) {
+          return std::to_string(r.config.buffer_words_per_switch);
+        }},
+       {"throughput",
+        [](const RunRecord& r) {
+          return format_percent(r.result.egress_throughput);
+        }},
+       {"mean latency",
+        [](const RunRecord& r) {
+          return format_fixed(r.result.mean_packet_latency_cycles, 1) +
+                 " cyc";
+        }},
+       {"power",
+        [](const RunRecord& r) { return format_power(r.result.power_w); }},
+       {"buffer power",
+        [](const RunRecord& r) {
+          return format_power(r.result.buffer_power_w);
+        }},
+       {"words buffered",
+        [](const RunRecord& r) {
+          return std::to_string(r.result.words_buffered);
+        }},
+       {"stalls", [](const RunRecord& r) {
+          return std::to_string(r.result.stall_cycles);
+        }}});
 
   std::cout << "\nExpected shape: throughput plateaus after a few packets "
                "of buffering (paper's\ncited result); beyond that, extra "

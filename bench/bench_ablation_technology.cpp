@@ -1,13 +1,15 @@
 // Ablation: technology scaling. The paper's case study is 0.18 um / 3.3 V;
 // this bench rescales the energy models to neighboring nodes (E ~ C * V^2)
 // and checks that the architectural ordering — the paper's actual
-// contribution — survives the process change.
+// contribution — survives the process change. The simulated comparison is
+// one technology x architecture sweep through the engine.
 #include <iostream>
 
 #include "common/units.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "power/analytical.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 int main() {
   using namespace sfab;
@@ -15,7 +17,18 @@ int main() {
 
   std::cout << "=== Ablation: technology node scaling ===\n\n";
 
-  for (const std::string node : {"0.25um", "0.18um", "0.13um"}) {
+  const std::vector<std::string> nodes{"0.25um", "0.18um", "0.13um"};
+
+  SweepSpec spec;
+  spec.base.ports = 16;
+  spec.base.offered_load = 0.4;
+  spec.base.warmup_cycles = 2'000;
+  spec.base.measure_cycles = 15'000;
+  spec.base.seed = 13;
+  spec.over_architectures(all_architectures()).over_tech_nodes(nodes);
+  const ResultSet results = run_sweep(spec);
+
+  for (const std::string& node : nodes) {
     const TechnologyParams tech = TechnologyParams::preset(node);
     const auto switches = SwitchEnergyTables::paper_defaults().scaled_to(tech);
 
@@ -38,23 +51,19 @@ int main() {
     }
     a.print(std::cout);
 
-    // Simulated power at 16x16, 40% load.
-    TextTable s;
-    s.set_header({"architecture", "power @16x16, 40% load"});
-    for (const Architecture arch : all_architectures()) {
-      SimConfig c;
-      c.arch = arch;
-      c.ports = 16;
-      c.offered_load = 0.4;
-      c.tech = tech;
-      c.switches = switches;
-      c.warmup_cycles = 2'000;
-      c.measure_cycles = 15'000;
-      c.seed = 13;
-      s.add_row({std::string(to_string(arch)),
-                 format_power(run_simulation(c).power_w)});
-    }
-    s.print(std::cout);
+    // Simulated power at 16x16, 40% load, selected out of the sweep.
+    print_records(
+        std::cout,
+        results.select([&tech](const RunRecord& r) {
+          return r.config.tech.feature_um == tech.feature_um;
+        }),
+        {{"architecture",
+          [](const RunRecord& r) {
+            return std::string(to_string(r.config.arch));
+          }},
+         {"power @16x16, 40% load", [](const RunRecord& r) {
+            return format_power(r.result.power_w);
+          }}});
     std::cout << '\n';
   }
 

@@ -3,11 +3,12 @@
 // The paper evaluates uniform random destinations only; this bench adds
 // bit-reversal permutation (adversarial for banyan-class networks),
 // hotspot and bursty arrivals, showing how pattern choice moves both
-// throughput and the power split.
+// throughput and the power split. One pattern x architecture sweep.
 #include <iostream>
 
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 int main() {
   using namespace sfab;
@@ -15,32 +16,49 @@ int main() {
   std::cout << "=== Ablation: traffic patterns, 16x16, 40% offered load "
                "===\n\n";
 
-  for (const auto pattern :
-       {TrafficPatternKind::kUniform, TrafficPatternKind::kBitReversal,
-        TrafficPatternKind::kHotspot, TrafficPatternKind::kBursty}) {
+  SweepSpec spec;
+  spec.base.ports = 16;
+  spec.base.offered_load = 0.4;
+  spec.base.hotspot_fraction = 0.3;
+  spec.base.mean_burst_cycles = 300.0;
+  spec.base.warmup_cycles = 3'000;
+  spec.base.measure_cycles = 25'000;
+  spec.base.seed = 99;
+  spec.over_architectures(all_architectures())
+      .over_patterns(
+          {TrafficPatternKind::kUniform, TrafficPatternKind::kBitReversal,
+           TrafficPatternKind::kHotspot, TrafficPatternKind::kBursty});
+  const ResultSet results = run_sweep(spec);
+
+  for (const TrafficPatternKind pattern : spec.patterns) {
     std::cout << "--- " << to_string(pattern) << " ---\n";
-    TextTable t;
-    t.set_header({"architecture", "throughput", "power", "buffer power",
-                  "mean latency", "drops"});
-    for (const Architecture arch : all_architectures()) {
-      SimConfig c;
-      c.arch = arch;
-      c.ports = 16;
-      c.offered_load = 0.4;
-      c.pattern = pattern;
-      c.hotspot_fraction = 0.3;
-      c.mean_burst_cycles = 300.0;
-      c.warmup_cycles = 3'000;
-      c.measure_cycles = 25'000;
-      c.seed = 99;
-      const SimResult r = run_simulation(c);
-      t.add_row({std::string(to_string(arch)),
-                 format_percent(r.egress_throughput), format_power(r.power_w),
-                 format_power(r.buffer_power_w),
-                 format_fixed(r.mean_packet_latency_cycles, 1) + " cyc",
-                 std::to_string(r.input_queue_drops)});
-    }
-    t.print(std::cout);
+    print_records(
+        std::cout,
+        results.select([pattern](const RunRecord& r) {
+          return r.config.pattern == pattern;
+        }),
+        {{"architecture",
+          [](const RunRecord& r) {
+            return std::string(to_string(r.config.arch));
+          }},
+         {"throughput",
+          [](const RunRecord& r) {
+            return format_percent(r.result.egress_throughput);
+          }},
+         {"power",
+          [](const RunRecord& r) { return format_power(r.result.power_w); }},
+         {"buffer power",
+          [](const RunRecord& r) {
+            return format_power(r.result.buffer_power_w);
+          }},
+         {"mean latency",
+          [](const RunRecord& r) {
+            return format_fixed(r.result.mean_packet_latency_cycles, 1) +
+                   " cyc";
+          }},
+         {"drops", [](const RunRecord& r) {
+            return std::to_string(r.result.input_queue_drops);
+          }}});
     std::cout << '\n';
   }
 

@@ -3,12 +3,12 @@
 // The paper's bit-energy method applied to the topology its keywords
 // anticipate. Meshes trade the crossbar's global wires for short hops plus
 // per-hop router energy and queueing — the comparison shows where each
-// wins as port count grows.
+// wins as port count grows. One architecture x ports x load sweep.
 #include <iostream>
 
-#include "fabric/mesh.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 int main() {
   using namespace sfab;
@@ -16,31 +16,46 @@ int main() {
   std::cout << "=== Extension: 2-D mesh NoC vs the paper's fabrics "
                "(uniform traffic) ===\n\n";
 
-  for (const unsigned ports : {16u, 64u}) {
+  SweepSpec spec;
+  spec.base.warmup_cycles = 3'000;
+  spec.base.measure_cycles = 20'000;
+  spec.base.seed = 64;
+  // Banyan-class fabrics need power-of-two ports; mesh needs a square.
+  // 16 and 64 satisfy both.
+  spec.over_architectures(extended_architectures())
+      .over_ports({16, 64})
+      .over_loads({0.2, 0.4});
+  const ResultSet results = run_sweep(spec);
+
+  for (const unsigned ports : spec.ports) {
     std::cout << "--- " << ports << " ports ---\n";
-    TextTable t;
-    t.set_header({"architecture", "offered", "throughput", "power",
-                  "energy/bit", "mean latency"});
-    for (const Architecture arch : extended_architectures()) {
-      // Banyan-class fabrics need power-of-two ports; mesh needs a square.
-      // 16 and 64 satisfy both.
-      for (const double load : {0.2, 0.4}) {
-        SimConfig c;
-        c.arch = arch;
-        c.ports = ports;
-        c.offered_load = load;
-        c.warmup_cycles = 3'000;
-        c.measure_cycles = 20'000;
-        c.seed = 64;
-        const SimResult r = run_simulation(c);
-        t.add_row({std::string(to_string(arch)), format_percent(load),
-                   format_percent(r.egress_throughput),
-                   format_power(r.power_w),
-                   format_energy(r.energy_per_bit_j),
-                   format_fixed(r.mean_packet_latency_cycles, 1) + " cyc"});
-      }
-    }
-    t.print(std::cout);
+    print_records(
+        std::cout,
+        results.select([ports](const RunRecord& r) {
+          return r.config.ports == ports;
+        }),
+        {{"architecture",
+          [](const RunRecord& r) {
+            return std::string(to_string(r.config.arch));
+          }},
+         {"offered",
+          [](const RunRecord& r) {
+            return format_percent(r.config.offered_load);
+          }},
+         {"throughput",
+          [](const RunRecord& r) {
+            return format_percent(r.result.egress_throughput);
+          }},
+         {"power",
+          [](const RunRecord& r) { return format_power(r.result.power_w); }},
+         {"energy/bit",
+          [](const RunRecord& r) {
+            return format_energy(r.result.energy_per_bit_j);
+          }},
+         {"mean latency", [](const RunRecord& r) {
+            return format_fixed(r.result.mean_packet_latency_cycles, 1) +
+                   " cyc";
+          }}});
     std::cout << '\n';
   }
 

@@ -1,56 +1,15 @@
 // Extension bench: what the paper's 58.6% HOL ceiling costs, and what the
 // fabrics do when a VOQ/iSLIP scheduler actually loads them.
 //
-// Left table: saturation throughput, FIFO (paper's scheme) vs VOQ+iSLIP.
-// Right table: fabric power at the operating points only VOQ can reach.
+// Left table: saturation throughput, FIFO (paper's scheme) vs VOQ+iSLIP —
+// one scheme x ports sweep, now that the queueing scheme is a SimConfig
+// axis. Right table: fabric power at the operating points only VOQ can
+// reach.
 #include <iostream>
 
-#include "fabric/factory.hpp"
-#include "router/router.hpp"
-#include "router/voq_router.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "traffic/generator.hpp"
-
-namespace {
-
-using namespace sfab;
-
-struct Measured {
-  double throughput;
-  double power_w;
-};
-
-Measured run_fifo(Architecture arch, unsigned ports, double load) {
-  FabricConfig fc;
-  fc.ports = ports;
-  Router router(make_fabric(arch, fc),
-                TrafficGenerator::uniform_bernoulli(ports, load, 16, 7),
-                RouterConfig{32});
-  router.run(5'000);  // warm-up
-  router.fabric().reset_energy();
-  router.egress().reset_counters();
-  router.run(30'000);
-  return {router.egress().throughput(30'000),
-          router.fabric().ledger().total() /
-              (30'000 * router.fabric().config().tech.cycle_time_s())};
-}
-
-Measured run_voq(Architecture arch, unsigned ports, double load) {
-  FabricConfig fc;
-  fc.ports = ports;
-  VoqRouter router(make_fabric(arch, fc),
-                   TrafficGenerator::uniform_bernoulli(ports, load, 16, 7),
-                   VoqRouterConfig{128, 0});
-  router.run(5'000);
-  router.fabric().reset_energy();
-  router.egress().reset_counters();
-  router.run(30'000);
-  return {router.egress().throughput(30'000),
-          router.fabric().ledger().total() /
-              (30'000 * router.fabric().config().tech.cycle_time_s())};
-}
-
-}  // namespace
 
 int main() {
   using namespace sfab;
@@ -60,29 +19,63 @@ int main() {
 
   std::cout << "saturation throughput at offered load 100% (uniform, "
                "16-word packets):\n";
-  TextTable sat;
-  sat.set_header({"ports", "FIFO (paper)", "VOQ+iSLIP"});
-  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
-    sat.add_row({std::to_string(ports) + "x" + std::to_string(ports),
-                 format_percent(
-                     run_fifo(Architecture::kCrossbar, ports, 1.0).throughput),
-                 format_percent(
-                     run_voq(Architecture::kCrossbar, ports, 1.0).throughput)});
+  SweepSpec saturation;
+  saturation.base.arch = Architecture::kCrossbar;
+  saturation.base.offered_load = 1.0;
+  // Equal queue capacity for both schemes (the hand-rolled predecessor
+  // gave FIFO 32 and VOQ 128 packets; matching them isolates the
+  // scheduling effect).
+  saturation.base.ingress_queue_packets = 128;
+  saturation.base.warmup_cycles = 5'000;
+  saturation.base.measure_cycles = 30'000;
+  saturation.base.seed = 7;
+  saturation.over_schemes({RouterScheme::kFifo, RouterScheme::kVoq})
+      .over_ports({4, 8, 16, 32});
+  const ResultSet sat = run_sweep(saturation);
+
+  TextTable sat_table;
+  sat_table.set_header({"ports", "FIFO (paper)", "VOQ+iSLIP"});
+  for (const unsigned ports : saturation.ports) {
+    std::vector<std::string> row{std::to_string(ports) + "x" +
+                                 std::to_string(ports)};
+    for (const RouterScheme scheme : saturation.schemes) {
+      const RunRecord& rec = sat.at([ports, scheme](const RunRecord& r) {
+        return r.config.ports == ports && r.config.scheme == scheme;
+      });
+      row.push_back(format_percent(rec.result.egress_throughput));
+    }
+    sat_table.add_row(std::move(row));
   }
-  sat.print(std::cout);
+  sat_table.print(std::cout);
 
   std::cout << "\nfabric power at high load, 16x16 (FIFO cannot reach "
                "these throughputs):\n";
-  TextTable p;
-  p.set_header({"architecture", "offered", "VOQ throughput", "VOQ power"});
-  for (const Architecture arch : all_architectures()) {
-    for (const double load : {0.6, 0.8, 0.95}) {
-      const Measured m = run_voq(arch, 16, load);
-      p.add_row({std::string(to_string(arch)), format_percent(load),
-                 format_percent(m.throughput), format_power(m.power_w)});
-    }
-  }
-  p.print(std::cout);
+  SweepSpec high_load;
+  high_load.base.ports = 16;
+  high_load.base.scheme = RouterScheme::kVoq;
+  high_load.base.ingress_queue_packets = 128;
+  high_load.base.warmup_cycles = 5'000;
+  high_load.base.measure_cycles = 30'000;
+  high_load.base.seed = 7;
+  high_load.over_architectures(all_architectures())
+      .over_loads({0.6, 0.8, 0.95});
+  print_records(
+      std::cout, run_sweep(high_load),
+      {{"architecture",
+        [](const RunRecord& r) {
+          return std::string(to_string(r.config.arch));
+        }},
+       {"offered",
+        [](const RunRecord& r) {
+          return format_percent(r.config.offered_load);
+        }},
+       {"VOQ throughput",
+        [](const RunRecord& r) {
+          return format_percent(r.result.egress_throughput);
+        }},
+       {"VOQ power", [](const RunRecord& r) {
+          return format_power(r.result.power_w);
+        }}});
 
   std::cout << "\nreading: removing HOL blocking exposes the fabrics to "
                "loads the paper never\nmeasured — the Banyan's buffer "

@@ -2,10 +2,11 @@
 // Ports" — all four architectures at 50% offered load, N = 4..32, with the
 // fully-connected vs Batcher-Banyan gap the paper calls out (37% at 4x4
 // narrowing to 20% at 32x32 on their testbed). Each point is replicated
-// over three seeds and reported with a Student-t 95% confidence interval.
+// over three seeds (the engine's paired derived seeds) and reported with a
+// Student-t 95% confidence interval.
 #include <iostream>
 
-#include "sim/replicate.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
 
 namespace {
@@ -23,25 +24,32 @@ int main() {
   std::cout << "=== Fig. 10: fabric power vs number of ports at 50% "
                "offered load ===\n(mean of 3 seeds, ±95% CI in mW)\n\n";
 
+  SweepSpec spec;
+  spec.base.offered_load = 0.5;
+  spec.base.warmup_cycles = 3'000;
+  spec.base.measure_cycles = 20'000;
+  spec.base.seed = 2002;
+  spec.over_architectures(all_architectures())
+      .over_ports({4, 8, 16, 32})
+      .with_replicates(3);
+  const ResultSet results = run_sweep(spec);
+
   TextTable t;
   t.set_header({"ports", "crossbar", "fully-conn", "banyan",
                 "batcher-banyan", "FC-vs-BB gap"});
-  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
+  for (const unsigned ports : spec.ports) {
     double mean_power[4] = {};
     std::vector<std::string> row{std::to_string(ports) + "x" +
                                  std::to_string(ports)};
     int k = 0;
-    for (const Architecture arch : all_architectures()) {
-      SimConfig c;
-      c.arch = arch;
-      c.ports = ports;
-      c.offered_load = 0.5;
-      c.warmup_cycles = 3'000;
-      c.measure_cycles = 20'000;
-      c.seed = 2002;
-      const ReplicatedResult r = replicate(c, 3);
-      mean_power[k++] = r.power_w.mean;
-      row.push_back(with_ci(r.power_w));
+    for (const Architecture arch : spec.architectures) {
+      const Statistic power = results.stat(
+          [ports, arch](const RunRecord& r) {
+            return r.config.ports == ports && r.config.arch == arch;
+          },
+          metrics::power_w);
+      mean_power[k++] = power.mean;
+      row.push_back(with_ci(power));
     }
     const double gap = (mean_power[3] - mean_power[1]) / mean_power[3];
     row.push_back(format_percent(gap));

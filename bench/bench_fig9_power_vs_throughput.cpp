@@ -2,20 +2,20 @@
 // Throughput" — power vs measured egress throughput (10%..50%) for the
 // four architectures at 4x4, 8x8, 16x16 and 32x32 ports, plus the 32x32
 // Banyan crossover scan behind section 6 observation 1.
+//
+// Both grids run through the experiment engine (exp/): one SweepSpec per
+// figure, executed on every core, selected back out by axis value.
 #include <iostream>
 #include <vector>
 
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 namespace {
 
-sfab::SimConfig base_config(sfab::Architecture arch, unsigned ports,
-                            double load) {
+sfab::SimConfig fig9_base() {
   sfab::SimConfig c;
-  c.arch = arch;
-  c.ports = ports;
-  c.offered_load = load;
   c.warmup_cycles = 3'000;
   c.measure_cycles = 25'000;
   c.seed = 2002;
@@ -26,48 +26,85 @@ sfab::SimConfig base_config(sfab::Architecture arch, unsigned ports,
 
 int main() {
   using namespace sfab;
-  const std::vector<double> loads{0.10, 0.20, 0.30, 0.40, 0.50};
 
   std::cout << "=== Fig. 9: fabric power vs egress throughput (uniform "
                "traffic, 133 MHz, 32-bit bus) ===\n";
   std::cout << "(input-buffered; theoretical max throughput 58.6%)\n";
 
-  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
+  SweepSpec spec;
+  spec.base = fig9_base();
+  spec.over_architectures(all_architectures())
+      .over_ports({4, 8, 16, 32})
+      .over_loads({0.10, 0.20, 0.30, 0.40, 0.50});
+  const ResultSet results = run_sweep(spec);
+
+  const std::vector<Column> columns{
+      {"architecture",
+       [](const RunRecord& r) {
+         return std::string(to_string(r.config.arch));
+       }},
+      {"offered",
+       [](const RunRecord& r) {
+         return format_percent(r.config.offered_load);
+       }},
+      {"throughput",
+       [](const RunRecord& r) {
+         return format_percent(r.result.egress_throughput);
+       }},
+      {"power",
+       [](const RunRecord& r) { return format_power(r.result.power_w); }},
+      {"switch",
+       [](const RunRecord& r) {
+         return format_power(r.result.switch_power_w);
+       }},
+      {"buffer",
+       [](const RunRecord& r) {
+         return format_power(r.result.buffer_power_w);
+       }},
+      {"wire", [](const RunRecord& r) {
+         return format_power(r.result.wire_power_w);
+       }}};
+
+  for (const unsigned ports : spec.ports) {
     std::cout << "\n--- " << ports << "x" << ports << " ---\n";
-    TextTable t;
-    t.set_header({"architecture", "offered", "throughput", "power",
-                  "switch", "buffer", "wire"});
-    for (const Architecture arch : all_architectures()) {
-      for (const double load : loads) {
-        const SimResult r = run_simulation(base_config(arch, ports, load));
-        t.add_row({std::string(to_string(arch)),
-                   format_percent(r.offered_load),
-                   format_percent(r.egress_throughput),
-                   format_power(r.power_w), format_power(r.switch_power_w),
-                   format_power(r.buffer_power_w),
-                   format_power(r.wire_power_w)});
-      }
-    }
-    t.print(std::cout);
+    print_records(std::cout,
+                  results.select([ports](const RunRecord& r) {
+                    return r.config.ports == ports;
+                  }),
+                  columns);
   }
 
   // Section 6, observation 1: where does the 32x32 Banyan stop being the
   // cheapest fabric? (paper: below ~35% throughput it is the cheapest)
   std::cout << "\n--- 32x32 Banyan crossover scan (observation 1) ---\n";
+  std::vector<double> scan_loads;
+  for (int k = 1; k <= 11; ++k) scan_loads.push_back(0.05 * k);
+
+  SweepSpec scan;
+  scan.base = fig9_base();
+  scan.base.ports = 32;
+  scan.over_architectures(all_architectures()).over_loads(scan_loads);
+  const ResultSet scanned = run_sweep(scan);
+
   TextTable x;
   x.set_header({"throughput", "banyan", "cheapest other", "banyan wins"});
-  for (double load = 0.05; load <= 0.55; load += 0.05) {
+  for (const double load : scan_loads) {
     const double banyan =
-        run_simulation(base_config(Architecture::kBanyan, 32, load)).power_w;
+        scanned
+            .at([load](const RunRecord& r) {
+              return r.config.offered_load == load &&
+                     r.config.arch == Architecture::kBanyan;
+            })
+            .result.power_w;
     double best_other = 1e30;
     Architecture best_arch = Architecture::kCrossbar;
-    for (const Architecture arch :
-         {Architecture::kCrossbar, Architecture::kFullyConnected,
-          Architecture::kBatcherBanyan}) {
-      const double p = run_simulation(base_config(arch, 32, load)).power_w;
-      if (p < best_other) {
-        best_other = p;
-        best_arch = arch;
+    for (const RunRecord* rec : scanned.select([load](const RunRecord& r) {
+           return r.config.offered_load == load &&
+                  r.config.arch != Architecture::kBanyan;
+         })) {
+      if (rec->result.power_w < best_other) {
+        best_other = rec->result.power_w;
+        best_arch = rec->config.arch;
       }
     }
     x.add_row({format_percent(load), format_power(banyan),

@@ -1,7 +1,9 @@
 // Simulator performance microbenchmarks (google-benchmark): cycles/second
-// per architecture — the practical replacement-for-Simulink claim.
+// per architecture — the practical replacement-for-Simulink claim — plus
+// the experiment engine's thread-pool scaling on a fixed 16-run grid.
 #include <benchmark/benchmark.h>
 
+#include "exp/runner.hpp"
 #include "fabric/factory.hpp"
 #include "router/router.hpp"
 #include "traffic/generator.hpp"
@@ -38,11 +40,31 @@ void BM_BatcherBanyan(benchmark::State& state) {
   run_router_cycles(state, Architecture::kBatcherBanyan);
 }
 
+// Thread-pool scaling of the sweep engine: same 16-run grid at 1..N
+// threads; items/s is runs/s. Results are bit-identical across the args by
+// construction, so this measures pure execution scaling.
+void BM_SweepRunner(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  SweepSpec spec;
+  spec.base.ports = 8;
+  spec.base.warmup_cycles = 200;
+  spec.base.measure_cycles = 1'000;
+  spec.over_architectures({Architecture::kCrossbar, Architecture::kBanyan})
+      .over_loads({0.2, 0.4})
+      .with_replicates(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sweep(spec, threads));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * spec.run_count()));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Crossbar)->Arg(8)->Arg(32);
 BENCHMARK(BM_FullyConnected)->Arg(8)->Arg(32);
 BENCHMARK(BM_Banyan)->Arg(8)->Arg(32);
 BENCHMARK(BM_BatcherBanyan)->Arg(8)->Arg(32);
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4);
 
 BENCHMARK_MAIN();

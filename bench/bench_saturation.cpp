@@ -1,12 +1,12 @@
 // Verifies the paper's section 5.2 claim: with input buffering, the
 // theoretical maximum egress throughput is 2 - sqrt(2) = 58.6% (and "in
 // reality, the 58.6% throughput is not achievable"). We overdrive every
-// fabric size at offered load 1.0 and report the measured saturation.
-#include <cmath>
+// fabric size at offered load 1.0 through the experiment engine and report
+// the measured saturation.
 #include <iostream>
 
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 int main() {
   using namespace sfab;
@@ -15,24 +15,31 @@ int main() {
                "uniform traffic) ===\n";
   std::cout << "HOL-blocking limit for large N: 2 - sqrt(2) = 58.6%\n\n";
 
+  SweepSpec spec;
+  spec.base.offered_load = 1.0;
+  spec.base.warmup_cycles = 5'000;
+  spec.base.measure_cycles = 40'000;
+  spec.base.ingress_queue_packets = 16;
+  spec.base.seed = 586;
+  // Presentation order: dedicated-path fabrics first, Banyan last.
+  spec.over_architectures({Architecture::kCrossbar,
+                           Architecture::kFullyConnected,
+                           Architecture::kBatcherBanyan,
+                           Architecture::kBanyan})
+      .over_ports({4, 8, 16, 32});
+  const ResultSet results = run_sweep(spec);
+
   TextTable t;
   t.set_header({"ports", "crossbar", "fully-conn", "batcher-banyan",
                 "banyan"});
-  for (const unsigned ports : {4u, 8u, 16u, 32u}) {
+  for (const unsigned ports : spec.ports) {
     std::vector<std::string> row{std::to_string(ports) + "x" +
                                  std::to_string(ports)};
-    for (const Architecture arch :
-         {Architecture::kCrossbar, Architecture::kFullyConnected,
-          Architecture::kBatcherBanyan, Architecture::kBanyan}) {
-      SimConfig c;
-      c.arch = arch;
-      c.ports = ports;
-      c.offered_load = 1.0;
-      c.warmup_cycles = 5'000;
-      c.measure_cycles = 40'000;
-      c.ingress_queue_packets = 16;
-      c.seed = 586;
-      row.push_back(format_percent(run_simulation(c).egress_throughput));
+    for (const Architecture arch : spec.architectures) {
+      const RunRecord& rec = results.at([ports, arch](const RunRecord& r) {
+        return r.config.ports == ports && r.config.arch == arch;
+      });
+      row.push_back(format_percent(rec.result.egress_throughput));
     }
     t.add_row(std::move(row));
   }

@@ -1,9 +1,10 @@
 // Architecture exploration: which switch fabric should a router use?
 //
 // Sweeps all four architectures over a load range for a given port count
-// and prints the winner per operating point — the paper's design-space
-// question ("this framework can be applied to the architectural
-// exploration for low power high performance network router designs").
+// (one engine sweep, parallel across cores) and prints the winner per
+// operating point — the paper's design-space question ("this framework can
+// be applied to the architectural exploration for low power high
+// performance network router designs").
 //
 // Usage: architecture_explorer [ports] [packet_words]
 //        defaults: 16 ports, 16-word packets.
@@ -11,8 +12,8 @@
 #include <iostream>
 #include <vector>
 
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 int main(int argc, char** argv) {
   using namespace sfab;
@@ -29,25 +30,29 @@ int main(int argc, char** argv) {
             << " fabric, " << packet_words << "-word packets, uniform "
             << "traffic\n\n";
 
+  SweepSpec spec;
+  spec.base.ports = ports;
+  spec.base.packet_words = packet_words;
+  spec.base.measure_cycles = 15'000;
+  spec.base.seed = 4;
+  spec.over_architectures(all_architectures())
+      .over_loads({0.1, 0.2, 0.3, 0.4, 0.5});
+  const ResultSet results = run_sweep(spec);
+
   TextTable t;
   t.set_header({"load", "crossbar", "fully-conn", "banyan", "batcher-banyan",
                 "lowest power"});
-  for (const double load : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+  for (const double load : spec.loads) {
     std::vector<std::string> row{format_percent(load)};
     double best = 1e30;
     Architecture winner = Architecture::kCrossbar;
-    for (const Architecture arch : all_architectures()) {
-      SimConfig c;
-      c.arch = arch;
-      c.ports = ports;
-      c.offered_load = load;
-      c.packet_words = packet_words;
-      c.measure_cycles = 15'000;
-      c.seed = 4;
-      const SimResult r = run_simulation(c);
-      row.push_back(format_power(r.power_w));
-      if (r.power_w < best) {
-        best = r.power_w;
+    for (const Architecture arch : spec.architectures) {
+      const RunRecord& rec = results.at([load, arch](const RunRecord& r) {
+        return r.config.offered_load == load && r.config.arch == arch;
+      });
+      row.push_back(format_power(rec.result.power_w));
+      if (rec.result.power_w < best) {
+        best = rec.result.power_w;
         winner = arch;
       }
     }

@@ -4,38 +4,35 @@
 // big slice of the power budget. This example walks a concrete planning
 // question: an edge aggregation router sees bursty, partially hot-spotted
 // traffic — not the uniform Bernoulli ideal. How do the four fabrics hold
-// up on power AND latency when the traffic gets ugly?
+// up on power AND latency when the traffic gets ugly? One pattern x
+// architecture sweep through the experiment engine.
 #include <iostream>
 
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
-
-namespace {
-
-sfab::SimConfig scenario(sfab::Architecture arch,
-                         sfab::TrafficPatternKind pattern) {
-  sfab::SimConfig c;
-  c.arch = arch;
-  c.ports = 16;
-  c.offered_load = 0.35;       // provisioned at ~1/3 line rate
-  c.packet_words = 16;         // 64-byte cells
-  c.pattern = pattern;
-  c.hotspot_fraction = 0.25;   // a popular uplink
-  c.hotspot_port = 0;
-  c.mean_burst_cycles = 400.0; // TCP-ish bursts
-  c.measure_cycles = 25'000;
-  c.warmup_cycles = 4'000;
-  c.seed = 1717;
-  return c;
-}
-
-}  // namespace
 
 int main() {
   using namespace sfab;
 
   std::cout << "edge router study: 16x16 fabric, 35% provisioned load, "
                "64-byte cells\n";
+
+  SweepSpec spec;
+  spec.base.ports = 16;
+  spec.base.offered_load = 0.35;        // provisioned at ~1/3 line rate
+  spec.base.packet_words = 16;          // 64-byte cells
+  spec.base.hotspot_fraction = 0.25;    // a popular uplink
+  spec.base.hotspot_port = 0;
+  spec.base.mean_burst_cycles = 400.0;  // TCP-ish bursts
+  spec.base.measure_cycles = 25'000;
+  spec.base.warmup_cycles = 4'000;
+  spec.base.seed = 1717;
+  spec.over_architectures(all_architectures())
+      .over_patterns({TrafficPatternKind::kUniform,
+                      TrafficPatternKind::kBursty,
+                      TrafficPatternKind::kHotspot});
+  const ResultSet results = run_sweep(spec);
 
   const struct {
     TrafficPatternKind pattern;
@@ -48,18 +45,33 @@ int main() {
 
   for (const auto& [pattern, story] : cases) {
     std::cout << "\n--- " << story << " ---\n";
-    TextTable t;
-    t.set_header({"architecture", "throughput", "power", "energy/bit",
-                  "latency", "queue drops"});
-    for (const Architecture arch : all_architectures()) {
-      const SimResult r = run_simulation(scenario(arch, pattern));
-      t.add_row({std::string(to_string(arch)),
-                 format_percent(r.egress_throughput),
-                 format_power(r.power_w), format_energy(r.energy_per_bit_j),
-                 format_fixed(r.mean_packet_latency_cycles, 1) + " cyc",
-                 std::to_string(r.input_queue_drops)});
-    }
-    t.print(std::cout);
+    print_records(
+        std::cout,
+        results.select([pattern = pattern](const RunRecord& r) {
+          return r.config.pattern == pattern;
+        }),
+        {{"architecture",
+          [](const RunRecord& r) {
+            return std::string(to_string(r.config.arch));
+          }},
+         {"throughput",
+          [](const RunRecord& r) {
+            return format_percent(r.result.egress_throughput);
+          }},
+         {"power",
+          [](const RunRecord& r) { return format_power(r.result.power_w); }},
+         {"energy/bit",
+          [](const RunRecord& r) {
+            return format_energy(r.result.energy_per_bit_j);
+          }},
+         {"latency",
+          [](const RunRecord& r) {
+            return format_fixed(r.result.mean_packet_latency_cycles, 1) +
+                   " cyc";
+          }},
+         {"queue drops", [](const RunRecord& r) {
+            return std::to_string(r.result.input_queue_drops);
+          }}});
   }
 
   std::cout

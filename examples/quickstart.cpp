@@ -43,7 +43,8 @@ int main() {
   t.print(std::cout);
 
   std::cout << "\nnext steps: examples/architecture_explorer compares all "
-               "four fabrics;\nbench/ regenerates every table and figure of "
-               "the paper.\n";
+               "four fabrics;\nexamples/sfab_cli sweeps whole parameter "
+               "grids in parallel (exp/SweepRunner);\nbench/ regenerates "
+               "every table and figure of the paper.\n";
   return 0;
 }

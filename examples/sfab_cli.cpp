@@ -1,18 +1,25 @@
-// Command-line front end: run any single simulation from the shell.
+// Command-line front end: run a single simulation or a whole sweep from
+// the shell, on every core.
 //
-//   sfab_cli --arch banyan --ports 16 --load 0.35 --cycles 20000 \
-//            --packet-words 16 --pattern uniform --seed 1
+//   sfab_cli --arch banyan --ports 16 --load 0.35 --cycles 20000
+//   sfab_cli --arch crossbar,banyan --ports 8,16,32 --load 0.1,0.3,0.5
+//            --replicates 3 --threads 8 --csv sweep.csv
 //
-// Prints the full measurement block (throughput, power split, energy/bit,
-// latency, contention counters). `--help` lists every knob. This is the
-// scripting entry point: sweep it from a shell loop and plot the columns.
-#include <cstdlib>
+// Every axis flag accepts a comma-separated list; the cross product runs
+// through exp/SweepRunner with deterministic per-run seeds (bit-identical
+// at any --threads value). A single run prints the full measurement block;
+// a sweep prints a summary table. --csv <path> writes the stable
+// machine-readable schema instead ("-" = stdout).
+#include <algorithm>
+#include <fstream>
 #include <iostream>
-#include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
 #include "sim/report.hpp"
-#include "sim/simulation.hpp"
 
 namespace {
 
@@ -20,56 +27,98 @@ using namespace sfab;
 
 void print_usage() {
   std::cout <<
-      "usage: sfab_cli [options]\n"
-      "  --arch NAME        crossbar | fully-connected | banyan |\n"
+      "usage: sfab_cli [options]   (list-valued flags take a,b,c)\n"
+      "  --arch LIST        crossbar | fully-connected | banyan |\n"
       "                     batcher-banyan | mesh          [crossbar]\n"
-      "  --ports N          port count (power of two; mesh: square) [16]\n"
-      "  --load F           offered load, words/port/cycle in (0,1]  [0.4]\n"
+      "  --ports LIST       port count (power of two; mesh: square) [16]\n"
+      "  --load LIST        offered load, words/port/cycle in (0,1]  [0.4]\n"
+      "  --pattern LIST     uniform | bit-reversal | hotspot | bursty\n"
+      "                                                        [uniform]\n"
+      "  --payload LIST     random | alternating | zero         [random]\n"
+      "  --scheme LIST      fifo | voq                            [fifo]\n"
+      "  --tech LIST        0.25um | 0.18um | 0.13um            [0.18um]\n"
+      "  --buffer-words LIST node FIFO capacity in words          [128]\n"
+      "  --packet-words LIST packet length incl. header word       [16]\n"
+      "  --replicates N     seeds per grid point                     [1]\n"
+      "  --threads N        worker threads (0 = all cores)           [0]\n"
       "  --cycles N         measured cycles                      [20000]\n"
       "  --warmup N         warm-up cycles                        [2000]\n"
-      "  --packet-words N   packet length incl. header word         [16]\n"
-      "  --pattern NAME     uniform | bit-reversal | hotspot | bursty\n"
-      "                                                        [uniform]\n"
-      "  --payload NAME     random | alternating | zero         [random]\n"
-      "  --seed N           RNG seed                                 [1]\n"
-      "  --tech NODE        0.25um | 0.18um | 0.13um            [0.18um]\n"
-      "  --buffer-words N   node FIFO capacity in words            [128]\n"
+      "  --seed N           base seed (per-run seeds are derived)    [1]\n"
       "  --skid N           skid bypass slots                        [1]\n"
       "  --dram             DRAM-backed node buffers (adds refresh)\n"
-      "  --csv              one machine-readable CSV line instead of table\n"
+      "  --csv PATH         write the sweep as CSV to PATH (- = stdout)\n"
       "  --help             this text\n";
 }
 
-Architecture parse_arch(const std::string& name) {
-  static const std::map<std::string, Architecture> names{
-      {"crossbar", Architecture::kCrossbar},
-      {"fully-connected", Architecture::kFullyConnected},
-      {"banyan", Architecture::kBanyan},
-      {"batcher-banyan", Architecture::kBatcherBanyan},
-      {"mesh", Architecture::kMesh}};
-  const auto it = names.find(name);
-  if (it == names.end()) throw std::invalid_argument("unknown --arch " + name);
-  return it->second;
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> items;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) items.push_back(item);
+  if (items.empty()) items.push_back(text);
+  return items;
 }
 
-TrafficPatternKind parse_pattern(const std::string& name) {
-  static const std::map<std::string, TrafficPatternKind> names{
-      {"uniform", TrafficPatternKind::kUniform},
-      {"bit-reversal", TrafficPatternKind::kBitReversal},
-      {"hotspot", TrafficPatternKind::kHotspot},
-      {"bursty", TrafficPatternKind::kBursty}};
-  const auto it = names.find(name);
-  if (it == names.end()) {
-    throw std::invalid_argument("unknown --pattern " + name);
+template <class T, class Parse>
+std::vector<T> parse_list(const std::string& text, Parse parse) {
+  std::vector<T> values;
+  for (const std::string& item : split_list(text)) {
+    values.push_back(parse(item));
   }
-  return it->second;
+  return values;
 }
 
-PayloadKind parse_payload(const std::string& name) {
-  if (name == "random") return PayloadKind::kRandom;
-  if (name == "alternating") return PayloadKind::kAlternating;
-  if (name == "zero") return PayloadKind::kZero;
-  throw std::invalid_argument("unknown --payload " + name);
+void print_single_run(const RunRecord& rec) {
+  const SimConfig& c = rec.config;
+  const SimResult& r = rec.result;
+  std::cout << to_string(c.arch) << " " << c.ports << "x" << c.ports << ", "
+            << to_string(c.pattern) << " traffic at "
+            << format_percent(c.offered_load) << " offered load\n\n";
+  TextTable t;
+  t.set_header({"metric", "value"});
+  t.add_row({"egress throughput", format_percent(r.egress_throughput)});
+  t.add_row({"total power", format_power(r.power_w)});
+  t.add_row({"  switches", format_power(r.switch_power_w)});
+  t.add_row({"  buffers", format_power(r.buffer_power_w)});
+  t.add_row({"  wires", format_power(r.wire_power_w)});
+  t.add_row({"energy per bit", format_energy(r.energy_per_bit_j)});
+  t.add_row({"mean packet latency",
+             format_fixed(r.mean_packet_latency_cycles, 1) + " cycles"});
+  t.add_row({"words buffered", std::to_string(r.words_buffered)});
+  t.add_row({"  of which SRAM", std::to_string(r.sram_buffered_words)});
+  t.add_row({"input-queue drops", std::to_string(r.input_queue_drops)});
+  t.print(std::cout);
+}
+
+void print_summary(const ResultSet& results) {
+  print_records(
+      std::cout, results,
+      {{"arch",
+        [](const RunRecord& r) {
+          return std::string(to_string(r.config.arch));
+        }},
+       {"ports",
+        [](const RunRecord& r) { return std::to_string(r.config.ports); }},
+       {"load",
+        [](const RunRecord& r) {
+          return format_percent(r.config.offered_load);
+        }},
+       {"rep",
+        [](const RunRecord& r) { return std::to_string(r.replicate); }},
+       {"throughput",
+        [](const RunRecord& r) {
+          return format_percent(r.result.egress_throughput);
+        }},
+       {"power",
+        [](const RunRecord& r) { return format_power(r.result.power_w); }},
+       {"energy/bit",
+        [](const RunRecord& r) {
+          return format_energy(r.result.energy_per_bit_j);
+        }},
+       {"latency", [](const RunRecord& r) {
+          return format_fixed(r.result.mean_packet_latency_cycles, 1) +
+                 " cyc";
+        }}});
 }
 
 }  // namespace
@@ -77,10 +126,11 @@ PayloadKind parse_payload(const std::string& name) {
 int main(int argc, char** argv) {
   using namespace sfab;
 
-  SimConfig config;
-  config.ports = 16;
-  config.offered_load = 0.4;
-  bool csv = false;
+  SweepSpec spec;
+  spec.base.ports = 16;
+  spec.base.offered_load = 0.4;
+  unsigned threads = 0;
+  std::string csv_path;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -95,72 +145,87 @@ int main(int argc, char** argv) {
         print_usage();
         return 0;
       } else if (flag == "--arch") {
-        config.arch = parse_arch(next());
+        spec.architectures = parse_list<Architecture>(
+            next(), [](const std::string& s) { return parse_architecture(s); });
       } else if (flag == "--ports") {
-        config.ports = static_cast<unsigned>(std::stoul(next()));
+        spec.ports = parse_list<unsigned>(next(), [](const std::string& s) {
+          return static_cast<unsigned>(std::stoul(s));
+        });
       } else if (flag == "--load") {
-        config.offered_load = std::stod(next());
-      } else if (flag == "--cycles") {
-        config.measure_cycles = std::stoull(next());
-      } else if (flag == "--warmup") {
-        config.warmup_cycles = std::stoull(next());
-      } else if (flag == "--packet-words") {
-        config.packet_words = static_cast<unsigned>(std::stoul(next()));
+        spec.loads = parse_list<double>(
+            next(), [](const std::string& s) { return std::stod(s); });
       } else if (flag == "--pattern") {
-        config.pattern = parse_pattern(next());
+        spec.patterns = parse_list<TrafficPatternKind>(
+            next(),
+            [](const std::string& s) { return parse_traffic_pattern(s); });
       } else if (flag == "--payload") {
-        config.payload = parse_payload(next());
-      } else if (flag == "--seed") {
-        config.seed = std::stoull(next());
+        spec.payloads = parse_list<PayloadKind>(
+            next(), [](const std::string& s) { return parse_payload_kind(s); });
+      } else if (flag == "--scheme") {
+        spec.schemes = parse_list<RouterScheme>(
+            next(),
+            [](const std::string& s) { return parse_router_scheme(s); });
       } else if (flag == "--tech") {
-        config.tech = TechnologyParams::preset(next());
-        config.switches =
-            SwitchEnergyTables::paper_defaults().scaled_to(config.tech);
+        spec.tech_nodes = split_list(next());
       } else if (flag == "--buffer-words") {
-        config.buffer_words_per_switch =
-            static_cast<unsigned>(std::stoul(next()));
+        spec.buffer_words =
+            parse_list<unsigned>(next(), [](const std::string& s) {
+              return static_cast<unsigned>(std::stoul(s));
+            });
+      } else if (flag == "--packet-words") {
+        spec.packet_words =
+            parse_list<unsigned>(next(), [](const std::string& s) {
+              return static_cast<unsigned>(std::stoul(s));
+            });
+      } else if (flag == "--replicates") {
+        spec.replicates = static_cast<unsigned>(std::stoul(next()));
+      } else if (flag == "--threads") {
+        threads = static_cast<unsigned>(std::stoul(next()));
+      } else if (flag == "--cycles") {
+        spec.base.measure_cycles = std::stoull(next());
+      } else if (flag == "--warmup") {
+        spec.base.warmup_cycles = std::stoull(next());
+      } else if (flag == "--seed") {
+        spec.base.seed = std::stoull(next());
       } else if (flag == "--skid") {
-        config.buffer_skid_words = static_cast<unsigned>(std::stoul(next()));
+        spec.base.buffer_skid_words =
+            static_cast<unsigned>(std::stoul(next()));
       } else if (flag == "--dram") {
-        config.dram_buffers = true;
+        spec.base.dram_buffers = true;
       } else if (flag == "--csv") {
-        csv = true;
+        csv_path = next();
       } else {
         throw std::invalid_argument("unknown option " + flag);
       }
     }
 
-    const SimResult r = run_simulation(config);
+    const ResultSet results = run_sweep(spec, threads);
 
-    if (csv) {
-      std::cout << to_string(r.arch) << ',' << r.ports << ','
-                << r.offered_load << ',' << r.egress_throughput << ','
-                << r.power_w << ',' << r.switch_power_w << ','
-                << r.buffer_power_w << ',' << r.wire_power_w << ','
-                << r.energy_per_bit_j << ','
-                << r.mean_packet_latency_cycles << ','
-                << r.words_buffered << ',' << r.input_queue_drops << '\n';
+    if (!csv_path.empty()) {
+      if (csv_path == "-") {
+        write_csv(std::cout, results);
+      } else {
+        std::ofstream file(csv_path);
+        if (!file) {
+          throw std::runtime_error("cannot open " + csv_path +
+                                   " for writing");
+        }
+        write_csv(file, results);
+        std::cerr << "wrote " << results.size() << " runs to " << csv_path
+                  << '\n';
+      }
       return 0;
     }
 
-    std::cout << to_string(config.arch) << " " << config.ports << "x"
-              << config.ports << ", " << to_string(config.pattern)
-              << " traffic at " << format_percent(config.offered_load)
-              << " offered load\n\n";
-    TextTable t;
-    t.set_header({"metric", "value"});
-    t.add_row({"egress throughput", format_percent(r.egress_throughput)});
-    t.add_row({"total power", format_power(r.power_w)});
-    t.add_row({"  switches", format_power(r.switch_power_w)});
-    t.add_row({"  buffers", format_power(r.buffer_power_w)});
-    t.add_row({"  wires", format_power(r.wire_power_w)});
-    t.add_row({"energy per bit", format_energy(r.energy_per_bit_j)});
-    t.add_row({"mean packet latency",
-               format_fixed(r.mean_packet_latency_cycles, 1) + " cycles"});
-    t.add_row({"words buffered", std::to_string(r.words_buffered)});
-    t.add_row({"  of which SRAM", std::to_string(r.sram_buffered_words)});
-    t.add_row({"input-queue drops", std::to_string(r.input_queue_drops)});
-    t.print(std::cout);
+    if (results.size() == 1) {
+      print_single_run(results[0]);
+    } else {
+      // The pool never spawns more workers than there are runs.
+      const std::size_t pool = std::min<std::size_t>(
+          SweepRunner(threads).threads(), results.size());
+      std::cout << results.size() << " runs (" << pool << " threads)\n\n";
+      print_summary(results);
+    }
   } catch (const std::exception& error) {
     std::cerr << "sfab_cli: " << error.what() << "\n\n";
     print_usage();

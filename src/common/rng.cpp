@@ -12,6 +12,14 @@ std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                 std::uint64_t stream) noexcept {
+  // SplitMix64 advances its state by the golden-gamma constant per draw, so
+  // the (stream+1)-th output is one mix of base_seed + stream * gamma.
+  std::uint64_t state = base_seed + stream * 0x9E3779B97F4A7C15ull;
+  return splitmix64_next(state);
+}
+
 namespace {
 [[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

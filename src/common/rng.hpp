@@ -16,6 +16,16 @@ namespace sfab {
 /// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
 [[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
 
+/// Derives the seed of stream `stream` from `base_seed`: the (stream+1)-th
+/// output of the SplitMix64 sequence seeded at `base_seed`, computed in O(1).
+/// The experiment engine seeds replicate r of every sweep point with
+/// derive_stream_seed(base_seed, r), so
+///   * distinct replicates get decorrelated generators, and
+///   * every grid point shares the same seed per replicate (paired sweeps),
+/// independent of grid shape, execution order and thread count.
+[[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                               std::uint64_t stream) noexcept;
+
 /// xoshiro256** 1.0 (Blackman/Vigna) with convenience draws.
 class Rng {
  public:

@@ -1,0 +1,60 @@
+// Unified sweep reporting: aligned-text tables and a stable CSV schema.
+//
+// Two sinks over the same RunRecords:
+//   * print_records: column-spec'd aligned text via sim/report's TextTable
+//     (what the bench drivers print), and
+//   * write_csv / read_csv: a machine-readable schema with a documented,
+//     stable column order. Doubles are written in shortest round-trip form
+//     (std::to_chars), so write -> read reproduces every measurement
+//     bit-exactly.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/result.hpp"
+
+namespace sfab {
+
+// --- aligned-text sink -------------------------------------------------------
+
+/// One table column: header plus a cell renderer over a record.
+struct Column {
+  std::string header;
+  std::function<std::string(const RunRecord&)> cell;
+};
+
+/// Prints one row per record (in the given order) through TextTable.
+void print_records(std::ostream& os,
+                   const std::vector<const RunRecord*>& records,
+                   const std::vector<Column>& columns);
+
+/// Overload for a whole ResultSet in expansion order.
+void print_records(std::ostream& os, const ResultSet& results,
+                   const std::vector<Column>& columns);
+
+// --- CSV sink ----------------------------------------------------------------
+
+/// The schema's column names, in the order every row is written.
+[[nodiscard]] const std::vector<std::string>& csv_columns();
+
+/// Comma-joined csv_columns().
+[[nodiscard]] std::string csv_header();
+
+/// One schema row for `rec` (no trailing newline).
+[[nodiscard]] std::string csv_row(const RunRecord& rec);
+
+/// Header plus one row per record.
+void write_csv(std::ostream& os, const ResultSet& results);
+
+/// Parses write_csv output back into records. Measurements and the
+/// identifying config axes (arch, ports, load, pattern, packet words,
+/// payload, scheme, buffer words, cycles, seed) round-trip exactly; the
+/// technology column carries only the feature size, so non-axis
+/// TechnologyParams fields keep their defaults. Throws
+/// std::invalid_argument on a malformed header or row.
+[[nodiscard]] ResultSet read_csv(std::istream& is);
+
+}  // namespace sfab

@@ -1,0 +1,111 @@
+// Sweep results: per-run records plus selection and replicate statistics.
+//
+// A ResultSet keeps every run of a sweep in expansion order, each with the
+// fully-resolved SimConfig that produced it, so downstream code (tables,
+// CSV sinks, crossover scans) selects by the axis values themselves rather
+// than re-deriving loop indices.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "sim/replicate.hpp"
+#include "sim/simulation.hpp"
+
+namespace sfab {
+
+/// One executed run: the plan that produced it plus its measurements.
+struct RunRecord {
+  std::size_t index = 0;   ///< position in expansion order
+  unsigned replicate = 0;  ///< replicate id within its grid point
+  SimConfig config;        ///< fully resolved (seed included)
+  SimResult result;
+};
+
+/// Every run of one sweep, in expansion order.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<RunRecord> records)
+      : records_(std::move(records)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] const RunRecord& operator[](std::size_t i) const {
+    return records_.at(i);
+  }
+  [[nodiscard]] auto begin() const noexcept { return records_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return records_.end(); }
+  [[nodiscard]] const std::vector<RunRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// All records matching `pred`, in expansion order.
+  template <class Pred>
+  [[nodiscard]] std::vector<const RunRecord*> select(Pred pred) const {
+    std::vector<const RunRecord*> matches;
+    for (const RunRecord& rec : records_) {
+      if (pred(rec)) matches.push_back(&rec);
+    }
+    return matches;
+  }
+
+  /// First record matching `pred`, or nullptr.
+  template <class Pred>
+  [[nodiscard]] const RunRecord* find(Pred pred) const {
+    for (const RunRecord& rec : records_) {
+      if (pred(rec)) return &rec;
+    }
+    return nullptr;
+  }
+
+  /// First record matching `pred`; throws std::out_of_range when absent.
+  /// The convenience accessor for grids where the point is known to exist.
+  template <class Pred>
+  [[nodiscard]] const RunRecord& at(Pred pred) const {
+    if (const RunRecord* rec = find(pred)) return *rec;
+    throw std::out_of_range("ResultSet::at: no record matches");
+  }
+
+  /// Summary statistics of `metric` over every record matching `pred` —
+  /// typically the replicates of one grid point. Throws
+  /// std::invalid_argument when nothing matches (via summarize).
+  template <class Pred, class Metric>
+  [[nodiscard]] Statistic stat(Pred pred, Metric metric) const {
+    std::vector<double> samples;
+    for (const RunRecord& rec : records_) {
+      if (pred(rec)) samples.push_back(metric(rec.result));
+    }
+    return summarize(samples);
+  }
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+/// Named metric accessors for ResultSet::stat and table columns.
+namespace metrics {
+inline constexpr auto power_w = [](const SimResult& r) { return r.power_w; };
+inline constexpr auto switch_power_w = [](const SimResult& r) {
+  return r.switch_power_w;
+};
+inline constexpr auto buffer_power_w = [](const SimResult& r) {
+  return r.buffer_power_w;
+};
+inline constexpr auto wire_power_w = [](const SimResult& r) {
+  return r.wire_power_w;
+};
+inline constexpr auto energy_per_bit_j = [](const SimResult& r) {
+  return r.energy_per_bit_j;
+};
+inline constexpr auto egress_throughput = [](const SimResult& r) {
+  return r.egress_throughput;
+};
+inline constexpr auto mean_packet_latency_cycles = [](const SimResult& r) {
+  return r.mean_packet_latency_cycles;
+};
+}  // namespace metrics
+
+}  // namespace sfab

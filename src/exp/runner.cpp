@@ -1,0 +1,88 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace sfab {
+
+namespace {
+
+[[nodiscard]] unsigned default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(unsigned threads) noexcept
+    : threads_(threads == 0 ? default_threads() : threads) {}
+
+ResultSet SweepRunner::run(const SweepSpec& spec) const {
+  std::vector<RunPlan> plans = spec.expand();
+
+  std::vector<RunRecord> records(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    records[i].index = plans[i].index;
+    records[i].replicate = plans[i].replicate;
+    records[i].config = std::move(plans[i].config);
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&]() noexcept {
+    for (;;) {
+      const std::size_t i =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= records.size() || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        records[i].result = run_simulation(records[i].config);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t pool =
+      std::min<std::size_t>(threads_, records.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return ResultSet(std::move(records));
+}
+
+ResultSet run_sweep(const SweepSpec& spec, unsigned threads) {
+  return SweepRunner(threads).run(spec);
+}
+
+std::vector<SimResult> sweep_offered_load(SimConfig base,
+                                          const std::vector<double>& loads,
+                                          unsigned threads) {
+  SweepSpec spec;
+  spec.base = std::move(base);
+  spec.loads = loads;
+  const ResultSet results = run_sweep(spec, threads);
+  std::vector<SimResult> bare;
+  bare.reserve(results.size());
+  for (const RunRecord& rec : results) bare.push_back(rec.result);
+  return bare;
+}
+
+}  // namespace sfab

@@ -1,0 +1,44 @@
+// Thread-pooled sweep execution.
+//
+// run_simulation is side-effect-free per run, so a sweep is embarrassingly
+// parallel: the runner expands the spec once (seeds and all), then N
+// threads pull runs off a shared atomic cursor. Because every run's config
+// is fully resolved before the first thread starts, the results are
+// bit-identical at any thread count — parallelism only reorders execution,
+// never inputs.
+#pragma once
+
+#include <vector>
+
+#include "exp/result.hpp"
+#include "exp/spec.hpp"
+
+namespace sfab {
+
+class SweepRunner {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit SweepRunner(unsigned threads = 0) noexcept;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Executes every run of `spec` and returns the records in expansion
+  /// order. The first exception thrown by any run (e.g. an invalid
+  /// architecture/port combination) stops the sweep and is rethrown.
+  [[nodiscard]] ResultSet run(const SweepSpec& spec) const;
+
+ private:
+  unsigned threads_;
+};
+
+/// One-call convenience: SweepRunner{threads}.run(spec).
+[[nodiscard]] ResultSet run_sweep(const SweepSpec& spec, unsigned threads = 0);
+
+/// Runs `base` once per load value through the engine and returns the bare
+/// results in load order. Paired-sweep semantics: every load point runs
+/// with the same derived seed (derive_stream_seed(base.seed, 0)), so the
+/// points differ only by offered load, never by sampling.
+[[nodiscard]] std::vector<SimResult> sweep_offered_load(
+    SimConfig base, const std::vector<double>& loads, unsigned threads = 0);
+
+}  // namespace sfab

@@ -20,6 +20,17 @@ std::string_view to_string(Architecture arch) noexcept {
   return "unknown";
 }
 
+Architecture parse_architecture(std::string_view name) {
+  for (const Architecture arch :
+       {Architecture::kCrossbar, Architecture::kFullyConnected,
+        Architecture::kBanyan, Architecture::kBatcherBanyan,
+        Architecture::kMesh}) {
+    if (name == to_string(arch)) return arch;
+  }
+  throw std::invalid_argument("parse_architecture: unknown architecture \"" +
+                              std::string(name) + "\"");
+}
+
 SwitchFabric::SwitchFabric(FabricConfig config) : config_(config) {
   if (config_.ports < 2) {
     throw std::invalid_argument("SwitchFabric: need at least 2 ports");

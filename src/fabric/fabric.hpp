@@ -38,6 +38,10 @@ enum class Architecture {
 
 [[nodiscard]] std::string_view to_string(Architecture arch) noexcept;
 
+/// Inverse of to_string(Architecture); throws std::invalid_argument on an
+/// unknown name. Used by the CLI flags and the experiment CSV reader.
+[[nodiscard]] Architecture parse_architecture(std::string_view name);
+
 /// One bus word in flight, with the sideband the fabric needs.
 struct Flit {
   Word data = 0;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "router/voq_router.hpp"
 
 namespace sfab {
 
@@ -17,6 +18,34 @@ std::string_view to_string(TrafficPatternKind kind) noexcept {
       return "bursty";
   }
   return "unknown";
+}
+
+TrafficPatternKind parse_traffic_pattern(std::string_view name) {
+  for (const TrafficPatternKind kind :
+       {TrafficPatternKind::kUniform, TrafficPatternKind::kBitReversal,
+        TrafficPatternKind::kHotspot, TrafficPatternKind::kBursty}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("parse_traffic_pattern: unknown pattern \"" +
+                              std::string(name) + "\"");
+}
+
+std::string_view to_string(RouterScheme scheme) noexcept {
+  switch (scheme) {
+    case RouterScheme::kFifo:
+      return "fifo";
+    case RouterScheme::kVoq:
+      return "voq";
+  }
+  return "unknown";
+}
+
+RouterScheme parse_router_scheme(std::string_view name) {
+  for (const RouterScheme scheme : {RouterScheme::kFifo, RouterScheme::kVoq}) {
+    if (name == to_string(scheme)) return scheme;
+  }
+  throw std::invalid_argument("parse_router_scheme: unknown scheme \"" +
+                              std::string(name) + "\"");
 }
 
 namespace {
@@ -42,30 +71,24 @@ TrafficGenerator make_traffic(const SimConfig& c) {
   throw std::invalid_argument("make_traffic: unknown pattern");
 }
 
-}  // namespace
+FabricConfig make_fabric_config(const SimConfig& config) {
+  FabricConfig fc;
+  fc.ports = config.ports;
+  fc.tech = config.tech;
+  fc.switches = config.switches;
+  fc.buffer_words_per_switch = config.buffer_words_per_switch;
+  fc.buffer_skid_words = config.buffer_skid_words;
+  fc.charge_buffer_read_and_write = config.charge_buffer_read_and_write;
+  fc.dram_buffers = config.dram_buffers;
+  fc.dram_retention_s = config.dram_retention_s;
+  return fc;
+}
 
-SimResult run_simulation(const SimConfig& config) {
-  if (config.measure_cycles == 0) {
-    throw std::invalid_argument("run_simulation: measure_cycles >= 1");
-  }
-
-  FabricConfig fabric_config;
-  fabric_config.ports = config.ports;
-  fabric_config.tech = config.tech;
-  fabric_config.switches = config.switches;
-  fabric_config.buffer_words_per_switch = config.buffer_words_per_switch;
-  fabric_config.buffer_skid_words = config.buffer_skid_words;
-  fabric_config.charge_buffer_read_and_write =
-      config.charge_buffer_read_and_write;
-  fabric_config.dram_buffers = config.dram_buffers;
-  fabric_config.dram_retention_s = config.dram_retention_s;
-
-  RouterConfig router_config;
-  router_config.ingress_queue_packets = config.ingress_queue_packets;
-
-  Router router(make_fabric(config.arch, fabric_config),
-                make_traffic(config), router_config);
-
+/// Warm-up / measure / report, identical for both router schemes (Router
+/// and VoqRouter expose the same measurement surface without sharing a
+/// base class).
+template <class AnyRouter>
+SimResult measure(AnyRouter& router, const SimConfig& config) {
   // Warm-up: reach steady state, then zero the meters.
   router.run(config.warmup_cycles);
   router.fabric().reset_energy();
@@ -109,15 +132,31 @@ SimResult run_simulation(const SimConfig& config) {
   return r;
 }
 
-std::vector<SimResult> sweep_offered_load(SimConfig base,
-                                          const std::vector<double>& loads) {
-  std::vector<SimResult> results;
-  results.reserve(loads.size());
-  for (const double load : loads) {
-    base.offered_load = load;
-    results.push_back(run_simulation(base));
+}  // namespace
+
+SimResult run_simulation(const SimConfig& config) {
+  if (config.measure_cycles == 0) {
+    throw std::invalid_argument("run_simulation: measure_cycles >= 1");
   }
-  return results;
+
+  const FabricConfig fabric_config = make_fabric_config(config);
+
+  switch (config.scheme) {
+    case RouterScheme::kFifo: {
+      Router router(make_fabric(config.arch, fabric_config),
+                    make_traffic(config),
+                    RouterConfig{config.ingress_queue_packets});
+      return measure(router, config);
+    }
+    case RouterScheme::kVoq: {
+      VoqRouter router(
+          make_fabric(config.arch, fabric_config), make_traffic(config),
+          VoqRouterConfig{config.ingress_queue_packets,
+                          config.islip_iterations});
+      return measure(router, config);
+    }
+  }
+  throw std::invalid_argument("run_simulation: unknown router scheme");
 }
 
 }  // namespace sfab

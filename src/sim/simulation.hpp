@@ -27,6 +27,22 @@ enum class TrafficPatternKind {
 
 [[nodiscard]] std::string_view to_string(TrafficPatternKind kind) noexcept;
 
+/// Inverse of to_string(TrafficPatternKind); throws std::invalid_argument
+/// on an unknown name.
+[[nodiscard]] TrafficPatternKind parse_traffic_pattern(std::string_view name);
+
+/// Which input-queueing scheme drives the fabric.
+enum class RouterScheme {
+  kFifo,  ///< FCFS input queues, head-of-line blocking (paper's scheme)
+  kVoq,   ///< virtual output queues + iSLIP (framework extension)
+};
+
+[[nodiscard]] std::string_view to_string(RouterScheme scheme) noexcept;
+
+/// Inverse of to_string(RouterScheme); throws std::invalid_argument on an
+/// unknown name.
+[[nodiscard]] RouterScheme parse_router_scheme(std::string_view name);
+
 struct SimConfig {
   Architecture arch = Architecture::kCrossbar;
   unsigned ports = 16;
@@ -56,6 +72,10 @@ struct SimConfig {
   bool dram_buffers = false;
   double dram_retention_s = 64e-3;
   std::size_t ingress_queue_packets = 64;
+  /// Input-queueing scheme in front of the fabric.
+  RouterScheme scheme = RouterScheme::kFifo;
+  /// iSLIP rounds per cycle when scheme == kVoq (0 = iterate to maximal).
+  unsigned islip_iterations = 0;
 };
 
 struct SimResult {
@@ -91,10 +111,12 @@ struct SimResult {
 };
 
 /// Runs one simulation to completion and returns its measurements.
+/// Side-effect-free: concurrent calls with independent configs are safe,
+/// which is what exp/SweepRunner exploits.
 [[nodiscard]] SimResult run_simulation(const SimConfig& config);
 
-/// Runs `base` once per load value (same seed per run for paired sweeps).
-[[nodiscard]] std::vector<SimResult> sweep_offered_load(
-    SimConfig base, const std::vector<double>& loads);
+// Sweeps over SimConfig axes live in the experiment layer: see
+// exp/spec.hpp (SweepSpec) and exp/runner.hpp (SweepRunner,
+// sweep_offered_load).
 
 }  // namespace sfab

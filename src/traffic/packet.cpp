@@ -4,6 +4,27 @@
 
 namespace sfab {
 
+std::string_view to_string(PayloadKind kind) noexcept {
+  switch (kind) {
+    case PayloadKind::kRandom:
+      return "random";
+    case PayloadKind::kAlternating:
+      return "alternating";
+    case PayloadKind::kZero:
+      return "zero";
+  }
+  return "unknown";
+}
+
+PayloadKind parse_payload_kind(std::string_view name) {
+  for (const PayloadKind kind : {PayloadKind::kRandom, PayloadKind::kAlternating,
+                                 PayloadKind::kZero}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("parse_payload_kind: unknown payload \"" +
+                              std::string(name) + "\"");
+}
+
 PacketFactory::PacketFactory(unsigned total_words, PayloadKind kind,
                              std::uint64_t seed)
     : total_words_(total_words), kind_(kind), rng_(seed) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -23,6 +24,12 @@ enum class PayloadKind {
                  ///< every word — the worst case the closed forms assume
   kZero,         ///< all zeros: minimum switching
 };
+
+[[nodiscard]] std::string_view to_string(PayloadKind kind) noexcept;
+
+/// Inverse of to_string(PayloadKind); throws std::invalid_argument on an
+/// unknown name.
+[[nodiscard]] PayloadKind parse_payload_kind(std::string_view name);
 
 struct Packet {
   std::uint64_t id = 0;

@@ -1,0 +1,139 @@
+// Tests for the unified reporting layer: CSV round-trip and column tables.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "sim/report.hpp"
+
+namespace sfab {
+namespace {
+
+ResultSet small_sweep() {
+  SweepSpec spec;
+  spec.base.ports = 4;
+  spec.base.warmup_cycles = 200;
+  spec.base.measure_cycles = 1'500;
+  spec.base.seed = 5;
+  spec.over_architectures({Architecture::kCrossbar, Architecture::kBanyan})
+      .over_loads({0.2, 0.4})
+      .with_replicates(2);
+  return run_sweep(spec, 2);
+}
+
+TEST(Csv, HeaderIsStable) {
+  // The schema is a contract: plotting scripts key on these names in this
+  // order. Changing it is a breaking change, not a refactor.
+  EXPECT_EQ(csv_header(),
+            "index,replicate,seed,scheme,arch,ports,offered_load,pattern,"
+            "packet_words,payload,tech_um,buffer_words,warmup_cycles,"
+            "measure_cycles,egress_throughput,delivered_words,"
+            "delivered_packets,input_queue_drops,"
+            "mean_packet_latency_cycles,power_w,switch_power_w,"
+            "buffer_power_w,wire_power_w,energy_per_bit_j,words_buffered,"
+            "sram_buffered_words,stall_cycles,measured_cycles");
+  EXPECT_EQ(csv_columns().size(), 28u);
+}
+
+TEST(Csv, RoundTripIsBitExact) {
+  const ResultSet results = small_sweep();
+  std::stringstream buffer;
+  write_csv(buffer, results);
+
+  const ResultSet parsed = read_csv(buffer);
+  ASSERT_EQ(parsed.size(), results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunRecord& a = results[i];
+    const RunRecord& b = parsed[i];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.replicate, b.replicate);
+    EXPECT_EQ(a.config.seed, b.config.seed);
+    EXPECT_EQ(a.config.arch, b.config.arch);
+    EXPECT_EQ(a.config.ports, b.config.ports);
+    EXPECT_EQ(a.config.scheme, b.config.scheme);
+    EXPECT_EQ(a.config.pattern, b.config.pattern);
+    EXPECT_EQ(a.config.payload, b.config.payload);
+    EXPECT_EQ(a.config.packet_words, b.config.packet_words);
+    EXPECT_EQ(a.config.buffer_words_per_switch,
+              b.config.buffer_words_per_switch);
+    EXPECT_EQ(a.config.warmup_cycles, b.config.warmup_cycles);
+    EXPECT_EQ(a.config.measure_cycles, b.config.measure_cycles);
+    // Doubles written in shortest round-trip form: bit-exact equality.
+    EXPECT_EQ(a.config.offered_load, b.config.offered_load);
+    EXPECT_EQ(a.result.egress_throughput, b.result.egress_throughput);
+    EXPECT_EQ(a.result.power_w, b.result.power_w);
+    EXPECT_EQ(a.result.switch_power_w, b.result.switch_power_w);
+    EXPECT_EQ(a.result.buffer_power_w, b.result.buffer_power_w);
+    EXPECT_EQ(a.result.wire_power_w, b.result.wire_power_w);
+    EXPECT_EQ(a.result.energy_per_bit_j, b.result.energy_per_bit_j);
+    EXPECT_EQ(a.result.mean_packet_latency_cycles,
+              b.result.mean_packet_latency_cycles);
+    EXPECT_EQ(a.result.delivered_words, b.result.delivered_words);
+    EXPECT_EQ(a.result.words_buffered, b.result.words_buffered);
+    EXPECT_EQ(a.result.measured_cycles, b.result.measured_cycles);
+  }
+}
+
+TEST(Csv, RejectsForeignHeader) {
+  std::stringstream buffer("arch,power\ncrossbar,1.0\n");
+  EXPECT_THROW((void)read_csv(buffer), std::invalid_argument);
+}
+
+TEST(Csv, RejectsRaggedRow) {
+  std::stringstream buffer(csv_header() + "\n1,2,3\n");
+  EXPECT_THROW((void)read_csv(buffer), std::invalid_argument);
+}
+
+TEST(Csv, RejectsMalformedNumber) {
+  const ResultSet results = small_sweep();
+  std::stringstream buffer;
+  write_csv(buffer, results);
+  std::string text = buffer.str();
+  const std::size_t pos = text.find("\n1,");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos + 1, 1, "x");
+  std::stringstream corrupted(text);
+  EXPECT_THROW((void)read_csv(corrupted), std::invalid_argument);
+}
+
+TEST(PrintRecords, RendersOneRowPerRecordWithSelection) {
+  const ResultSet results = small_sweep();
+  const auto crossbar = results.select([](const RunRecord& rec) {
+    return rec.config.arch == Architecture::kCrossbar &&
+           rec.replicate == 0;
+  });
+  ASSERT_EQ(crossbar.size(), 2u);
+
+  std::ostringstream os;
+  print_records(os, crossbar,
+                {{"load",
+                  [](const RunRecord& rec) {
+                    return format_percent(rec.config.offered_load);
+                  }},
+                 {"power", [](const RunRecord& rec) {
+                    return format_power(rec.result.power_w);
+                  }}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("load"), std::string::npos);
+  EXPECT_NE(out.find("20.0%"), std::string::npos);
+  EXPECT_NE(out.find("40.0%"), std::string::npos);
+}
+
+TEST(PrintRecords, WholeResultSetOverload) {
+  const ResultSet results = small_sweep();
+  std::ostringstream os;
+  print_records(os, results, {{"arch", [](const RunRecord& rec) {
+                                 return std::string(
+                                     to_string(rec.config.arch));
+                               }}});
+  // Header separator plus one line per record.
+  std::size_t lines = 0;
+  for (const char ch : os.str()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_GE(lines, results.size());
+}
+
+}  // namespace
+}  // namespace sfab

@@ -72,13 +72,33 @@ TEST(Simulation, PowerRisesWithLoad) {
   }
 }
 
-TEST(Simulation, SweepRunsEveryLoad) {
-  const auto results = sweep_offered_load(
-      quick(Architecture::kFullyConnected, 8, 0.0), {0.1, 0.3, 0.5});
-  ASSERT_EQ(results.size(), 3u);
-  EXPECT_DOUBLE_EQ(results[0].offered_load, 0.1);
-  EXPECT_DOUBLE_EQ(results[2].offered_load, 0.5);
-  EXPECT_LT(results[0].power_w, results[2].power_w);
+// Load sweeps moved to the experiment engine: tests/test_exp_runner.cpp.
+
+TEST(Simulation, VoqSchemeBeatsFifoSaturation) {
+  // The VOQ router plugs into the same harness via config.scheme and lifts
+  // the 58.6% HOL ceiling at full offered load.
+  SimConfig fifo = quick(Architecture::kCrossbar, 8, 1.0);
+  fifo.warmup_cycles = 2'000;
+  SimConfig voq = fifo;
+  voq.scheme = RouterScheme::kVoq;
+  const SimResult a = run_simulation(fifo);
+  const SimResult b = run_simulation(voq);
+  EXPECT_LT(a.egress_throughput, 0.75);
+  EXPECT_GT(b.egress_throughput, a.egress_throughput);
+  EXPECT_GT(b.egress_throughput, 0.85);
+}
+
+TEST(Simulation, SchemeAndPatternNamesRoundTrip) {
+  for (const RouterScheme scheme : {RouterScheme::kFifo, RouterScheme::kVoq}) {
+    EXPECT_EQ(parse_router_scheme(to_string(scheme)), scheme);
+  }
+  for (const TrafficPatternKind pattern :
+       {TrafficPatternKind::kUniform, TrafficPatternKind::kBitReversal,
+        TrafficPatternKind::kHotspot, TrafficPatternKind::kBursty}) {
+    EXPECT_EQ(parse_traffic_pattern(to_string(pattern)), pattern);
+  }
+  EXPECT_THROW((void)parse_router_scheme("token-ring"), std::invalid_argument);
+  EXPECT_THROW((void)parse_traffic_pattern("tornado"), std::invalid_argument);
 }
 
 TEST(Simulation, ZeroPayloadStillBurnsSwitchEnergy) {
