@@ -1,0 +1,159 @@
+// Simulator throughput benchmark: packets/sec and simulated cycles/sec.
+//
+// Measures how fast the engine itself runs — not what the fabrics deliver —
+// on the saturation workload (offered load 1.0, uniform traffic, the
+// bench_saturation configuration), across fabrics and port counts. Emits a
+// machine-readable BENCH_throughput.json so CI can archive the performance
+// trajectory of the hot path over time; the headline number is the
+// 32-port crossbar row (the packet-arena PR's ≥3x acceptance metric).
+//
+// Usage: bench_throughput [--quick] [--reps N] [--out PATH]
+//   --quick  small grid + short runs (CI smoke)
+//   --reps   timing repetitions per config; best-of is reported (default 3)
+//   --out    JSON output path (default BENCH_throughput.json)
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+struct Row {
+  sfab::SimConfig config;
+  double best_s = 0.0;
+  sfab::SimResult result;
+};
+
+double time_once(const sfab::SimConfig& config, sfab::SimResult& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  out = sfab::run_simulation(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double packets_per_sec(const Row& row) {
+  return static_cast<double>(row.result.delivered_packets) / row.best_s;
+}
+
+double cycles_per_sec(const Row& row) {
+  return static_cast<double>(row.config.warmup_cycles +
+                             row.config.measure_cycles) /
+         row.best_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sfab;
+
+  bool quick = false;
+  int reps = 3;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_throughput [--quick] [--reps N] [--out "
+                   "PATH]\n";
+      return 2;
+    }
+  }
+
+  SimConfig base;
+  base.offered_load = 1.0;  // saturation: every port always has traffic
+  base.warmup_cycles = quick ? 1'000 : 5'000;
+  base.measure_cycles = quick ? 4'000 : 40'000;
+  base.ingress_queue_packets = 16;
+  base.seed = 586;  // the bench_saturation workload
+
+  const std::vector<Architecture> archs =
+      quick ? std::vector<Architecture>{Architecture::kCrossbar,
+                                        Architecture::kBanyan}
+            : std::vector<Architecture>{Architecture::kCrossbar,
+                                        Architecture::kFullyConnected,
+                                        Architecture::kBatcherBanyan,
+                                        Architecture::kBanyan};
+  const std::vector<unsigned> port_counts =
+      quick ? std::vector<unsigned>{8, 16} : std::vector<unsigned>{8, 16, 32};
+
+  std::cout << "=== Simulator throughput (saturation workload, "
+            << (quick ? "quick" : "full") << " grid) ===\n\n";
+
+  std::vector<Row> rows;
+  for (const Architecture arch : archs) {
+    for (const unsigned ports : port_counts) {
+      Row row;
+      row.config = base;
+      row.config.arch = arch;
+      row.config.ports = ports;
+      row.best_s = time_once(row.config, row.result);  // warm + first sample
+      for (int r = 1; r < reps; ++r) {
+        SimResult result;
+        const double s = time_once(row.config, result);
+        if (s < row.best_s) {
+          row.best_s = s;
+          row.result = result;
+        }
+      }
+      rows.push_back(row);
+    }
+  }
+
+  TextTable t;
+  t.set_header({"arch", "ports", "wall_ms", "pkts/sec", "sim cycles/sec",
+                "egress thpt"});
+  for (const Row& row : rows) {
+    t.add_row({std::string(to_string(row.config.arch)),
+               std::to_string(row.config.ports),
+               format_fixed(row.best_s * 1e3, 1),
+               format_fixed(packets_per_sec(row) / 1e6, 3) + "M",
+               format_fixed(cycles_per_sec(row) / 1e6, 3) + "M",
+               format_percent(row.result.egress_throughput)});
+  }
+  t.print(std::cout);
+
+  std::ofstream json(out_path);
+  if (!json.is_open()) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n  \"bench\": \"throughput\",\n  \"workload\": {\n"
+       << "    \"offered_load\": " << base.offered_load << ",\n"
+       << "    \"packet_words\": " << base.packet_words << ",\n"
+       << "    \"pattern\": \"uniform\",\n    \"scheme\": \"fifo\",\n"
+       << "    \"warmup_cycles\": " << base.warmup_cycles << ",\n"
+       << "    \"measure_cycles\": " << base.measure_cycles << ",\n"
+       << "    \"ingress_queue_packets\": " << base.ingress_queue_packets
+       << ",\n    \"seed\": " << base.seed << ",\n    \"reps\": " << reps
+       << "\n  },\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"arch\": \"" << to_string(row.config.arch)
+         << "\", \"ports\": " << row.config.ports
+         << ", \"wall_s_best\": " << row.best_s
+         << ", \"delivered_packets\": " << row.result.delivered_packets
+         << ", \"delivered_words\": " << row.result.delivered_words
+         << ", \"packets_per_sec\": " << packets_per_sec(row)
+         << ", \"sim_cycles_per_sec\": " << cycles_per_sec(row)
+         << ", \"egress_throughput\": " << row.result.egress_throughput
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::cout << "\nwrote " << out_path << " (headline: crossbar @ "
+            << port_counts.back() << " ports = "
+            << format_fixed(packets_per_sec(rows[port_counts.size() - 1]) /
+                                1e6,
+                            3)
+            << "M pkts/sec)\n";
+  return 0;
+}

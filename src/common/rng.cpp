@@ -20,36 +20,10 @@ std::uint64_t derive_stream_seed(std::uint64_t base_seed,
   return splitmix64_next(state);
 }
 
-namespace {
-[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) noexcept {
   // Expand the seed; xoshiro must not start from an all-zero state, which
   // SplitMix64 cannot produce for four consecutive outputs.
   for (auto& word : s_) word = splitmix64_next(seed);
-}
-
-std::uint64_t Rng::next_u64() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint32_t Rng::next_u32() noexcept {
-  return static_cast<std::uint32_t>(next_u64() >> 32);
-}
-
-double Rng::next_double() noexcept {
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
@@ -68,14 +42,6 @@ std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
   }
   return static_cast<std::uint64_t>(m >> 64);
 }
-
-bool Rng::next_bernoulli(double p) noexcept {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
-}
-
-Word Rng::next_word() noexcept { return next_u32(); }
 
 Rng Rng::split() noexcept { return Rng{next_u64()}; }
 

@@ -26,36 +26,81 @@ namespace sfab {
 [[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t base_seed,
                                                std::uint64_t stream) noexcept;
 
-/// xoshiro256** 1.0 (Blackman/Vigna) with convenience draws.
+/// xoshiro256** 1.0 (Blackman/Vigna) with convenience draws. The draw
+/// methods are defined inline: every packet word and every arrival decision
+/// goes through them, and the call overhead was visible in sweep profiles.
 class Rng {
  public:
   /// Seeds the four state words from `seed` via SplitMix64.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
 
   /// Next raw 64-bit draw.
-  [[nodiscard]] std::uint64_t next_u64() noexcept;
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl_(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
   /// Next raw 32-bit draw (upper half of a 64-bit draw).
-  [[nodiscard]] std::uint32_t next_u32() noexcept;
+  [[nodiscard]] std::uint32_t next_u32() noexcept {
+    return static_cast<std::uint32_t>(next_u64() >> 32);
+  }
 
   /// Uniform in [0, 1) with 53-bit resolution.
-  [[nodiscard]] double next_double() noexcept;
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [0, bound); bound must be >= 1.
   /// Uses Lemire-style rejection to avoid modulo bias.
   [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  [[nodiscard]] bool next_bernoulli(double p) noexcept;
+  [[nodiscard]] bool next_bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Precomputed integer threshold for next_bernoulli(p): next_double() < p
+  /// compares v * 2^-53 < p for the integer v = next_u64() >> 11, which is
+  /// exactly v < ceil(p * 2^53) (p * 2^53 is the same mantissa with a
+  /// shifted exponent, so the product is exact). Callers that draw against
+  /// a fixed p hoist the conversion out of the per-draw path.
+  [[nodiscard]] static std::uint64_t bernoulli_threshold(double p) noexcept {
+    if (p <= 0.0) return 0;  // v < 0 never holds
+    const double scaled = p * 9007199254740992.0;  // p * 2^53, exact
+    const double floor_scaled = static_cast<double>(
+        static_cast<std::uint64_t>(scaled));
+    return static_cast<std::uint64_t>(scaled) +
+           (scaled != floor_scaled ? 1 : 0);
+  }
+
+  /// next_bernoulli(p) for 0 < p < 1 with the threshold precomputed via
+  /// bernoulli_threshold(p). Draw-for-draw identical to next_bernoulli.
+  [[nodiscard]] bool next_bernoulli_threshold(std::uint64_t threshold) noexcept {
+    return (next_u64() >> 11) < threshold;
+  }
 
   /// One random bus word (all 32 bits independent).
-  [[nodiscard]] Word next_word() noexcept;
+  [[nodiscard]] Word next_word() noexcept { return next_u32(); }
 
   /// Split off an independent child generator. Children seeded from distinct
   /// streams never correlate with the parent's subsequent draws.
   [[nodiscard]] Rng split() noexcept;
 
  private:
+  [[nodiscard]] static constexpr std::uint64_t rotl_(std::uint64_t x,
+                                                     int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

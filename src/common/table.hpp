@@ -37,6 +37,13 @@ class PiecewiseLinear {
   [[nodiscard]] double min_x() const;
   [[nodiscard]] double max_x() const;
 
+  /// The calibration points, sorted by x (exp/cache.cpp hashes these into
+  /// the canonical sweep-cache key).
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points()
+      const noexcept {
+    return pts_;
+  }
+
  private:
   void validate_and_sort();
   std::vector<std::pair<double, double>> pts_;

@@ -4,7 +4,9 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 namespace sfab {
@@ -31,6 +33,33 @@ ResultSet SweepRunner::run(const SweepSpec& spec) const {
     records[i].config = std::move(plans[i].config);
   }
 
+  // With a cache attached: satisfy records from the cache, and collapse
+  // duplicate resolved configs within this sweep onto one leader run each.
+  // `pending` is the list of record indices that actually simulate.
+  std::vector<std::size_t> pending;
+  std::vector<std::string> keys;
+  std::vector<std::pair<std::size_t, std::size_t>> followers;  // copy to,from
+  if (cache_ != nullptr) {
+    keys.resize(records.size());
+    std::unordered_map<std::string, std::size_t> leader_of;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      keys[i] = ResultCache::key_of(records[i].config);
+      if (const auto cached = cache_->lookup_key(keys[i])) {
+        records[i].result = *cached;
+        continue;
+      }
+      const auto [it, inserted] = leader_of.emplace(keys[i], i);
+      if (inserted) {
+        pending.push_back(i);
+      } else {
+        followers.emplace_back(i, it->second);
+      }
+    }
+  } else {
+    pending.resize(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) pending[i] = i;
+  }
+
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
@@ -38,11 +67,12 @@ ResultSet SweepRunner::run(const SweepSpec& spec) const {
 
   const auto worker = [&]() noexcept {
     for (;;) {
-      const std::size_t i =
+      const std::size_t n =
           cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= records.size() || failed.load(std::memory_order_relaxed)) {
+      if (n >= pending.size() || failed.load(std::memory_order_relaxed)) {
         return;
       }
+      const std::size_t i = pending[n];
       try {
         records[i].result = run_simulation(records[i].config);
       } catch (...) {
@@ -54,7 +84,7 @@ ResultSet SweepRunner::run(const SweepSpec& spec) const {
   };
 
   const std::size_t pool =
-      std::min<std::size_t>(threads_, records.size());
+      std::min<std::size_t>(threads_, pending.size());
   if (pool <= 1) {
     worker();
   } else {
@@ -65,11 +95,20 @@ ResultSet SweepRunner::run(const SweepSpec& spec) const {
   }
 
   if (first_error) std::rethrow_exception(first_error);
+
+  if (cache_ != nullptr) {
+    for (const std::size_t i : pending) {
+      cache_->store_key(keys[i], records[i].result);
+    }
+    for (const auto& [to, from] : followers) {
+      records[to].result = records[from].result;
+    }
+  }
   return ResultSet(std::move(records));
 }
 
 ResultSet run_sweep(const SweepSpec& spec, unsigned threads) {
-  return SweepRunner(threads).run(spec);
+  return SweepRunner(threads).with_cache(ResultCache::from_env()).run(spec);
 }
 
 std::vector<SimResult> sweep_offered_load(SimConfig base,

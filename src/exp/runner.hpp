@@ -6,10 +6,17 @@
 // is fully resolved before the first thread starts, the results are
 // bit-identical at any thread count — parallelism only reorders execution,
 // never inputs.
+//
+// With a ResultCache attached (exp/cache.hpp), the runner consults the
+// cache before dispatch: cached grid points are filled in without running,
+// duplicate resolved configs within one sweep execute once, and every
+// fresh result is stored for the next sweep. Purity of run_simulation
+// guarantees cached rows are bit-identical to re-simulated ones.
 #pragma once
 
 #include <vector>
 
+#include "exp/cache.hpp"
 #include "exp/result.hpp"
 #include "exp/spec.hpp"
 
@@ -22,6 +29,15 @@ class SweepRunner {
 
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
 
+  /// Attaches a result cache (not owned; may be nullptr to detach). The
+  /// cache is consulted before dispatch and updated after the sweep.
+  SweepRunner& with_cache(ResultCache* cache) noexcept {
+    cache_ = cache;
+    return *this;
+  }
+
+  [[nodiscard]] ResultCache* cache() const noexcept { return cache_; }
+
   /// Executes every run of `spec` and returns the records in expansion
   /// order. The first exception thrown by any run (e.g. an invalid
   /// architecture/port combination) stops the sweep and is rethrown.
@@ -29,9 +45,13 @@ class SweepRunner {
 
  private:
   unsigned threads_;
+  ResultCache* cache_ = nullptr;
 };
 
-/// One-call convenience: SweepRunner{threads}.run(spec).
+/// One-call convenience: SweepRunner{threads}.run(spec), with the
+/// process-wide ResultCache::from_env() cache attached when the
+/// SFAB_RESULT_CACHE environment variable names a CSV store — that is how
+/// the benches share results across processes without any plumbing.
 [[nodiscard]] ResultSet run_sweep(const SweepSpec& spec, unsigned threads = 0);
 
 /// Runs `base` once per load value through the engine and returns the bare

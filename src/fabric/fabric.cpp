@@ -37,10 +37,4 @@ SwitchFabric::SwitchFabric(FabricConfig config) : config_(config) {
   }
 }
 
-void SwitchFabric::check_ingress(PortId ingress) const {
-  if (ingress >= config_.ports) {
-    throw std::out_of_range("SwitchFabric: ingress port out of range");
-  }
-}
-
 }  // namespace sfab

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -153,7 +154,12 @@ class SwitchFabric {
   }
 
  protected:
-  void check_ingress(PortId ingress) const;
+  /// Inline: sits on the per-word can_accept/inject path.
+  void check_ingress(PortId ingress) const {
+    if (ingress >= config_.ports) {
+      throw std::out_of_range("SwitchFabric: ingress port out of range");
+    }
+  }
   void note_injected() noexcept { ++words_injected_; }
   void note_delivered() noexcept { ++words_delivered_; }
 

@@ -36,6 +36,9 @@ MeshFabric::MeshFabric(FabricConfig config)
   fifo_.resize(config_.ports);
   out_wire_.resize(config_.ports);
   rr_.assign(config_.ports, 0);
+  pending_.reserve(static_cast<std::size_t>(config_.ports) * kDirections);
+  target_claimed_.resize(config_.ports);
+  output_used_.resize(config_.ports);
 }
 
 MeshFabric::Direction MeshFabric::route(unsigned router, PortId dest) const {
@@ -114,14 +117,10 @@ void MeshFabric::tick(EgressSink& sink) {
   // visible immediately, and the decision sweep repeats until a fixpoint so
   // a full-rate chain advances every word one hop per cycle regardless of
   // router iteration order. One word per output link per cycle.
-  struct PendingMove {
-    unsigned router;
-    Direction side;
-    Flit flit;
-  };
-  std::vector<PendingMove> pending;
-  std::vector<std::array<char, kDirections>> target_claimed(ports());
-  std::vector<std::array<char, kDirections>> output_used(ports());
+  auto& pending = pending_;
+  auto& target_claimed = target_claimed_;
+  auto& output_used = output_used_;
+  pending.clear();
   for (unsigned r = 0; r < ports(); ++r) {
     target_claimed[r].fill(0);
     output_used[r].fill(0);

@@ -79,6 +79,12 @@ class MeshFabric final : public SwitchFabric {
     bool in_sram = false;
   };
 
+  struct PendingMove {
+    unsigned router;
+    Direction side;
+    Flit flit;
+  };
+
   [[nodiscard]] unsigned router_x(unsigned router) const {
     return router % side_;
   }
@@ -106,6 +112,11 @@ class MeshFabric final : public SwitchFabric {
   std::vector<std::array<WireState, kDirections>> out_wire_;
   /// Round-robin start offset per router.
   std::vector<unsigned> rr_;
+
+  // Per-tick scratch, sized once at construction.
+  std::vector<PendingMove> pending_;
+  std::vector<std::array<char, kDirections>> target_claimed_;
+  std::vector<std::array<char, kDirections>> output_used_;
 
   std::uint64_t words_buffered_ = 0;
   std::uint64_t sram_words_buffered_ = 0;

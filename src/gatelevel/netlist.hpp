@@ -61,6 +61,15 @@ class Netlist {
   /// Total output toggles since reset().
   [[nodiscard]] std::uint64_t toggles() const noexcept { return toggles_; }
 
+  /// Combinational gate evaluations since reset(). With the dirty-bit
+  /// settle loop this is typically far below num_gates() * steps: a gate
+  /// is only re-evaluated when one of its input nets changed, which cannot
+  /// change toggle counts or energy (an unchanged input mask implies an
+  /// unchanged output).
+  [[nodiscard]] std::uint64_t gate_evaluations() const noexcept {
+    return gate_evaluations_;
+  }
+
   /// Global energy scale (technology factor), default 1.0; applied to all
   /// gate coefficients. Set before simulating.
   void set_energy_scale(double scale);
@@ -78,6 +87,14 @@ class Netlist {
 
   void charge_toggle(const Gate& g);
 
+  /// Marks every combinational gate fed by `net` for re-evaluation.
+  void mark_fanout_dirty(NetId net) {
+    for (std::uint32_t k = fanout_gate_offsets_[net];
+         k < fanout_gate_offsets_[net + 1]; ++k) {
+      dirty_[fanout_gates_[k]] = 1;
+    }
+  }
+
   std::vector<Gate> gates_;
   std::vector<std::uint32_t> fanout_;   // per net: number of gate input pins
   std::vector<std::string> names_;
@@ -87,9 +104,14 @@ class Netlist {
   std::vector<std::size_t> level_order_;  // combinational gates, topo order
   std::vector<std::size_t> dffs_;       // indices into gates_
   std::vector<char> dff_state_;         // latched Q per DFF
+  // CSR net -> combinational fanout gates, for the dirty-bit settle loop.
+  std::vector<std::uint32_t> fanout_gate_offsets_;
+  std::vector<std::uint32_t> fanout_gates_;
+  std::vector<char> dirty_;             // per gate: inputs may have changed
   double energy_scale_ = 1.0;
   double energy_j_ = 0.0;
   std::uint64_t toggles_ = 0;
+  std::uint64_t gate_evaluations_ = 0;
   bool finalized_ = false;
 };
 

@@ -16,43 +16,11 @@ std::string_view to_string(EnergyKind kind) noexcept {
   return "unknown";
 }
 
-void EnergyLedger::add(EnergyKind kind, double joules) noexcept {
-  const auto i = static_cast<unsigned>(kind);
-  joules_[i] += joules;
-  events_[i] += 1;
-}
-
-double EnergyLedger::of(EnergyKind kind) const noexcept {
-  return joules_[static_cast<unsigned>(kind)];
-}
-
-std::uint64_t EnergyLedger::events(EnergyKind kind) const noexcept {
-  return events_[static_cast<unsigned>(kind)];
-}
-
-double EnergyLedger::total() const noexcept {
-  double sum = 0.0;
-  for (double j : joules_) sum += j;
-  return sum;
-}
-
 double EnergyLedger::average_power_w(double duration_s) const {
   if (duration_s <= 0.0) {
     throw std::invalid_argument("average_power_w: duration must be positive");
   }
   return total() / duration_s;
-}
-
-void EnergyLedger::merge(const EnergyLedger& other) noexcept {
-  for (unsigned i = 0; i < kKinds; ++i) {
-    joules_[i] += other.joules_[i];
-    events_[i] += other.events_[i];
-  }
-}
-
-void EnergyLedger::reset() noexcept {
-  joules_.fill(0.0);
-  events_.fill(0);
 }
 
 }  // namespace sfab

@@ -22,25 +22,46 @@ enum class EnergyKind : unsigned {
 
 class EnergyLedger {
  public:
-  /// Records `joules` of energy of the given kind (one event).
-  void add(EnergyKind kind, double joules) noexcept;
+  /// Records `joules` of energy of the given kind (one event). Inline: the
+  /// fabrics call this several times per word moved.
+  void add(EnergyKind kind, double joules) noexcept {
+    const auto i = static_cast<unsigned>(kind);
+    joules_[i] += joules;
+    events_[i] += 1;
+  }
 
   /// Total energy of one kind (J).
-  [[nodiscard]] double of(EnergyKind kind) const noexcept;
+  [[nodiscard]] double of(EnergyKind kind) const noexcept {
+    return joules_[static_cast<unsigned>(kind)];
+  }
 
   /// Number of events recorded for one kind.
-  [[nodiscard]] std::uint64_t events(EnergyKind kind) const noexcept;
+  [[nodiscard]] std::uint64_t events(EnergyKind kind) const noexcept {
+    return events_[static_cast<unsigned>(kind)];
+  }
 
   /// Sum over all kinds (J).
-  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] double total() const noexcept {
+    double sum = 0.0;
+    for (double j : joules_) sum += j;
+    return sum;
+  }
 
   /// Average power over `duration_s` seconds (W).
   [[nodiscard]] double average_power_w(double duration_s) const;
 
   /// Adds every bucket of `other` into this ledger.
-  void merge(const EnergyLedger& other) noexcept;
+  void merge(const EnergyLedger& other) noexcept {
+    for (unsigned i = 0; i < kKinds; ++i) {
+      joules_[i] += other.joules_[i];
+      events_[i] += other.events_[i];
+    }
+  }
 
-  void reset() noexcept;
+  void reset() noexcept {
+    joules_.fill(0.0);
+    events_.fill(0);
+  }
 
  private:
   static constexpr unsigned kKinds = 3;

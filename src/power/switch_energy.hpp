@@ -50,6 +50,12 @@ class VectorIndexedLut {
   /// scaling: dynamic energy ~ C * V^2).
   [[nodiscard]] VectorIndexedLut scaled(double factor) const;
 
+  /// All 2^n table entries (exp/cache.cpp hashes these into the canonical
+  /// sweep-cache key).
+  [[nodiscard]] const std::vector<double>& entries() const noexcept {
+    return energies_;
+  }
+
  private:
   std::vector<double> energies_;
   unsigned inputs_ = 0;

@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "common/types.hpp"
@@ -35,13 +35,24 @@ class Arbiter {
   void lock(PortId egress);
   /// Unlocks `egress` (its packet's tail was delivered).
   void unlock(PortId egress);
-  [[nodiscard]] bool locked(PortId egress) const;
+  /// Inline: the router consults this per HOL packet per cycle.
+  [[nodiscard]] bool locked(PortId egress) const {
+    if (egress >= ports()) throw std::out_of_range("Arbiter: bad egress");
+    return locked_[egress] != 0;
+  }
+  /// Bit i set = egress i locked; valid when ports() <= 64 (the router's
+  /// mask-iteration fast path; larger radixes fall back to locked()).
+  [[nodiscard]] std::uint64_t locked_mask() const noexcept {
+    return locked_mask_;
+  }
 
   /// Resolves one cycle of requests: returns the winning ingress per
   /// requested free egress. Does NOT lock winners — callers lock after a
   /// successful grant hand-off (keeps this class side-effect free on the
-  /// request path and easy to test).
-  [[nodiscard]] std::vector<ArbiterRequest> arbitrate(
+  /// request path and easy to test). The returned reference points at
+  /// internal scratch and is valid until the next arbitrate() call; no
+  /// allocation happens per cycle.
+  [[nodiscard]] const std::vector<ArbiterRequest>& arbitrate(
       const std::vector<ArbiterRequest>& requests);
 
   [[nodiscard]] unsigned ports() const noexcept {
@@ -50,8 +61,13 @@ class Arbiter {
 
  private:
   std::vector<char> locked_;
+  std::uint64_t locked_mask_ = 0;  ///< mirrors locked_ for ports <= 64
   /// Round-robin pointer per egress for FCFS ties.
   std::vector<PortId> rr_next_;
+  // Per-call scratch, sized once at construction.
+  std::vector<ArbiterRequest> best_;  ///< incumbent winner per egress
+  std::vector<char> best_valid_;
+  std::vector<ArbiterRequest> grants_;
 };
 
 }  // namespace sfab

@@ -10,30 +10,6 @@ EgressCollector::EgressCollector(unsigned ports)
   if (ports < 2) throw std::invalid_argument("EgressCollector: ports >= 2");
 }
 
-void EgressCollector::deliver(PortId egress, const Flit& flit) {
-  if (egress >= ports_) throw std::out_of_range("EgressCollector: bad port");
-  ++words_per_port_[egress];
-  ++total_words_;
-  if (!flit.tail) return;
-
-  ++total_packets_;
-  pending_unlocks_.push_back(egress);
-  const auto it = std::find_if(
-      inflight_heads_.begin(), inflight_heads_.end(),
-      [&](const auto& entry) { return entry.first == flit.packet_id; });
-  if (it != inflight_heads_.end()) {
-    const Cycle latency = now_ - it->second;
-    latency_sum_ += static_cast<double>(latency);
-    ++latency_count_;
-    max_latency_ = std::max(max_latency_, latency);
-    inflight_heads_.erase(it);
-  }
-}
-
-void EgressCollector::note_head_injected(std::uint64_t packet_id, Cycle now) {
-  inflight_heads_.emplace_back(packet_id, now);
-}
-
 std::uint64_t EgressCollector::words_at(PortId egress) const {
   if (egress >= ports_) throw std::out_of_range("EgressCollector: bad port");
   return words_per_port_[egress];
@@ -46,13 +22,12 @@ double EgressCollector::mean_packet_latency() const {
 
 double EgressCollector::throughput(Cycle cycles) const {
   if (cycles == 0) throw std::invalid_argument("throughput: cycles >= 1");
-  return static_cast<double>(total_words_) /
+  return static_cast<double>(words_delivered()) /
          (static_cast<double>(cycles) * ports_);
 }
 
 void EgressCollector::reset_counters() {
   std::fill(words_per_port_.begin(), words_per_port_.end(), 0);
-  total_words_ = 0;
   total_packets_ = 0;
   latency_sum_ = 0.0;
   latency_count_ = 0;

@@ -6,7 +6,9 @@
 // and delay.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "fabric/fabric.hpp"
@@ -17,11 +19,34 @@ class EgressCollector final : public EgressSink {
  public:
   explicit EgressCollector(unsigned ports);
 
-  void deliver(PortId egress, const Flit& flit) override;
+  /// Inline (and the class final): the fabrics call this once per delivered
+  /// word, and the monomorphized router loop devirtualizes it entirely.
+  /// The global word count is derived lazily from the per-port counters
+  /// (words_delivered()), keeping this path at one counter bump per word.
+  void deliver(PortId egress, const Flit& flit) override {
+    if (egress >= ports_) throw std::out_of_range("EgressCollector: bad port");
+    ++words_per_port_[egress];
+    if (!flit.tail) return;
+
+    ++total_packets_;
+    pending_unlocks_.push_back(egress);
+    const auto it = std::find_if(
+        inflight_heads_.begin(), inflight_heads_.end(),
+        [&](const auto& entry) { return entry.first == flit.packet_id; });
+    if (it != inflight_heads_.end()) {
+      const Cycle latency = now_ - it->second;
+      latency_sum_ += static_cast<double>(latency);
+      ++latency_count_;
+      max_latency_ = std::max(max_latency_, latency);
+      inflight_heads_.erase(it);
+    }
+  }
 
   /// Hook called by the router before tick() so latency can be measured;
   /// records when each packet's head was injected.
-  void note_head_injected(std::uint64_t packet_id, Cycle now);
+  void note_head_injected(std::uint64_t packet_id, Cycle now) {
+    inflight_heads_.emplace_back(packet_id, now);
+  }
   /// The router advances this clock each cycle.
   void set_now(Cycle now) noexcept { now_ = now; }
 
@@ -33,7 +58,9 @@ class EgressCollector final : public EgressSink {
 
   // --- measurements ----------------------------------------------------------
   [[nodiscard]] std::uint64_t words_delivered() const noexcept {
-    return total_words_;
+    std::uint64_t total = 0;
+    for (const std::uint64_t words : words_per_port_) total += words;
+    return total;
   }
   [[nodiscard]] std::uint64_t packets_delivered() const noexcept {
     return total_packets_;
@@ -55,7 +82,6 @@ class EgressCollector final : public EgressSink {
   unsigned ports_;
   Cycle now_ = 0;
   std::vector<std::uint64_t> words_per_port_;
-  std::uint64_t total_words_ = 0;
   std::uint64_t total_packets_ = 0;
   double latency_sum_ = 0.0;
   std::uint64_t latency_count_ = 0;

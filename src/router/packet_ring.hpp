@@ -1,0 +1,64 @@
+// Fixed-capacity FIFO ring of packet handles.
+//
+// The ingress input queues and VOQ banks are bounded by construction (the
+// configured buffer depth), so a preallocated circular buffer replaces the
+// old std::deque<Packet>: enqueue/dequeue are a couple of integer writes,
+// occupancy stays cache-resident, and the queue never allocates after
+// construction. Packets are POD handles (traffic/arena.hpp), so slots copy
+// by value.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "traffic/arena.hpp"
+
+namespace sfab {
+
+class PacketRing {
+ public:
+  explicit PacketRing(std::size_t capacity) : slots_(capacity) {
+    if (capacity < 1) {
+      throw std::invalid_argument("PacketRing: capacity >= 1");
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == slots_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Appends at the tail; returns false (ring unchanged) when full.
+  bool push(const Packet& packet) noexcept {
+    if (full()) return false;
+    std::size_t tail = head_ + size_;
+    if (tail >= slots_.size()) tail -= slots_.size();
+    slots_[tail] = packet;
+    ++size_;
+    return true;
+  }
+
+  /// Head packet; ring must be non-empty. The reference stays valid until
+  /// the next pop() of this ring.
+  [[nodiscard]] const Packet& front() const noexcept {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// Drops the head packet; ring must be non-empty.
+  void pop() noexcept {
+    assert(!empty());
+    ++head_;
+    if (head_ == slots_.size()) head_ = 0;
+    --size_;
+  }
+
+ private:
+  std::vector<Packet> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sfab

@@ -1,6 +1,10 @@
 #include "router/router.hpp"
 
+#include <bit>
 #include <stdexcept>
+
+#include "fabric/crossbar.hpp"
+#include "fabric/fully_connected.hpp"
 
 namespace sfab {
 
@@ -22,63 +26,152 @@ Router::Router(std::unique_ptr<SwitchFabric> fabric,
   }
   ingresses_.reserve(fabric_->ports());
   for (PortId p = 0; p < fabric_->ports(); ++p) {
-    ingresses_.emplace_back(p, config.ingress_queue_packets);
+    ingresses_.emplace_back(p, config.ingress_queue_packets, arena_);
   }
+  contenders_.resize(fabric_->ports());
+  for (auto& list : contenders_) list.reserve(fabric_->ports());
+  requests_.reserve(fabric_->ports());
+  arrivals_.reserve(fabric_->ports());
 }
 
-void Router::step() {
+template <class FabricT>
+void Router::step_impl(FabricT& fabric) {
   egress_.set_now(cycle_);
 
-  // 1. Traffic arrivals into the input queues.
+  const bool small_radix = ports() <= 64;
+
+  // 1. Traffic arrivals into the input queues. A packet accepted by an
+  // idle, empty ingress becomes that port's head-of-line packet and joins
+  // its destination's contender list.
   if (traffic_enabled_) {
-    for (PortId p = 0; p < ports(); ++p) {
-      if (auto packet = traffic_->poll(p, cycle_)) {
-        ingresses_[p].enqueue(std::move(*packet), cycle_);
+    arrivals_.clear();
+    traffic_->poll_cycle(cycle_, arena_, arrivals_);
+    for (const Packet& packet : arrivals_) {
+      IngressUnit& in = ingresses_[packet.source];
+      const bool becomes_hol = !in.streaming() && in.queued_packets() == 0;
+      if (in.enqueue(packet, cycle_) && becomes_hol) {
+        add_contender(packet.dest, packet.source);
       }
     }
   }
 
-  // 2. Arbitration of head-of-line packets onto free egresses.
-  std::vector<ArbiterRequest> requests;
-  for (PortId p = 0; p < ports(); ++p) {
-    if (const Packet* hol = ingresses_[p].head_of_line()) {
-      requests.push_back(
-          ArbiterRequest{p, hol->dest, ingresses_[p].head_since()});
+  // 2. Arbitration of head-of-line packets onto free egresses. Requests
+  // come from the incrementally-maintained contender lists instead of an
+  // all-ports scan, and locked egresses contribute none (the arbiter
+  // ignored those requests anyway): at saturation nearly every egress is
+  // locked, so the arbiter only sees the contenders of just-freed ports.
+  // Winner selection inside arbitrate() is order-independent and the mask
+  // walks ascending, so the grants are identical to a scan-built list's.
+  requests_.clear();
+  if (small_radix) {
+    std::uint64_t ready = contender_mask_ & ~arbiter_.locked_mask();
+    while (ready != 0) {
+      const auto e = static_cast<PortId>(std::countr_zero(ready));
+      ready &= ready - 1;
+      for (const PortId p : contenders_[e]) {
+        requests_.push_back(ArbiterRequest{p, e, ingresses_[p].head_since()});
+      }
+    }
+  } else {
+    for (PortId e = 0; e < ports(); ++e) {
+      if (contenders_[e].empty() || arbiter_.locked(e)) continue;
+      for (const PortId p : contenders_[e]) {
+        requests_.push_back(ArbiterRequest{p, e, ingresses_[p].head_since()});
+      }
     }
   }
-  for (const ArbiterRequest& grant : arbiter_.arbitrate(requests)) {
-    arbiter_.lock(grant.egress);
-    ingresses_[grant.ingress].grant(cycle_);
-    egress_.note_head_injected(
-        ingresses_[grant.ingress].streaming_packet_id(), cycle_);
-  }
-
-  // 3. Word injection with back-pressure.
-  for (PortId p = 0; p < ports(); ++p) {
-    IngressUnit& in = ingresses_[p];
-    if (!in.streaming() || !fabric_->can_accept(p)) continue;
-    Flit flit;
-    flit.data = in.peek_word();
-    flit.dest = in.streaming_dest();
-    flit.tail = in.peek_is_tail();
-    flit.packet_id = in.streaming_packet_id();
-    flit.seq = in.streaming_word_index();
-    fabric_->inject(p, flit);
-    in.advance(cycle_);
-    // Fixed-latency pipelines cannot reorder or overlap packets, so the
-    // egress frees up as soon as the tail goes in; buffered fabrics wait
-    // for the tail to come out (step 5).
-    if (flit.tail && fabric_->fixed_latency()) {
-      arbiter_.unlock(flit.dest);
+  if (!requests_.empty()) {
+    for (const ArbiterRequest& grant : arbiter_.arbitrate(requests_)) {
+      arbiter_.lock(grant.egress);
+      ingresses_[grant.ingress].grant(cycle_);
+      streaming_mask_ |= mask_bit(grant.ingress);
+      egress_.note_head_injected(
+          ingresses_[grant.ingress].streaming_packet_id(), cycle_);
+      remove_contender(grant.egress, grant.ingress);
     }
   }
 
-  // 4. Fabric advances; deliveries hit the egress collector.
-  fabric_->tick(egress_);
+  // 3 + 4. Word injection and fabric advance. Bufferless single-slot
+  // fabrics expose a fused transfer(): every injected word is delivered at
+  // this cycle's tick and the fabric can always accept, so each word goes
+  // straight through — same per-row op order as inject()+tick(), minus the
+  // slot round-trip and a second scan. Other fabrics take the generic
+  // inject-then-tick path with back-pressure.
+  const bool fixed_latency = fabric.fixed_latency();
+  if constexpr (requires {
+                  fabric.begin_cycle();
+                  fabric.transfer(PortId{}, Flit{}, egress_);
+                }) {
+    fabric.begin_cycle();
+    const auto emit_one = [&](PortId p) {
+      IngressUnit& in = ingresses_[p];
+      const Flit flit = in.emit_word(cycle_);
+      fabric.transfer(p, flit, egress_);
+      if (flit.tail) {
+        streaming_mask_ &= ~mask_bit(p);
+        // Fixed-latency pipelines cannot reorder or overlap packets, so
+        // the egress frees up as soon as the tail goes in.
+        if (fixed_latency) arbiter_.unlock(flit.dest);
+        // The next queued packet (if any) just became head-of-line.
+        if (const Packet* hol = in.head_of_line()) {
+          add_contender(hol->dest, p);
+        }
+      }
+    };
+    if (small_radix) {
+      std::uint64_t m = streaming_mask_;
+      while (m != 0) {
+        const auto p = static_cast<PortId>(std::countr_zero(m));
+        m &= m - 1;
+        emit_one(p);
+      }
+    } else {
+      for (PortId p = 0; p < ports(); ++p) {
+        if (ingresses_[p].streaming()) emit_one(p);
+      }
+    }
+  } else {
+    const auto try_inject = [&](PortId p) {
+      IngressUnit& in = ingresses_[p];
+      if (!fabric.can_accept(p)) return;
+      const Flit flit = in.peek_flit();
+      fabric.inject(p, flit);
+      in.advance(cycle_);
+      if (flit.tail) {
+        streaming_mask_ &= ~mask_bit(p);
+        // Egress frees at tail injection for fixed-latency pipelines;
+        // buffered fabrics wait for the tail to come out (step 5).
+        if (fixed_latency) arbiter_.unlock(flit.dest);
+        // The next queued packet (if any) just became head-of-line.
+        if (const Packet* hol = in.head_of_line()) {
+          add_contender(hol->dest, p);
+        }
+      }
+    };
+    if (small_radix) {
+      std::uint64_t m = streaming_mask_;
+      while (m != 0) {
+        const auto p = static_cast<PortId>(std::countr_zero(m));
+        m &= m - 1;
+        try_inject(p);
+      }
+    } else {
+      for (PortId p = 0; p < ports(); ++p) {
+        if (ingresses_[p].streaming()) try_inject(p);
+      }
+    }
+    // Fabric advances; deliveries hit the egress collector. The
+    // monomorphized tick (when present) devirtualizes deliver() too.
+    if constexpr (requires { fabric.tick_impl(egress_); }) {
+      fabric.tick_impl(egress_);
+    } else {
+      fabric.tick(egress_);
+    }
+  }
 
   // 5. Unlock egresses whose packet tail arrived (variable-latency
   // fabrics only; fixed-latency ones already unlocked at tail injection).
-  if (!fabric_->fixed_latency()) {
+  if (!fixed_latency) {
     for (const PortId egress : egress_.pending_unlocks()) {
       arbiter_.unlock(egress);
     }
@@ -88,8 +181,20 @@ void Router::step() {
   ++cycle_;
 }
 
+void Router::step() { step_impl(*fabric_); }
+
 void Router::run(Cycle cycles) {
-  for (Cycle c = 0; c < cycles; ++c) step();
+  // Monomorphized loops for the bufferless single-slot fabrics: with the
+  // concrete type visible, the per-word can_accept/inject/tick/deliver
+  // chain fully inlines (the dynamic_cast runs once per run(), not per
+  // cycle).
+  if (auto* xbar = dynamic_cast<CrossbarFabric*>(fabric_.get())) {
+    for (Cycle c = 0; c < cycles; ++c) step_impl(*xbar);
+  } else if (auto* fc = dynamic_cast<FullyConnectedFabric*>(fabric_.get())) {
+    for (Cycle c = 0; c < cycles; ++c) step_impl(*fc);
+  } else {
+    for (Cycle c = 0; c < cycles; ++c) step_impl(*fabric_);
+  }
 }
 
 bool Router::drain(Cycle max_cycles) {

@@ -37,10 +37,20 @@ class Router {
   Router(std::unique_ptr<SwitchFabric> fabric, TrafficGenerator traffic,
          RouterConfig config = {});
 
+  // Immovable: the ingress units hold pointers into the by-value arena_,
+  // which a move would dangle. Factory-style returns still work through
+  // guaranteed copy elision.
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+  Router(Router&&) = delete;
+  Router& operator=(Router&&) = delete;
+
   /// Advances one clock cycle.
   void step();
 
-  /// Runs `cycles` cycles.
+  /// Runs `cycles` cycles. Dispatches once to a loop monomorphized on the
+  /// concrete fabric type where possible (bufferless single-slot fabrics),
+  /// removing the per-word virtual can_accept/inject/tick/deliver chain.
   void run(Cycle cycles);
 
   /// Stops traffic generation (drain mode) or restarts it.
@@ -71,12 +81,53 @@ class Router {
   /// True when all queues are empty and the fabric is idle.
   [[nodiscard]] bool quiescent() const;
 
+  /// The arena backing every queued packet's words (introspection).
+  [[nodiscard]] const PacketArena& arena() const noexcept { return arena_; }
+
  private:
+  /// One cycle against `fabric`, whose static type steers inlining: the
+  /// generic step() instantiates it with SwitchFabric (virtual dispatch),
+  /// run() with the concrete fabric class where one is recognized.
+  template <class FabricT>
+  void step_impl(FabricT& fabric);
+
+  [[nodiscard]] static std::uint64_t mask_bit(PortId p) noexcept {
+    return p < 64 ? std::uint64_t{1} << p : 0;
+  }
+  void add_contender(PortId egress, PortId ingress) {
+    contenders_[egress].push_back(ingress);
+    contender_mask_ |= mask_bit(egress);
+  }
+  void remove_contender(PortId egress, PortId ingress) {
+    auto& list = contenders_[egress];
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      if (list[k] == ingress) {
+        list[k] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+    if (list.empty()) contender_mask_ &= ~mask_bit(egress);
+  }
+
   std::unique_ptr<SwitchFabric> fabric_;
   std::unique_ptr<TrafficSource> traffic_;
+  PacketArena arena_;  ///< owns all packet words; declared before ingresses_
   Arbiter arbiter_;
   EgressCollector egress_;
   std::vector<IngressUnit> ingresses_;
+  /// contenders_[egress] = ingresses whose head-of-line packet targets it,
+  /// maintained incrementally (HOL appears on enqueue-to-idle and on packet
+  /// retirement, disappears on grant). Replaces an every-cycle scan of all
+  /// ingress units with work proportional to actual HOL churn.
+  std::vector<std::vector<PortId>> contenders_;
+  /// Bit e set = contenders_[e] non-empty; bit p set = ingress p streaming.
+  /// Used for mask iteration when ports <= 64 (bit-identical: masks are
+  /// walked in ascending index order, same as the scans they replace).
+  std::uint64_t contender_mask_ = 0;
+  std::uint64_t streaming_mask_ = 0;
+  std::vector<ArbiterRequest> requests_;  ///< per-cycle scratch
+  std::vector<Packet> arrivals_;          ///< per-cycle scratch
   Cycle cycle_ = 0;
   bool traffic_enabled_ = true;
 };

@@ -1,27 +1,35 @@
 #include "router/voq.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sfab {
 
 VoqBank::VoqBank(PortId port, unsigned egress_ports,
-                 std::size_t capacity_packets)
-    : port_(port), capacity_(capacity_packets), queues_(egress_ports) {
+                 std::size_t capacity_packets, PacketArena& arena)
+    : port_(port), arena_(&arena), capacity_(capacity_packets) {
   if (egress_ports < 2) throw std::invalid_argument("VoqBank: ports >= 2");
   if (capacity_packets < 1) {
     throw std::invalid_argument("VoqBank: capacity >= 1 packet");
   }
+  // Each per-egress ring must be able to absorb the full shared budget:
+  // nothing stops every queued packet from targeting one egress.
+  queues_.reserve(egress_ports);
+  for (unsigned e = 0; e < egress_ports; ++e) {
+    queues_.emplace_back(capacity_packets);
+  }
 }
 
-bool VoqBank::enqueue(Packet packet) {
+bool VoqBank::enqueue(const Packet& packet) {
   if (packet.dest >= queues_.size()) {
     throw std::out_of_range("VoqBank: destination out of range");
   }
   if (total_ >= capacity_) {
     ++drops_;
+    arena_->release(packet);
     return false;
   }
-  queues_[packet.dest].push_back(std::move(packet));
+  queues_[packet.dest].push(packet);
   ++total_;
   return true;
 }
@@ -35,8 +43,8 @@ Packet VoqBank::pop(PortId egress) {
   if (!has_packet_for(egress)) {
     throw std::logic_error("VoqBank: pop from empty VOQ");
   }
-  Packet p = std::move(queues_[egress].front());
-  queues_[egress].pop_front();
+  const Packet p = queues_[egress].front();
+  queues_[egress].pop();
   --total_;
   return p;
 }
@@ -45,8 +53,72 @@ IslipArbiter::IslipArbiter(unsigned ports, unsigned iterations)
     : ports_(ports),
       iterations_(iterations == 0 ? ports : iterations),
       grant_pointer_(ports, 0),
-      accept_pointer_(ports, 0) {
+      accept_pointer_(ports, 0),
+      grant_(ports, kInvalidPort),
+      ingress_matched_(ports, 0),
+      egress_matched_(ports, 0) {
   if (ports < 2) throw std::invalid_argument("IslipArbiter: ports >= 2");
+  flat_scratch_.reserve(static_cast<std::size_t>(ports) * ports);
+  matches_.reserve(ports);
+}
+
+const std::vector<Match>& IslipArbiter::match_flat(
+    const std::vector<char>& requests) {
+  if (requests.size() != static_cast<std::size_t>(ports_) * ports_) {
+    throw std::invalid_argument("IslipArbiter: request matrix shape");
+  }
+
+  std::fill(ingress_matched_.begin(), ingress_matched_.end(), 0);
+  std::fill(egress_matched_.begin(), egress_matched_.end(), 0);
+  matches_.clear();
+
+  for (unsigned iter = 0; iter < iterations_; ++iter) {
+    // Grant phase: each unmatched egress grants the first requesting,
+    // unmatched ingress at or after its grant pointer.
+    std::fill(grant_.begin(), grant_.end(), kInvalidPort);
+    for (PortId egress = 0; egress < ports_; ++egress) {
+      if (egress_matched_[egress]) continue;
+      for (unsigned k = 0; k < ports_; ++k) {
+        PortId ingress = grant_pointer_[egress] + k;
+        if (ingress >= ports_) ingress -= ports_;
+        if (!ingress_matched_[ingress] &&
+            requests[static_cast<std::size_t>(ingress) * ports_ + egress]) {
+          grant_[egress] = ingress;
+          break;
+        }
+      }
+    }
+
+    // Accept phase: each ingress accepts the first granting egress at or
+    // after its accept pointer.
+    bool any_accept = false;
+    for (PortId ingress = 0; ingress < ports_; ++ingress) {
+      if (ingress_matched_[ingress]) continue;
+      PortId accepted = kInvalidPort;
+      for (unsigned k = 0; k < ports_; ++k) {
+        PortId egress = accept_pointer_[ingress] + k;
+        if (egress >= ports_) egress -= ports_;
+        if (grant_[egress] == ingress) {
+          accepted = egress;
+          break;
+        }
+      }
+      if (accepted == kInvalidPort) continue;
+
+      matches_.push_back(Match{ingress, accepted});
+      ingress_matched_[ingress] = 1;
+      egress_matched_[accepted] = 1;
+      any_accept = true;
+      // Pointers advance one past the accepted partner, and only on the
+      // first iteration (the iSLIP rule that prevents starvation).
+      if (iter == 0) {
+        grant_pointer_[accepted] = (ingress + 1) % ports_;
+        accept_pointer_[ingress] = (accepted + 1) % ports_;
+      }
+    }
+    if (!any_accept) break;  // matching is maximal; further rounds are idle
+  }
+  return matches_;
 }
 
 std::vector<Match> IslipArbiter::match(
@@ -59,55 +131,14 @@ std::vector<Match> IslipArbiter::match(
       throw std::invalid_argument("IslipArbiter: request matrix shape");
     }
   }
-
-  std::vector<char> ingress_matched(ports_, 0);
-  std::vector<char> egress_matched(ports_, 0);
-  std::vector<Match> matches;
-
-  for (unsigned iter = 0; iter < iterations_; ++iter) {
-    // Grant phase: each unmatched egress grants the first requesting,
-    // unmatched ingress at or after its grant pointer.
-    std::vector<std::optional<PortId>> grant(ports_);
-    for (PortId egress = 0; egress < ports_; ++egress) {
-      if (egress_matched[egress]) continue;
-      for (unsigned k = 0; k < ports_; ++k) {
-        const PortId ingress = (grant_pointer_[egress] + k) % ports_;
-        if (!ingress_matched[ingress] && requests[ingress][egress]) {
-          grant[egress] = ingress;
-          break;
-        }
-      }
+  flat_scratch_.assign(static_cast<std::size_t>(ports_) * ports_, 0);
+  for (PortId i = 0; i < ports_; ++i) {
+    for (PortId j = 0; j < ports_; ++j) {
+      flat_scratch_[static_cast<std::size_t>(i) * ports_ + j] =
+          requests[i][j];
     }
-
-    // Accept phase: each ingress accepts the first granting egress at or
-    // after its accept pointer.
-    bool any_accept = false;
-    for (PortId ingress = 0; ingress < ports_; ++ingress) {
-      if (ingress_matched[ingress]) continue;
-      std::optional<PortId> accepted;
-      for (unsigned k = 0; k < ports_; ++k) {
-        const PortId egress = (accept_pointer_[ingress] + k) % ports_;
-        if (grant[egress].has_value() && *grant[egress] == ingress) {
-          accepted = egress;
-          break;
-        }
-      }
-      if (!accepted) continue;
-
-      matches.push_back(Match{ingress, *accepted});
-      ingress_matched[ingress] = 1;
-      egress_matched[*accepted] = 1;
-      any_accept = true;
-      // Pointers advance one past the accepted partner, and only on the
-      // first iteration (the iSLIP rule that prevents starvation).
-      if (iter == 0) {
-        grant_pointer_[*accepted] = (ingress + 1) % ports_;
-        accept_pointer_[ingress] = (*accepted + 1) % ports_;
-      }
-    }
-    if (!any_accept) break;  // matching is maximal; further rounds are idle
   }
-  return matches;
+  return match_flat(flat_scratch_);
 }
 
 }  // namespace sfab

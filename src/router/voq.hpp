@@ -7,15 +7,16 @@
 // saturation throughput approaches the line rate. This module provides
 // both pieces so experiments can quantify what the paper's throughput cap
 // costs and how fabric power responds when the fabric is actually loaded
-// to 90%+.
+// to 90%+. The VOQs are fixed rings of arena handles and the matcher works
+// on a flat request matrix with preallocated scratch, so a cycle of VOQ
+// arbitration performs no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
 #include <vector>
 
 #include "common/types.hpp"
+#include "router/packet_ring.hpp"
 #include "traffic/packet.hpp"
 
 namespace sfab {
@@ -24,17 +25,21 @@ namespace sfab {
 class VoqBank {
  public:
   /// `capacity_packets` bounds the *total* packets queued across all VOQs
-  /// of this ingress (shared memory, like the paper's input buffers).
-  VoqBank(PortId port, unsigned egress_ports, std::size_t capacity_packets);
+  /// of this ingress (shared memory, like the paper's input buffers). The
+  /// arena must outlive the bank; dropped packets are released back to it.
+  VoqBank(PortId port, unsigned egress_ports, std::size_t capacity_packets,
+          PacketArena& arena);
 
-  /// Queues an arriving packet in its destination's VOQ; counts a drop and
-  /// returns false when the shared capacity is exhausted.
-  bool enqueue(Packet packet);
+  /// Queues an arriving packet in its destination's VOQ; when the shared
+  /// capacity is exhausted the packet is dropped: counted, released back
+  /// to the arena, and false returned.
+  bool enqueue(const Packet& packet);
 
   /// True if the VOQ toward `egress` has a packet waiting.
   [[nodiscard]] bool has_packet_for(PortId egress) const;
 
   /// Pops the head packet of the VOQ toward `egress` (must be non-empty).
+  /// Ownership of the handle passes to the caller.
   [[nodiscard]] Packet pop(PortId egress);
 
   [[nodiscard]] std::size_t total_queued() const noexcept { return total_; }
@@ -44,8 +49,9 @@ class VoqBank {
 
  private:
   PortId port_;
+  PacketArena* arena_;
   std::size_t capacity_;
-  std::vector<std::deque<Packet>> queues_;
+  std::vector<PacketRing> queues_;
   std::size_t total_ = 0;
   std::uint64_t drops_ = 0;
 };
@@ -66,8 +72,14 @@ class IslipArbiter {
   /// hardware arbiter with a fixed iteration budget.
   explicit IslipArbiter(unsigned ports, unsigned iterations = 0);
 
-  /// `requests[i][j]` = true when ingress i has traffic for egress j and
-  /// both are available this cycle. Returns a conflict-free matching.
+  /// Hot path: `requests` is a row-major ports x ports matrix where
+  /// requests[i * ports + j] != 0 means ingress i has traffic for egress j
+  /// and both are available this cycle. Returns a conflict-free matching
+  /// valid until the next call (internal scratch, no allocation).
+  [[nodiscard]] const std::vector<Match>& match_flat(
+      const std::vector<char>& requests);
+
+  /// Convenience wrapper over match_flat for tests and ad-hoc callers.
   [[nodiscard]] std::vector<Match> match(
       const std::vector<std::vector<char>>& requests);
 
@@ -78,6 +90,12 @@ class IslipArbiter {
   unsigned iterations_;
   std::vector<PortId> grant_pointer_;   // per egress
   std::vector<PortId> accept_pointer_;  // per ingress
+  // Per-call scratch, sized once at construction.
+  std::vector<PortId> grant_;           // per egress; kInvalidPort = none
+  std::vector<char> ingress_matched_;
+  std::vector<char> egress_matched_;
+  std::vector<char> flat_scratch_;      // for the 2-D convenience wrapper
+  std::vector<Match> matches_;
 };
 
 }  // namespace sfab

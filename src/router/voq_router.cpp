@@ -1,6 +1,10 @@
 #include "router/voq_router.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "fabric/crossbar.hpp"
+#include "fabric/fully_connected.hpp"
 
 namespace sfab {
 
@@ -24,65 +28,90 @@ VoqRouter::VoqRouter(std::unique_ptr<SwitchFabric> fabric,
   }
   banks_.reserve(fabric_->ports());
   for (PortId p = 0; p < fabric_->ports(); ++p) {
-    banks_.emplace_back(p, fabric_->ports(), config.ingress_queue_packets);
+    banks_.emplace_back(p, fabric_->ports(), config.ingress_queue_packets,
+                        arena_);
   }
   streaming_.resize(fabric_->ports());
   egress_busy_.assign(fabric_->ports(), 0);
+  requests_.assign(static_cast<std::size_t>(fabric_->ports()) *
+                       fabric_->ports(),
+                   0);
+  arrivals_.reserve(fabric_->ports());
 }
 
-void VoqRouter::step() {
+template <class FabricT>
+void VoqRouter::step_impl(FabricT& fabric) {
   egress_.set_now(cycle_);
 
   // 1. Traffic arrivals into the VOQ banks.
   if (traffic_enabled_) {
-    for (PortId p = 0; p < ports(); ++p) {
-      if (auto packet = traffic_->poll(p, cycle_)) {
-        banks_[p].enqueue(std::move(*packet));
-      }
+    arrivals_.clear();
+    traffic_->poll_cycle(cycle_, arena_, arrivals_);
+    for (const Packet& packet : arrivals_) {
+      banks_[packet.source].enqueue(packet);
     }
   }
 
   // 2. iSLIP matching between idle ingresses and free egresses.
-  std::vector<std::vector<char>> requests(
-      ports(), std::vector<char>(ports(), 0));
+  std::fill(requests_.begin(), requests_.end(), 0);
   for (PortId i = 0; i < ports(); ++i) {
     if (streaming_[i].has_value()) continue;
+    char* row = requests_.data() + static_cast<std::size_t>(i) * ports();
     for (PortId j = 0; j < ports(); ++j) {
-      requests[i][j] = !egress_busy_[j] && banks_[i].has_packet_for(j);
+      row[j] = !egress_busy_[j] && banks_[i].has_packet_for(j);
     }
   }
-  for (const Match& m : islip_.match(requests)) {
+  for (const Match& m : islip_.match_flat(requests_)) {
     StreamingPacket s;
     s.packet = banks_[m.ingress].pop(m.egress);
     egress_.note_head_injected(s.packet.id, cycle_);
-    streaming_[m.ingress] = std::move(s);
+    streaming_[m.ingress] = s;
     egress_busy_[m.egress] = 1;
   }
 
-  // 3. Word injection with back-pressure.
+  // 3 + 4. Word injection and fabric advance (fused for bufferless
+  // single-slot fabrics, generic inject-then-tick otherwise; see Router).
+  const bool fixed_latency = fabric.fixed_latency();
+  constexpr bool kFused = requires {
+    fabric.begin_cycle();
+    fabric.transfer(PortId{}, Flit{}, egress_);
+  };
+  if constexpr (kFused) fabric.begin_cycle();
   for (PortId p = 0; p < ports(); ++p) {
     auto& slot = streaming_[p];
-    if (!slot.has_value() || !fabric_->can_accept(p)) continue;
+    if (!slot.has_value()) continue;
+    if constexpr (!kFused) {
+      if (!fabric.can_accept(p)) continue;
+    }
     const Packet& packet = slot->packet;
     Flit flit;
-    flit.data = packet.words[slot->word];
+    flit.data = arena_.word(packet, slot->word);
     flit.dest = packet.dest;
-    flit.tail = (slot->word + 1 == packet.words.size());
+    flit.tail = (slot->word + 1 == packet.word_count);
     flit.packet_id = packet.id;
-    flit.seq = static_cast<std::uint32_t>(slot->word);
-    fabric_->inject(p, flit);
+    flit.seq = slot->word;
+    if constexpr (kFused) {
+      fabric.transfer(p, flit, egress_);
+    } else {
+      fabric.inject(p, flit);
+    }
     ++slot->word;
     if (flit.tail) {
-      if (fabric_->fixed_latency()) egress_busy_[flit.dest] = 0;
+      if (fixed_latency) egress_busy_[flit.dest] = 0;
+      arena_.release(packet);
       slot.reset();
     }
   }
-
-  // 4. Fabric advances.
-  fabric_->tick(egress_);
+  if constexpr (!kFused) {
+    if constexpr (requires { fabric.tick_impl(egress_); }) {
+      fabric.tick_impl(egress_);
+    } else {
+      fabric.tick(egress_);
+    }
+  }
 
   // 5. Variable-latency fabrics free their egress on tail delivery.
-  if (!fabric_->fixed_latency()) {
+  if (!fixed_latency) {
     for (const PortId egress : egress_.pending_unlocks()) {
       egress_busy_[egress] = 0;
     }
@@ -92,8 +121,16 @@ void VoqRouter::step() {
   ++cycle_;
 }
 
+void VoqRouter::step() { step_impl(*fabric_); }
+
 void VoqRouter::run(Cycle cycles) {
-  for (Cycle c = 0; c < cycles; ++c) step();
+  if (auto* xbar = dynamic_cast<CrossbarFabric*>(fabric_.get())) {
+    for (Cycle c = 0; c < cycles; ++c) step_impl(*xbar);
+  } else if (auto* fc = dynamic_cast<FullyConnectedFabric*>(fabric_.get())) {
+    for (Cycle c = 0; c < cycles; ++c) step_impl(*fc);
+  } else {
+    for (Cycle c = 0; c < cycles; ++c) step_impl(*fabric_);
+  }
 }
 
 bool VoqRouter::drain(Cycle max_cycles) {

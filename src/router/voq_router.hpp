@@ -33,7 +33,16 @@ class VoqRouter {
   VoqRouter(std::unique_ptr<SwitchFabric> fabric, TrafficGenerator traffic,
             VoqRouterConfig config = {});
 
+  // Immovable: the VOQ banks hold pointers into the by-value arena_,
+  // which a move would dangle (see Router).
+  VoqRouter(const VoqRouter&) = delete;
+  VoqRouter& operator=(const VoqRouter&) = delete;
+  VoqRouter(VoqRouter&&) = delete;
+  VoqRouter& operator=(VoqRouter&&) = delete;
+
   void step();
+  /// Runs `cycles` cycles, monomorphized on the concrete fabric type where
+  /// possible (see Router::run).
   void run(Cycle cycles);
   void set_traffic_enabled(bool enabled) noexcept {
     traffic_enabled_ = enabled;
@@ -55,19 +64,29 @@ class VoqRouter {
   [[nodiscard]] std::size_t total_queued() const;
   [[nodiscard]] bool quiescent() const;
 
+  /// The arena backing every queued packet's words (introspection).
+  [[nodiscard]] const PacketArena& arena() const noexcept { return arena_; }
+
  private:
   struct StreamingPacket {
     Packet packet;
-    std::size_t word = 0;
+    std::uint32_t word = 0;
   };
+
+  /// One cycle against `fabric`; static type steers inlining (see Router).
+  template <class FabricT>
+  void step_impl(FabricT& fabric);
 
   std::unique_ptr<SwitchFabric> fabric_;
   std::unique_ptr<TrafficSource> traffic_;
+  PacketArena arena_;  ///< owns all packet words; declared before banks_
   IslipArbiter islip_;
   EgressCollector egress_;
   std::vector<VoqBank> banks_;
   std::vector<std::optional<StreamingPacket>> streaming_;
   std::vector<char> egress_busy_;
+  std::vector<char> requests_;    ///< per-cycle scratch, ports x ports flat
+  std::vector<Packet> arrivals_;  ///< per-cycle scratch
   Cycle cycle_ = 0;
   bool traffic_enabled_ = true;
 };

@@ -128,13 +128,48 @@ TrafficGenerator::TrafficGenerator(
   if (!arrivals_ || !destinations_) {
     throw std::invalid_argument("TrafficGenerator: null strategy");
   }
+  if (const auto* bernoulli =
+          dynamic_cast<const BernoulliArrival*>(arrivals_.get())) {
+    bernoulli_rate_ = bernoulli->mean_rate();
+    bernoulli_threshold_ = Rng::bernoulli_threshold(bernoulli_rate_);
+  }
 }
 
-std::optional<Packet> TrafficGenerator::poll(PortId source, Cycle now) {
+std::optional<Packet> TrafficGenerator::poll(PortId source, Cycle now,
+                                             PacketArena& arena) {
   if (source >= ports_) throw std::out_of_range("TrafficGenerator: port");
   if (!arrivals_->arrives(source, rng_)) return std::nullopt;
   const PortId dest = destinations_->pick(source, rng_);
-  return factory_.make(source, dest, now);
+  return factory_.make(arena, source, dest, now);
+}
+
+void TrafficGenerator::poll_cycle(Cycle now, PacketArena& arena,
+                                  std::vector<Packet>& out) {
+  if (bernoulli_rate_ >= 1.0) {
+    // Saturating rate: next_bernoulli(p >= 1) is true without a draw.
+    for (PortId p = 0; p < ports_; ++p) {
+      const PortId dest = destinations_->pick(p, rng_);
+      out.push_back(factory_.make(arena, p, dest, now));
+    }
+    return;
+  }
+  if (bernoulli_rate_ == 0.0) return;  // no arrivals, no draws
+  if (bernoulli_rate_ > 0.0) {
+    // Bernoulli fast path: draw-for-draw identical to
+    // BernoulliArrival::arrives, without the virtual dispatch or the
+    // per-draw int-to-double conversion (see Rng::bernoulli_threshold).
+    for (PortId p = 0; p < ports_; ++p) {
+      if (!rng_.next_bernoulli_threshold(bernoulli_threshold_)) continue;
+      const PortId dest = destinations_->pick(p, rng_);
+      out.push_back(factory_.make(arena, p, dest, now));
+    }
+    return;
+  }
+  for (PortId p = 0; p < ports_; ++p) {
+    if (!arrivals_->arrives(p, rng_)) continue;
+    const PortId dest = destinations_->pick(p, rng_);
+    out.push_back(factory_.make(arena, p, dest, now));
+  }
 }
 
 double TrafficGenerator::offered_load_words() const {

@@ -112,8 +112,16 @@ class TrafficGenerator final : public TrafficSource {
                    std::unique_ptr<DestinationPattern> destinations,
                    PacketFactory factory, std::uint64_t seed);
 
-  /// One poll per port per cycle; returns a packet when one arrives.
-  [[nodiscard]] std::optional<Packet> poll(PortId source, Cycle now) override;
+  /// One poll per port per cycle; returns a packet when one arrives, its
+  /// words filled in place in `arena`.
+  [[nodiscard]] std::optional<Packet> poll(PortId source, Cycle now,
+                                           PacketArena& arena) override;
+
+  /// Batched per-cycle poll (the routers' hot path): one virtual dispatch
+  /// per cycle, with a devirtualized fast path for Bernoulli arrivals.
+  /// Draw-for-draw identical to calling poll() per port in order.
+  void poll_cycle(Cycle now, PacketArena& arena,
+                  std::vector<Packet>& out) override;
 
   /// Offered load in words per cycle per port implied by the arrival rate
   /// and packet length (can exceed 1; the input queue then saturates).
@@ -152,6 +160,12 @@ class TrafficGenerator final : public TrafficSource {
   std::unique_ptr<DestinationPattern> destinations_;
   PacketFactory factory_;
   Rng rng_;
+  /// Bernoulli rate when arrivals_ is a BernoulliArrival (the paper's
+  /// workload), else negative. Lets poll_cycle draw inline instead of
+  /// making a virtual arrives() call per port per cycle.
+  double bernoulli_rate_ = -1.0;
+  /// Rng::bernoulli_threshold(bernoulli_rate_), hoisted out of the loop.
+  std::uint64_t bernoulli_threshold_ = 0;
 };
 
 }  // namespace sfab

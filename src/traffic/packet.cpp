@@ -33,28 +33,4 @@ PacketFactory::PacketFactory(unsigned total_words, PayloadKind kind,
   }
 }
 
-Packet PacketFactory::make(PortId source, PortId dest, Cycle now) {
-  Packet p;
-  p.id = next_id_++;
-  p.source = source;
-  p.dest = dest;
-  p.created = now;
-  p.words.reserve(total_words_);
-  p.words.push_back(static_cast<Word>(dest));  // header
-  for (unsigned w = 1; w < total_words_; ++w) {
-    switch (kind_) {
-      case PayloadKind::kRandom:
-        p.words.push_back(rng_.next_word());
-        break;
-      case PayloadKind::kAlternating:
-        p.words.push_back((w % 2 != 0) ? 0xFFFFFFFFu : 0x00000000u);
-        break;
-      case PayloadKind::kZero:
-        p.words.push_back(0u);
-        break;
-    }
-  }
-  return p;
-}
-
 }  // namespace sfab

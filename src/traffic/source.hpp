@@ -4,9 +4,12 @@
 // (traffic/trace.hpp) both implement this interface; the router polls one
 // slot per ingress per cycle, which matches the paper's platform where the
 // ingress process units hand parallelized packets to the input buffers.
+// Packet words are written straight into the caller's PacketArena, so a
+// poll that produces a packet costs a slab fill, never a heap allocation.
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/types.hpp"
 #include "traffic/packet.hpp"
@@ -18,8 +21,24 @@ class TrafficSource {
   virtual ~TrafficSource() = default;
 
   /// Called once per ingress per cycle; returns a packet when one arrives.
-  [[nodiscard]] virtual std::optional<Packet> poll(PortId source,
-                                                   Cycle now) = 0;
+  /// The packet's words are allocated from (and filled into) `arena`; the
+  /// caller owns the handle and must release it back to `arena` when the
+  /// packet is dropped or fully injected.
+  [[nodiscard]] virtual std::optional<Packet> poll(PortId source, Cycle now,
+                                                   PacketArena& arena) = 0;
+
+  /// Polls every port for cycle `now` in ascending port order, appending
+  /// arrivals (source set per packet) to `out` without clearing it. The
+  /// routers call this once per cycle instead of poll() per port: concrete
+  /// sources override it to collapse N virtual dispatches into one. The
+  /// default forwards to poll(), so the two entry points always produce
+  /// the identical packet sequence.
+  virtual void poll_cycle(Cycle now, PacketArena& arena,
+                          std::vector<Packet>& out) {
+    for (PortId p = 0; p < ports(); ++p) {
+      if (const auto packet = poll(p, now, arena)) out.push_back(*packet);
+    }
+  }
 
   /// Number of ingress ports this source feeds.
   [[nodiscard]] virtual unsigned ports() const = 0;

@@ -55,12 +55,14 @@ void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
 std::vector<TraceRecord> record_trace(TrafficGenerator& generator,
                                       Cycle cycles) {
   std::vector<TraceRecord> records;
+  PacketArena arena;  // scratch: every recorded packet is released at once
   for (Cycle t = 0; t < cycles; ++t) {
     for (PortId p = 0; p < generator.ports(); ++p) {
-      if (const auto packet = generator.poll(p, t)) {
+      if (const auto packet = generator.poll(p, t, arena)) {
         records.push_back(TraceRecord{
             t, p, packet->dest,
             static_cast<unsigned>(packet->size_words())});
+        arena.release(*packet);
       }
     }
   }
@@ -91,7 +93,8 @@ TraceReplay::TraceReplay(unsigned ports, std::vector<TraceRecord> records,
   pending_ = records.size();
 }
 
-std::optional<Packet> TraceReplay::poll(PortId source, Cycle now) {
+std::optional<Packet> TraceReplay::poll(PortId source, Cycle now,
+                                        PacketArena& arena) {
   if (source >= ports_) throw std::out_of_range("TraceReplay: bad port");
   auto& index = next_index_[source];
   const auto& queue = per_port_[source];
@@ -106,21 +109,9 @@ std::optional<Packet> TraceReplay::poll(PortId source, Cycle now) {
   p.source = source;
   p.dest = r.dest;
   p.created = now;
-  p.words.reserve(r.words);
-  p.words.push_back(static_cast<Word>(r.dest));
-  for (unsigned w = 1; w < r.words; ++w) {
-    switch (payload_) {
-      case PayloadKind::kRandom:
-        p.words.push_back(payload_rng_.next_word());
-        break;
-      case PayloadKind::kAlternating:
-        p.words.push_back((w % 2 != 0) ? 0xFFFFFFFFu : 0u);
-        break;
-      case PayloadKind::kZero:
-        p.words.push_back(0u);
-        break;
-    }
-  }
+  p.word_count = r.words;
+  p.word_offset = arena.allocate(r.words);
+  fill_packet_words(arena.words(p), r.words, r.dest, payload_, payload_rng_);
   return p;
 }
 

@@ -51,7 +51,8 @@ class TraceReplay final : public TrafficSource {
               std::uint64_t seed = 1,
               PayloadKind payload = PayloadKind::kRandom);
 
-  [[nodiscard]] std::optional<Packet> poll(PortId source, Cycle now) override;
+  [[nodiscard]] std::optional<Packet> poll(PortId source, Cycle now,
+                                           PacketArena& arena) override;
   [[nodiscard]] unsigned ports() const override { return ports_; }
 
   /// Records not yet delivered.

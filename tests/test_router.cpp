@@ -13,20 +13,21 @@ namespace {
 
 // --- IngressUnit -----------------------------------------------------------------
 
-Packet make_packet(std::uint64_t id, PortId src, PortId dest,
-                   unsigned words = 4) {
+Packet make_packet(PacketArena& arena, std::uint64_t id, PortId src,
+                   PortId dest, unsigned words = 4) {
   PacketFactory factory{words, PayloadKind::kZero, id};
-  Packet p = factory.make(src, dest, 0);
+  Packet p = factory.make(arena, src, dest, 0);
   p.id = id;
   return p;
 }
 
 TEST(IngressUnit, QueueAndStream) {
-  IngressUnit in{0, 4};
+  PacketArena arena;
+  IngressUnit in{0, 4, arena};
   EXPECT_TRUE(in.empty());
   EXPECT_EQ(in.head_of_line(), nullptr);
 
-  ASSERT_TRUE(in.enqueue(make_packet(1, 0, 3), 10));
+  ASSERT_TRUE(in.enqueue(make_packet(arena, 1, 0, 3), 10));
   ASSERT_NE(in.head_of_line(), nullptr);
   EXPECT_EQ(in.head_of_line()->dest, 3u);
   EXPECT_EQ(in.head_since(), 10u);
@@ -44,21 +45,26 @@ TEST(IngressUnit, QueueAndStream) {
   EXPECT_FALSE(in.streaming());
   EXPECT_EQ(in.packets_sent(), 1u);
   EXPECT_TRUE(in.empty());
+  // The streamed packet's slab block went back to the arena.
+  EXPECT_EQ(arena.live_packets(), 0u);
 }
 
-TEST(IngressUnit, DropsWhenFull) {
-  IngressUnit in{0, 2};
-  EXPECT_TRUE(in.enqueue(make_packet(1, 0, 1), 0));
-  EXPECT_TRUE(in.enqueue(make_packet(2, 0, 1), 0));
-  EXPECT_FALSE(in.enqueue(make_packet(3, 0, 1), 0));
+TEST(IngressUnit, DropsWhenFullAndReleasesToArena) {
+  PacketArena arena;
+  IngressUnit in{0, 2, arena};
+  EXPECT_TRUE(in.enqueue(make_packet(arena, 1, 0, 1), 0));
+  EXPECT_TRUE(in.enqueue(make_packet(arena, 2, 0, 1), 0));
+  EXPECT_FALSE(in.enqueue(make_packet(arena, 3, 0, 1), 0));
   EXPECT_EQ(in.drops(), 1u);
   EXPECT_EQ(in.queued_packets(), 2u);
+  EXPECT_EQ(arena.live_packets(), 2u);  // the dropped packet was released
 }
 
 TEST(IngressUnit, HeadSinceTracksSuccession) {
-  IngressUnit in{0, 4};
-  (void)in.enqueue(make_packet(1, 0, 1, 2), 5);
-  (void)in.enqueue(make_packet(2, 0, 2, 2), 6);
+  PacketArena arena;
+  IngressUnit in{0, 4, arena};
+  (void)in.enqueue(make_packet(arena, 1, 0, 1, 2), 5);
+  (void)in.enqueue(make_packet(arena, 2, 0, 2, 2), 6);
   EXPECT_EQ(in.head_since(), 5u);
   in.grant(7);
   in.advance(8);
@@ -68,13 +74,14 @@ TEST(IngressUnit, HeadSinceTracksSuccession) {
 }
 
 TEST(IngressUnit, MisuseThrows) {
-  IngressUnit in{0, 2};
+  PacketArena arena;
+  IngressUnit in{0, 2, arena};
   EXPECT_THROW((void)in.grant(0), std::logic_error);
   EXPECT_THROW((void)in.peek_word(), std::logic_error);
-  (void)in.enqueue(make_packet(1, 0, 1), 0);
+  (void)in.enqueue(make_packet(arena, 1, 0, 1), 0);
   in.grant(0);
   EXPECT_THROW((void)in.grant(0), std::logic_error);
-  EXPECT_THROW((IngressUnit{0, 0}), std::invalid_argument);
+  EXPECT_THROW((IngressUnit{0, 0, arena}), std::invalid_argument);
 }
 
 // --- Arbiter ---------------------------------------------------------------------

@@ -65,33 +65,36 @@ TEST(TraceRecordCapture, MatchesGeneratorOutput) {
 }
 
 TEST(TraceReplay, DeliversRecordsAtTheirCycle) {
+  PacketArena arena;
   TraceReplay replay{4, {{10, 1, 2, 4}, {20, 1, 3, 4}}};
-  EXPECT_FALSE(replay.poll(1, 9).has_value());
-  const auto first = replay.poll(1, 10);
+  EXPECT_FALSE(replay.poll(1, 9, arena).has_value());
+  const auto first = replay.poll(1, 10, arena);
   ASSERT_TRUE(first.has_value());
   EXPECT_EQ(first->dest, 2u);
   EXPECT_EQ(first->size_words(), 4u);
   // Second record not due yet; it arrives at its own time.
-  EXPECT_FALSE(replay.poll(1, 11).has_value());
-  EXPECT_TRUE(replay.poll(1, 20).has_value());
+  EXPECT_FALSE(replay.poll(1, 11, arena).has_value());
+  EXPECT_TRUE(replay.poll(1, 20, arena).has_value());
   EXPECT_EQ(replay.pending(), 0u);
 }
 
 TEST(TraceReplay, LatePollsCatchUpInOrder) {
+  PacketArena arena;
   TraceReplay replay{4, {{1, 0, 1, 4}, {2, 0, 2, 4}, {3, 0, 3, 4}}};
   // Port was busy until cycle 50: records drain one per poll, in order.
-  EXPECT_EQ(replay.poll(0, 50)->dest, 1u);
-  EXPECT_EQ(replay.poll(0, 50)->dest, 2u);
-  EXPECT_EQ(replay.poll(0, 51)->dest, 3u);
-  EXPECT_FALSE(replay.poll(0, 52).has_value());
+  EXPECT_EQ(replay.poll(0, 50, arena)->dest, 1u);
+  EXPECT_EQ(replay.poll(0, 50, arena)->dest, 2u);
+  EXPECT_EQ(replay.poll(0, 51, arena)->dest, 3u);
+  EXPECT_FALSE(replay.poll(0, 52, arena).has_value());
 }
 
 TEST(TraceReplay, Validation) {
+  PacketArena arena;
   EXPECT_THROW((TraceReplay{1, {}}), std::invalid_argument);
   EXPECT_THROW((TraceReplay{4, {{0, 9, 1, 4}}}), std::invalid_argument);
   EXPECT_THROW((TraceReplay{4, {{0, 1, 9, 4}}}), std::invalid_argument);
   TraceReplay replay{4, {}};
-  EXPECT_THROW((void)replay.poll(7, 0), std::out_of_range);
+  EXPECT_THROW((void)replay.poll(7, 0, arena), std::out_of_range);
 }
 
 TEST(TraceReplay, DrivesARouterDeterministically) {

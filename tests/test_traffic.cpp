@@ -13,49 +13,58 @@ namespace {
 // --- PacketFactory -----------------------------------------------------------
 
 TEST(PacketFactory, HeaderCarriesDestination) {
+  PacketArena arena;
   PacketFactory factory{16, PayloadKind::kRandom, 1};
-  const Packet p = factory.make(2, 7, 100);
+  const Packet p = factory.make(arena, 2, 7, 100);
   EXPECT_EQ(p.source, 2u);
   EXPECT_EQ(p.dest, 7u);
   EXPECT_EQ(p.created, 100u);
   EXPECT_EQ(p.size_words(), 16u);
-  EXPECT_EQ(p.header(), 7u);
+  EXPECT_EQ(arena.header(p), 7u);
+  EXPECT_EQ(arena.view(p).header(), 7u);
 }
 
 TEST(PacketFactory, IdsIncrease) {
+  PacketArena arena;
   PacketFactory factory{4, PayloadKind::kRandom, 1};
-  const Packet a = factory.make(0, 1, 0);
-  const Packet b = factory.make(0, 1, 0);
+  const Packet a = factory.make(arena, 0, 1, 0);
+  const Packet b = factory.make(arena, 0, 1, 0);
   EXPECT_EQ(b.id, a.id + 1);
   EXPECT_EQ(factory.packets_made(), 2u);
 }
 
 TEST(PacketFactory, AlternatingPayloadFlipsEveryBit) {
+  PacketArena arena;
   PacketFactory factory{6, PayloadKind::kAlternating, 1};
-  const Packet p = factory.make(0, 1, 0);
-  for (std::size_t w = 1; w + 1 < p.words.size(); ++w) {
-    EXPECT_EQ(p.words[w] ^ p.words[w + 1], 0xFFFFFFFFu);
+  const Packet p = factory.make(arena, 0, 1, 0);
+  const PacketView words = arena.view(p);
+  for (std::uint32_t w = 1; w + 1 < words.size(); ++w) {
+    EXPECT_EQ(words[w] ^ words[w + 1], 0xFFFFFFFFu);
   }
-  EXPECT_EQ(p.words[1], 0xFFFFFFFFu);
+  EXPECT_EQ(words[1], 0xFFFFFFFFu);
 }
 
 TEST(PacketFactory, ZeroPayload) {
+  PacketArena arena;
   PacketFactory factory{4, PayloadKind::kZero, 1};
-  const Packet p = factory.make(0, 3, 0);
-  EXPECT_EQ(p.words[1], 0u);
-  EXPECT_EQ(p.words[2], 0u);
+  const Packet p = factory.make(arena, 0, 3, 0);
+  EXPECT_EQ(arena.word(p, 1), 0u);
+  EXPECT_EQ(arena.word(p, 2), 0u);
 }
 
 TEST(PacketFactory, RandomPayloadVaries) {
+  PacketArena arena;
   PacketFactory factory{32, PayloadKind::kRandom, 1};
-  const Packet p = factory.make(0, 1, 0);
-  std::set<Word> distinct(p.words.begin() + 1, p.words.end());
+  const Packet p = factory.make(arena, 0, 1, 0);
+  const PacketView words = arena.view(p);
+  std::set<Word> distinct(words.data() + 1, words.data() + words.size());
   EXPECT_GT(distinct.size(), 20u);
 }
 
 TEST(PacketFactory, SingleWordPacketIsHeaderOnly) {
+  PacketArena arena;
   PacketFactory factory{1, PayloadKind::kRandom, 1};
-  EXPECT_EQ(factory.make(0, 5, 0).size_words(), 1u);
+  EXPECT_EQ(factory.make(arena, 0, 5, 0).size_words(), 1u);
   EXPECT_THROW((PacketFactory{0, PayloadKind::kRandom, 1}),
                std::invalid_argument);
 }
@@ -187,28 +196,41 @@ TEST(TrafficGenerator, OfferedLoadAccountsForPacketLength) {
 
 TEST(TrafficGenerator, MeasuredWordRateNearOffered) {
   auto gen = TrafficGenerator::uniform_bernoulli(4, 0.4, 8, 42);
+  PacketArena arena;
   std::uint64_t words = 0;
   const Cycle cycles = 200'000;
   for (Cycle t = 0; t < cycles; ++t) {
     for (PortId p = 0; p < 4; ++p) {
-      if (const auto packet = gen.poll(p, t)) words += packet->size_words();
+      if (const auto packet = gen.poll(p, t, arena)) {
+        words += packet->size_words();
+        arena.release(*packet);
+      }
     }
   }
   const double rate = static_cast<double>(words) / (4.0 * cycles);
   EXPECT_NEAR(rate, 0.4, 0.02);
+  // Every handle released: the churn above reused a handful of slab blocks.
+  EXPECT_EQ(arena.live_packets(), 0u);
+  EXPECT_LE(arena.slab_words(), 4u * 8u);
 }
 
 TEST(TrafficGenerator, DeterministicForSameSeed) {
   auto a = TrafficGenerator::uniform_bernoulli(4, 0.3, 8, 7);
   auto b = TrafficGenerator::uniform_bernoulli(4, 0.3, 8, 7);
+  PacketArena arena_a, arena_b;
   for (Cycle t = 0; t < 2000; ++t) {
     for (PortId p = 0; p < 4; ++p) {
-      const auto pa = a.poll(p, t);
-      const auto pb = b.poll(p, t);
+      const auto pa = a.poll(p, t, arena_a);
+      const auto pb = b.poll(p, t, arena_b);
       ASSERT_EQ(pa.has_value(), pb.has_value());
       if (pa) {
         EXPECT_EQ(pa->dest, pb->dest);
-        EXPECT_EQ(pa->words, pb->words);
+        const PacketView wa = arena_a.view(*pa);
+        const PacketView wb = arena_b.view(*pb);
+        ASSERT_EQ(wa.size(), wb.size());
+        for (std::uint32_t w = 0; w < wa.size(); ++w) {
+          ASSERT_EQ(wa[w], wb[w]);
+        }
       }
     }
   }
@@ -216,12 +238,14 @@ TEST(TrafficGenerator, DeterministicForSameSeed) {
 
 TEST(TrafficGenerator, HotspotFactoryWiring) {
   auto gen = TrafficGenerator::hotspot(8, 0.5, 8, 2, 0.5, 21);
+  PacketArena arena;
   int to_hot = 0, total = 0;
   for (Cycle t = 0; t < 50'000; ++t) {
     for (PortId p = 0; p < 8; ++p) {
-      if (const auto packet = gen.poll(p, t)) {
+      if (const auto packet = gen.poll(p, t, arena)) {
         ++total;
         to_hot += (packet->dest == 2u);
+        arena.release(*packet);
       }
     }
   }
@@ -231,16 +255,19 @@ TEST(TrafficGenerator, HotspotFactoryWiring) {
 
 TEST(TrafficGenerator, BitReversalFactoryWiring) {
   auto gen = TrafficGenerator::bit_reversal_permutation(8, 0.9, 4, 5);
+  PacketArena arena;
   for (Cycle t = 0; t < 5000; ++t) {
-    if (const auto packet = gen.poll(1, t)) {
+    if (const auto packet = gen.poll(1, t, arena)) {
       EXPECT_EQ(packet->dest, 4u);
+      arena.release(*packet);
     }
   }
 }
 
 TEST(TrafficGenerator, PollValidation) {
   auto gen = TrafficGenerator::uniform_bernoulli(4, 0.5, 8, 1);
-  EXPECT_THROW((void)gen.poll(4, 0), std::out_of_range);
+  PacketArena arena;
+  EXPECT_THROW((void)gen.poll(4, 0, arena), std::out_of_range);
 }
 
 }  // namespace

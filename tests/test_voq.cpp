@@ -11,10 +11,10 @@
 namespace sfab {
 namespace {
 
-Packet make_packet(std::uint64_t id, PortId src, PortId dest,
-                   unsigned words = 4) {
+Packet make_packet(PacketArena& arena, std::uint64_t id, PortId src,
+                   PortId dest, unsigned words = 4) {
   PacketFactory factory{words, PayloadKind::kZero, id};
-  Packet p = factory.make(src, dest, 0);
+  Packet p = factory.make(arena, src, dest, 0);
   p.id = id;
   return p;
 }
@@ -22,9 +22,10 @@ Packet make_packet(std::uint64_t id, PortId src, PortId dest,
 // --- VoqBank ---------------------------------------------------------------------
 
 TEST(VoqBank, RoutesPacketsToTheirQueue) {
-  VoqBank bank{0, 4, 8};
-  ASSERT_TRUE(bank.enqueue(make_packet(1, 0, 2)));
-  ASSERT_TRUE(bank.enqueue(make_packet(2, 0, 3)));
+  PacketArena arena;
+  VoqBank bank{0, 4, 8, arena};
+  ASSERT_TRUE(bank.enqueue(make_packet(arena, 1, 0, 2)));
+  ASSERT_TRUE(bank.enqueue(make_packet(arena, 2, 0, 3)));
   EXPECT_TRUE(bank.has_packet_for(2));
   EXPECT_TRUE(bank.has_packet_for(3));
   EXPECT_FALSE(bank.has_packet_for(1));
@@ -34,25 +35,29 @@ TEST(VoqBank, RoutesPacketsToTheirQueue) {
 }
 
 TEST(VoqBank, FifoWithinAQueue) {
-  VoqBank bank{0, 4, 8};
-  (void)bank.enqueue(make_packet(1, 0, 2));
-  (void)bank.enqueue(make_packet(2, 0, 2));
+  PacketArena arena;
+  VoqBank bank{0, 4, 8, arena};
+  (void)bank.enqueue(make_packet(arena, 1, 0, 2));
+  (void)bank.enqueue(make_packet(arena, 2, 0, 2));
   EXPECT_EQ(bank.pop(2).id, 1u);
   EXPECT_EQ(bank.pop(2).id, 2u);
 }
 
-TEST(VoqBank, SharedCapacityDrops) {
-  VoqBank bank{0, 4, 2};
-  EXPECT_TRUE(bank.enqueue(make_packet(1, 0, 1)));
-  EXPECT_TRUE(bank.enqueue(make_packet(2, 0, 2)));
-  EXPECT_FALSE(bank.enqueue(make_packet(3, 0, 3)));
+TEST(VoqBank, SharedCapacityDropsAndReleasesToArena) {
+  PacketArena arena;
+  VoqBank bank{0, 4, 2, arena};
+  EXPECT_TRUE(bank.enqueue(make_packet(arena, 1, 0, 1)));
+  EXPECT_TRUE(bank.enqueue(make_packet(arena, 2, 0, 2)));
+  EXPECT_FALSE(bank.enqueue(make_packet(arena, 3, 0, 3)));
   EXPECT_EQ(bank.drops(), 1u);
+  EXPECT_EQ(arena.live_packets(), 2u);  // the dropped packet was released
 }
 
 TEST(VoqBank, Validation) {
-  EXPECT_THROW((VoqBank{0, 1, 4}), std::invalid_argument);
-  EXPECT_THROW((VoqBank{0, 4, 0}), std::invalid_argument);
-  VoqBank bank{0, 4, 4};
+  PacketArena arena;
+  EXPECT_THROW((VoqBank{0, 1, 4, arena}), std::invalid_argument);
+  EXPECT_THROW((VoqBank{0, 4, 0, arena}), std::invalid_argument);
+  VoqBank bank{0, 4, 4, arena};
   EXPECT_THROW((void)bank.pop(1), std::logic_error);
   EXPECT_THROW((void)bank.has_packet_for(9), std::out_of_range);
 }
