@@ -7,16 +7,32 @@
 // trajectory of the hot path over time; the headline number is the
 // 32-port crossbar row (the packet-arena PR's ≥3x acceptance metric).
 //
-// Usage: bench_throughput [--quick] [--reps N] [--out PATH]
-//   --quick  small grid + short runs (CI smoke)
-//   --reps   timing repetitions per config; best-of is reported (default 3)
-//   --out    JSON output path (default BENCH_throughput.json)
+// Usage: bench_throughput [--quick] [--reps N] [--out PATH] [--workers N]
+//   --quick    small grid + short runs (CI smoke)
+//   --reps     timing repetitions per config; best-of is reported (default 3)
+//   --out      JSON output path (default BENCH_throughput.json)
+//   --workers  N > 1: run the same grid as ONE sharded multi-process sweep
+//              (src/dist; the bench re-execs itself as the workers) and
+//              record aggregate sweep throughput plus the worker-count
+//              metadata in the JSON instead of per-config wall times
+// Internal (spawned by --workers): --shard-worker I --shard-dir D
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "dist/coordinator.hpp"
+#include "dist/merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/worker.hpp"
+#include "exp/spec.hpp"
 #include "sim/report.hpp"
 #include "sim/simulation.hpp"
 
@@ -53,6 +69,9 @@ int main(int argc, char** argv) {
   bool quick = false;
   int reps = 3;
   std::string out_path = "BENCH_throughput.json";
+  unsigned workers = 1;
+  int shard_worker = -1;
+  std::string shard_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -61,9 +80,15 @@ int main(int argc, char** argv) {
       reps = std::stoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--shard-worker" && i + 1 < argc) {
+      shard_worker = std::stoi(argv[++i]);
+    } else if (arg == "--shard-dir" && i + 1 < argc) {
+      shard_dir = argv[++i];
     } else {
       std::cerr << "usage: bench_throughput [--quick] [--reps N] [--out "
-                   "PATH]\n";
+                   "PATH] [--workers N]\n";
       return 2;
     }
   }
@@ -84,6 +109,98 @@ int main(int argc, char** argv) {
                                         Architecture::kBanyan};
   const std::vector<unsigned> port_counts =
       quick ? std::vector<unsigned>{8, 16} : std::vector<unsigned>{8, 16, 32};
+
+  // --- sharded mode: the grid as one multi-process distributed sweep --------
+  if (shard_worker >= 0 || workers > 1) {
+    SweepSpec spec;
+    spec.base = base;
+    spec.over_architectures(archs);
+    std::vector<unsigned> port_axis = port_counts;
+    spec.over_ports(std::move(port_axis));
+    const std::size_t shard_count =
+        dist::default_shard_count(spec.run_count(), workers);
+
+    if (shard_worker >= 0) {  // spawned child: work the ledger and exit
+      dist::WorkerOptions options;
+      const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+      options.threads = std::max(1u, hw / std::max(1u, workers));
+      options.worker_index = static_cast<unsigned>(shard_worker);
+      options.stale_after_s = 10.0;
+      dist::run_worker(spec, shard_count, shard_dir, options);
+      return 0;
+    }
+
+    const bool user_dir = !shard_dir.empty();
+    if (!user_dir) {
+      shard_dir = (std::filesystem::temp_directory_path() /
+                   ("sfab-bench-shards-" + std::to_string(::getpid())))
+                      .string();
+    }
+    const std::string self = argv[0];
+    const auto worker_argv = [&](unsigned w) {
+      std::vector<std::string> child{self, "--shard-worker",
+                                     std::to_string(w), "--shard-dir",
+                                     shard_dir, "--workers",
+                                     std::to_string(workers)};
+      if (quick) child.push_back("--quick");
+      return child;
+    };
+
+    std::cout << "=== Distributed sweep throughput (" << workers
+              << " worker processes, " << shard_count << " shards, "
+              << (quick ? "quick" : "full") << " grid) ===\n\n";
+    dist::CoordinatorOptions options;
+    options.workers = workers;
+    options.log = &std::cerr;
+    const auto t0 = std::chrono::steady_clock::now();
+    const dist::CoordinatorReport report =
+        dist::ShardCoordinator(shard_dir, worker_argv)
+            .run(shard_count, options);
+    const dist::MergeOutput merged =
+        dist::merge_shards(shard_dir, dist::fingerprint_of(spec));
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!user_dir) std::filesystem::remove_all(shard_dir);
+
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    const double runs = static_cast<double>(merged.results.size());
+    std::cout << merged.results.size() << " runs in "
+              << format_fixed(wall_s, 2) << " s ("
+              << format_fixed(runs / wall_s, 2) << " runs/s, "
+              << report.spawned << " workers spawned)\n";
+
+    std::ofstream json(out_path);
+    if (!json.is_open()) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    json << "{\n  \"bench\": \"throughput\",\n  \"workload\": {\n"
+         << "    \"offered_load\": " << base.offered_load << ",\n"
+         << "    \"packet_words\": " << base.packet_words << ",\n"
+         << "    \"pattern\": \"uniform\",\n    \"scheme\": \"fifo\",\n"
+         << "    \"warmup_cycles\": " << base.warmup_cycles << ",\n"
+         << "    \"measure_cycles\": " << base.measure_cycles << ",\n"
+         << "    \"ingress_queue_packets\": " << base.ingress_queue_packets
+         << ",\n    \"seed\": " << base.seed
+         << ",\n    \"workers\": " << workers << "\n  },\n"
+         << "  \"sharded\": {\"workers\": " << workers
+         << ", \"shards\": " << shard_count
+         << ", \"workers_spawned\": " << report.spawned
+         << ", \"wall_s\": " << wall_s << ", \"runs\": "
+         << merged.results.size() << ", \"runs_per_sec\": " << runs / wall_s
+         << "},\n  \"results\": [\n";
+    for (std::size_t i = 0; i < merged.results.size(); ++i) {
+      const RunRecord& rec = merged.results[i];
+      json << "    {\"arch\": \"" << to_string(rec.config.arch)
+           << "\", \"ports\": " << rec.config.ports
+           << ", \"delivered_packets\": " << rec.result.delivered_packets
+           << ", \"delivered_words\": " << rec.result.delivered_words
+           << ", \"egress_throughput\": " << rec.result.egress_throughput
+           << "}" << (i + 1 < merged.results.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+  }
 
   std::cout << "=== Simulator throughput (saturation workload, "
             << (quick ? "quick" : "full") << " grid) ===\n\n";
@@ -134,7 +251,7 @@ int main(int argc, char** argv) {
        << "    \"measure_cycles\": " << base.measure_cycles << ",\n"
        << "    \"ingress_queue_packets\": " << base.ingress_queue_packets
        << ",\n    \"seed\": " << base.seed << ",\n    \"reps\": " << reps
-       << "\n  },\n  \"results\": [\n";
+       << ",\n    \"workers\": 1\n  },\n  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     json << "    {\"arch\": \"" << to_string(row.config.arch)

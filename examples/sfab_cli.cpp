@@ -10,13 +10,29 @@
 // at any --threads value). A single run prints the full measurement block;
 // a sweep prints a summary table. --csv <path> writes the stable
 // machine-readable schema instead ("-" = stdout).
+//
+// The CLI is also the distributed-sweep front end (src/dist): --shards N
+// makes it a coordinator that spawns N copies of itself as shard workers
+// over a shared --shard-dir and merges their fragments; --shard-index I
+// makes it worker I against that directory (run it by hand on several
+// hosts sharing the directory for a multi-host sweep); --merge reassembles
+// a completed directory without simulating. The merged CSV is
+// byte-identical to the same sweep run in one process.
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "dist/coordinator.hpp"
+#include "dist/merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/worker.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
 #include "sim/report.hpp"
@@ -47,6 +63,17 @@ void print_usage() {
       "  --skid N           skid bypass slots                        [1]\n"
       "  --dram             DRAM-backed node buffers (adds refresh)\n"
       "  --csv PATH         write the sweep as CSV to PATH (- = stdout)\n"
+      "distributed sweeps (see README \"Distributed sweeps\"):\n"
+      "  --shards N         coordinator: spawn N local shard workers,\n"
+      "                     then merge their fragments\n"
+      "  --shard-index I    worker I: claim and run shards against\n"
+      "                     --shard-dir until the sweep completes\n"
+      "                     (requires --shards N = total worker count)\n"
+      "  --shard-dir PATH   shared ledger directory (coordinator default:\n"
+      "                     a temp dir, removed after the merge)\n"
+      "  --merge            merge a completed --shard-dir, no simulation\n"
+      "  --stale-after S    seconds without a heartbeat before a claim\n"
+      "                     counts as abandoned                     [30]\n"
       "  --help             this text\n";
 }
 
@@ -121,6 +148,37 @@ void print_summary(const ResultSet& results) {
         }}});
 }
 
+/// CSV file / stdout / table output, identical for local, sharded, and
+/// merged sweeps. `csv_text` (when non-null) is written verbatim in place
+/// of re-serializing `results` — merged fragments stay byte-identical to a
+/// single-process write_csv.
+void emit_results(const ResultSet& results, const std::string& csv_path,
+                  const std::string* csv_text, const std::string& note) {
+  if (!csv_path.empty()) {
+    std::ostringstream fallback;
+    if (csv_text == nullptr) write_csv(fallback, results);
+    const std::string& text = csv_text ? *csv_text : fallback.str();
+    if (csv_path == "-") {
+      std::cout << text;
+    } else {
+      std::ofstream file(csv_path, std::ios::binary);
+      if (!file) {
+        throw std::runtime_error("cannot open " + csv_path + " for writing");
+      }
+      file << text;
+      std::cerr << "wrote " << results.size() << " runs to " << csv_path
+                << '\n';
+    }
+    return;
+  }
+  if (results.size() == 1) {
+    print_single_run(results[0]);
+  } else {
+    std::cout << results.size() << " runs (" << note << ")\n\n";
+    print_summary(results);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -131,6 +189,11 @@ int main(int argc, char** argv) {
   spec.base.offered_load = 0.4;
   unsigned threads = 0;
   std::string csv_path;
+  unsigned shards = 0;
+  int shard_index = -1;
+  std::string shard_dir;
+  bool merge_mode = false;
+  double stale_after_s = 30.0;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -194,38 +257,107 @@ int main(int argc, char** argv) {
         spec.base.dram_buffers = true;
       } else if (flag == "--csv") {
         csv_path = next();
+      } else if (flag == "--shards") {
+        shards = static_cast<unsigned>(std::stoul(next()));
+        if (shards == 0) {
+          throw std::invalid_argument("--shards must be >= 1");
+        }
+      } else if (flag == "--shard-index") {
+        shard_index = std::stoi(next());
+        if (shard_index < 0) {
+          throw std::invalid_argument("--shard-index must be >= 0");
+        }
+      } else if (flag == "--shard-dir") {
+        shard_dir = next();
+      } else if (flag == "--merge") {
+        merge_mode = true;
+      } else if (flag == "--stale-after") {
+        stale_after_s = std::stod(next());
       } else {
         throw std::invalid_argument("unknown option " + flag);
       }
     }
 
-    const ResultSet results = run_sweep(spec, threads);
-
-    if (!csv_path.empty()) {
-      if (csv_path == "-") {
-        write_csv(std::cout, results);
-      } else {
-        std::ofstream file(csv_path);
-        if (!file) {
-          throw std::runtime_error("cannot open " + csv_path +
-                                   " for writing");
-        }
-        write_csv(file, results);
-        std::cerr << "wrote " << results.size() << " runs to " << csv_path
-                  << '\n';
+    // --- merge-only: reassemble a completed shard directory ---------------
+    if (merge_mode) {
+      if (shard_dir.empty()) {
+        throw std::invalid_argument("--merge needs --shard-dir");
       }
+      const dist::MergeOutput merged = dist::merge_shards(shard_dir);
+      emit_results(merged.results, csv_path, &merged.csv_text, "merged");
       return 0;
     }
 
-    if (results.size() == 1) {
-      print_single_run(results[0]);
-    } else {
-      // The pool never spawns more workers than there are runs.
-      const std::size_t pool = std::min<std::size_t>(
-          SweepRunner(threads).threads(), results.size());
-      std::cout << results.size() << " runs (" << pool << " threads)\n\n";
-      print_summary(results);
+    // --- worker: claim and run shards until the sweep completes -----------
+    if (shard_index >= 0) {
+      if (shards == 0 || shard_dir.empty()) {
+        throw std::invalid_argument(
+            "--shard-index needs --shards (worker count) and --shard-dir");
+      }
+      dist::WorkerOptions options;
+      options.threads = threads;
+      options.stale_after_s = stale_after_s;
+      options.worker_index = static_cast<unsigned>(shard_index);
+      options.log = &std::cerr;
+      dist::run_worker(spec,
+                       dist::default_shard_count(spec.run_count(), shards),
+                       shard_dir, options);
+      return 0;
     }
+
+    // --- coordinator: spawn local workers, then merge ---------------------
+    if (shards > 0) {
+      const bool user_dir = !shard_dir.empty();
+      if (!user_dir) {
+        shard_dir = (std::filesystem::temp_directory_path() /
+                     ("sfab-shards-" + std::to_string(::getpid())))
+                        .string();
+      }
+      // Split the cores across workers unless the user pinned --threads.
+      unsigned worker_threads = threads;
+      if (worker_threads == 0) {
+        const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+        worker_threads = std::max(1u, hw / shards);
+      }
+      const std::vector<std::string> base_argv(argv, argv + argc);
+      const auto worker_argv = [&](unsigned worker) {
+        std::vector<std::string> child = base_argv;
+        child.insert(child.end(),
+                     {"--shard-index", std::to_string(worker)});
+        if (!user_dir) {
+          child.insert(child.end(), {"--shard-dir", shard_dir});
+        }
+        if (threads == 0) {
+          child.insert(child.end(),
+                       {"--threads", std::to_string(worker_threads)});
+        }
+        return child;
+      };
+
+      const std::size_t shard_count =
+          dist::default_shard_count(spec.run_count(), shards);
+      dist::CoordinatorOptions options;
+      options.workers = shards;
+      options.log = &std::cerr;
+      const dist::CoordinatorReport report =
+          dist::ShardCoordinator(shard_dir, worker_argv)
+              .run(shard_count, options);
+      const dist::MergeOutput merged =
+          dist::merge_shards(shard_dir, dist::fingerprint_of(spec));
+      emit_results(merged.results, csv_path, &merged.csv_text,
+                   std::to_string(report.spawned) + " workers, " +
+                       std::to_string(shard_count) + " shards");
+      if (!user_dir) std::filesystem::remove_all(shard_dir);
+      return 0;
+    }
+
+    // --- plain single-process sweep ---------------------------------------
+    const ResultSet results = run_sweep(spec, threads);
+    // The pool never spawns more workers than there are runs.
+    const std::size_t pool = std::min<std::size_t>(
+        SweepRunner(threads).threads(), results.size());
+    emit_results(results, csv_path, nullptr,
+                 std::to_string(pool) + " threads");
   } catch (const std::exception& error) {
     std::cerr << "sfab_cli: " << error.what() << "\n\n";
     print_usage();

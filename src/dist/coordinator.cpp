@@ -1,0 +1,93 @@
+#include "dist/coordinator.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/ledger.hpp"
+
+namespace sfab::dist {
+
+namespace {
+
+/// fork/exec one worker; returns its pid. Throws when fork fails; a child
+/// whose exec fails exits 127 and is counted as a failed worker.
+[[nodiscard]] pid_t spawn(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("ShardCoordinator: fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(
+    std::string shard_dir,
+    std::function<std::vector<std::string>(unsigned)> worker_argv)
+    : shard_dir_(std::move(shard_dir)), worker_argv_(std::move(worker_argv)) {}
+
+CoordinatorReport ShardCoordinator::run(std::size_t shard_count,
+                                        const CoordinatorOptions& options) {
+  const ShardLedger ledger(shard_dir_);
+  CoordinatorReport report;
+
+  for (unsigned wave = 0; wave <= options.max_respawn_waves; ++wave) {
+    ++report.waves;
+    std::vector<pid_t> pids;
+    pids.reserve(options.workers);
+    for (unsigned w = 0; w < options.workers; ++w) {
+      pids.push_back(spawn(worker_argv_(w)));
+      ++report.spawned;
+    }
+
+    for (const pid_t pid : pids) {
+      int status = 0;
+      if (::waitpid(pid, &status, 0) < 0) {
+        ++report.failed;
+        continue;
+      }
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (!clean) {
+        ++report.failed;
+        if (options.log != nullptr) {
+          *options.log << "[coordinator] worker pid " << pid
+                       << (WIFSIGNALED(status)
+                               ? " killed by signal " +
+                                     std::to_string(WTERMSIG(status))
+                               : " exited " +
+                                     std::to_string(WEXITSTATUS(status)))
+                       << '\n';
+        }
+      }
+    }
+
+    if (ledger.fragments_missing(shard_count) == 0) return report;
+    if (options.log != nullptr) {
+      *options.log << "[coordinator] wave " << report.waves
+                   << " ended with fragments missing; respawning\n";
+    }
+  }
+  throw std::runtime_error(
+      "ShardCoordinator: sweep incomplete after " +
+      std::to_string(report.waves) + " waves (" + shard_dir_ + ")");
+}
+
+}  // namespace sfab::dist

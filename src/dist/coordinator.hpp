@@ -1,0 +1,55 @@
+// Local multi-process coordination: spawn shard workers, outlive crashes.
+//
+// The coordinator fork/execs N copies of a caller-supplied worker command
+// line (the CLI and benches re-invoke their own binary with worker flags)
+// and waits for them. It deliberately knows nothing about claims or
+// heartbeats — crash recovery lives in the workers, who reclaim any shard
+// whose owner stopped heartbeating. The coordinator's only recovery duty
+// is the total-loss case: if every worker died with fragments still
+// missing, it spawns another wave (the fresh workers find the stale
+// claims and finish the job) before giving up.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfab::dist {
+
+struct CoordinatorOptions {
+  unsigned workers = 1;
+  /// Extra worker waves to spawn when a wave ends with fragments missing
+  /// (i.e. every worker of the wave died mid-sweep).
+  unsigned max_respawn_waves = 2;
+  std::ostream* log = nullptr;
+};
+
+struct CoordinatorReport {
+  unsigned spawned = 0;  ///< worker processes launched across all waves
+  unsigned failed = 0;   ///< of those, exited nonzero or died by signal
+  unsigned waves = 0;
+};
+
+class ShardCoordinator {
+ public:
+  /// `worker_argv(i)` is the full command line (argv[0] included) that
+  /// runs worker `i` against `shard_dir`.
+  ShardCoordinator(
+      std::string shard_dir,
+      std::function<std::vector<std::string>(unsigned)> worker_argv);
+
+  /// Spawns options.workers processes and waits for them; respawns up to
+  /// options.max_respawn_waves extra waves while fragments are missing.
+  /// Throws std::runtime_error when the sweep is still incomplete after
+  /// the last wave.
+  CoordinatorReport run(std::size_t shard_count,
+                        const CoordinatorOptions& options);
+
+ private:
+  std::string shard_dir_;
+  std::function<std::vector<std::string>(unsigned)> worker_argv_;
+};
+
+}  // namespace sfab::dist

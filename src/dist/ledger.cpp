@@ -1,0 +1,252 @@
+#include "dist/ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace sfab::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kPlanMagic[] = "sfab-shard-plan v1";
+
+/// Writes `text` to `final_path` durably: temp file (unique per pid so
+/// concurrent writers never share one), flush, atomic rename. Rename
+/// either installs the complete file or changes nothing.
+void write_file_atomic(const fs::path& final_path, const std::string& text) {
+  const fs::path tmp =
+      final_path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      throw std::runtime_error("ShardLedger: cannot write " + tmp.string());
+    }
+    out << text;
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("ShardLedger: short write to " + tmp.string());
+    }
+  }
+  fs::rename(tmp, final_path);
+}
+
+[[nodiscard]] std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw std::runtime_error("ShardLedger: cannot read " + path.string());
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+// --- Claim heartbeat ---------------------------------------------------------
+
+struct ShardLedger::Claim::Beat {
+  std::string path;
+  double interval_s;
+  std::mutex mutex;
+  std::condition_variable wake;
+  bool stop = false;
+  std::thread thread;
+
+  Beat(std::string p, double s) : path(std::move(p)), interval_s(s) {
+    thread = std::thread([this] {
+      std::unique_lock<std::mutex> lock(mutex);
+      for (;;) {
+        wake.wait_for(lock, std::chrono::duration<double>(interval_s),
+                      [this] { return stop; });
+        if (stop) return;
+        std::error_code ec;  // claim may have been reclaimed under us
+        fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+      }
+    });
+  }
+
+  ~Beat() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    wake.notify_one();
+    thread.join();
+  }
+};
+
+ShardLedger::Claim::Claim(std::string path, double interval_s)
+    : beat_(std::make_unique<Beat>(std::move(path), interval_s)) {}
+
+ShardLedger::Claim::Claim(Claim&&) noexcept = default;
+
+ShardLedger::Claim& ShardLedger::Claim::operator=(Claim&& other) noexcept {
+  if (this != &other) {
+    release();
+    beat_ = std::move(other.beat_);
+  }
+  return *this;
+}
+
+ShardLedger::Claim::~Claim() { release(); }
+
+void ShardLedger::Claim::release() noexcept {
+  if (!beat_) return;
+  const std::string path = beat_->path;
+  beat_.reset();  // stop heartbeating before the file disappears
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+// --- ShardLedger -------------------------------------------------------------
+
+ShardLedger::ShardLedger(std::string dir, double stale_after_s)
+    : dir_(std::move(dir)), stale_s_(stale_after_s) {
+  if (stale_s_ <= 0.0) {
+    throw std::invalid_argument("ShardLedger: stale_after_s must be > 0");
+  }
+  fs::create_directories(fs::path(dir_) / "claims");
+  fs::create_directories(fs::path(dir_) / "frags");
+}
+
+void ShardLedger::publish(const LedgerPlan& plan) {
+  std::ostringstream text;
+  text << kPlanMagic << "\nruns " << plan.total_runs << "\nshards "
+       << plan.shard_count << "\nfingerprint " << plan.fingerprint << '\n';
+
+  // First-publisher-wins install: write a private temp file, then link(2)
+  // it to the final name. Link fails with EEXIST when a plan is already
+  // installed — never overwrites — so even two workers of *different*
+  // sweeps racing on an empty directory resolve to exactly one plan, and
+  // the loser's verify below throws. (Rename would silently last-wins.)
+  const fs::path path = fs::path(dir_) / "plan";
+  const fs::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << text.str();
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("ShardLedger: cannot write " + tmp.string());
+    }
+  }
+  const int linked = ::link(tmp.c_str(), path.c_str());
+  const int link_errno = errno;
+  std::error_code ec;
+  fs::remove(tmp, ec);
+  if (linked != 0 && link_errno != EEXIST) {
+    throw std::runtime_error(
+        std::string("ShardLedger: cannot install plan: ") +
+        std::strerror(link_errno));
+  }
+  const LedgerPlan existing = this->plan();
+  if (existing.total_runs != plan.total_runs ||
+      existing.shard_count != plan.shard_count ||
+      existing.fingerprint != plan.fingerprint) {
+    throw std::runtime_error(
+        "ShardLedger: " + dir_ +
+        " already holds a different sweep plan (mismatched worker flags?)");
+  }
+}
+
+LedgerPlan ShardLedger::plan() const {
+  std::istringstream in(read_file(fs::path(dir_) / "plan"));
+  std::string magic;
+  std::getline(in, magic);
+  LedgerPlan plan;
+  std::string key_runs, key_shards, key_fp;
+  in >> key_runs >> plan.total_runs >> key_shards >> plan.shard_count >>
+      key_fp >> plan.fingerprint;
+  if (magic != kPlanMagic || key_runs != "runs" || key_shards != "shards" ||
+      key_fp != "fingerprint" || !in || plan.total_runs == 0 ||
+      plan.shard_count == 0) {
+    throw std::runtime_error("ShardLedger: malformed plan file in " + dir_);
+  }
+  return plan;
+}
+
+std::string ShardLedger::claim_path(std::size_t shard) const {
+  return (fs::path(dir_) / "claims" /
+          ("shard-" + std::to_string(shard) + ".claim"))
+      .string();
+}
+
+std::optional<ShardLedger::Claim> ShardLedger::try_claim(
+    std::size_t shard, const std::string& worker_id) {
+  const std::string path = claim_path(shard);
+  // O_CREAT|O_EXCL is the mutual exclusion: exactly one process creates
+  // the file; everyone else gets EEXIST.
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return std::nullopt;
+  const std::string body = worker_id + "\n";
+  // Best-effort attribution only; the claim is the file's existence.
+  (void)!::write(fd, body.data(), body.size());
+  ::close(fd);
+  return Claim(path, stale_s_ / 4.0);
+}
+
+bool ShardLedger::reclaim_if_stale(std::size_t shard) noexcept {
+  const std::string path = claim_path(shard);
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(path, ec);
+  if (ec) return false;  // no claim (or just released) — nothing to break
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  if (std::chrono::duration<double>(age).count() < stale_s_) return false;
+
+  // Break it: rename to a tombstone unique to this process. Rename has
+  // exactly one winner; a loser's rename fails because the source is gone.
+  const std::string tombstone =
+      path + ".stale." + std::to_string(::getpid());
+  fs::rename(path, tombstone, ec);
+  if (ec) return false;
+  fs::remove(tombstone, ec);
+  return true;
+}
+
+std::string ShardLedger::fragment_path(std::size_t shard) const {
+  return (fs::path(dir_) / "frags" /
+          ("shard-" + std::to_string(shard) + ".csv"))
+      .string();
+}
+
+bool ShardLedger::fragment_exists(std::size_t shard) const {
+  std::error_code ec;
+  return fs::exists(fragment_path(shard), ec);
+}
+
+std::size_t ShardLedger::fragments_missing(std::size_t shard_count) const {
+  std::size_t missing = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (!fragment_exists(s)) ++missing;
+  }
+  return missing;
+}
+
+void ShardLedger::commit_fragment(std::size_t shard,
+                                  const std::string& csv_text) {
+  write_file_atomic(fragment_path(shard), csv_text);
+}
+
+std::string ShardLedger::read_fragment(std::size_t shard) const {
+  return read_file(fragment_path(shard));
+}
+
+std::string local_worker_id(const std::string& tag) {
+  char host[256] = "unknown-host";
+  (void)::gethostname(host, sizeof host - 1);
+  std::string id = std::string(host) + ":" + std::to_string(::getpid());
+  if (!tag.empty()) id += ":" + tag;
+  return id;
+}
+
+}  // namespace sfab::dist

@@ -1,0 +1,124 @@
+// File-backed shard ledger: the shared state of a distributed sweep.
+//
+// Any number of worker processes — spawned locally by ShardCoordinator or
+// launched by hand on other hosts — coordinate through nothing but a
+// shared directory and three filesystem primitives that are atomic on
+// POSIX filesystems (local and NFSv3+ alike):
+//
+//   shard-dir/
+//     plan            sweep contract: run count, shard count, fingerprint
+//                     (written whole-file via temp + rename; every worker
+//                     publishes the identical deterministic content and
+//                     verifies what it reads back)
+//     claims/shard-<i>.claim
+//                     exclusive work claim, created with O_CREAT|O_EXCL —
+//                     exactly one creator wins. The owner refreshes the
+//                     file's mtime (heartbeat thread) while it simulates;
+//                     a claim whose mtime falls more than stale_after
+//                     behind is an abandoned shard, and any worker may
+//                     break it (atomic rename to a tombstone — only one
+//                     renamer wins — then unlink and re-claim).
+//     frags/shard-<i>.csv
+//                     the shard's finished CSV fragment, committed with
+//                     write-temp-then-rename so a crash can never leave a
+//                     partial fragment: a fragment either exists complete
+//                     or not at all. Fragment existence IS the completion
+//                     record.
+//
+// The protocol is crash-safe by construction: a worker killed before
+// commit leaves only a claim file that stops heartbeating, which the
+// survivors reclaim after stale_after; a worker killed mid-commit leaves a
+// temp file that the winning committer's rename simply ignores.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace sfab::dist {
+
+/// The sweep contract stored in shard-dir/plan.
+struct LedgerPlan {
+  std::size_t total_runs = 0;
+  std::size_t shard_count = 0;
+  std::string fingerprint;  ///< dist::fingerprint_of(spec)
+};
+
+class ShardLedger {
+ public:
+  /// Opens (creating if needed) the ledger rooted at `dir`. `stale_after_s`
+  /// is how long a claim may go without a heartbeat before any worker may
+  /// break it; heartbeats fire every stale_after_s / 4.
+  explicit ShardLedger(std::string dir, double stale_after_s = 30.0);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] double stale_after_s() const noexcept { return stale_s_; }
+
+  /// Publishes `plan` (temp + atomic rename) unless an identical plan is
+  /// already there; throws std::runtime_error when the directory holds a
+  /// *different* plan — mismatched workers must fail, not corrupt.
+  void publish(const LedgerPlan& plan);
+  /// Reads shard-dir/plan; throws std::runtime_error when absent/garbled.
+  [[nodiscard]] LedgerPlan plan() const;
+
+  // --- claims ---------------------------------------------------------------
+
+  /// Movable RAII claim: heartbeats the claim file's mtime on a background
+  /// thread until released. release() (or destruction) stops the heartbeat
+  /// and unlinks the claim file; a worker that dies instead simply stops
+  /// heartbeating, which is what makes the shard reclaimable.
+  class Claim {
+   public:
+    Claim(Claim&&) noexcept;
+    Claim& operator=(Claim&&) noexcept;
+    ~Claim();
+    void release() noexcept;
+
+   private:
+    friend class ShardLedger;
+    struct Beat;
+    Claim(std::string path, double interval_s);
+    std::unique_ptr<Beat> beat_;
+  };
+
+  /// O_EXCL-creates the claim file for `shard` recording `worker_id`;
+  /// nullopt when another live worker holds it (or just won the race).
+  [[nodiscard]] std::optional<Claim> try_claim(std::size_t shard,
+                                               const std::string& worker_id);
+
+  /// Breaks the claim on `shard` iff its heartbeat is older than
+  /// stale_after; returns true when a stale claim was removed (the caller
+  /// should retry try_claim). Safe to race: the tombstone rename has
+  /// exactly one winner and a vanished file means someone else got there.
+  bool reclaim_if_stale(std::size_t shard) noexcept;
+
+  // --- fragments ------------------------------------------------------------
+
+  [[nodiscard]] std::string fragment_path(std::size_t shard) const;
+  [[nodiscard]] bool fragment_exists(std::size_t shard) const;
+  /// Shards in [0, shard_count) that still have no fragment.
+  [[nodiscard]] std::size_t fragments_missing(std::size_t shard_count) const;
+
+  /// Durably installs `csv_text` as shard `shard`'s fragment (write temp,
+  /// flush, atomic rename). Idempotent: a re-run of an already-committed
+  /// shard re-installs identical bytes.
+  void commit_fragment(std::size_t shard, const std::string& csv_text);
+  /// Whole fragment text; throws std::runtime_error when absent.
+  [[nodiscard]] std::string read_fragment(std::size_t shard) const;
+
+ private:
+  [[nodiscard]] std::string claim_path(std::size_t shard) const;
+
+  std::string dir_;
+  double stale_s_;
+};
+
+/// Identity string recorded inside claim files: host:pid[:tag].
+[[nodiscard]] std::string local_worker_id(const std::string& tag = "");
+
+}  // namespace sfab::dist

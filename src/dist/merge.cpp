@@ -1,0 +1,84 @@
+#include "dist/merge.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "dist/ledger.hpp"
+#include "dist/shard_plan.hpp"
+#include "exp/report.hpp"
+
+namespace sfab::dist {
+
+namespace {
+
+/// Splits fragment text into (header, body, row_count); tolerates a
+/// missing trailing newline on the last row.
+struct FragmentRows {
+  std::string_view header;
+  std::string_view body;
+  std::size_t rows = 0;
+};
+
+[[nodiscard]] FragmentRows split_fragment(std::string_view text) {
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) {
+    throw std::runtime_error("merge_shards: fragment has no header line");
+  }
+  FragmentRows out;
+  out.header = text.substr(0, eol);
+  out.body = text.substr(eol + 1);
+  for (std::size_t at = 0; at < out.body.size();) {
+    const std::size_t next = out.body.find('\n', at);
+    ++out.rows;
+    if (next == std::string_view::npos) break;
+    at = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+MergeOutput merge_shards(const std::string& shard_dir,
+                         const std::string& expected_fingerprint) {
+  const ShardLedger ledger(shard_dir);
+  const LedgerPlan plan = ledger.plan();
+  if (!expected_fingerprint.empty() &&
+      expected_fingerprint != plan.fingerprint) {
+    throw std::runtime_error(
+        "merge_shards: " + shard_dir +
+        " was produced by a different sweep (fingerprint mismatch)");
+  }
+  const ShardPlan shards(plan.total_runs, plan.shard_count);
+
+  MergeOutput out;
+  out.csv_text = csv_header() + '\n';
+  for (std::size_t s = 0; s < shards.shard_count(); ++s) {
+    if (!ledger.fragment_exists(s)) {
+      throw std::runtime_error("merge_shards: shard " + std::to_string(s) +
+                               " has no fragment yet (sweep incomplete)");
+    }
+    const std::string text = ledger.read_fragment(s);
+    const FragmentRows frag = split_fragment(text);
+    if (frag.header != csv_header()) {
+      throw std::runtime_error("merge_shards: shard " + std::to_string(s) +
+                               " fragment has a mismatched header");
+    }
+    if (frag.rows != shards.range_of(s).size()) {
+      throw std::runtime_error(
+          "merge_shards: shard " + std::to_string(s) + " holds " +
+          std::to_string(frag.rows) + " rows, expected " +
+          std::to_string(shards.range_of(s).size()));
+    }
+    out.csv_text.append(frag.body);
+    if (!out.csv_text.empty() && out.csv_text.back() != '\n') {
+      out.csv_text.push_back('\n');
+    }
+  }
+
+  std::istringstream parse(out.csv_text);
+  out.results = read_csv(parse);
+  return out;
+}
+
+}  // namespace sfab::dist

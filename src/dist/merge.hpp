@@ -1,0 +1,33 @@
+// Lossless reassembly of shard fragments into one sweep result.
+//
+// Shards are contiguous ranges in expansion order and every fragment is a
+// complete exp/report CSV (header + its range's rows, doubles in shortest
+// round-trip form), so the merge is concatenation: the shared header once,
+// then each fragment's rows in shard order. No value is ever reformatted,
+// which is what makes the merged file byte-identical to `write_csv` of a
+// single-process run of the same spec — the property CI pins with `cmp`.
+#pragma once
+
+#include <string>
+
+#include "exp/result.hpp"
+
+namespace sfab::dist {
+
+struct MergeOutput {
+  /// The merged CSV, byte-identical to a single-process write_csv.
+  std::string csv_text;
+  /// The same rows parsed back into records (expansion order).
+  ResultSet results;
+};
+
+/// Merges the completed fragments under `shard_dir`. Validates the ledger
+/// plan, every fragment's presence, header, and row count against the
+/// shard ranges; when `expected_fingerprint` is non-empty it must match
+/// the published plan. Throws std::runtime_error on any gap or mismatch —
+/// a merge never silently drops or duplicates a run.
+[[nodiscard]] MergeOutput merge_shards(
+    const std::string& shard_dir,
+    const std::string& expected_fingerprint = "");
+
+}  // namespace sfab::dist

@@ -1,0 +1,66 @@
+#include "dist/shard_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exp/cache.hpp"
+
+namespace sfab::dist {
+
+ShardPlan::ShardPlan(std::size_t total_runs, std::size_t shard_count)
+    : total_(total_runs), shards_(std::min(shard_count, total_runs)) {
+  if (total_runs == 0) {
+    throw std::invalid_argument("ShardPlan: total_runs must be >= 1");
+  }
+  if (shard_count == 0) {
+    throw std::invalid_argument("ShardPlan: shard_count must be >= 1");
+  }
+}
+
+ShardRange ShardPlan::range_of(std::size_t shard) const {
+  if (shard >= shards_) {
+    throw std::out_of_range("ShardPlan: shard index out of range");
+  }
+  // First `extra` shards take base + 1 runs; offsets follow in closed form
+  // so every worker computes identical ranges without coordination.
+  const std::size_t base = total_ / shards_;
+  const std::size_t extra = total_ % shards_;
+  const std::size_t begin =
+      shard * base + std::min(shard, extra);
+  const std::size_t size = base + (shard < extra ? 1 : 0);
+  return ShardRange{begin, begin + size};
+}
+
+std::size_t default_shard_count(std::size_t total_runs, unsigned workers) {
+  constexpr std::size_t kShardsPerWorker = 4;
+  if (workers == 0) workers = 1;
+  return std::min(total_runs,
+                  static_cast<std::size_t>(workers) * kShardsPerWorker);
+}
+
+std::string fingerprint_of(const SweepSpec& spec) {
+  // FNV-1a over the run list; each run contributes its index, replicate,
+  // and the same canonical config key the result cache uses, so any flag
+  // that could change a single run changes the fingerprint.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ ((v >> (8 * byte)) & 0xFF)) * 0x100000001b3ull;
+    }
+  };
+  const std::vector<RunPlan> plans = spec.expand();
+  mix(plans.size());
+  for (const RunPlan& plan : plans) {
+    mix(plan.index);
+    mix(plan.replicate);
+    for (const char c : ResultCache::key_of(plan.config)) {
+      h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+    }
+  }
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) out[i] = digits[(h >> (60 - 4 * i)) & 0xF];
+  return out;
+}
+
+}  // namespace sfab::dist

@@ -1,0 +1,82 @@
+#include "dist/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "dist/ledger.hpp"
+#include "dist/shard_plan.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace sfab::dist {
+
+namespace {
+
+void note(const WorkerOptions& options, const std::string& message) {
+  if (options.log != nullptr) {
+    *options.log << "[worker " << options.worker_index << "] " << message
+                 << '\n';
+  }
+}
+
+}  // namespace
+
+std::size_t run_worker(const SweepSpec& spec, std::size_t shard_count,
+                       const std::string& shard_dir,
+                       const WorkerOptions& options) {
+  const ShardPlan plan(spec.run_count(), shard_count);
+  ShardLedger ledger(shard_dir, options.stale_after_s);
+  ledger.publish(LedgerPlan{plan.total_runs(), plan.shard_count(),
+                            fingerprint_of(spec)});
+
+  const std::string worker_id =
+      local_worker_id("w" + std::to_string(options.worker_index));
+  const auto poll = std::chrono::duration<double>(
+      std::min(options.stale_after_s / 4.0, 0.5));
+  const std::size_t shards = plan.shard_count();
+  std::size_t committed = 0;
+
+  for (;;) {
+    bool progressed = false;
+    for (std::size_t k = 0; k < shards; ++k) {
+      const std::size_t shard = (k + options.worker_index) % shards;
+      if (ledger.fragment_exists(shard)) continue;
+
+      auto claim = ledger.try_claim(shard, worker_id);
+      if (!claim && ledger.reclaim_if_stale(shard)) {
+        note(options, "reclaimed stale shard " + std::to_string(shard));
+        claim = ledger.try_claim(shard, worker_id);
+      }
+      if (!claim) continue;
+      // The previous owner may have committed between our existence check
+      // and the claim (commit precedes claim release): nothing to redo.
+      if (ledger.fragment_exists(shard)) continue;
+
+      const ShardRange range = plan.range_of(shard);
+      note(options, "running shard " + std::to_string(shard) + " (runs " +
+                        std::to_string(range.begin) + ".." +
+                        std::to_string(range.end) + ")");
+      const ResultSet results =
+          run_shard(spec, range.begin, range.end, options.threads);
+      std::ostringstream csv;
+      write_csv(csv, results);
+      ledger.commit_fragment(shard, csv.str());
+      ++committed;
+      progressed = true;
+    }
+
+    if (ledger.fragments_missing(shards) == 0) break;
+    // Remaining shards are claimed elsewhere: wait for their owners to
+    // finish — or to go stale, at which point the pass above reclaims.
+    if (!progressed) std::this_thread::sleep_for(poll);
+  }
+
+  note(options, "done: committed " + std::to_string(committed) + " of " +
+                    std::to_string(shards) + " shards");
+  return committed;
+}
+
+}  // namespace sfab::dist

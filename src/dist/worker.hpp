@@ -1,0 +1,42 @@
+// Shard worker: claim, simulate, commit — until the whole sweep is done.
+//
+// A worker is driven by nothing but the spec (so it can resolve the run
+// list itself) and the shared ledger directory. It loops over the shard
+// space starting at its own index (spreading initial claims across
+// workers), claims whatever is unclaimed, runs each claimed range through
+// the experiment engine, and commits the fragment. When nothing is
+// claimable it polls: a shard held by a live worker will finish by itself,
+// and a shard whose owner died stops heartbeating and gets reclaimed here
+// — which is why a sweep finishes as long as ONE worker survives, with no
+// operator intervention.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "exp/spec.hpp"
+
+namespace sfab::dist {
+
+struct WorkerOptions {
+  /// Simulation threads per worker (0 = all cores; local coordinators
+  /// usually want cores / workers).
+  unsigned threads = 0;
+  /// Claim-staleness threshold handed to the ledger.
+  double stale_after_s = 30.0;
+  /// This worker's index: claim attribution and starting shard offset.
+  unsigned worker_index = 0;
+  /// Progress notes (claimed/committed/reclaimed); nullptr = silent.
+  std::ostream* log = nullptr;
+};
+
+/// Publishes the plan for `spec` split into (at most) `shard_count` shards
+/// and works the ledger at `shard_dir` until every shard has a fragment.
+/// Returns the number of shards this worker committed. Throws when the
+/// directory holds a different sweep's plan.
+std::size_t run_worker(const SweepSpec& spec, std::size_t shard_count,
+                       const std::string& shard_dir,
+                       const WorkerOptions& options = {});
+
+}  // namespace sfab::dist

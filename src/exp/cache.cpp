@@ -1,5 +1,10 @@
 #include "exp/cache.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cstdlib>
 #include <fstream>
@@ -208,14 +213,35 @@ void ResultCache::store_key(const std::string& key, const SimResult& result) {
 
 void ResultCache::append_row(const std::string& key, const SimResult& result) {
   // Open per append: benches are separate short-lived processes and the
-  // store must be durable the moment a sweep finishes.
-  const bool fresh = !std::ifstream(csv_path_).is_open();
-  std::ofstream out(csv_path_, std::ios::app);
-  if (!out.is_open()) {
+  // store must be durable the moment a sweep finishes. The store may also
+  // be shared by concurrent shard workers (src/dist), so the append must
+  // never interleave partial rows: format the row in memory first, take an
+  // exclusive flock, decide header-or-not from the locked file's true
+  // size, and land everything in one write(2).
+  std::ostringstream row;
+  format_row(row, key, result);
+
+  const int fd =
+      ::open(csv_path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
     throw std::runtime_error("ResultCache: cannot append to " + csv_path_);
   }
-  if (fresh) out << kCsvHeader << '\n';
-  format_row(out, key, result);
+  if (::flock(fd, LOCK_EX) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ResultCache: cannot lock " + csv_path_);
+  }
+  struct stat st {};
+  std::string text;
+  if (::fstat(fd, &st) == 0 && st.st_size == 0) {
+    text = std::string(kCsvHeader) + '\n';
+  }
+  text += row.str();
+  const ssize_t written = ::write(fd, text.data(), text.size());
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+  if (written != static_cast<ssize_t>(text.size())) {
+    throw std::runtime_error("ResultCache: short write to " + csv_path_);
+  }
 }
 
 std::size_t ResultCache::size() const {

@@ -13,7 +13,11 @@
 // An optional CSV-backed store shares the cache across bench processes:
 // point SFAB_RESULT_CACHE at a file (or construct with a path) and every
 // sweep in every bench consults and extends the same store. Doubles are
-// written as hexfloats, so rows round-trip bit-exactly.
+// written as hexfloats, so rows round-trip bit-exactly. Appends are safe
+// under concurrent writers (shard workers of a distributed sweep share one
+// store): each row lands as a single flock-guarded write, so rows never
+// interleave; the loader additionally drops any row that fails a strict
+// parse, so even a torn file degrades to re-simulation, never corruption.
 #pragma once
 
 #include <cstdint>

@@ -24,13 +24,21 @@ SweepRunner::SweepRunner(unsigned threads) noexcept
     : threads_(threads == 0 ? default_threads() : threads) {}
 
 ResultSet SweepRunner::run(const SweepSpec& spec) const {
-  std::vector<RunPlan> plans = spec.expand();
+  return run_range(spec, 0, spec.run_count());
+}
 
-  std::vector<RunRecord> records(plans.size());
-  for (std::size_t i = 0; i < plans.size(); ++i) {
-    records[i].index = plans[i].index;
-    records[i].replicate = plans[i].replicate;
-    records[i].config = std::move(plans[i].config);
+ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
+                                 std::size_t end) const {
+  std::vector<RunPlan> plans = spec.expand();
+  if (begin > end || end > plans.size()) {
+    throw std::out_of_range("SweepRunner::run_range: bad range");
+  }
+
+  std::vector<RunRecord> records(end - begin);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].index = plans[begin + i].index;
+    records[i].replicate = plans[begin + i].replicate;
+    records[i].config = std::move(plans[begin + i].config);
   }
 
   // With a cache attached: satisfy records from the cache, and collapse
@@ -109,6 +117,13 @@ ResultSet SweepRunner::run(const SweepSpec& spec) const {
 
 ResultSet run_sweep(const SweepSpec& spec, unsigned threads) {
   return SweepRunner(threads).with_cache(ResultCache::from_env()).run(spec);
+}
+
+ResultSet run_shard(const SweepSpec& spec, std::size_t begin, std::size_t end,
+                    unsigned threads) {
+  return SweepRunner(threads)
+      .with_cache(ResultCache::from_env())
+      .run_range(spec, begin, end);
 }
 
 std::vector<SimResult> sweep_offered_load(SimConfig base,

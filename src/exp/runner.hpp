@@ -43,6 +43,14 @@ class SweepRunner {
   /// architecture/port combination) stops the sweep and is rethrown.
   [[nodiscard]] ResultSet run(const SweepSpec& spec) const;
 
+  /// Executes only runs [begin, end) of `spec`'s expansion — one shard of
+  /// a distributed sweep (src/dist). Records keep their global expansion
+  /// indices and derived seeds, so concatenating contiguous ranges in
+  /// order is bit-identical to run(). Throws std::out_of_range on a range
+  /// outside [0, run_count()].
+  [[nodiscard]] ResultSet run_range(const SweepSpec& spec, std::size_t begin,
+                                    std::size_t end) const;
+
  private:
   unsigned threads_;
   ResultCache* cache_ = nullptr;
@@ -53,6 +61,13 @@ class SweepRunner {
 /// SFAB_RESULT_CACHE environment variable names a CSV store — that is how
 /// the benches share results across processes without any plumbing.
 [[nodiscard]] ResultSet run_sweep(const SweepSpec& spec, unsigned threads = 0);
+
+/// Shard-worker convenience: SweepRunner{threads}.run_range(spec, begin,
+/// end) with the SFAB_RESULT_CACHE store attached when configured. Shard
+/// workers sharing one store are safe: cache appends are lockfile-guarded
+/// single writes, so concurrent workers never interleave partial rows.
+[[nodiscard]] ResultSet run_shard(const SweepSpec& spec, std::size_t begin,
+                                  std::size_t end, unsigned threads = 0);
 
 /// Runs `base` once per load value through the engine and returns the bare
 /// results in load order. Paired-sweep semantics: every load point runs

@@ -1,0 +1,300 @@
+// Tests for the distributed sweep subsystem (src/dist): exact-cover shard
+// plans, the crash-safe claim/heartbeat ledger, multi-worker sweeps that
+// merge bit-identical to a single-process run, and reclaim of a dead
+// worker's shard. Workers here are threads, not processes — the ledger
+// coordinates through O_EXCL files and atomic renames, which exclude
+// concurrent claimants within one process exactly as they do across
+// processes (and across hosts on a shared filesystem); the CI workflow
+// additionally runs the real 3-process + SIGKILL scenario through
+// sfab_cli.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dist/ledger.hpp"
+#include "dist/merge.hpp"
+#include "dist/shard_plan.hpp"
+#include "dist/worker.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+
+namespace sfab {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test ledger directory under the system temp dir.
+class DistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("sfab-dist-test-" +
+             std::string(
+                 ::testing::UnitTest::GetInstance()->current_test_info()
+                     ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+/// Small but non-trivial sweep: 12 runs over two axes plus replicates.
+SweepSpec quick_spec() {
+  SweepSpec spec;
+  spec.base.ports = 4;
+  spec.base.warmup_cycles = 200;
+  spec.base.measure_cycles = 1'000;
+  spec.base.seed = 7;
+  spec.over_architectures({Architecture::kCrossbar, Architecture::kBanyan})
+      .over_loads({0.2, 0.5, 0.8})
+      .with_replicates(2);
+  return spec;
+}
+
+// --- ShardPlan ---------------------------------------------------------------
+
+TEST(ShardPlan, CoversEveryIndexExactlyOnceForRaggedSizes) {
+  // Ragged combinations: totals not divisible by counts, counts exceeding
+  // totals (clamped), and degenerate single-shard/single-run cases.
+  const std::size_t totals[] = {1, 2, 3, 5, 7, 12, 97, 100};
+  const std::size_t counts[] = {1, 2, 3, 4, 5, 8, 13, 200};
+  for (const std::size_t total : totals) {
+    for (const std::size_t count : counts) {
+      SCOPED_TRACE(std::to_string(total) + " runs / " +
+                   std::to_string(count) + " shards");
+      const dist::ShardPlan plan(total, count);
+      EXPECT_EQ(plan.total_runs(), total);
+      EXPECT_LE(plan.shard_count(), std::min(total, count));
+      std::vector<int> covered(total, 0);
+      std::size_t min_size = total, max_size = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+        const dist::ShardRange range = plan.range_of(s);
+        EXPECT_EQ(range.begin, expected_begin) << "shards must be contiguous";
+        EXPECT_FALSE(range.empty());
+        expected_begin = range.end;
+        min_size = std::min(min_size, range.size());
+        max_size = std::max(max_size, range.size());
+        for (std::size_t i = range.begin; i < range.end; ++i) ++covered[i];
+      }
+      EXPECT_EQ(expected_begin, total) << "last shard must end at total";
+      for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(covered[i], 1) << i;
+      EXPECT_LE(max_size - min_size, 1u) << "shards must be balanced";
+    }
+  }
+  EXPECT_THROW(dist::ShardPlan(0, 3), std::invalid_argument);
+  EXPECT_THROW(dist::ShardPlan(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)dist::ShardPlan(4, 2).range_of(2), std::out_of_range);
+}
+
+TEST(ShardPlan, FingerprintTracksEveryAxisChange) {
+  const SweepSpec spec = quick_spec();
+  const std::string fp = dist::fingerprint_of(spec);
+  EXPECT_EQ(fp.size(), 16u);
+  EXPECT_EQ(fp, dist::fingerprint_of(spec)) << "must be deterministic";
+
+  SweepSpec other = spec;
+  other.base.seed = 8;
+  EXPECT_NE(fp, dist::fingerprint_of(other));
+  other = spec;
+  other.loads.push_back(0.9);
+  EXPECT_NE(fp, dist::fingerprint_of(other));
+  other = spec;
+  other.replicates = 3;
+  EXPECT_NE(fp, dist::fingerprint_of(other));
+}
+
+// --- SweepRunner::run_range --------------------------------------------------
+
+TEST(RunRange, ShardsConcatenateToTheFullSweep) {
+  const SweepSpec spec = quick_spec();
+  const ResultSet full = SweepRunner(1).run(spec);
+  const dist::ShardPlan plan(spec.run_count(), 5);
+
+  std::vector<RunRecord> stitched;
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const dist::ShardRange range = plan.range_of(s);
+    const ResultSet part =
+        SweepRunner(2).run_range(spec, range.begin, range.end);
+    ASSERT_EQ(part.size(), range.size());
+    for (const RunRecord& rec : part) stitched.push_back(rec);
+  }
+
+  ASSERT_EQ(stitched.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(stitched[i].index, full[i].index);
+    EXPECT_EQ(stitched[i].config.seed, full[i].config.seed);
+    EXPECT_EQ(stitched[i].result.delivered_words,
+              full[i].result.delivered_words);
+    EXPECT_EQ(stitched[i].result.power_w, full[i].result.power_w);
+  }
+  EXPECT_THROW((void)SweepRunner(1).run_range(spec, 0, spec.run_count() + 1),
+               std::out_of_range);
+  EXPECT_THROW((void)SweepRunner(1).run_range(spec, 3, 2), std::out_of_range);
+}
+
+// --- ShardLedger -------------------------------------------------------------
+
+TEST_F(DistTest, ClaimsAreExclusiveUntilReleased) {
+  dist::ShardLedger ledger(dir_, 30.0);
+  auto first = ledger.try_claim(0, "worker-a");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(ledger.try_claim(0, "worker-b").has_value())
+      << "second claimant must lose";
+  EXPECT_FALSE(ledger.reclaim_if_stale(0))
+      << "a fresh claim must not be reclaimable";
+  first->release();
+  EXPECT_TRUE(ledger.try_claim(0, "worker-b").has_value())
+      << "released claim must be claimable again";
+}
+
+TEST_F(DistTest, HeartbeatKeepsAClaimFreshAndDeathMakesItStale) {
+  // Aggressive staleness so the test runs in ~1 s: heartbeats fire every
+  // stale/4 = 100 ms.
+  dist::ShardLedger ledger(dir_, 0.4);
+  {
+    const auto claim = ledger.try_claim(3, "worker-a");
+    ASSERT_TRUE(claim.has_value());
+    // Well past stale_after with the owner alive: heartbeats must have
+    // refreshed the mtime, so the claim is not reclaimable.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    EXPECT_FALSE(ledger.reclaim_if_stale(3));
+    // Simulate the owner dying: stop the heartbeat WITHOUT releasing, as
+    // a killed process would, by backdating the claim file.
+  }
+  // Claim was released by the guard above; re-create a dead worker's claim
+  // by claiming and backdating the file instead of heartbeating.
+  auto dead = ledger.try_claim(4, "worker-dead");
+  ASSERT_TRUE(dead.has_value());
+  const std::string path =
+      (fs::path(dir_) / "claims" / "shard-4.claim").string();
+  fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                std::chrono::seconds(60));
+  // The dead worker's heartbeat thread is still running in this process;
+  // reclaim must still win because the rename has exactly one winner.
+  EXPECT_TRUE(ledger.reclaim_if_stale(4));
+  EXPECT_TRUE(ledger.try_claim(4, "worker-b").has_value());
+  dead->release();  // no-op on the already-reclaimed file; must not throw
+}
+
+TEST_F(DistTest, PublishRejectsAMismatchedPlan) {
+  dist::ShardLedger ledger(dir_, 30.0);
+  const dist::LedgerPlan plan{12, 3, "aaaabbbbccccdddd"};
+  ledger.publish(plan);
+  ledger.publish(plan);  // idempotent republish of the identical plan
+  EXPECT_EQ(ledger.plan().total_runs, 12u);
+  EXPECT_EQ(ledger.plan().shard_count, 3u);
+  EXPECT_EQ(ledger.plan().fingerprint, "aaaabbbbccccdddd");
+
+  dist::LedgerPlan other = plan;
+  other.fingerprint = "ddddccccbbbbaaaa";
+  EXPECT_THROW(ledger.publish(other), std::runtime_error);
+  other = plan;
+  other.shard_count = 4;
+  EXPECT_THROW(ledger.publish(other), std::runtime_error);
+}
+
+TEST_F(DistTest, MergeRefusesIncompleteDirectories) {
+  const SweepSpec spec = quick_spec();
+  dist::WorkerOptions options;
+  options.threads = 1;
+  dist::run_worker(spec, 4, dir_, options);
+  dist::ShardLedger ledger(dir_, 30.0);
+  fs::remove(ledger.fragment_path(2));
+  EXPECT_THROW((void)dist::merge_shards(dir_), std::runtime_error);
+  EXPECT_THROW((void)dist::merge_shards(
+                   (fs::path(dir_) / "does-not-exist").string()),
+               std::runtime_error);
+}
+
+// --- end-to-end: N workers, merge, crash reclaim -----------------------------
+
+TEST_F(DistTest, ThreeWorkerSweepMergesBitIdenticalToSingleProcess) {
+  const SweepSpec spec = quick_spec();
+
+  // The single-process, single-thread reference CSV.
+  std::ostringstream reference;
+  write_csv(reference, SweepRunner(1).run(spec));
+
+  // Three concurrent workers race over the same ledger directory.
+  const std::size_t shard_count =
+      dist::default_shard_count(spec.run_count(), 3);
+  std::vector<std::thread> workers;
+  std::vector<std::size_t> committed(3, 0);
+  for (unsigned w = 0; w < 3; ++w) {
+    workers.emplace_back([&, w] {
+      dist::WorkerOptions options;
+      options.threads = 1;
+      options.worker_index = w;
+      options.stale_after_s = 30.0;
+      committed[w] = dist::run_worker(spec, shard_count, dir_, options);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(committed[0] + committed[1] + committed[2], shard_count)
+      << "every shard must be committed exactly once";
+
+  const dist::MergeOutput merged =
+      dist::merge_shards(dir_, dist::fingerprint_of(spec));
+  EXPECT_EQ(merged.csv_text, reference.str())
+      << "merged CSV must be byte-identical to the single-process sweep";
+  ASSERT_EQ(merged.results.size(), spec.run_count());
+
+  // Merging with the wrong sweep's fingerprint must refuse.
+  SweepSpec other = quick_spec();
+  other.base.seed = 1234;
+  EXPECT_THROW(
+      (void)dist::merge_shards(dir_, dist::fingerprint_of(other)),
+      std::runtime_error);
+}
+
+TEST_F(DistTest, DeadWorkersShardIsReclaimedAndCompleted) {
+  const SweepSpec spec = quick_spec();
+  const std::size_t shard_count = 4;
+  const dist::ShardPlan plan(spec.run_count(), shard_count);
+
+  // Fake a worker that claimed shard 1 and died mid-simulation: its claim
+  // file exists, stopped heartbeating long ago, and has no fragment.
+  dist::ShardLedger ledger(dir_, 0.5);
+  ledger.publish(dist::LedgerPlan{plan.total_runs(), plan.shard_count(),
+                                  dist::fingerprint_of(spec)});
+  {
+    auto doomed = ledger.try_claim(1, "worker-doomed");
+    ASSERT_TRUE(doomed.has_value());
+    // Detach the claim from its heartbeat the way SIGKILL would: backdate
+    // the file after the guard's thread is gone.
+  }
+  // The guard released on scope exit; recreate the orphan file directly.
+  const std::string orphan =
+      (fs::path(dir_) / "claims" / "shard-1.claim").string();
+  {
+    std::ofstream out(orphan);
+    out << "worker-doomed\n";
+  }
+  fs::last_write_time(orphan, fs::file_time_type::clock::now() -
+                                  std::chrono::seconds(60));
+
+  // A single surviving worker must reclaim shard 1 and finish everything.
+  dist::WorkerOptions options;
+  options.threads = 1;
+  options.worker_index = 0;
+  options.stale_after_s = 0.5;
+  const std::size_t done = dist::run_worker(spec, shard_count, dir_, options);
+  EXPECT_EQ(done, plan.shard_count());
+
+  std::ostringstream reference;
+  write_csv(reference, SweepRunner(1).run(spec));
+  EXPECT_EQ(dist::merge_shards(dir_).csv_text, reference.str());
+}
+
+}  // namespace
+}  // namespace sfab
