@@ -33,6 +33,9 @@
 #include "dist/shard_plan.hpp"
 #include "dist/worker.hpp"
 #include "exp/spec.hpp"
+#include "gatelevel/bitsliced.hpp"
+#include "gatelevel/power_sim.hpp"
+#include "gatelevel/switch_netlists.hpp"
 #include "sim/report.hpp"
 #include "sim/simulation.hpp"
 
@@ -43,6 +46,66 @@ struct Row {
   double best_s = 0.0;
   sfab::SimResult result;
 };
+
+// Gate-level characterization throughput: the same 2-port banyan-switch
+// LUT derivation through the scalar reference engine and the 64-lane
+// bit-sliced engine. "Cycles" are Monte-Carlo characterization cycles
+// (lane-cycles for the bit-sliced engine), the unit both engines sample
+// energy in, so cycles/sec is directly comparable and the ratio is the
+// bit-slicing speedup.
+struct GatelevelRow {
+  unsigned width = 0;
+  std::size_t masks = 0;
+  unsigned cycles_per_mask = 0;
+  double scalar_s = 0.0;
+  double scalar_cps = 0.0;
+  double sliced_s = 0.0;
+  double sliced_cps = 0.0;
+  double speedup = 0.0;
+};
+
+GatelevelRow bench_gatelevel(bool quick, int reps) {
+  using namespace sfab::gatelevel;
+  GatelevelRow row;
+  row.width = 32;
+  row.cycles_per_mask = quick ? 8'000 : 64'000;
+  const auto masks = all_masks(2);
+  row.masks = masks.size();
+
+  const auto time_engine = [&](CharacterizeEngine engine, double& wall_s) {
+    CharacterizationConfig cfg;
+    cfg.cycles = row.cycles_per_mask;
+    cfg.warmup = 64;
+    cfg.seed = 99;
+    cfg.engine = engine;
+    wall_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      SwitchHarness h = build_banyan_switch(row.width);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto results = characterize(h, masks, cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      if (r == 0 || s < wall_s) wall_s = s;
+      if (results.empty()) std::abort();  // keep the work observable
+    }
+  };
+
+  time_engine(CharacterizeEngine::kScalar, row.scalar_s);
+  time_engine(CharacterizeEngine::kBitsliced, row.sliced_s);
+
+  const double scalar_cycles =
+      static_cast<double>(masks.size()) * row.cycles_per_mask;
+  // Lane-cycles actually simulated: characterize() rounds each mask up to
+  // whole 64-lane steps.
+  constexpr unsigned kLanes = BitslicedNetlist::kLanes;
+  const double sliced_cycles =
+      static_cast<double>(masks.size()) *
+      ((row.cycles_per_mask + kLanes - 1) / kLanes) * kLanes;
+  row.scalar_cps = scalar_cycles / row.scalar_s;
+  row.sliced_cps = sliced_cycles / row.sliced_s;
+  row.speedup = row.sliced_cps / row.scalar_cps;
+  return row;
+}
 
 double time_once(const sfab::SimConfig& config, sfab::SimResult& out) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -238,6 +301,18 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  std::cout << "\n=== Gate-level characterization (banyan 2x2 LUT, scalar "
+               "vs 64-lane bit-sliced) ===\n\n";
+  const GatelevelRow gl = bench_gatelevel(quick, reps);
+  TextTable gt;
+  gt.set_header({"engine", "wall_ms", "charac. cycles/sec", "speedup"});
+  gt.add_row({"scalar", format_fixed(gl.scalar_s * 1e3, 1),
+              format_fixed(gl.scalar_cps / 1e6, 3) + "M", "1.00"});
+  gt.add_row({"bitsliced", format_fixed(gl.sliced_s * 1e3, 1),
+              format_fixed(gl.sliced_cps / 1e6, 3) + "M",
+              format_fixed(gl.speedup, 2)});
+  gt.print(std::cout);
+
   std::ofstream json(out_path);
   if (!json.is_open()) {
     std::cerr << "cannot write " << out_path << "\n";
@@ -251,7 +326,16 @@ int main(int argc, char** argv) {
        << "    \"measure_cycles\": " << base.measure_cycles << ",\n"
        << "    \"ingress_queue_packets\": " << base.ingress_queue_packets
        << ",\n    \"seed\": " << base.seed << ",\n    \"reps\": " << reps
-       << ",\n    \"workers\": 1\n  },\n  \"results\": [\n";
+       << ",\n    \"workers\": 1\n  },\n"
+       << "  \"gatelevel\": {\n"
+       << "    \"harness\": \"banyan2x2\",\n    \"width\": " << gl.width
+       << ",\n    \"masks\": " << gl.masks << ",\n    \"cycles_per_mask\": "
+       << gl.cycles_per_mask << ",\n    \"scalar_wall_s\": " << gl.scalar_s
+       << ",\n    \"scalar_cycles_per_sec\": " << gl.scalar_cps
+       << ",\n    \"bitsliced_wall_s\": " << gl.sliced_s
+       << ",\n    \"bitsliced_cycles_per_sec\": " << gl.sliced_cps
+       << ",\n    \"speedup\": " << gl.speedup << "\n  },\n"
+       << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
     json << "    {\"arch\": \"" << to_string(row.config.arch)

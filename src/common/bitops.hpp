@@ -49,4 +49,28 @@ namespace sfab {
   return (std::uint64_t{1} << n) - 1;
 }
 
+// --- word-array bitmasks ----------------------------------------------------
+// Occupancy sets over ports/rows are kept as arrays of uint64_t words (bit
+// i of word i/64 = element i), so membership updates are O(1) and "first
+// member" scans are countr_zero over whole words.
+
+/// Number of uint64_t words needed to hold `bits` mask bits.
+[[nodiscard]] inline constexpr std::size_t bitmask_words(
+    std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+[[nodiscard]] inline constexpr bool test_bit(const std::uint64_t* words,
+                                             std::size_t i) noexcept {
+  return ((words[i >> 6] >> (i & 63)) & 1u) != 0;
+}
+
+inline constexpr void set_bit(std::uint64_t* words, std::size_t i) noexcept {
+  words[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+inline constexpr void clear_bit(std::uint64_t* words, std::size_t i) noexcept {
+  words[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+}
+
 }  // namespace sfab

@@ -45,4 +45,44 @@ std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
 
 Rng Rng::split() noexcept { return Rng{next_u64()}; }
 
+namespace {
+
+/// In-place 64x64 bit-matrix ANTI-diagonal transpose (the Hacker's
+/// Delight 7-3 network read in LSB-first convention): afterwards bit j of
+/// word i equals the old bit (63 - i) of word (63 - j). Callers undo the
+/// two reversals with index order alone, so a true transpose costs no
+/// extra bit operations.
+void antitranspose64(std::uint64_t a[64]) noexcept {
+  std::uint64_t m = 0x00000000FFFFFFFFull;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (a[k] ^ (a[k + j] >> j)) & m;
+      a[k] ^= t;
+      a[k + j] ^= t << j;
+    }
+  }
+}
+
+}  // namespace
+
+LaneRng64::LaneRng64(std::uint64_t base_seed) noexcept {
+  for (unsigned k = 0; k < kLanes; ++k) {
+    lanes_[k] = Rng{derive_stream_seed(base_seed, k)};
+  }
+}
+
+void LaneRng64::refill_() noexcept {
+  // Load lane k's next raw draw into row 63-k; after the anti-transpose,
+  // word 63-t holds, at bit j, bit t of lane j's draw. Reading the words
+  // back reversed therefore yields 64 consecutive next_word() results,
+  // LSB-first per lane — exactly BitRng's consumption order.
+  std::array<std::uint64_t, kLanes> scratch;
+  for (unsigned k = 0; k < kLanes; ++k) {
+    scratch[63 - k] = lanes_[k].next_u64();
+  }
+  antitranspose64(scratch.data());
+  for (unsigned t = 0; t < kLanes; ++t) pending_[t] = scratch[63 - t];
+  cursor_ = 0;
+}
+
 }  // namespace sfab

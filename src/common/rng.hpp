@@ -7,6 +7,7 @@
 // (std::uniform_int_distribution is not portable across library versions).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -102,6 +103,62 @@ class Rng {
   }
 
   std::uint64_t s_[4];
+};
+
+/// Bit-serial view over an Rng: successive next_bit() calls return the
+/// LSB-first bit expansion of successive next_u64() draws. This is the
+/// scalar reference for one lane of LaneRng64: lane k of
+/// LaneRng64{seed} emits exactly BitRng{Rng{derive_stream_seed(seed, k)}}'s
+/// stream, which is what the bit-sliced gate-level equivalence harness
+/// drives the scalar engine with.
+class BitRng {
+ public:
+  explicit BitRng(Rng rng) noexcept : rng_(rng) {}
+
+  [[nodiscard]] bool next_bit() noexcept {
+    if (left_ == 0) {
+      buffer_ = rng_.next_u64();
+      left_ = 64;
+    }
+    const bool bit = (buffer_ & 1u) != 0;
+    buffer_ >>= 1;
+    --left_;
+    return bit;
+  }
+
+ private:
+  Rng rng_;
+  std::uint64_t buffer_ = 0;
+  unsigned left_ = 0;
+};
+
+/// 64 independent, decorrelated random bit streams packed one per bit —
+/// the stimulus source for the 64-lane bit-sliced gate-level engine. Lane
+/// k is a full xoshiro256** generator seeded with
+/// derive_stream_seed(base_seed, k); next_word() returns bit k = lane k's
+/// next bit. Internally each lane draws one whole u64 per 64 words and a
+/// 64x64 bit transpose repacks them, so the amortized cost per word is a
+/// single next_u64 plus ~6 shuffle ops — fast enough that stimulus
+/// generation keeps up with the bit-sliced netlist sweep.
+class LaneRng64 {
+ public:
+  static constexpr unsigned kLanes = 64;
+
+  explicit LaneRng64(std::uint64_t base_seed) noexcept;
+
+  /// Next 64-lane stimulus word (bit k = lane k's next Bernoulli(1/2)
+  /// draw).
+  [[nodiscard]] std::uint64_t next_word() noexcept {
+    if (cursor_ == kLanes) refill_();
+    return pending_[cursor_++];
+  }
+
+ private:
+  void refill_() noexcept;
+
+  std::array<Rng, kLanes> lanes_;
+  std::array<std::uint64_t, kLanes> pending_{};
+  unsigned cursor_ = kLanes;
 };
 
 }  // namespace sfab

@@ -1,8 +1,7 @@
 #include "fabric/batcher_banyan.hpp"
 
+#include <bit>
 #include <stdexcept>
-
-#include "common/bitops.hpp"
 
 namespace sfab {
 
@@ -22,11 +21,13 @@ BatcherBanyanFabric::BatcherBanyanFabric(FabricConfig config)
   for (unsigned s = dimension_; s-- > 0;) {
     stage_specs_.push_back(StageSpec{false, s, 0});
   }
-  links_.assign(stage_specs_.size(),
-                std::vector<std::optional<Flit>>(ports()));
+  links_.assign(stage_specs_.size(), std::vector<Flit>(ports()));
+  row_occ_.assign(stage_specs_.size(),
+                  std::vector<std::uint64_t>(bitmask_words(ports()), 0));
+  sw_occ_.assign(stage_specs_.size(),
+                 std::vector<std::uint64_t>(bitmask_words(ports() / 2), 0));
   out_wire_.assign(stage_specs_.size(), std::vector<WireState>(ports()));
-  input_priority_.assign(stage_specs_.size(),
-                         std::vector<char>(ports() / 2, 0));
+  banyan_parity_.assign(stage_specs_.size(), 0);
 }
 
 void BatcherBanyanFabric::charge_switch_activity(const StageSpec& spec,
@@ -41,7 +42,7 @@ void BatcherBanyanFabric::charge_switch_activity(const StageSpec& spec,
 
 bool BatcherBanyanFabric::can_accept(PortId ingress) const {
   check_ingress(ingress);
-  return !links_[0][ingress].has_value();
+  return !test_bit(row_occ_[0].data(), ingress);
 }
 
 void BatcherBanyanFabric::inject(PortId ingress, const Flit& flit) {
@@ -49,13 +50,14 @@ void BatcherBanyanFabric::inject(PortId ingress, const Flit& flit) {
   if (flit.dest >= ports()) {
     throw std::out_of_range("BatcherBanyanFabric: destination out of range");
   }
-  if (links_[0][ingress].has_value()) {
+  if (test_bit(row_occ_[0].data(), ingress)) {
     throw std::logic_error(
         "BatcherBanyanFabric: inject into occupied ingress link");
   }
   Flit placed = flit;
   placed.row = ingress;
   links_[0][ingress] = placed;
+  occupy(0, ingress);
   note_injected();
 }
 
@@ -78,59 +80,68 @@ void BatcherBanyanFabric::move_word(unsigned stage, unsigned span_log2,
     note_delivered();
   } else {
     links_[stage + 1][out_row] = flit;
+    occupy(stage + 1, out_row);
   }
 }
 
 void BatcherBanyanFabric::tick_sorter_stage(unsigned stage,
                                             const StageSpec& spec) {
   const unsigned b = spec.span_log2;
-  for (unsigned sw = 0; sw < ports() / 2; ++sw) {
-    const auto low = static_cast<unsigned>(sw & low_mask(b));
-    const unsigned high = (sw >> b) << (b + 1);
-    const PortId r0 = high | low;
-    const PortId r1 = r0 | (1u << b);
+  // Packed walk: only switches with >= 1 occupied input, ascending switch
+  // order (the ledger accumulation order the goldens pin). Switches only
+  // empty at this stage during the walk (writes land in stage + 1), so
+  // iterating a snapshot of each occupancy word is exact.
+  const auto& occ = sw_occ_[stage];
+  for (std::size_t w = 0; w < occ.size(); ++w) {
+    for (std::uint64_t bits = occ[w]; bits != 0; bits &= bits - 1) {
+      const auto sw = static_cast<unsigned>(w * 64) +
+                      static_cast<unsigned>(std::countr_zero(bits));
+      const auto low = static_cast<unsigned>(sw & low_mask(b));
+      const unsigned high = (sw >> b) << (b + 1);
+      const PortId r0 = high | low;
+      const PortId r1 = r0 | (1u << b);
 
-    auto& in0 = links_[stage][r0];
-    auto& in1 = links_[stage][r1];
-    if (!in0.has_value() && !in1.has_value()) continue;
+      const bool has0 = row_occupied(stage, r0);
+      const bool has1 = row_occupied(stage, r1);
 
-    // Compare-exchange on destination keys; an idle input behaves as
-    // +infinity so active words concentrate toward the block's small end.
-    const bool ascending = bitonic_ascending(r0, spec.phase);
-    const std::uint64_t kIdle = ~0ull;
-    const std::uint64_t key0 = in0 ? in0->dest : kIdle;
-    const std::uint64_t key1 = in1 ? in1->dest : kIdle;
-    const bool swap = (key0 > key1) == ascending && key0 != key1;
+      // Compare-exchange on destination keys; an idle input behaves as
+      // +infinity so active words concentrate toward the block's small
+      // end.
+      const bool ascending = bitonic_ascending(r0, spec.phase);
+      const std::uint64_t kIdle = ~0ull;
+      const std::uint64_t key0 = has0 ? links_[stage][r0].dest : kIdle;
+      const std::uint64_t key1 = has1 ? links_[stage][r1].dest : kIdle;
+      const bool swap = (key0 > key1) == ascending && key0 != key1;
 
-    const PortId out_for_in0 = swap ? r1 : r0;
-    const PortId out_for_in1 = swap ? r0 : r1;
+      const PortId out_for_in0 = swap ? r1 : r0;
+      const PortId out_for_in1 = swap ? r0 : r1;
 
-    // Both outputs of a 2x2 comparator always exist, so two words never
-    // block each other; the only reason to wait is a downstream stall
-    // (possible when the banyan section back-pressures), in which case the
-    // whole pair holds to keep the cohort intact.
-    const auto slot_free = [&](PortId row) {
-      return !links_[stage + 1][row].has_value();
-    };
-    if ((in0.has_value() && !slot_free(out_for_in0)) ||
-        (in1.has_value() && !slot_free(out_for_in1))) {
-      link_conflicts_ += (in0.has_value() ? 1 : 0) +
-                         (in1.has_value() ? 1 : 0);
-      continue;
+      // Both outputs of a 2x2 comparator always exist, so two words never
+      // block each other; the only reason to wait is a downstream stall
+      // (possible when the banyan section back-pressures), in which case
+      // the whole pair holds to keep the cohort intact.
+      const auto slot_free = [&](PortId row) {
+        return !row_occupied(stage + 1, row);
+      };
+      if ((has0 && !slot_free(out_for_in0)) ||
+          (has1 && !slot_free(out_for_in1))) {
+        link_conflicts_ += (has0 ? 1 : 0) + (has1 ? 1 : 0);
+        continue;
+      }
+
+      unsigned moved = 0;
+      if (has0) {
+        move_word(stage, b, links_[stage][r0], out_for_in0, false, nullptr);
+        vacate(stage, r0);
+        ++moved;
+      }
+      if (has1) {
+        move_word(stage, b, links_[stage][r1], out_for_in1, false, nullptr);
+        vacate(stage, r1);
+        ++moved;
+      }
+      charge_switch_activity(spec, moved);
     }
-
-    unsigned moved = 0;
-    if (in0.has_value()) {
-      move_word(stage, b, *in0, out_for_in0, false, nullptr);
-      in0.reset();
-      ++moved;
-    }
-    if (in1.has_value()) {
-      move_word(stage, b, *in1, out_for_in1, false, nullptr);
-      in1.reset();
-      ++moved;
-    }
-    charge_switch_activity(spec, moved);
   }
 }
 
@@ -141,44 +152,53 @@ void BatcherBanyanFabric::tick_banyan_stage(unsigned stage,
   const bool last_stage = (stage == stage_count - 1);
   const unsigned b = spec.span_log2;
 
-  for (unsigned sw = 0; sw < ports() / 2; ++sw) {
-    const auto low = static_cast<unsigned>(sw & low_mask(b));
-    const unsigned high = (sw >> b) << (b + 1);
-    const PortId r0 = high | low;
-    const PortId r1 = r0 | (1u << b);
+  // Arbitration priority alternates every cycle, for every switch of the
+  // stage in lockstep; one parity bit replaces the per-switch array.
+  const char parity = banyan_parity_[stage];
+  banyan_parity_[stage] ^= 1;
 
-    // Arbitration order: if both inputs carry the same packet, the earlier
-    // sequence number must go first (word order); otherwise alternate.
-    PortId first_row = input_priority_[stage][sw] ? r1 : r0;
-    PortId second_row = input_priority_[stage][sw] ? r0 : r1;
-    input_priority_[stage][sw] ^= 1;
-    const auto& c0 = links_[stage][r0];
-    const auto& c1 = links_[stage][r1];
-    if (c0.has_value() && c1.has_value() &&
-        c0->packet_id == c1->packet_id) {
-      const bool zero_first = c0->seq < c1->seq;
-      first_row = zero_first ? r0 : r1;
-      second_row = zero_first ? r1 : r0;
-    }
+  const auto& occ = sw_occ_[stage];
+  for (std::size_t w = 0; w < occ.size(); ++w) {
+    for (std::uint64_t bits = occ[w]; bits != 0; bits &= bits - 1) {
+      const auto sw = static_cast<unsigned>(w * 64) +
+                      static_cast<unsigned>(std::countr_zero(bits));
+      const auto low = static_cast<unsigned>(sw & low_mask(b));
+      const unsigned high = (sw >> b) << (b + 1);
+      const PortId r0 = high | low;
+      const PortId r1 = r0 | (1u << b);
 
-    unsigned moved = 0;
-    for (const PortId in_row : {first_row, second_row}) {
-      auto& slot = links_[stage][in_row];
-      if (!slot.has_value()) continue;
-      const PortId out_row =
-          (in_row & ~(PortId{1} << b)) |
-          (static_cast<PortId>(bit_of(slot->dest, b)) << b);
-      const bool free =
-          last_stage || !links_[stage + 1][out_row].has_value();
-      if (!free) {
-        ++link_conflicts_;
-        continue;  // stall in place; upstream back-pressures
+      // Arbitration order: if both inputs carry the same packet, the
+      // earlier sequence number must go first (word order); otherwise
+      // alternate.
+      PortId first_row = parity ? r1 : r0;
+      PortId second_row = parity ? r0 : r1;
+      const bool has0 = row_occupied(stage, r0);
+      const bool has1 = row_occupied(stage, r1);
+      if (has0 && has1 &&
+          links_[stage][r0].packet_id == links_[stage][r1].packet_id) {
+        const bool zero_first = links_[stage][r0].seq < links_[stage][r1].seq;
+        first_row = zero_first ? r0 : r1;
+        second_row = zero_first ? r1 : r0;
       }
-      move_word(stage, b, *slot, out_row, last_stage, &sink);
-      slot.reset();
-      ++moved;
+
+      unsigned moved = 0;
+      for (const PortId in_row : {first_row, second_row}) {
+        if (!row_occupied(stage, in_row)) continue;
+        const Flit& slot = links_[stage][in_row];
+        const PortId out_row =
+            (in_row & ~(PortId{1} << b)) |
+            (static_cast<PortId>(bit_of(slot.dest, b)) << b);
+        const bool free = last_stage || !row_occupied(stage + 1, out_row);
+        if (!free) {
+          ++link_conflicts_;
+          continue;  // stall in place; upstream back-pressures
+        }
+        move_word(stage, b, slot, out_row, last_stage, &sink);
+        vacate(stage, in_row);
+        ++moved;
+      }
+      charge_switch_activity(spec, moved);
     }
-    charge_switch_activity(spec, moved);
   }
 }
 
@@ -197,9 +217,9 @@ void BatcherBanyanFabric::tick(EgressSink& sink) {
 }
 
 bool BatcherBanyanFabric::idle() const {
-  for (const auto& stage_links : links_) {
-    for (const auto& slot : stage_links) {
-      if (slot.has_value()) return false;
+  for (const auto& stage_occ : row_occ_) {
+    for (const std::uint64_t word : stage_occ) {
+      if (word != 0) return false;
     }
   }
   return true;

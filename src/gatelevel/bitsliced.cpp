@@ -1,0 +1,151 @@
+#include "gatelevel/bitsliced.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sfab::gatelevel {
+
+BitslicedNetlist::BitslicedNetlist(const Netlist& source) {
+  if (!source.finalized()) {
+    throw std::invalid_argument("BitslicedNetlist: netlist not finalized");
+  }
+  const double scale = source.energy_scale();
+
+  const auto& order = source.level_order();
+  op_types_.reserve(order.size());
+  op_pins_.reserve(order.size() * 3);
+  op_outs_.reserve(order.size());
+  op_coeff_.reserve(order.size());
+  for (const std::size_t gi : order) {
+    const GateType type = source.gate_type(gi);
+    const auto pins = source.gate_pins(gi);
+    const NetId out = source.gate_output(gi);
+    op_types_.push_back(type);
+    // Pad unused pin slots with the first pin: evaluate_lanes ignores them,
+    // and a real net keeps the read in-bounds.
+    op_pins_.push_back(pins[0]);
+    op_pins_.push_back(pins.size() > 1 ? pins[1] : pins[0]);
+    op_pins_.push_back(pins.size() > 2 ? pins[2] : pins[0]);
+    op_outs_.push_back(out);
+    const GateEnergy e = energy_of(type, scale);
+    // Same expression as the scalar engine's charge_toggle, so a per-lane
+    // replay adds bit-identical doubles.
+    op_coeff_.push_back(e.toggle_j + e.per_fanout_j * source.fanout(out));
+  }
+
+  const auto& dffs = source.dff_gates();
+  dff_d_.reserve(dffs.size());
+  dff_q_.reserve(dffs.size());
+  dff_coeff_.reserve(dffs.size());
+  for (const std::size_t gi : dffs) {
+    dff_d_.push_back(source.gate_pins(gi)[0]);
+    const NetId out = source.gate_output(gi);
+    dff_q_.push_back(out);
+    const GateEnergy e = energy_of(GateType::kDff, scale);
+    dff_coeff_.push_back(e.toggle_j + e.per_fanout_j * source.fanout(out));
+  }
+  dff_idle_j_ = energy_of(GateType::kDff, scale).idle_j;
+
+  inputs_ = source.inputs();
+  values_.assign(source.num_nets(), 0);
+  dff_state_.assign(dffs.size(), 0);
+}
+
+void BitslicedNetlist::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(dff_state_.begin(), dff_state_.end(), 0);
+  energy_j_ = 0.0;
+  toggles_ = 0;
+  lane_energy_.fill(0.0);
+  lane_toggles_.fill(0);
+}
+
+void BitslicedNetlist::charge_lanes(std::uint64_t diff,
+                                    double coeff) noexcept {
+  while (diff != 0) {
+    const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
+    diff &= diff - 1;
+    lane_energy_[lane] += coeff;
+    ++lane_toggles_[lane];
+  }
+}
+
+void BitslicedNetlist::step(const std::vector<std::uint64_t>& input_words) {
+  if (input_words.size() != inputs_.size()) {
+    throw std::invalid_argument("step: wrong number of input words");
+  }
+
+  // 1. DFF outputs present their latched words; every lane burns clock
+  // energy every cycle (the scalar engine's idle charge, 64 lanes wide).
+  for (std::size_t k = 0; k < dff_q_.size(); ++k) {
+    const std::uint64_t q = dff_state_[k];
+    std::uint64_t& slot = values_[dff_q_[k]];
+    const std::uint64_t diff = slot ^ q;
+    slot = q;
+    energy_j_ += dff_idle_j_ * static_cast<double>(kLanes);
+    if (diff != 0) {
+      const int flips = std::popcount(diff);
+      toggles_ += static_cast<std::uint64_t>(flips);
+      energy_j_ += dff_coeff_[k] * flips;
+    }
+    if (lane_accounting_) {
+      // Scalar order per lane: idle first, then the toggle charge.
+      for (unsigned lane = 0; lane < kLanes; ++lane) {
+        lane_energy_[lane] += dff_idle_j_;
+      }
+      charge_lanes(diff, dff_coeff_[k]);
+    }
+  }
+
+  // 2. Primary inputs (no charge; see the scalar engine).
+  for (std::size_t k = 0; k < inputs_.size(); ++k) {
+    values_[inputs_[k]] = input_words[k];
+  }
+
+  // 3. Combinational level sweep, 64 lanes per op. No dirty tracking:
+  // random-vector stimulus keeps most of the cone active, and the straight
+  // sweep over the flat arrays is what the 64x widening pays for.
+  const std::size_t n_ops = op_types_.size();
+  const NetId* pins = op_pins_.data();
+  for (std::size_t g = 0; g < n_ops; ++g, pins += 3) {
+    const std::uint64_t out =
+        evaluate_lanes(op_types_[g], values_[pins[0]], values_[pins[1]],
+                       values_[pins[2]]);
+    std::uint64_t& slot = values_[op_outs_[g]];
+    const std::uint64_t diff = slot ^ out;
+    if (diff != 0) {
+      slot = out;
+      const int flips = std::popcount(diff);
+      toggles_ += static_cast<std::uint64_t>(flips);
+      energy_j_ += op_coeff_[g] * flips;
+      if (lane_accounting_) charge_lanes(diff, op_coeff_[g]);
+    }
+  }
+
+  // 4. DFFs capture D for the next cycle, in every lane.
+  for (std::size_t k = 0; k < dff_d_.size(); ++k) {
+    dff_state_[k] = values_[dff_d_[k]];
+  }
+}
+
+std::uint64_t BitslicedNetlist::word(NetId net) const {
+  if (net >= values_.size()) throw std::out_of_range("word: bad net");
+  return values_[net];
+}
+
+bool BitslicedNetlist::value(NetId net, unsigned lane) const {
+  if (lane >= kLanes) throw std::out_of_range("value: bad lane");
+  return ((word(net) >> lane) & 1u) != 0;
+}
+
+double BitslicedNetlist::lane_energy_j(unsigned lane) const {
+  if (lane >= kLanes) throw std::out_of_range("lane_energy_j: bad lane");
+  return lane_energy_[lane];
+}
+
+std::uint64_t BitslicedNetlist::lane_toggles(unsigned lane) const {
+  if (lane >= kLanes) throw std::out_of_range("lane_toggles: bad lane");
+  return lane_toggles_[lane];
+}
+
+}  // namespace sfab::gatelevel

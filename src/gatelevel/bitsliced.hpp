@@ -1,0 +1,123 @@
+// 64-lane bit-sliced gate-level simulator.
+//
+// Every net holds one uint64_t whose 64 bits are 64 *independent*
+// Monte-Carlo simulation lanes: lane k of every word is a complete
+// two-valued simulation that never observes any other lane. One levelized
+// sweep over the flattened gate program therefore advances 64 random-vector
+// characterization streams at the cost of roughly one scalar cycle — the
+// classic bit-parallel (PROOFS-style) widening of gate-level Monte Carlo.
+//
+// Toggles are counted with popcount(old ^ new) and energy accumulates as
+// popcount * per-gate coefficient, so the aggregate accumulators advance
+// once per gate, not once per lane. For correctness pinning, an optional
+// per-lane accounting mode replays the exact accumulation order of the
+// reference scalar engine (gatelevel/netlist.hpp) lane by lane: driving
+// lane k with the bit stream a scalar run consumes yields *bit-identical*
+// per-lane toggle counts and energies (tests/test_bitsliced.cpp).
+//
+// The lane program is compiled once from a finalized Netlist: combinational
+// gates flatten to structure-of-arrays {type, 3 pin slots, output,
+// coefficient} in level order (no per-gate heap pin vectors, no dirty
+// tracking — under random stimulus nearly everything is dirty anyway, and
+// the straight level-sweep is branch-predictable and prefetch-friendly).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gatelevel/netlist.hpp"
+
+namespace sfab::gatelevel {
+
+class BitslicedNetlist {
+ public:
+  static constexpr unsigned kLanes = 64;
+
+  /// Compiles the lane program from `source`, which must be finalized.
+  /// The energy scale is captured at construction time.
+  explicit BitslicedNetlist(const Netlist& source);
+
+  [[nodiscard]] std::size_t num_nets() const noexcept {
+    return values_.size();
+  }
+  [[nodiscard]] std::size_t num_inputs() const noexcept {
+    return inputs_.size();
+  }
+
+  /// Resets all lanes of every net and DFF to 0 and clears all
+  /// accumulators (aggregate and per-lane).
+  void reset();
+
+  /// Advances one clock cycle in every lane: DFF outputs present their
+  /// latched words, `input_words[i]` drives the i-th primary input (bit k =
+  /// lane k's value), then the combinational level sweep settles all lanes
+  /// at once and the DFFs capture D for the next cycle.
+  void step(const std::vector<std::uint64_t>& input_words);
+
+  /// Current 64-lane word of a net (bit k = lane k).
+  [[nodiscard]] std::uint64_t word(NetId net) const;
+  /// Lane k's current boolean value of a net.
+  [[nodiscard]] bool value(NetId net, unsigned lane) const;
+
+  /// Energy accumulated across all lanes since reset() (J), including DFF
+  /// idle clock energy in every lane. Accumulated popcount-at-a-time, so
+  /// it is the fast-path aggregate — statistically identical to, but not
+  /// the same floating-point sum as, adding the per-lane series.
+  [[nodiscard]] double energy_j() const noexcept { return energy_j_; }
+  /// Total output toggles across all lanes since reset().
+  [[nodiscard]] std::uint64_t toggles() const noexcept { return toggles_; }
+
+  // --- per-lane accounting (the scalar-equivalence harness) ---------------
+
+  /// Enables per-lane toggle/energy accumulators. Off by default: the
+  /// per-lane energy replay costs up to 64 floating-point adds per
+  /// toggling gate and exists to pin the engine against the scalar
+  /// reference, not for production characterization.
+  void set_lane_accounting(bool enabled) noexcept {
+    lane_accounting_ = enabled;
+  }
+  [[nodiscard]] bool lane_accounting() const noexcept {
+    return lane_accounting_;
+  }
+
+  /// Lane k's energy since reset() (J). The accumulation order per lane is
+  /// exactly the scalar engine's (DFF idle + toggle charges in latch
+  /// order, then toggling combinational gates in level order), so a lane
+  /// driven with a scalar run's bit stream matches that run's energy_j()
+  /// bit for bit. Requires lane accounting enabled since the last reset.
+  [[nodiscard]] double lane_energy_j(unsigned lane) const;
+  /// Lane k's toggle count since reset().
+  [[nodiscard]] std::uint64_t lane_toggles(unsigned lane) const;
+
+  [[nodiscard]] const std::vector<NetId>& inputs() const noexcept {
+    return inputs_;
+  }
+
+ private:
+  void charge_lanes(std::uint64_t diff, double coeff) noexcept;
+
+  // Combinational lane program in level order. Pins are padded to three
+  // slots (net 0 always exists; padded reads feed pins the gate ignores).
+  std::vector<GateType> op_types_;
+  std::vector<NetId> op_pins_;   // 3 slots per op
+  std::vector<NetId> op_outs_;
+  std::vector<double> op_coeff_;  // toggle_j + per_fanout_j * fanout(out)
+
+  std::vector<NetId> dff_d_;
+  std::vector<NetId> dff_q_;
+  std::vector<double> dff_coeff_;
+  double dff_idle_j_ = 0.0;  // per DFF per lane-cycle
+
+  std::vector<NetId> inputs_;
+  std::vector<std::uint64_t> values_;     // per net, bit k = lane k
+  std::vector<std::uint64_t> dff_state_;  // latched Q word per DFF
+
+  double energy_j_ = 0.0;
+  std::uint64_t toggles_ = 0;
+  bool lane_accounting_ = false;
+  std::array<double, kLanes> lane_energy_{};
+  std::array<std::uint64_t, kLanes> lane_toggles_{};
+};
+
+}  // namespace sfab::gatelevel

@@ -35,6 +35,29 @@ enum class GateType : std::uint8_t {
 /// kDff is sequential and must not be evaluated through here.
 [[nodiscard]] bool evaluate(GateType type, std::uint32_t inputs) noexcept;
 
+/// 64-lane combinational evaluation: bit k of each word is an independent
+/// simulation lane, so one call evaluates the gate for 64 Monte-Carlo
+/// streams at once. `a`/`b`/`s` follow the pin order of `evaluate` (kMux2:
+/// {a, b, select}); unused pins are ignored. Lane k of the result equals
+/// evaluate(type, ...) over lane k of the operands, bit for bit. kDff is
+/// sequential and must not be evaluated through here.
+[[nodiscard]] constexpr std::uint64_t evaluate_lanes(
+    GateType type, std::uint64_t a, std::uint64_t b = 0,
+    std::uint64_t s = 0) noexcept {
+  switch (type) {
+    case GateType::kBuf: return a;
+    case GateType::kInv: return ~a;
+    case GateType::kAnd2: return a & b;
+    case GateType::kOr2: return a | b;
+    case GateType::kNand2: return ~(a & b);
+    case GateType::kNor2: return ~(a | b);
+    case GateType::kXor2: return a ^ b;
+    case GateType::kMux2: return (b & s) | (a & ~s);
+    case GateType::kDff: return a;  // state latched by the engine
+  }
+  return 0;
+}
+
 /// Per-cell energy coefficients (joules). Representative 0.18 um / 3.3 V
 /// values: switching a minimum inverter output (~4 fF total at the drain)
 /// costs ~20 fJ rail to rail; larger cells scale with internal capacitance.

@@ -1,6 +1,5 @@
 #include "gatelevel/netlist.hpp"
 
-#include <deque>
 #include <stdexcept>
 
 namespace sfab::gatelevel {
@@ -40,7 +39,10 @@ void Netlist::add_gate(GateType type, const std::vector<NetId>& inputs,
   }
   has_driver_[output] = 1;
   for (NetId in : inputs) ++fanout_[in];
-  gates_.push_back(Gate{type, inputs, output});
+  gate_types_.push_back(type);
+  gate_outs_.push_back(output);
+  gate_pins_.insert(gate_pins_.end(), inputs.begin(), inputs.end());
+  gate_pin_offsets_.push_back(static_cast<std::uint32_t>(gate_pins_.size()));
 }
 
 const std::string& Netlist::net_name(NetId net) const {
@@ -62,23 +64,23 @@ void Netlist::finalize() {
   // combinational order.
   std::vector<char> net_ready(fanout_.size(), 0);
   for (NetId in : inputs_) net_ready[in] = 1;
-  for (std::size_t i = 0; i < gates_.size(); ++i) {
-    if (gates_[i].type == GateType::kDff) {
+  for (std::size_t i = 0; i < num_gates(); ++i) {
+    if (gate_types_[i] == GateType::kDff) {
       dffs_.push_back(i);
-      net_ready[gates_[i].out] = 1;
+      net_ready[gate_outs_[i]] = 1;
     }
   }
   dff_state_.assign(dffs_.size(), 0);
 
-  std::vector<char> scheduled(gates_.size(), 0);
+  std::vector<char> scheduled(num_gates(), 0);
   level_order_.clear();
   bool progress = true;
   while (progress) {
     progress = false;
-    for (std::size_t i = 0; i < gates_.size(); ++i) {
-      if (scheduled[i] || gates_[i].type == GateType::kDff) continue;
+    for (std::size_t i = 0; i < num_gates(); ++i) {
+      if (scheduled[i] || gate_types_[i] == GateType::kDff) continue;
       bool ready = true;
-      for (NetId in : gates_[i].in) {
+      for (NetId in : gate_pins(i)) {
         if (!net_ready[in]) {
           ready = false;
           break;
@@ -86,35 +88,35 @@ void Netlist::finalize() {
       }
       if (ready) {
         scheduled[i] = 1;
-        net_ready[gates_[i].out] = 1;
+        net_ready[gate_outs_[i]] = 1;
         level_order_.push_back(i);
         progress = true;
       }
     }
   }
-  for (std::size_t i = 0; i < gates_.size(); ++i) {
-    if (!scheduled[i] && gates_[i].type != GateType::kDff) {
+  for (std::size_t i = 0; i < num_gates(); ++i) {
+    if (!scheduled[i] && gate_types_[i] != GateType::kDff) {
       throw std::logic_error(
           "finalize: combinational cycle detected (gate output net '" +
-          names_[gates_[i].out] + "')");
+          names_[gate_outs_[i]] + "')");
     }
   }
 
   // CSR adjacency net -> combinational fanout gates, for the dirty-bit
   // settle loop: a gate re-evaluates only when one of its inputs changed.
   fanout_gate_offsets_.assign(fanout_.size() + 1, 0);
-  for (std::size_t i = 0; i < gates_.size(); ++i) {
-    if (gates_[i].type == GateType::kDff) continue;
-    for (const NetId in : gates_[i].in) ++fanout_gate_offsets_[in + 1];
+  for (std::size_t i = 0; i < num_gates(); ++i) {
+    if (gate_types_[i] == GateType::kDff) continue;
+    for (const NetId in : gate_pins(i)) ++fanout_gate_offsets_[in + 1];
   }
   for (std::size_t n = 1; n < fanout_gate_offsets_.size(); ++n) {
     fanout_gate_offsets_[n] += fanout_gate_offsets_[n - 1];
   }
   fanout_gates_.resize(fanout_gate_offsets_.back());
   std::vector<std::uint32_t> fill = fanout_gate_offsets_;
-  for (std::size_t i = 0; i < gates_.size(); ++i) {
-    if (gates_[i].type == GateType::kDff) continue;
-    for (const NetId in : gates_[i].in) {
+  for (std::size_t i = 0; i < num_gates(); ++i) {
+    if (gate_types_[i] == GateType::kDff) continue;
+    for (const NetId in : gate_pins(i)) {
       fanout_gates_[fill[in]++] = static_cast<std::uint32_t>(i);
     }
   }
@@ -122,7 +124,7 @@ void Netlist::finalize() {
   // output for all-zero inputs may be one (NOT, NAND, ...), so the first
   // step must evaluate everything — exactly what the pre-dirty-bit loop
   // did.
-  dirty_.assign(gates_.size(), 1);
+  dirty_.assign(num_gates(), 1);
 
   finalized_ = true;
 }
@@ -142,9 +144,9 @@ void Netlist::set_energy_scale(double scale) {
   energy_scale_ = scale;
 }
 
-void Netlist::charge_toggle(const Gate& g) {
-  const GateEnergy e = energy_of(g.type, energy_scale_);
-  energy_j_ += e.toggle_j + e.per_fanout_j * fanout_[g.out];
+void Netlist::charge_toggle(std::size_t gate) {
+  const GateEnergy e = energy_of(gate_types_[gate], energy_scale_);
+  energy_j_ += e.toggle_j + e.per_fanout_j * fanout_[gate_outs_[gate]];
   ++toggles_;
 }
 
@@ -156,13 +158,14 @@ void Netlist::step(const std::vector<bool>& input_values) {
 
   // 1. DFF outputs present their latched state; clock energy always burns.
   for (std::size_t k = 0; k < dffs_.size(); ++k) {
-    const Gate& g = gates_[dffs_[k]];
+    const std::size_t gi = dffs_[k];
+    const NetId out = gate_outs_[gi];
     const bool q = dff_state_[k] != 0;
-    energy_j_ += energy_of(g.type, energy_scale_).idle_j;
-    if (value_[g.out] != static_cast<char>(q)) {
-      value_[g.out] = static_cast<char>(q);
-      charge_toggle(g);
-      mark_fanout_dirty(g.out);
+    energy_j_ += energy_of(gate_types_[gi], energy_scale_).idle_j;
+    if (value_[out] != static_cast<char>(q)) {
+      value_[out] = static_cast<char>(q);
+      charge_toggle(gi);
+      mark_fanout_dirty(out);
     }
   }
 
@@ -185,22 +188,25 @@ void Netlist::step(const std::vector<bool>& input_values) {
     if (!dirty_[gi]) continue;
     dirty_[gi] = 0;
     ++gate_evaluations_;
-    const Gate& g = gates_[gi];
+    const NetId* pins = gate_pins_.data() + gate_pin_offsets_[gi];
+    const std::uint32_t pin_count =
+        gate_pin_offsets_[gi + 1] - gate_pin_offsets_[gi];
     std::uint32_t in_mask = 0;
-    for (std::size_t pin = 0; pin < g.in.size(); ++pin) {
-      in_mask |= static_cast<std::uint32_t>(value_[g.in[pin]] != 0) << pin;
+    for (std::uint32_t pin = 0; pin < pin_count; ++pin) {
+      in_mask |= static_cast<std::uint32_t>(value_[pins[pin]] != 0) << pin;
     }
-    const bool out = evaluate(g.type, in_mask);
-    if (value_[g.out] != static_cast<char>(out)) {
-      value_[g.out] = static_cast<char>(out);
-      charge_toggle(g);
-      mark_fanout_dirty(g.out);
+    const bool out = evaluate(gate_types_[gi], in_mask);
+    const NetId out_net = gate_outs_[gi];
+    if (value_[out_net] != static_cast<char>(out)) {
+      value_[out_net] = static_cast<char>(out);
+      charge_toggle(gi);
+      mark_fanout_dirty(out_net);
     }
   }
 
   // 4. DFFs capture D for the next cycle.
   for (std::size_t k = 0; k < dffs_.size(); ++k) {
-    dff_state_[k] = value_[gates_[dffs_[k]].in[0]];
+    dff_state_[k] = value_[gate_pins_[gate_pin_offsets_[dffs_[k]]]];
   }
 }
 

@@ -6,9 +6,17 @@
 // semantics — adequate for average switching activity, which is what the
 // bit-energy LUT characterization needs; glitch power is outside this
 // model's scope and is absorbed by the calibration factor).
+//
+// Gate storage is structure-of-arrays with one shared CSR pin array: the
+// scalar settle loop walks flat contiguous memory instead of chasing a
+// heap-allocated pin vector per gate, and the 64-lane bit-sliced engine
+// (gatelevel/bitsliced.hpp) compiles its lane program straight from the
+// same arrays. This class remains the reference scalar engine that the
+// bit-sliced engine is pinned against lane-for-lane.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,7 +39,9 @@ class Netlist {
   void add_gate(GateType type, const std::vector<NetId>& inputs, NetId output);
 
   [[nodiscard]] std::size_t num_nets() const noexcept { return fanout_.size(); }
-  [[nodiscard]] std::size_t num_gates() const noexcept { return gates_.size(); }
+  [[nodiscard]] std::size_t num_gates() const noexcept {
+    return gate_types_.size();
+  }
   [[nodiscard]] const std::string& net_name(NetId net) const;
 
   /// Finalizes the netlist: checks every non-input net has a driver,
@@ -40,6 +50,31 @@ class Netlist {
   void finalize();
 
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  // --- structure (read-only; the bit-sliced compiler consumes these) -------
+
+  [[nodiscard]] GateType gate_type(std::size_t gate) const {
+    return gate_types_[gate];
+  }
+  [[nodiscard]] NetId gate_output(std::size_t gate) const {
+    return gate_outs_[gate];
+  }
+  /// Input pins of `gate` in pin order (kMux2: {a, b, select}).
+  [[nodiscard]] std::span<const NetId> gate_pins(std::size_t gate) const {
+    return {gate_pins_.data() + gate_pin_offsets_[gate],
+            gate_pin_offsets_[gate + 1] - gate_pin_offsets_[gate]};
+  }
+  /// Combinational gates in a topological evaluation order (finalized).
+  [[nodiscard]] const std::vector<std::size_t>& level_order() const noexcept {
+    return level_order_;
+  }
+  /// DFF gate indices in latch order (finalized).
+  [[nodiscard]] const std::vector<std::size_t>& dff_gates() const noexcept {
+    return dffs_;
+  }
+  /// Number of gate input pins loading `net`.
+  [[nodiscard]] std::uint32_t fanout(NetId net) const { return fanout_[net]; }
+  [[nodiscard]] double energy_scale() const noexcept { return energy_scale_; }
 
   // --- simulation ----------------------------------------------------------
 
@@ -79,13 +114,7 @@ class Netlist {
   }
 
  private:
-  struct Gate {
-    GateType type;
-    std::vector<NetId> in;
-    NetId out;
-  };
-
-  void charge_toggle(const Gate& g);
+  void charge_toggle(std::size_t gate);
 
   /// Marks every combinational gate fed by `net` for re-evaluation.
   void mark_fanout_dirty(NetId net) {
@@ -95,14 +124,19 @@ class Netlist {
     }
   }
 
-  std::vector<Gate> gates_;
+  // Gate storage: structure-of-arrays + CSR pin list (index = gate id).
+  std::vector<GateType> gate_types_;
+  std::vector<NetId> gate_outs_;
+  std::vector<std::uint32_t> gate_pin_offsets_{0};  // size num_gates() + 1
+  std::vector<NetId> gate_pins_;
+
   std::vector<std::uint32_t> fanout_;   // per net: number of gate input pins
   std::vector<std::string> names_;
   std::vector<NetId> inputs_;
   std::vector<char> has_driver_;
   std::vector<char> value_;             // current net values
   std::vector<std::size_t> level_order_;  // combinational gates, topo order
-  std::vector<std::size_t> dffs_;       // indices into gates_
+  std::vector<std::size_t> dffs_;       // gate indices
   std::vector<char> dff_state_;         // latched Q per DFF
   // CSR net -> combinational fanout gates, for the dirty-bit settle loop.
   std::vector<std::uint32_t> fanout_gate_offsets_;

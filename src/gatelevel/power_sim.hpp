@@ -6,6 +6,15 @@
 // ports at zero, lets the netlist settle, and averages the accumulated
 // switching energy per cycle. Dividing by the payload width yields energy
 // per bit-slot — the exact quantity Table 1 tabulates.
+//
+// Two engines produce the average:
+//  * kBitsliced (default): the 64-lane engine (gatelevel/bitsliced.hpp)
+//    drives 64 independent RNG streams per step, so a mask needs 1/64th
+//    the steps for the same Monte-Carlo sample count — the fast path that
+//    makes wide LUT sweeps and high sample counts affordable.
+//  * kScalar: the original one-boolean-per-net reference engine, retained
+//    for equivalence pinning and as the speedup baseline in
+//    bench_throughput's gatelevel section.
 #pragma once
 
 #include <cstdint>
@@ -16,12 +25,21 @@
 
 namespace sfab::gatelevel {
 
+enum class CharacterizeEngine : std::uint8_t {
+  kBitsliced,  ///< 64 Monte-Carlo lanes per netlist sweep (fast path)
+  kScalar,     ///< reference engine, one stream (baseline / debugging)
+};
+
 struct CharacterizationConfig {
-  /// Measured cycles per occupancy mask (after warm-up).
+  /// Measured Monte-Carlo cycles per occupancy mask (after warm-up). The
+  /// bit-sliced engine covers these in ceil(cycles / 64) steps of 64
+  /// lane-cycles each (rounding up to a whole step, never under-sampling).
   unsigned cycles = 4000;
-  /// Warm-up cycles excluded from the energy average.
+  /// Warm-up cycles excluded from the energy average (per lane: the
+  /// bit-sliced engine warms every lane for this many cycles).
   unsigned warmup = 64;
   std::uint64_t seed = 0xC0FFEEull;
+  CharacterizeEngine engine = CharacterizeEngine::kBitsliced;
 };
 
 struct MaskEnergy {

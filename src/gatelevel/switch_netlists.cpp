@@ -20,6 +20,25 @@ std::size_t add_input(Netlist& nl, std::string name,
 
 }  // namespace
 
+MaskDrive SwitchHarness::drive_schedule(std::uint32_t mask) const {
+  const auto ports = static_cast<unsigned>(port_data.size());
+  if (ports < 32 && mask >= (1u << ports)) {
+    throw std::invalid_argument("drive_schedule: mask exceeds port count");
+  }
+  MaskDrive drive;
+  for (unsigned p = 0; p < ports; ++p) {
+    const bool active = ((mask >> p) & 1u) != 0;
+    if (port_valid[p] != npos) drive.forced.emplace_back(port_valid[p], active);
+    if (active) {
+      drive.random.insert(drive.random.end(), port_data[p].begin(),
+                          port_data[p].end());
+      drive.random.insert(drive.random.end(), port_addr[p].begin(),
+                          port_addr[p].end());
+    }
+  }
+  return drive;
+}
+
 SwitchHarness build_crosspoint(unsigned width) {
   if (width < 1) throw std::invalid_argument("build_crosspoint: width >= 1");
   SwitchHarness h;

@@ -11,11 +11,28 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "gatelevel/netlist.hpp"
 
 namespace sfab::gatelevel {
+
+/// Testbench drive plan for one input-occupancy mask. All indices refer to
+/// positions in `netlist.inputs()` order. Built by
+/// SwitchHarness::drive_schedule and shared by the scalar and bit-sliced
+/// characterization drivers (and the lane-equivalence tests), so every
+/// consumer draws randomness for the same pins in the same order.
+struct MaskDrive {
+  /// Pins held at a constant each cycle: the valid pin of every port that
+  /// has one, true when the port is active. All other non-random pins
+  /// (idle ports' data/addr) stay 0.
+  std::vector<std::pair<std::size_t, bool>> forced;
+  /// Pins redrawn uniformly at random every cycle, in drive order: for
+  /// each active port ascending, data pins then addr pins.
+  std::vector<std::size_t> random;
+};
 
 /// A netlist plus the testbench hookup the characterizer needs. All index
 /// vectors refer to positions in `netlist.inputs()` order.
@@ -33,6 +50,10 @@ struct SwitchHarness {
   unsigned bits_per_port = 0;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// The drive plan for `mask` (bit p set = port p active). Throws when
+  /// the mask addresses ports the harness doesn't have.
+  [[nodiscard]] MaskDrive drive_schedule(std::uint32_t mask) const;
 };
 
 /// Crossbar crosspoint: per payload bit an enable-gated pass element.

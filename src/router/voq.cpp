@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/bitops.hpp"
+
 namespace sfab {
 
 VoqBank::VoqBank(PortId port, unsigned egress_ports,
@@ -18,6 +20,7 @@ VoqBank::VoqBank(PortId port, unsigned egress_ports,
   for (unsigned e = 0; e < egress_ports; ++e) {
     queues_.emplace_back(capacity_packets);
   }
+  occupancy_.assign(bitmask_words(egress_ports), 0);
 }
 
 bool VoqBank::enqueue(const Packet& packet) {
@@ -30,6 +33,7 @@ bool VoqBank::enqueue(const Packet& packet) {
     return false;
   }
   queues_[packet.dest].push(packet);
+  set_bit(occupancy_.data(), packet.dest);
   ++total_;
   return true;
 }
@@ -45,6 +49,7 @@ Packet VoqBank::pop(PortId egress) {
   }
   const Packet p = queues_[egress].front();
   queues_[egress].pop();
+  if (queues_[egress].empty()) clear_bit(occupancy_.data(), egress);
   --total_;
   return p;
 }
@@ -60,6 +65,76 @@ IslipArbiter::IslipArbiter(unsigned ports, unsigned iterations)
   if (ports < 2) throw std::invalid_argument("IslipArbiter: ports >= 2");
   flat_scratch_.reserve(static_cast<std::size_t>(ports) * ports);
   matches_.reserve(ports);
+}
+
+const std::vector<Match>& IslipArbiter::match_banks(
+    const std::vector<VoqBank>& banks,
+    const std::vector<std::uint64_t>& ingress_free,
+    const std::vector<std::uint64_t>& egress_free) {
+  if (banks.size() != ports_) {
+    throw std::invalid_argument("IslipArbiter: bank count");
+  }
+  const std::size_t words = bitmask_words(ports_);
+  if (ingress_free.size() != words || egress_free.size() != words) {
+    throw std::invalid_argument("IslipArbiter: availability mask shape");
+  }
+  for (const VoqBank& bank : banks) {
+    if (bank.occupancy_words().size() < words) {
+      throw std::invalid_argument("IslipArbiter: bank egress count");
+    }
+  }
+
+  std::fill(ingress_matched_.begin(), ingress_matched_.end(), 0);
+  std::fill(egress_matched_.begin(), egress_matched_.end(), 0);
+  matches_.clear();
+
+  // Identical pointer walk to match_flat; the request test reads the
+  // banks' occupancy bits gated by the availability masks instead of a
+  // materialized matrix, so the two paths match match-for-match.
+  for (unsigned iter = 0; iter < iterations_; ++iter) {
+    std::fill(grant_.begin(), grant_.end(), kInvalidPort);
+    for (PortId egress = 0; egress < ports_; ++egress) {
+      if (egress_matched_[egress] || !test_bit(egress_free.data(), egress)) {
+        continue;
+      }
+      for (unsigned k = 0; k < ports_; ++k) {
+        PortId ingress = grant_pointer_[egress] + k;
+        if (ingress >= ports_) ingress -= ports_;
+        if (!ingress_matched_[ingress] &&
+            test_bit(ingress_free.data(), ingress) &&
+            test_bit(banks[ingress].occupancy_words().data(), egress)) {
+          grant_[egress] = ingress;
+          break;
+        }
+      }
+    }
+
+    bool any_accept = false;
+    for (PortId ingress = 0; ingress < ports_; ++ingress) {
+      if (ingress_matched_[ingress]) continue;
+      PortId accepted = kInvalidPort;
+      for (unsigned k = 0; k < ports_; ++k) {
+        PortId egress = accept_pointer_[ingress] + k;
+        if (egress >= ports_) egress -= ports_;
+        if (grant_[egress] == ingress) {
+          accepted = egress;
+          break;
+        }
+      }
+      if (accepted == kInvalidPort) continue;
+
+      matches_.push_back(Match{ingress, accepted});
+      ingress_matched_[ingress] = 1;
+      egress_matched_[accepted] = 1;
+      any_accept = true;
+      if (iter == 0) {
+        grant_pointer_[accepted] = (ingress + 1) % ports_;
+        accept_pointer_[ingress] = (accepted + 1) % ports_;
+      }
+    }
+    if (!any_accept) break;  // matching is maximal; further rounds are idle
+  }
+  return matches_;
 }
 
 const std::vector<Match>& IslipArbiter::match_flat(

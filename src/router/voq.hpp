@@ -42,6 +42,16 @@ class VoqBank {
   /// Ownership of the handle passes to the caller.
   [[nodiscard]] Packet pop(PortId egress);
 
+  /// Occupancy bitmask over egresses (bit e of word e/64 set iff the VOQ
+  /// toward e is non-empty), maintained incrementally on enqueue/pop.
+  /// This is the bank's request row for iSLIP: the arbiter reads it
+  /// directly instead of the router rebuilding a ports x ports request
+  /// matrix from per-queue probes every cycle.
+  [[nodiscard]] const std::vector<std::uint64_t>& occupancy_words()
+      const noexcept {
+    return occupancy_;
+  }
+
   [[nodiscard]] std::size_t total_queued() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
   [[nodiscard]] PortId port() const noexcept { return port_; }
@@ -52,6 +62,7 @@ class VoqBank {
   PacketArena* arena_;
   std::size_t capacity_;
   std::vector<PacketRing> queues_;
+  std::vector<std::uint64_t> occupancy_;  // bit e = VOQ e non-empty
   std::size_t total_ = 0;
   std::uint64_t drops_ = 0;
 };
@@ -72,10 +83,23 @@ class IslipArbiter {
   /// hardware arbiter with a fixed iteration budget.
   explicit IslipArbiter(unsigned ports, unsigned iterations = 0);
 
-  /// Hot path: `requests` is a row-major ports x ports matrix where
+  /// Hot path: requests come straight from the banks' incrementally
+  /// maintained occupancy bitmasks (VoqBank::occupancy_words), gated by
+  /// availability masks (bit set = available): the effective request
+  /// (i, j) is occupancy(i, j) && ingress_free[i] && egress_free[j] —
+  /// exactly the matrix the router used to rebuild element-by-element
+  /// every cycle. Word counts must be bitmask_words(ports). Returns a
+  /// conflict-free matching valid until the next call (internal scratch,
+  /// no allocation), identical match-for-match to match_flat over that
+  /// matrix.
+  [[nodiscard]] const std::vector<Match>& match_banks(
+      const std::vector<VoqBank>& banks,
+      const std::vector<std::uint64_t>& ingress_free,
+      const std::vector<std::uint64_t>& egress_free);
+
+  /// Reference path: `requests` is a row-major ports x ports matrix where
   /// requests[i * ports + j] != 0 means ingress i has traffic for egress j
-  /// and both are available this cycle. Returns a conflict-free matching
-  /// valid until the next call (internal scratch, no allocation).
+  /// and both are available this cycle. Same contract as match_banks.
   [[nodiscard]] const std::vector<Match>& match_flat(
       const std::vector<char>& requests);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/bitops.hpp"
 #include "fabric/crossbar.hpp"
 #include "fabric/fully_connected.hpp"
 
@@ -32,10 +33,12 @@ VoqRouter::VoqRouter(std::unique_ptr<SwitchFabric> fabric,
                         arena_);
   }
   streaming_.resize(fabric_->ports());
-  egress_busy_.assign(fabric_->ports(), 0);
-  requests_.assign(static_cast<std::size_t>(fabric_->ports()) *
-                       fabric_->ports(),
-                   0);
+  ingress_free_.assign(bitmask_words(fabric_->ports()), 0);
+  egress_free_.assign(bitmask_words(fabric_->ports()), 0);
+  for (PortId p = 0; p < fabric_->ports(); ++p) {
+    set_bit(ingress_free_.data(), p);
+    set_bit(egress_free_.data(), p);
+  }
   arrivals_.reserve(fabric_->ports());
 }
 
@@ -52,21 +55,18 @@ void VoqRouter::step_impl(FabricT& fabric) {
     }
   }
 
-  // 2. iSLIP matching between idle ingresses and free egresses.
-  std::fill(requests_.begin(), requests_.end(), 0);
-  for (PortId i = 0; i < ports(); ++i) {
-    if (streaming_[i].has_value()) continue;
-    char* row = requests_.data() + static_cast<std::size_t>(i) * ports();
-    for (PortId j = 0; j < ports(); ++j) {
-      row[j] = !egress_busy_[j] && banks_[i].has_packet_for(j);
-    }
-  }
-  for (const Match& m : islip_.match_flat(requests_)) {
+  // 2. iSLIP matching between idle ingresses and free egresses. The
+  // request matrix is never materialized: the banks' occupancy rows are
+  // maintained on enqueue/pop and the availability masks where streaming
+  // slots and egress locks change.
+  for (const Match& m : islip_.match_banks(banks_, ingress_free_,
+                                           egress_free_)) {
     StreamingPacket s;
     s.packet = banks_[m.ingress].pop(m.egress);
     egress_.note_head_injected(s.packet.id, cycle_);
     streaming_[m.ingress] = s;
-    egress_busy_[m.egress] = 1;
+    clear_bit(ingress_free_.data(), m.ingress);
+    clear_bit(egress_free_.data(), m.egress);
   }
 
   // 3 + 4. Word injection and fabric advance (fused for bufferless
@@ -97,9 +97,10 @@ void VoqRouter::step_impl(FabricT& fabric) {
     }
     ++slot->word;
     if (flit.tail) {
-      if (fixed_latency) egress_busy_[flit.dest] = 0;
+      if (fixed_latency) set_bit(egress_free_.data(), flit.dest);
       arena_.release(packet);
       slot.reset();
+      set_bit(ingress_free_.data(), p);
     }
   }
   if constexpr (!kFused) {
@@ -113,7 +114,7 @@ void VoqRouter::step_impl(FabricT& fabric) {
   // 5. Variable-latency fabrics free their egress on tail delivery.
   if (!fixed_latency) {
     for (const PortId egress : egress_.pending_unlocks()) {
-      egress_busy_[egress] = 0;
+      set_bit(egress_free_.data(), egress);
     }
   }
   egress_.pending_unlocks().clear();

@@ -5,6 +5,7 @@
 // cycle, back-pressure respected.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 
@@ -84,8 +85,12 @@ class VoqRouter {
   EgressCollector egress_;
   std::vector<VoqBank> banks_;
   std::vector<std::optional<StreamingPacket>> streaming_;
-  std::vector<char> egress_busy_;
-  std::vector<char> requests_;    ///< per-cycle scratch, ports x ports flat
+  // Availability bitmasks for the arbiter (bit set = available), updated
+  // where streaming slots and egress locks change instead of being
+  // recomputed: together with the banks' occupancy rows they replace the
+  // per-cycle ports x ports request-matrix rebuild.
+  std::vector<std::uint64_t> ingress_free_;
+  std::vector<std::uint64_t> egress_free_;
   std::vector<Packet> arrivals_;  ///< per-cycle scratch
   Cycle cycle_ = 0;
   bool traffic_enabled_ = true;

@@ -3,7 +3,9 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
@@ -117,6 +119,59 @@ TEST(Rng, WordUsesFullRange) {
   EXPECT_EQ(all_and, 0u);
 }
 
+TEST(BitRng, LsbFirstExpansionOfU64Draws) {
+  Rng reference{77};
+  BitRng bits{Rng{77}};
+  for (int draw = 0; draw < 4; ++draw) {
+    const std::uint64_t word = reference.next_u64();
+    for (unsigned j = 0; j < 64; ++j) {
+      ASSERT_EQ(bits.next_bit(), ((word >> j) & 1u) != 0)
+          << "draw " << draw << " bit " << j;
+    }
+  }
+}
+
+TEST(LaneRng64, LaneKIsStreamK) {
+  // The stream-independence contract the bit-sliced equivalence harness
+  // rests on: bit k of the word sequence is exactly the bit-serial stream
+  // of an Rng seeded with derive_stream_seed(seed, k).
+  constexpr std::uint64_t kSeed = 0xFEEDull;
+  constexpr unsigned kWords = 200;  // crosses a refill boundary (64 words)
+  LaneRng64 lanes{kSeed};
+  std::array<std::uint64_t, kWords> words{};
+  for (auto& w : words) w = lanes.next_word();
+
+  for (const unsigned lane : {0u, 1u, 31u, 63u}) {
+    BitRng bits{Rng{derive_stream_seed(kSeed, lane)}};
+    for (unsigned w = 0; w < kWords; ++w) {
+      ASSERT_EQ(((words[w] >> lane) & 1u) != 0, bits.next_bit())
+          << "lane " << lane << " word " << w;
+    }
+  }
+}
+
+TEST(LaneRng64, LanesAreDistinctAndBalanced) {
+  LaneRng64 lanes{123};
+  std::array<std::uint64_t, 256> words{};
+  std::array<unsigned, 64> ones{};
+  for (auto& w : words) {
+    w = lanes.next_word();
+    for (unsigned lane = 0; lane < 64; ++lane) ones[lane] += (w >> lane) & 1u;
+  }
+  // Every lane is a fair coin (256 flips: expect ~128, allow +/- 60).
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    EXPECT_GT(ones[lane], 68u) << "lane " << lane;
+    EXPECT_LT(ones[lane], 188u) << "lane " << lane;
+  }
+  // No two lanes emit the same 256-bit column.
+  std::set<std::vector<bool>> columns;
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    std::vector<bool> column;
+    for (const std::uint64_t w : words) column.push_back((w >> lane) & 1u);
+    EXPECT_TRUE(columns.insert(column).second) << "duplicate lane " << lane;
+  }
+}
+
 TEST(SplitMix64, KnownSequenceIsStable) {
   std::uint64_t state = 0;
   const std::uint64_t first = splitmix64_next(state);
@@ -167,6 +222,23 @@ TEST(BitOps, BitOfAndLowMask) {
 }
 
 // --- PiecewiseLinear -------------------------------------------------------------
+
+TEST(BitOps, WordArrayBitmask) {
+  EXPECT_EQ(bitmask_words(0), 0u);
+  EXPECT_EQ(bitmask_words(1), 1u);
+  EXPECT_EQ(bitmask_words(64), 1u);
+  EXPECT_EQ(bitmask_words(65), 2u);
+  std::vector<std::uint64_t> words(bitmask_words(130), 0);
+  for (const std::size_t i : {0u, 63u, 64u, 129u}) {
+    EXPECT_FALSE(test_bit(words.data(), i));
+    set_bit(words.data(), i);
+    EXPECT_TRUE(test_bit(words.data(), i));
+  }
+  clear_bit(words.data(), 64);
+  EXPECT_FALSE(test_bit(words.data(), 64));
+  EXPECT_TRUE(test_bit(words.data(), 63));
+  EXPECT_TRUE(test_bit(words.data(), 129));
+}
 
 TEST(PiecewiseLinear, ExactAtCalibrationPoints) {
   const PiecewiseLinear t{{1.0, 10.0}, {2.0, 20.0}, {4.0, 10.0}};

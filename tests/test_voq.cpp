@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
 #include "fabric/factory.hpp"
 #include "router/router.hpp"
 #include "router/voq_router.hpp"
@@ -69,6 +71,78 @@ std::vector<std::vector<char>> request_matrix(
   std::vector<std::vector<char>> m(ports, std::vector<char>(ports, 0));
   for (const auto& [i, j] : pairs) m[i][j] = 1;
   return m;
+}
+
+TEST(VoqBank, OccupancyWordsTrackEnqueueAndPop) {
+  PacketArena arena;
+  VoqBank bank{0, 70, 8, arena};  // > 64 egresses: exercises word 1
+  ASSERT_EQ(bank.occupancy_words().size(), 2u);
+  EXPECT_EQ(bank.occupancy_words()[0], 0u);
+  ASSERT_TRUE(bank.enqueue(make_packet(arena, 1, 0, 3)));
+  ASSERT_TRUE(bank.enqueue(make_packet(arena, 2, 0, 3)));
+  ASSERT_TRUE(bank.enqueue(make_packet(arena, 3, 0, 65)));
+  EXPECT_EQ(bank.occupancy_words()[0], 1ull << 3);
+  EXPECT_EQ(bank.occupancy_words()[1], 1ull << 1);
+  (void)bank.pop(3);
+  EXPECT_EQ(bank.occupancy_words()[0], 1ull << 3);  // one packet remains
+  (void)bank.pop(3);
+  EXPECT_EQ(bank.occupancy_words()[0], 0u);
+  (void)bank.pop(65);
+  EXPECT_EQ(bank.occupancy_words()[1], 0u);
+}
+
+TEST(Islip, MatchBanksAgreesWithMatchFlat) {
+  // The incremental hot path (bank occupancy rows + availability masks)
+  // must produce the same matching, match for match, as the materialized
+  // request matrix — including identical pointer evolution across cycles.
+  constexpr unsigned kPorts = 6;
+  Rng rng{99};
+  PacketArena arena;
+  std::vector<VoqBank> banks;
+  for (PortId p = 0; p < kPorts; ++p) banks.emplace_back(p, kPorts, 64, arena);
+  IslipArbiter via_banks{kPorts};
+  IslipArbiter via_flat{kPorts};
+
+  std::uint64_t next_id = 1;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    // Random occupancy churn.
+    for (PortId i = 0; i < kPorts; ++i) {
+      for (PortId j = 0; j < kPorts; ++j) {
+        if (rng.next_bernoulli(0.25)) {
+          (void)banks[i].enqueue(make_packet(arena, next_id++, i, j));
+        }
+        if (banks[i].has_packet_for(j) && rng.next_bernoulli(0.2)) {
+          arena.release(banks[i].pop(j));
+        }
+      }
+    }
+    // Random availability.
+    std::vector<std::uint64_t> ingress_free(bitmask_words(kPorts), 0);
+    std::vector<std::uint64_t> egress_free(bitmask_words(kPorts), 0);
+    std::vector<char> requests(kPorts * kPorts, 0);
+    std::vector<char> in_ok(kPorts), out_ok(kPorts);
+    for (PortId p = 0; p < kPorts; ++p) {
+      in_ok[p] = rng.next_bernoulli(0.8);
+      out_ok[p] = rng.next_bernoulli(0.8);
+      if (in_ok[p]) set_bit(ingress_free.data(), p);
+      if (out_ok[p]) set_bit(egress_free.data(), p);
+    }
+    for (PortId i = 0; i < kPorts; ++i) {
+      for (PortId j = 0; j < kPorts; ++j) {
+        requests[i * kPorts + j] =
+            in_ok[i] && out_ok[j] && banks[i].has_packet_for(j);
+      }
+    }
+    const auto& from_banks =
+        via_banks.match_banks(banks, ingress_free, egress_free);
+    const std::vector<Match> got(from_banks.begin(), from_banks.end());
+    const auto& want = via_flat.match_flat(requests);
+    ASSERT_EQ(got.size(), want.size()) << "cycle " << cycle;
+    for (std::size_t m = 0; m < want.size(); ++m) {
+      EXPECT_EQ(got[m].ingress, want[m].ingress) << "cycle " << cycle;
+      EXPECT_EQ(got[m].egress, want[m].egress) << "cycle " << cycle;
+    }
+  }
 }
 
 TEST(Islip, MatchesDisjointRequestsFully) {
