@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "common/units.hpp"
+#include "gatelevel/bitsliced.hpp"
 #include "gatelevel/power_sim.hpp"
 #include "gatelevel/switch_netlists.hpp"
 #include "power/switch_energy.hpp"
@@ -14,16 +15,20 @@ int main() {
   using namespace sfab::gatelevel;
   using units::fJ;
 
-  // 64-lane bit-sliced engine (the default): 256k Monte-Carlo cycles per
-  // mask cost what 4k scalar cycles used to, so the LUTs here are ~8x
+  // Multi-word bit-sliced engine (the default: 512 Monte-Carlo lanes per
+  // sweep, SIMD kernel picked at runtime): 256k Monte-Carlo lane-cycles
+  // per mask cost what 4k scalar cycles used to, so the LUTs here are ~8x
   // tighter than the pre-bitslicing run of this bench at a fraction of
-  // the wall clock.
+  // the wall clock — and the wide-MUX table below now extends to N = 256
+  // inputs, which the 64-lane engine had to truncate at N = 16 for cost.
   const CharacterizationConfig cfg{256'000, 128, 0x7ab1e1};
   const auto paper = SwitchEnergyTables::paper_defaults();
 
   std::cout << "=== Gate-level LUT derivation (substitute for Power "
-               "Compiler, 0.18 um / 3.3 V cells; 64-lane bit-sliced, "
-            << cfg.cycles << " cycles/mask) ===\n\n";
+               "Compiler, 0.18 um / 3.3 V cells; bit-sliced x"
+            << BitslicedNetlist::kMaxLanes << " lanes ("
+            << to_string(resolve_lane_kernel(LaneKernel::kAuto))
+            << " kernel), " << cfg.cycles << " cycles/mask) ===\n\n";
 
   // 2x2 switches: full 4-vector LUTs vs paper Table 1.
   TextTable t;
@@ -86,14 +91,15 @@ int main() {
   }
   t.print(std::cout);
 
-  std::cout << "\nN-input MUX (all inputs driven, random selects):\n";
+  std::cout << "\nN-input MUX (all inputs driven, random selects; N > 32 "
+               "uses the all-active drive plan — a uint32_t occupancy mask "
+               "can't express those states):\n";
   TextTable m;
   m.set_header({"N", "gates", "derived (fJ/bit)", "paper (fJ/bit)", "ratio"});
-  for (const unsigned n : {4u, 8u, 16u}) {
+  for (const unsigned n : {4u, 8u, 16u, 64u, 256u}) {
     SwitchHarness mux = build_mux(n, 32);
-    const std::uint32_t all = (1u << n) - 1;
-    const auto results = characterize(mux, {all}, cfg);
-    const double derived = results[0].energy_per_bit_j / fJ;
+    const MaskEnergy result = characterize_all_active(mux, cfg);
+    const double derived = result.energy_per_bit_j / fJ;
     const double expected = paper.mux_energy_per_bit(n) / fJ;
     m.add_row({std::to_string(n),
                std::to_string(mux.netlist.num_gates()),

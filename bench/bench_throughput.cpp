@@ -47,35 +47,71 @@ struct Row {
   sfab::SimResult result;
 };
 
-// Gate-level characterization throughput: the same 2-port banyan-switch
-// LUT derivation through the scalar reference engine and the 64-lane
-// bit-sliced engine. "Cycles" are Monte-Carlo characterization cycles
-// (lane-cycles for the bit-sliced engine), the unit both engines sample
-// energy in, so cycles/sec is directly comparable and the ratio is the
-// bit-slicing speedup.
+// Gate-level characterization throughput, two comparisons:
+//  1. banyan 2x2 LUT derivation through the scalar reference engine vs
+//     the bit-sliced engine at its widest block — the headline
+//     "bit-slicing buys ~2 orders of magnitude" number.
+//  2. a wide-MUX (N >= 64 inputs) all-active sweep across block widths
+//     64/128/256/512 — the multi-word widening payoff over the original
+//     64-lane engine, on the harness class the widening was built for.
+// "Cycles" are Monte-Carlo lane-cycles, the unit every engine samples
+// energy in (each mask's budget rounds up to lanes * steps), so
+// cycles/sec is directly comparable and ratios are true speedups.
+struct GatelevelWidthRow {
+  unsigned block_lanes = 0;
+  double wall_s = 0.0;
+  double cps = 0.0;
+  double speedup_vs_64 = 0.0;
+};
+
 struct GatelevelRow {
   unsigned width = 0;
   std::size_t masks = 0;
-  unsigned cycles_per_mask = 0;
+  unsigned cycles_per_mask = 0;   // measurement budget per mask
+  std::uint64_t lane_cycles = 0;  // *simulated* per mask: includes warmup
+  unsigned lanes = 0;
+  std::string kernel;
   double scalar_s = 0.0;
   double scalar_cps = 0.0;
   double sliced_s = 0.0;
   double sliced_cps = 0.0;
   double speedup = 0.0;
+  // wide-MUX per-block-width sweep
+  unsigned mux_inputs = 0;
+  std::size_t mux_gates = 0;
+  unsigned mux_cycles_per_mask = 0;
+  std::uint64_t mux_lane_cycles = 0;
+  std::vector<GatelevelWidthRow> widths;
+  unsigned best_block_lanes = 0;
+  double block_speedup = 0.0;  // best width vs the 64-lane block
 };
 
 GatelevelRow bench_gatelevel(bool quick, int reps) {
   using namespace sfab::gatelevel;
+  constexpr unsigned kMaxLanes = BitslicedNetlist::kMaxLanes;
+  constexpr unsigned kWarmup = 64;  // per lane, every engine and width
   GatelevelRow row;
   row.width = 32;
   row.cycles_per_mask = quick ? 8'000 : 64'000;
+  row.lanes = kMaxLanes;
+  row.kernel = std::string(to_string(resolve_lane_kernel(LaneKernel::kAuto)));
   const auto masks = all_masks(2);
   row.masks = masks.size();
+  // Simulated lane-cycles per mask: every engine warms each of the
+  // `lanes` streams kWarmup cycles and then measures ceil(budget / lanes)
+  // more, so warmup belongs in the throughput numerator (the wall clock
+  // pays for it) — and the total is identical across engines, block
+  // widths, and pass decompositions, keeping the ratios true speedups.
+  const auto simulated_lane_cycles = [&](unsigned budget) {
+    const std::uint64_t steps = (budget + kMaxLanes - 1) / kMaxLanes;
+    return (steps + kWarmup) * std::uint64_t{kMaxLanes};
+  };
+  row.lane_cycles = simulated_lane_cycles(row.cycles_per_mask);
 
   const auto time_engine = [&](CharacterizeEngine engine, double& wall_s) {
     CharacterizationConfig cfg;
     cfg.cycles = row.cycles_per_mask;
-    cfg.warmup = 64;
+    cfg.warmup = kWarmup;
     cfg.seed = 99;
     cfg.engine = engine;
     wall_s = 0.0;
@@ -93,17 +129,52 @@ GatelevelRow bench_gatelevel(bool quick, int reps) {
   time_engine(CharacterizeEngine::kScalar, row.scalar_s);
   time_engine(CharacterizeEngine::kBitsliced, row.sliced_s);
 
-  const double scalar_cycles =
-      static_cast<double>(masks.size()) * row.cycles_per_mask;
-  // Lane-cycles actually simulated: characterize() rounds each mask up to
-  // whole 64-lane steps.
-  constexpr unsigned kLanes = BitslicedNetlist::kLanes;
-  const double sliced_cycles =
-      static_cast<double>(masks.size()) *
-      ((row.cycles_per_mask + kLanes - 1) / kLanes) * kLanes;
-  row.scalar_cps = scalar_cycles / row.scalar_s;
-  row.sliced_cps = sliced_cycles / row.sliced_s;
+  const double measured =
+      static_cast<double>(masks.size()) * static_cast<double>(row.lane_cycles);
+  row.scalar_cps = measured / row.scalar_s;
+  row.sliced_cps = measured / row.sliced_s;
   row.speedup = row.sliced_cps / row.scalar_cps;
+
+  // Wide-MUX sweep: N-input MUX, all inputs active, one mask; per block
+  // width the same 512-lane sample is processed in ceil(512 / width)
+  // passes, so wall-clock differences are pure per-sweep amortization +
+  // SIMD width (results are bit-identical across rows by construction).
+  row.mux_inputs = 64;
+  row.mux_cycles_per_mask = quick ? 16'000 : 64'000;
+  row.mux_lane_cycles = simulated_lane_cycles(row.mux_cycles_per_mask);
+  {
+    SwitchHarness probe = build_mux(row.mux_inputs, row.width);
+    row.mux_gates = probe.netlist.num_gates();
+  }
+  for (const unsigned block : {64u, 128u, 256u, 512u}) {
+    CharacterizationConfig cfg;
+    cfg.cycles = row.mux_cycles_per_mask;
+    cfg.warmup = kWarmup;
+    cfg.seed = 1234;
+    cfg.lanes = kMaxLanes;
+    cfg.block_lanes = block;
+    GatelevelWidthRow wrow;
+    wrow.block_lanes = block;
+    for (int r = 0; r < reps; ++r) {
+      SwitchHarness mux = build_mux(row.mux_inputs, row.width);
+      const auto t0 = std::chrono::steady_clock::now();
+      const MaskEnergy e = characterize_all_active(mux, cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      if (r == 0 || s < wrow.wall_s) wrow.wall_s = s;
+      if (e.energy_per_bit_j <= 0.0) std::abort();
+    }
+    wrow.cps = static_cast<double>(row.mux_lane_cycles) / wrow.wall_s;
+    row.widths.push_back(wrow);
+  }
+  const double cps64 = row.widths.front().cps;
+  for (GatelevelWidthRow& wrow : row.widths) {
+    wrow.speedup_vs_64 = wrow.cps / cps64;
+    if (row.best_block_lanes == 0 || wrow.cps > row.block_speedup * cps64) {
+      row.best_block_lanes = wrow.block_lanes;
+      row.block_speedup = wrow.speedup_vs_64;
+    }
+  }
   return row;
 }
 
@@ -302,8 +373,9 @@ int main(int argc, char** argv) {
   t.print(std::cout);
 
   std::cout << "\n=== Gate-level characterization (banyan 2x2 LUT, scalar "
-               "vs 64-lane bit-sliced) ===\n\n";
+               "vs bit-sliced; kernel: ";
   const GatelevelRow gl = bench_gatelevel(quick, reps);
+  std::cout << gl.kernel << ") ===\n\n";
   TextTable gt;
   gt.set_header({"engine", "wall_ms", "charac. cycles/sec", "speedup"});
   gt.add_row({"scalar", format_fixed(gl.scalar_s * 1e3, 1),
@@ -312,6 +384,20 @@ int main(int argc, char** argv) {
               format_fixed(gl.sliced_cps / 1e6, 3) + "M",
               format_fixed(gl.speedup, 2)});
   gt.print(std::cout);
+
+  std::cout << "\n=== Multi-word lane blocks (" << gl.mux_inputs
+            << "-input MUX all-active, " << gl.mux_gates << " gates, "
+            << gl.lanes << " lanes/mask) ===\n\n";
+  TextTable wt;
+  wt.set_header({"block lanes", "wall_ms", "charac. cycles/sec",
+                 "speedup vs 64"});
+  for (const GatelevelWidthRow& wrow : gl.widths) {
+    wt.add_row({std::to_string(wrow.block_lanes),
+                format_fixed(wrow.wall_s * 1e3, 1),
+                format_fixed(wrow.cps / 1e6, 3) + "M",
+                format_fixed(wrow.speedup_vs_64, 2)});
+  }
+  wt.print(std::cout);
 
   std::ofstream json(out_path);
   if (!json.is_open()) {
@@ -330,11 +416,30 @@ int main(int argc, char** argv) {
        << "  \"gatelevel\": {\n"
        << "    \"harness\": \"banyan2x2\",\n    \"width\": " << gl.width
        << ",\n    \"masks\": " << gl.masks << ",\n    \"cycles_per_mask\": "
-       << gl.cycles_per_mask << ",\n    \"scalar_wall_s\": " << gl.scalar_s
+       << gl.cycles_per_mask << ",\n    \"lanes\": " << gl.lanes
+       << ",\n    \"kernel\": \"" << gl.kernel << "\""
+       << ",\n    \"scalar_wall_s\": " << gl.scalar_s
        << ",\n    \"scalar_cycles_per_sec\": " << gl.scalar_cps
        << ",\n    \"bitsliced_wall_s\": " << gl.sliced_s
        << ",\n    \"bitsliced_cycles_per_sec\": " << gl.sliced_cps
-       << ",\n    \"speedup\": " << gl.speedup << "\n  },\n"
+       << ",\n    \"speedup\": " << gl.speedup << ",\n"
+       << "    \"mux\": {\n"
+       << "      \"inputs\": " << gl.mux_inputs << ",\n      \"width\": "
+       << gl.width << ",\n      \"gates\": " << gl.mux_gates
+       << ",\n      \"lanes\": " << gl.lanes
+       << ",\n      \"cycles_per_mask\": " << gl.mux_cycles_per_mask
+       << ",\n      \"widths\": [\n";
+  for (std::size_t i = 0; i < gl.widths.size(); ++i) {
+    const GatelevelWidthRow& wrow = gl.widths[i];
+    json << "        {\"block_lanes\": " << wrow.block_lanes
+         << ", \"wall_s\": " << wrow.wall_s
+         << ", \"cycles_per_sec\": " << wrow.cps
+         << ", \"speedup_vs_64\": " << wrow.speedup_vs_64 << "}"
+         << (i + 1 < gl.widths.size() ? "," : "") << "\n";
+  }
+  json << "      ],\n      \"best_block_lanes\": " << gl.best_block_lanes
+       << ",\n      \"block_speedup\": " << gl.block_speedup
+       << "\n    }\n  },\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

@@ -60,6 +60,18 @@ namespace sfab {
   return (bits + 63) / 64;
 }
 
+/// Mask selecting the live bits of the LAST word of a `lanes`-bit lane
+/// block: all ones when `lanes` fills the word, else the low `lanes % 64`
+/// bits. The bit-sliced gate engine ANDs toggle diffs with this so ragged
+/// lane counts (lane blocks whose last word is only partially populated)
+/// never contribute dead-lane toggles or energy.
+[[nodiscard]] inline constexpr std::uint64_t last_word_lane_mask(
+    std::size_t lanes) noexcept {
+  assert(lanes >= 1);
+  const unsigned rem = static_cast<unsigned>(lanes % 64);
+  return rem == 0 ? ~std::uint64_t{0} : low_mask(rem);
+}
+
 [[nodiscard]] inline constexpr bool test_bit(const std::uint64_t* words,
                                              std::size_t i) noexcept {
   return ((words[i >> 6] >> (i & 63)) & 1u) != 0;

@@ -1,6 +1,7 @@
 #include "common/rng.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace sfab {
 
@@ -63,6 +64,21 @@ void antitranspose64(std::uint64_t a[64]) noexcept {
   }
 }
 
+/// Refills one 64-lane group: draws one raw u64 from each of `lanes[0..64)`
+/// and writes 64 consecutive stimulus words into out[0..64) (out[t] bit k =
+/// bit t of lane k's draw — LSB-first per lane, exactly BitRng's
+/// consumption order). Loading lane k's draw into row 63-k and reading the
+/// anti-transposed words back reversed undoes both reversals with index
+/// order alone.
+void refill_lane_group(Rng* lanes, std::uint64_t* out) noexcept {
+  std::uint64_t scratch[64];
+  for (unsigned k = 0; k < 64; ++k) {
+    scratch[63 - k] = lanes[k].next_u64();
+  }
+  antitranspose64(scratch);
+  for (unsigned t = 0; t < 64; ++t) out[t] = scratch[63 - t];
+}
+
 }  // namespace
 
 LaneRng64::LaneRng64(std::uint64_t base_seed) noexcept {
@@ -72,16 +88,28 @@ LaneRng64::LaneRng64(std::uint64_t base_seed) noexcept {
 }
 
 void LaneRng64::refill_() noexcept {
-  // Load lane k's next raw draw into row 63-k; after the anti-transpose,
-  // word 63-t holds, at bit j, bit t of lane j's draw. Reading the words
-  // back reversed therefore yields 64 consecutive next_word() results,
-  // LSB-first per lane — exactly BitRng's consumption order.
-  std::array<std::uint64_t, kLanes> scratch;
-  for (unsigned k = 0; k < kLanes; ++k) {
-    scratch[63 - k] = lanes_[k].next_u64();
+  refill_lane_group(lanes_.data(), pending_.data());
+  cursor_ = 0;
+}
+
+LaneRngBlock::LaneRngBlock(std::uint64_t base_seed, unsigned words,
+                           std::uint64_t first_lane)
+    : words_(words) {
+  if (words < 1) {
+    throw std::invalid_argument("LaneRngBlock: words must be >= 1");
   }
-  antitranspose64(scratch.data());
-  for (unsigned t = 0; t < kLanes; ++t) pending_[t] = scratch[63 - t];
+  lanes_.reserve(std::size_t{words} * kWordLanes);
+  for (std::size_t j = 0; j < std::size_t{words} * kWordLanes; ++j) {
+    lanes_.emplace_back(derive_stream_seed(base_seed, first_lane + j));
+  }
+  pending_.assign(std::size_t{words} * kWordLanes, 0);
+}
+
+void LaneRngBlock::refill_() noexcept {
+  for (unsigned g = 0; g < words_; ++g) {
+    refill_lane_group(lanes_.data() + std::size_t{g} * kWordLanes,
+                      pending_.data() + std::size_t{g} * kWordLanes);
+  }
   cursor_ = 0;
 }
 

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -159,6 +160,53 @@ class LaneRng64 {
   std::array<Rng, kLanes> lanes_;
   std::array<std::uint64_t, kLanes> pending_{};
   unsigned cursor_ = kLanes;
+};
+
+/// Multi-word generalization of LaneRng64: W×64 independent bit streams
+/// packed as a *lane block* of W words — the stimulus source for the
+/// multi-word bit-sliced gate-level engine (64–512 Monte-Carlo lanes per
+/// sweep). Bit b of word w is lane (64·w + b), and lane j draws the stream
+/// derive_stream_seed(base_seed, first_lane + j) — exactly the seed lane
+/// (first_lane + j) of LaneRng64 / BitRng would use. Streams are therefore
+/// a pure function of the global lane index: a lane emits the identical
+/// bit sequence no matter which block width (or pass offset) processes it,
+/// which is what makes characterization results independent of the engine's
+/// block width. Each 64-lane word group transposes independently (same
+/// 64×64 bit transpose as LaneRng64), so the amortized cost stays one raw
+/// xoshiro draw per lane per 64 blocks.
+class LaneRngBlock {
+ public:
+  static constexpr unsigned kWordLanes = 64;
+
+  /// `words` ≥ 1 words per block (64·words lanes). `first_lane` offsets the
+  /// global lane index of lane 0 — block passes over a wider lane
+  /// population hand each pass its own offset so every lane keeps its
+  /// global stream.
+  LaneRngBlock(std::uint64_t base_seed, unsigned words,
+               std::uint64_t first_lane = 0);
+
+  [[nodiscard]] unsigned words() const noexcept { return words_; }
+  [[nodiscard]] unsigned lanes() const noexcept {
+    return words_ * kWordLanes;
+  }
+
+  /// Writes the next stimulus block into out[0..words()): bit b of
+  /// out[w] = lane (64·w + b)'s next Bernoulli(1/2) draw.
+  void next_block(std::uint64_t* out) noexcept {
+    if (cursor_ == kWordLanes) refill_();
+    for (unsigned w = 0; w < words_; ++w) {
+      out[w] = pending_[w * kWordLanes + cursor_];
+    }
+    ++cursor_;
+  }
+
+ private:
+  void refill_() noexcept;
+
+  unsigned words_;
+  std::vector<Rng> lanes_;                // 64·words_ generators
+  std::vector<std::uint64_t> pending_;    // [group*64 + t], t = block time
+  unsigned cursor_ = kWordLanes;
 };
 
 }  // namespace sfab

@@ -3,12 +3,25 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/bitops.hpp"
+
 namespace sfab::gatelevel {
 
-BitslicedNetlist::BitslicedNetlist(const Netlist& source) {
+BitslicedNetlist::BitslicedNetlist(const Netlist& source, unsigned lanes,
+                                   LaneKernel kernel) {
   if (!source.finalized()) {
     throw std::invalid_argument("BitslicedNetlist: netlist not finalized");
   }
+  if (lanes < 1 || lanes > kMaxLanes) {
+    throw std::invalid_argument("BitslicedNetlist: lanes must be in [1, 512]");
+  }
+  lanes_ = lanes;
+  words_ = static_cast<unsigned>(bitmask_words(lanes));
+  kernel_ = resolve_lane_kernel(kernel);
+  sweep_ = lane_sweep_fn(kernel_);
+  word_masks_.assign(words_, ~std::uint64_t{0});
+  word_masks_.back() = last_word_lane_mask(lanes);
+
   const double scale = source.energy_scale();
 
   const auto& order = source.level_order();
@@ -47,104 +60,152 @@ BitslicedNetlist::BitslicedNetlist(const Netlist& source) {
   dff_idle_j_ = energy_of(GateType::kDff, scale).idle_j;
 
   inputs_ = source.inputs();
-  values_.assign(source.num_nets(), 0);
-  dff_state_.assign(dffs.size(), 0);
+  num_nets_ = source.num_nets();
+  values_.assign(num_nets_ * words_, 0);
+  dff_state_.assign(dffs.size() * words_, 0);
+  op_toggles_.assign(op_types_.size(), 0);
+  dff_toggles_.assign(dffs.size(), 0);
+  lane_energy_.assign(lanes_, 0.0);
+  lane_toggles_.assign(lanes_, 0);
 }
 
 void BitslicedNetlist::reset() {
   std::fill(values_.begin(), values_.end(), 0);
   std::fill(dff_state_.begin(), dff_state_.end(), 0);
+  std::fill(op_toggles_.begin(), op_toggles_.end(), 0);
+  std::fill(dff_toggles_.begin(), dff_toggles_.end(), 0);
+  std::fill(lane_energy_.begin(), lane_energy_.end(), 0.0);
+  std::fill(lane_toggles_.begin(), lane_toggles_.end(), 0);
   energy_j_ = 0.0;
   toggles_ = 0;
-  lane_energy_.fill(0.0);
-  lane_toggles_.fill(0);
 }
 
-void BitslicedNetlist::charge_lanes(std::uint64_t diff,
+void BitslicedNetlist::charge_lanes(std::uint64_t diff, unsigned word_index,
                                     double coeff) noexcept {
+  const unsigned base = word_index * kWordLanes;
   while (diff != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
+    const unsigned lane = base + static_cast<unsigned>(std::countr_zero(diff));
     diff &= diff - 1;
     lane_energy_[lane] += coeff;
     ++lane_toggles_[lane];
   }
 }
 
-void BitslicedNetlist::step(const std::vector<std::uint64_t>& input_words) {
-  if (input_words.size() != inputs_.size()) {
+/// Generic sweep used while per-lane accounting is on: mirrors the kernel
+/// contract exactly (masked flips, `if (flips)` accumulate in op order) and
+/// additionally replays each toggling lane's charge in ascending lane order.
+void BitslicedNetlist::sweep_accounting() noexcept {
+  const std::size_t n_ops = op_types_.size();
+  const unsigned W = words_;
+  const NetId* pins = op_pins_.data();
+  std::uint64_t diffs[kMaxWords];
+  for (std::size_t g = 0; g < n_ops; ++g, pins += 3) {
+    const std::uint64_t* a = values_.data() + std::size_t{pins[0]} * W;
+    const std::uint64_t* b = values_.data() + std::size_t{pins[1]} * W;
+    const std::uint64_t* s = values_.data() + std::size_t{pins[2]} * W;
+    std::uint64_t* out = values_.data() + std::size_t{op_outs_[g]} * W;
+    const GateType type = op_types_[g];
+    unsigned flips = 0;
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t next = evaluate_lanes(type, a[w], b[w], s[w]);
+      diffs[w] = (out[w] ^ next) & word_masks_[w];
+      flips += static_cast<unsigned>(std::popcount(diffs[w]));
+      out[w] = next;
+    }
+    if (flips != 0) {
+      toggles_ += flips;
+      op_toggles_[g] += flips;
+      energy_j_ += op_coeff_[g] * flips;
+      for (unsigned w = 0; w < W; ++w) charge_lanes(diffs[w], w, op_coeff_[g]);
+    }
+  }
+}
+
+void BitslicedNetlist::step(const std::vector<std::uint64_t>& input_blocks) {
+  const unsigned W = words_;
+  if (input_blocks.size() != inputs_.size() * W) {
     throw std::invalid_argument("step: wrong number of input words");
   }
 
-  // 1. DFF outputs present their latched words; every lane burns clock
-  // energy every cycle (the scalar engine's idle charge, 64 lanes wide).
+  // 1. DFF outputs present their latched blocks; every active lane burns
+  // clock energy every cycle (the scalar engine's idle charge, lanes()
+  // wide).
   for (std::size_t k = 0; k < dff_q_.size(); ++k) {
-    const std::uint64_t q = dff_state_[k];
-    std::uint64_t& slot = values_[dff_q_[k]];
-    const std::uint64_t diff = slot ^ q;
-    slot = q;
-    energy_j_ += dff_idle_j_ * static_cast<double>(kLanes);
-    if (diff != 0) {
-      const int flips = std::popcount(diff);
-      toggles_ += static_cast<std::uint64_t>(flips);
+    const std::uint64_t* q = dff_state_.data() + k * W;
+    std::uint64_t* slot = values_.data() + std::size_t{dff_q_[k]} * W;
+    std::uint64_t diffs[kMaxWords];
+    unsigned flips = 0;
+    for (unsigned w = 0; w < W; ++w) {
+      diffs[w] = (slot[w] ^ q[w]) & word_masks_[w];
+      flips += static_cast<unsigned>(std::popcount(diffs[w]));
+      slot[w] = q[w];
+    }
+    energy_j_ += dff_idle_j_ * static_cast<double>(lanes_);
+    if (flips != 0) {
+      toggles_ += flips;
+      dff_toggles_[k] += flips;
       energy_j_ += dff_coeff_[k] * flips;
     }
     if (lane_accounting_) {
       // Scalar order per lane: idle first, then the toggle charge.
-      for (unsigned lane = 0; lane < kLanes; ++lane) {
+      for (unsigned lane = 0; lane < lanes_; ++lane) {
         lane_energy_[lane] += dff_idle_j_;
       }
-      charge_lanes(diff, dff_coeff_[k]);
+      for (unsigned w = 0; w < W; ++w) charge_lanes(diffs[w], w, dff_coeff_[k]);
     }
   }
 
   // 2. Primary inputs (no charge; see the scalar engine).
   for (std::size_t k = 0; k < inputs_.size(); ++k) {
-    values_[inputs_[k]] = input_words[k];
+    std::uint64_t* slot = values_.data() + std::size_t{inputs_[k]} * W;
+    const std::uint64_t* in = input_blocks.data() + k * W;
+    for (unsigned w = 0; w < W; ++w) slot[w] = in[w];
   }
 
-  // 3. Combinational level sweep, 64 lanes per op. No dirty tracking:
-  // random-vector stimulus keeps most of the cone active, and the straight
-  // sweep over the flat arrays is what the 64x widening pays for.
-  const std::size_t n_ops = op_types_.size();
-  const NetId* pins = op_pins_.data();
-  for (std::size_t g = 0; g < n_ops; ++g, pins += 3) {
-    const std::uint64_t out =
-        evaluate_lanes(op_types_[g], values_[pins[0]], values_[pins[1]],
-                       values_[pins[2]]);
-    std::uint64_t& slot = values_[op_outs_[g]];
-    const std::uint64_t diff = slot ^ out;
-    if (diff != 0) {
-      slot = out;
-      const int flips = std::popcount(diff);
-      toggles_ += static_cast<std::uint64_t>(flips);
-      energy_j_ += op_coeff_[g] * flips;
-      if (lane_accounting_) charge_lanes(diff, op_coeff_[g]);
-    }
+  // 3. Combinational level sweep, 64·words() lanes per op, through the
+  // resolved SIMD kernel (or the generic accounting sweep while per-lane
+  // replay is enabled). No dirty tracking: random-vector stimulus keeps
+  // most of the cone active, and the straight sweep over the flat arrays
+  // is what the lane widening pays for.
+  if (lane_accounting_) {
+    sweep_accounting();
+  } else {
+    LaneSweepProgram program;
+    program.types = op_types_.data();
+    program.pins = op_pins_.data();
+    program.outs = op_outs_.data();
+    program.coeffs = op_coeff_.data();
+    program.n_ops = op_types_.size();
+    toggles_ += sweep_(program, values_.data(), W, word_masks_.data(),
+                       op_toggles_.data(), &energy_j_);
   }
 
   // 4. DFFs capture D for the next cycle, in every lane.
   for (std::size_t k = 0; k < dff_d_.size(); ++k) {
-    dff_state_[k] = values_[dff_d_[k]];
+    const std::uint64_t* d = values_.data() + std::size_t{dff_d_[k]} * W;
+    std::uint64_t* state = dff_state_.data() + k * W;
+    for (unsigned w = 0; w < W; ++w) state[w] = d[w];
   }
 }
 
-std::uint64_t BitslicedNetlist::word(NetId net) const {
-  if (net >= values_.size()) throw std::out_of_range("word: bad net");
-  return values_[net];
+std::uint64_t BitslicedNetlist::word(NetId net, unsigned w) const {
+  if (net >= num_nets_) throw std::out_of_range("word: bad net");
+  if (w >= words_) throw std::out_of_range("word: bad word index");
+  return values_[std::size_t{net} * words_ + w];
 }
 
 bool BitslicedNetlist::value(NetId net, unsigned lane) const {
-  if (lane >= kLanes) throw std::out_of_range("value: bad lane");
-  return ((word(net) >> lane) & 1u) != 0;
+  if (lane >= lanes_) throw std::out_of_range("value: bad lane");
+  return ((word(net, lane / kWordLanes) >> (lane % kWordLanes)) & 1u) != 0;
 }
 
 double BitslicedNetlist::lane_energy_j(unsigned lane) const {
-  if (lane >= kLanes) throw std::out_of_range("lane_energy_j: bad lane");
+  if (lane >= lanes_) throw std::out_of_range("lane_energy_j: bad lane");
   return lane_energy_[lane];
 }
 
 std::uint64_t BitslicedNetlist::lane_toggles(unsigned lane) const {
-  if (lane >= kLanes) throw std::out_of_range("lane_toggles: bad lane");
+  if (lane >= lanes_) throw std::out_of_range("lane_toggles: bad lane");
   return lane_toggles_[lane];
 }
 

@@ -1,0 +1,136 @@
+// AVX2 sweep kernel: 4 lane words (256 Monte-Carlo lanes) per vector op.
+//
+// This TU is the only one compiled with -mavx2 (per-TU flag, see
+// CMakeLists.txt); when the toolchain or target can't build AVX2 the guard
+// below reduces it to a stub returning nullptr and resolve_lane_kernel()
+// falls back to the portable kernel. The caller has already verified the
+// CPU supports AVX2 at runtime before this code can execute.
+//
+// Equality contract with the portable kernel: flips per op is the same
+// integer (popcount of the identically masked diff), and the accumulate
+// sequence (`op_toggles[g] += flips; *energy_j += coeff * flips` in op
+// order) is identical, so aggregate toggles/energy match bit for bit.
+#include "gatelevel/lane_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace sfab::gatelevel {
+namespace {
+
+/// 4-word lane evaluation, one 256-bit vector = lanes [64v, 64v+256).
+inline __m256i evaluate_lanes_256(GateType type, __m256i a, __m256i b,
+                                  __m256i s) noexcept {
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  switch (type) {
+    case GateType::kBuf: return a;
+    case GateType::kInv: return _mm256_xor_si256(a, ones);
+    case GateType::kAnd2: return _mm256_and_si256(a, b);
+    case GateType::kOr2: return _mm256_or_si256(a, b);
+    case GateType::kNand2:
+      return _mm256_xor_si256(_mm256_and_si256(a, b), ones);
+    case GateType::kNor2:
+      return _mm256_xor_si256(_mm256_or_si256(a, b), ones);
+    case GateType::kXor2: return _mm256_xor_si256(a, b);
+    case GateType::kMux2:
+      // (b & s) | (a & ~s); andnot computes ~first & second.
+      return _mm256_or_si256(_mm256_and_si256(b, s),
+                             _mm256_andnot_si256(s, a));
+    case GateType::kDff: return a;  // unreachable: DFFs are not in the program
+  }
+  return _mm256_setzero_si256();
+}
+
+/// popcount of all 256 bits (no AVX2 vector popcount; 4 scalar popcounts
+/// of the extracted words beat a table-lookup shuffle at this size).
+inline unsigned popcount_256(__m256i v) noexcept {
+  alignas(32) std::uint64_t w[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(w), v);
+  return static_cast<unsigned>(std::popcount(w[0]) + std::popcount(w[1]) +
+                               std::popcount(w[2]) + std::popcount(w[3]));
+}
+
+template <unsigned W>  // W in {4, 8}
+std::uint64_t sweep_avx2_fixed(const LaneSweepProgram& program,
+                               std::uint64_t* values, unsigned /*words*/,
+                               const std::uint64_t* word_masks,
+                               std::uint64_t* op_toggles, double* energy_j) {
+  constexpr unsigned kVecs = W / 4;
+  __m256i masks[kVecs];
+  for (unsigned v = 0; v < kVecs; ++v) {
+    masks[v] = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(word_masks + 4 * v));
+  }
+  std::uint64_t total = 0;
+  const std::uint32_t* pins = program.pins;
+  for (std::size_t g = 0; g < program.n_ops; ++g, pins += 3) {
+    const std::uint64_t* a = values + std::size_t{pins[0]} * W;
+    const std::uint64_t* b = values + std::size_t{pins[1]} * W;
+    const std::uint64_t* s = values + std::size_t{pins[2]} * W;
+    std::uint64_t* out = values + std::size_t{program.outs[g]} * W;
+    const GateType type = program.types[g];
+    unsigned flips = 0;
+    for (unsigned v = 0; v < kVecs; ++v) {
+      const __m256i av =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * v));
+      const __m256i bv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 4 * v));
+      const __m256i sv =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 4 * v));
+      const __m256i next = evaluate_lanes_256(type, av, bv, sv);
+      const __m256i old =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + 4 * v));
+      const __m256i diff =
+          _mm256_and_si256(_mm256_xor_si256(old, next), masks[v]);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * v), next);
+      flips += popcount_256(diff);
+    }
+    if (flips != 0) {
+      total += flips;
+      op_toggles[g] += flips;
+      *energy_j += program.coeffs[g] * flips;
+    }
+  }
+  return total;
+}
+
+std::uint64_t sweep_avx2(const LaneSweepProgram& program, std::uint64_t* values,
+                         unsigned words, const std::uint64_t* word_masks,
+                         std::uint64_t* op_toggles, double* energy_j) {
+  switch (words) {
+    case 4:
+      return sweep_avx2_fixed<4>(program, values, words, word_masks,
+                                 op_toggles, energy_j);
+    case 8:
+      return sweep_avx2_fixed<8>(program, values, words, word_masks,
+                                 op_toggles, energy_j);
+    default:
+      // Blocks narrower than one vector (or odd ragged widths): the
+      // portable kernel computes the identical result.
+      return lane_sweep_portable()(program, values, words, word_masks,
+                                   op_toggles, energy_j);
+  }
+}
+
+}  // namespace
+
+LaneSweepFn lane_sweep_avx2() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") ? &sweep_avx2 : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sfab::gatelevel
+
+#else  // !__AVX2__: toolchain/target can't build the kernel
+
+namespace sfab::gatelevel {
+LaneSweepFn lane_sweep_avx2() noexcept { return nullptr; }
+}  // namespace sfab::gatelevel
+
+#endif

@@ -1,0 +1,110 @@
+// NEON sweep kernel: 2 lane words (128 Monte-Carlo lanes) per vector op.
+//
+// Guarded to aarch64, where NEON is architecturally baseline (no runtime
+// detection needed) and the vaddvq horizontal reductions exist; on every
+// other target this TU compiles to a stub returning nullptr and the
+// portable kernel is used. Same bit-exactness contract as the AVX2 kernel:
+// identical per-op flip integers, identical accumulate sequence.
+#include "gatelevel/lane_kernels.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace sfab::gatelevel {
+namespace {
+
+inline uint64x2_t evaluate_lanes_128(GateType type, uint64x2_t a, uint64x2_t b,
+                                     uint64x2_t s) noexcept {
+  const uint64x2_t ones = vdupq_n_u64(~std::uint64_t{0});
+  switch (type) {
+    case GateType::kBuf: return a;
+    case GateType::kInv: return veorq_u64(a, ones);
+    case GateType::kAnd2: return vandq_u64(a, b);
+    case GateType::kOr2: return vorrq_u64(a, b);
+    case GateType::kNand2: return veorq_u64(vandq_u64(a, b), ones);
+    case GateType::kNor2: return veorq_u64(vorrq_u64(a, b), ones);
+    case GateType::kXor2: return veorq_u64(a, b);
+    case GateType::kMux2:
+      // (b & s) | (a & ~s); vbicq computes first & ~second.
+      return vorrq_u64(vandq_u64(b, s), vbicq_u64(a, s));
+    case GateType::kDff: return a;  // unreachable: DFFs are not in the program
+  }
+  return vdupq_n_u64(0);
+}
+
+/// popcount of all 128 bits: per-byte counts, summed across the vector.
+inline unsigned popcount_128(uint64x2_t v) noexcept {
+  return vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+}
+
+template <unsigned W>  // W in {2, 4, 8}
+std::uint64_t sweep_neon_fixed(const LaneSweepProgram& program,
+                               std::uint64_t* values, unsigned /*words*/,
+                               const std::uint64_t* word_masks,
+                               std::uint64_t* op_toggles, double* energy_j) {
+  constexpr unsigned kVecs = W / 2;
+  uint64x2_t masks[kVecs];
+  for (unsigned v = 0; v < kVecs; ++v) {
+    masks[v] = vld1q_u64(word_masks + 2 * v);
+  }
+  std::uint64_t total = 0;
+  const std::uint32_t* pins = program.pins;
+  for (std::size_t g = 0; g < program.n_ops; ++g, pins += 3) {
+    const std::uint64_t* a = values + std::size_t{pins[0]} * W;
+    const std::uint64_t* b = values + std::size_t{pins[1]} * W;
+    const std::uint64_t* s = values + std::size_t{pins[2]} * W;
+    std::uint64_t* out = values + std::size_t{program.outs[g]} * W;
+    const GateType type = program.types[g];
+    unsigned flips = 0;
+    for (unsigned v = 0; v < kVecs; ++v) {
+      const uint64x2_t av = vld1q_u64(a + 2 * v);
+      const uint64x2_t bv = vld1q_u64(b + 2 * v);
+      const uint64x2_t sv = vld1q_u64(s + 2 * v);
+      const uint64x2_t next = evaluate_lanes_128(type, av, bv, sv);
+      const uint64x2_t old = vld1q_u64(out + 2 * v);
+      const uint64x2_t diff = vandq_u64(veorq_u64(old, next), masks[v]);
+      vst1q_u64(out + 2 * v, next);
+      flips += popcount_128(diff);
+    }
+    if (flips != 0) {
+      total += flips;
+      op_toggles[g] += flips;
+      *energy_j += program.coeffs[g] * flips;
+    }
+  }
+  return total;
+}
+
+std::uint64_t sweep_neon(const LaneSweepProgram& program, std::uint64_t* values,
+                         unsigned words, const std::uint64_t* word_masks,
+                         std::uint64_t* op_toggles, double* energy_j) {
+  switch (words) {
+    case 2:
+      return sweep_neon_fixed<2>(program, values, words, word_masks,
+                                 op_toggles, energy_j);
+    case 4:
+      return sweep_neon_fixed<4>(program, values, words, word_masks,
+                                 op_toggles, energy_j);
+    case 8:
+      return sweep_neon_fixed<8>(program, values, words, word_masks,
+                                 op_toggles, energy_j);
+    default:
+      return lane_sweep_portable()(program, values, words, word_masks,
+                                   op_toggles, energy_j);
+  }
+}
+
+}  // namespace
+
+LaneSweepFn lane_sweep_neon() noexcept { return &sweep_neon; }
+
+}  // namespace sfab::gatelevel
+
+#else  // not aarch64 NEON
+
+namespace sfab::gatelevel {
+LaneSweepFn lane_sweep_neon() noexcept { return nullptr; }
+}  // namespace sfab::gatelevel
+
+#endif

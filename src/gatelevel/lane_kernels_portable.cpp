@@ -1,0 +1,98 @@
+// Portable scalar-word sweep kernel: plain uint64_t boolean algebra, one
+// word at a time. This is the reference implementation every SIMD kernel
+// is differentially fuzzed against (tests/test_bitsliced_fuzz.cpp), and
+// the fallback resolve_lane_kernel() lands on when no vector ISA is
+// available. Block widths 1/2/4/8 are monomorphized so the per-op word
+// loop fully unrolls; odd widths (ragged lane populations) take the
+// runtime-width loop.
+#include <bit>
+
+#include "gatelevel/lane_kernels.hpp"
+
+namespace sfab::gatelevel {
+namespace {
+
+template <unsigned W>
+std::uint64_t sweep_fixed(const LaneSweepProgram& program,
+                          std::uint64_t* values, unsigned /*words*/,
+                          const std::uint64_t* word_masks,
+                          std::uint64_t* op_toggles, double* energy_j) {
+  std::uint64_t total = 0;
+  const std::uint32_t* pins = program.pins;
+  for (std::size_t g = 0; g < program.n_ops; ++g, pins += 3) {
+    const std::uint64_t* a = values + std::size_t{pins[0]} * W;
+    const std::uint64_t* b = values + std::size_t{pins[1]} * W;
+    const std::uint64_t* s = values + std::size_t{pins[2]} * W;
+    std::uint64_t* out = values + std::size_t{program.outs[g]} * W;
+    const GateType type = program.types[g];
+    unsigned flips = 0;
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t next = evaluate_lanes(type, a[w], b[w], s[w]);
+      flips += static_cast<unsigned>(
+          std::popcount((out[w] ^ next) & word_masks[w]));
+      out[w] = next;
+    }
+    if (flips != 0) {
+      total += flips;
+      op_toggles[g] += flips;
+      *energy_j += program.coeffs[g] * flips;
+    }
+  }
+  return total;
+}
+
+std::uint64_t sweep_any(const LaneSweepProgram& program, std::uint64_t* values,
+                        unsigned words, const std::uint64_t* word_masks,
+                        std::uint64_t* op_toggles, double* energy_j) {
+  std::uint64_t total = 0;
+  const std::uint32_t* pins = program.pins;
+  for (std::size_t g = 0; g < program.n_ops; ++g, pins += 3) {
+    const std::uint64_t* a = values + std::size_t{pins[0]} * words;
+    const std::uint64_t* b = values + std::size_t{pins[1]} * words;
+    const std::uint64_t* s = values + std::size_t{pins[2]} * words;
+    std::uint64_t* out = values + std::size_t{program.outs[g]} * words;
+    const GateType type = program.types[g];
+    unsigned flips = 0;
+    for (unsigned w = 0; w < words; ++w) {
+      const std::uint64_t next = evaluate_lanes(type, a[w], b[w], s[w]);
+      flips += static_cast<unsigned>(
+          std::popcount((out[w] ^ next) & word_masks[w]));
+      out[w] = next;
+    }
+    if (flips != 0) {
+      total += flips;
+      op_toggles[g] += flips;
+      *energy_j += program.coeffs[g] * flips;
+    }
+  }
+  return total;
+}
+
+std::uint64_t sweep_portable(const LaneSweepProgram& program,
+                             std::uint64_t* values, unsigned words,
+                             const std::uint64_t* word_masks,
+                             std::uint64_t* op_toggles, double* energy_j) {
+  switch (words) {
+    case 1:
+      return sweep_fixed<1>(program, values, words, word_masks, op_toggles,
+                            energy_j);
+    case 2:
+      return sweep_fixed<2>(program, values, words, word_masks, op_toggles,
+                            energy_j);
+    case 4:
+      return sweep_fixed<4>(program, values, words, word_masks, op_toggles,
+                            energy_j);
+    case 8:
+      return sweep_fixed<8>(program, values, words, word_masks, op_toggles,
+                            energy_j);
+    default:
+      return sweep_any(program, values, words, word_masks, op_toggles,
+                       energy_j);
+  }
+}
+
+}  // namespace
+
+LaneSweepFn lane_sweep_portable() noexcept { return &sweep_portable; }
+
+}  // namespace sfab::gatelevel

@@ -125,6 +125,7 @@ void Netlist::finalize() {
   // step must evaluate everything — exactly what the pre-dirty-bit loop
   // did.
   dirty_.assign(num_gates(), 1);
+  gate_toggles_.assign(num_gates(), 0);
 
   finalized_ = true;
 }
@@ -134,6 +135,7 @@ void Netlist::reset() {
   std::fill(value_.begin(), value_.end(), 0);
   std::fill(dff_state_.begin(), dff_state_.end(), 0);
   std::fill(dirty_.begin(), dirty_.end(), 1);  // re-settle from scratch
+  std::fill(gate_toggles_.begin(), gate_toggles_.end(), 0);
   energy_j_ = 0.0;
   toggles_ = 0;
   gate_evaluations_ = 0;
@@ -148,6 +150,7 @@ void Netlist::charge_toggle(std::size_t gate) {
   const GateEnergy e = energy_of(gate_types_[gate], energy_scale_);
   energy_j_ += e.toggle_j + e.per_fanout_j * fanout_[gate_outs_[gate]];
   ++toggles_;
+  ++gate_toggles_[gate];
 }
 
 void Netlist::step(const std::vector<bool>& input_values) {

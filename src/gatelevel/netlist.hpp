@@ -96,6 +96,16 @@ class Netlist {
   /// Total output toggles since reset().
   [[nodiscard]] std::uint64_t toggles() const noexcept { return toggles_; }
 
+  /// Per-gate output toggle counts since reset(), indexed by gate id.
+  /// Exact integer accumulators: the characterizer reduces these against
+  /// the per-gate energy coefficients in a canonical order, which is what
+  /// makes the scalar engine's characterization energies bit-identical to
+  /// the bit-sliced engines' at any block width (gatelevel/power_sim.hpp).
+  [[nodiscard]] const std::vector<std::uint64_t>& gate_toggle_counts()
+      const noexcept {
+    return gate_toggles_;
+  }
+
   /// Combinational gate evaluations since reset(). With the dirty-bit
   /// settle loop this is typically far below num_gates() * steps: a gate
   /// is only re-evaluated when one of its input nets changed, which cannot
@@ -145,6 +155,7 @@ class Netlist {
   double energy_scale_ = 1.0;
   double energy_j_ = 0.0;
   std::uint64_t toggles_ = 0;
+  std::vector<std::uint64_t> gate_toggles_;  // per gate id, since reset()
   std::uint64_t gate_evaluations_ = 0;
   bool finalized_ = false;
 };

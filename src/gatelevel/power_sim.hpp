@@ -7,39 +7,56 @@
 // switching energy per cycle. Dividing by the payload width yields energy
 // per bit-slot — the exact quantity Table 1 tabulates.
 //
-// Two engines produce the average:
-//  * kBitsliced (default): the 64-lane engine (gatelevel/bitsliced.hpp)
-//    drives 64 independent RNG streams per step, so a mask needs 1/64th
-//    the steps for the same Monte-Carlo sample count — the fast path that
-//    makes wide LUT sweeps and high sample counts affordable.
-//  * kScalar: the original one-boolean-per-net reference engine, retained
-//    for equivalence pinning and as the speedup baseline in
-//    bench_throughput's gatelevel section.
+// The Monte-Carlo *sample* is fixed by the config alone: `lanes`
+// independent streams (lane k draws derive_stream_seed(seed, k)), each
+// warmed `warmup` cycles and measured ceil(cycles / lanes) cycles. Engines
+// only decide how that sample is processed:
+//  * kBitsliced (default): the multi-word bit-sliced engine
+//    (gatelevel/bitsliced.hpp) advances `block_lanes` lanes per levelized
+//    sweep (default: the widest supported block, 512), covering the
+//    population in sequential passes when block_lanes < lanes, with the
+//    SIMD kernel picked at runtime (config.kernel).
+//  * kScalar: the original one-boolean-per-net reference engine, driven
+//    lane by lane with the identical bit streams (BitRng).
+// Per-mask energy is reduced from exact integer per-gate toggle counts in
+// a canonical order, so characterize() results are bit-identical across
+// engines, block widths, and kernels — the fast path is pinned to the
+// reference not just statistically but double for double.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "gatelevel/lane_kernels.hpp"
 #include "gatelevel/switch_netlists.hpp"
 
 namespace sfab::gatelevel {
 
 enum class CharacterizeEngine : std::uint8_t {
-  kBitsliced,  ///< 64 Monte-Carlo lanes per netlist sweep (fast path)
-  kScalar,     ///< reference engine, one stream (baseline / debugging)
+  kBitsliced,  ///< multi-word lane blocks per netlist sweep (fast path)
+  kScalar,     ///< reference engine, lane-serial (baseline / debugging)
 };
 
 struct CharacterizationConfig {
-  /// Measured Monte-Carlo cycles per occupancy mask (after warm-up). The
-  /// bit-sliced engine covers these in ceil(cycles / 64) steps of 64
-  /// lane-cycles each (rounding up to a whole step, never under-sampling).
+  /// Measured Monte-Carlo lane-cycles per occupancy mask (after warm-up).
+  /// Covered as `lanes` streams of ceil(cycles / lanes) cycles each
+  /// (rounding up to whole cycles, never under-sampling).
   unsigned cycles = 4000;
-  /// Warm-up cycles excluded from the energy average (per lane: the
-  /// bit-sliced engine warms every lane for this many cycles).
+  /// Warm-up cycles excluded from the energy average, per lane.
   unsigned warmup = 64;
   std::uint64_t seed = 0xC0FFEEull;
   CharacterizeEngine engine = CharacterizeEngine::kBitsliced;
+  /// Monte-Carlo lane population per mask (1..512); 0 = the widest
+  /// supported block (512). This defines the sample — results depend on
+  /// it, never on the engine/block/kernel processing choices below.
+  unsigned lanes = 0;
+  /// kBitsliced: lanes advanced per sweep (multiple of 64, up to 512);
+  /// 0 = widest. Narrower blocks process the population in sequential
+  /// passes — same result, more passes.
+  unsigned block_lanes = 0;
+  /// kBitsliced: sweep ISA (kAuto = best the CPU supports).
+  LaneKernel kernel = LaneKernel::kAuto;
 };
 
 struct MaskEnergy {
@@ -56,6 +73,12 @@ struct MaskEnergy {
 [[nodiscard]] std::vector<MaskEnergy> characterize(
     SwitchHarness& harness, const std::vector<std::uint32_t>& masks,
     const CharacterizationConfig& config = {});
+
+/// Characterizes the all-ports-active state — the escape hatch for
+/// harnesses with more than 32 ports (wide MUXes), where a uint32_t mask
+/// cannot express "all active". The returned mask field is 0xFFFFFFFF.
+[[nodiscard]] MaskEnergy characterize_all_active(
+    SwitchHarness& harness, const CharacterizationConfig& config = {});
 
 /// All 2^ports masks in order — convenient for 1- and 2-port switches; do
 /// not use for wide MUXes (exponential).

@@ -39,6 +39,18 @@ MaskDrive SwitchHarness::drive_schedule(std::uint32_t mask) const {
   return drive;
 }
 
+MaskDrive SwitchHarness::drive_schedule_all() const {
+  MaskDrive drive;
+  for (std::size_t p = 0; p < port_data.size(); ++p) {
+    if (port_valid[p] != npos) drive.forced.emplace_back(port_valid[p], true);
+    drive.random.insert(drive.random.end(), port_data[p].begin(),
+                        port_data[p].end());
+    drive.random.insert(drive.random.end(), port_addr[p].begin(),
+                        port_addr[p].end());
+  }
+  return drive;
+}
+
 SwitchHarness build_crosspoint(unsigned width) {
   if (width < 1) throw std::invalid_argument("build_crosspoint: width >= 1");
   SwitchHarness h;

@@ -54,6 +54,12 @@ struct SwitchHarness {
   /// The drive plan for `mask` (bit p set = port p active). Throws when
   /// the mask addresses ports the harness doesn't have.
   [[nodiscard]] MaskDrive drive_schedule(std::uint32_t mask) const;
+
+  /// The drive plan with *every* port active — the escape hatch for
+  /// harnesses with more than 32 ports (wide MUXes), where a uint32_t
+  /// occupancy mask cannot express "all active". Identical to
+  /// drive_schedule((1 << ports) - 1) when that mask fits.
+  [[nodiscard]] MaskDrive drive_schedule_all() const;
 };
 
 /// Crossbar crosspoint: per payload bit an enable-gated pass element.

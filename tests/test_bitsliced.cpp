@@ -27,33 +27,38 @@ namespace {
 constexpr unsigned kLanes = BitslicedNetlist::kLanes;
 
 /// Drives `harness` for `steps` cycles under `mask` with the bit-sliced
-/// engine (lane accounting on), then replays every lane through the scalar
-/// engine with the identical bit stream and demands exact agreement on
-/// per-lane toggles, energy, final net values — and that the aggregate
-/// toggle counter is the sum over lanes.
+/// engine at `lanes` Monte-Carlo lanes (lane accounting on), then replays
+/// every lane through the scalar engine with the identical bit stream and
+/// demands exact agreement on per-lane toggles, energy, final net values —
+/// and that the aggregate toggle counter is the sum over lanes.
 void expect_lane_equivalence(SwitchHarness& harness, std::uint32_t mask,
-                             unsigned steps, std::uint64_t seed) {
+                             unsigned steps, std::uint64_t seed,
+                             unsigned lanes = kLanes) {
   const MaskDrive drive = harness.drive_schedule(mask);
   Netlist& nl = harness.netlist;
 
-  BitslicedNetlist sliced(nl);
+  BitslicedNetlist sliced(nl, lanes);
   sliced.set_lane_accounting(true);
-  LaneRng64 lane_rng{seed};
-  std::vector<std::uint64_t> words(nl.inputs().size(), 0);
+  const unsigned block_words = sliced.words();
+  LaneRngBlock lane_rng{seed, block_words};
+  std::vector<std::uint64_t> blocks(nl.inputs().size() * block_words, 0);
   for (unsigned c = 0; c < steps; ++c) {
-    std::fill(words.begin(), words.end(), 0);
+    std::fill(blocks.begin(), blocks.end(), 0);
     for (const auto& [pin, active] : drive.forced) {
-      words[pin] = active ? ~std::uint64_t{0} : 0;
+      const std::uint64_t value = active ? ~std::uint64_t{0} : 0;
+      for (unsigned w = 0; w < block_words; ++w) {
+        blocks[pin * block_words + w] = value;
+      }
     }
     for (const std::size_t pin : drive.random) {
-      words[pin] = lane_rng.next_word();
+      lane_rng.next_block(blocks.data() + pin * block_words);
     }
-    sliced.step(words);
+    sliced.step(blocks);
   }
 
   std::uint64_t lane_toggle_sum = 0;
   std::vector<bool> stimulus(nl.inputs().size(), false);
-  for (unsigned lane = 0; lane < kLanes; ++lane) {
+  for (unsigned lane = 0; lane < lanes; ++lane) {
     nl.reset();
     BitRng bits{Rng{derive_stream_seed(seed, lane)}};
     for (unsigned c = 0; c < steps; ++c) {
@@ -176,6 +181,38 @@ TEST(Bitsliced, DffLanesAreIndependentAndDelayed) {
   EXPECT_EQ(sliced.word(q), w2);
 }
 
+TEST(Bitsliced, MultiWordDffBlocksLatchPerLane) {
+  Netlist nl;
+  const NetId d = nl.add_net("d");
+  nl.mark_input(d);
+  const NetId q = nl.add_net("q");
+  nl.add_gate(GateType::kDff, {d}, q);
+  nl.finalize();
+
+  BitslicedNetlist sliced(nl, 256);  // 4 words per block
+  ASSERT_EQ(sliced.words(), 4u);
+  const std::vector<std::uint64_t> block1 = {0xDEADBEEFCAFEF00Dull, 0x1ull,
+                                             0x8000000000000000ull, 0x5A5Aull};
+  const std::vector<std::uint64_t> block2(4, 0x0123456789ABCDEFull);
+  sliced.step(block1);
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(sliced.word(q, w), 0u);
+  sliced.step(block2);
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(sliced.word(q, w), block1[w]);
+  sliced.step(std::vector<std::uint64_t>(4, 0));
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(sliced.word(q, w), block2[w]);
+}
+
+TEST(Bitsliced, RejectsBadLaneCounts) {
+  Netlist nl;
+  const NetId a = nl.add_net("a");
+  nl.mark_input(a);
+  const NetId out = nl.add_net("out");
+  nl.add_gate(GateType::kBuf, {a}, out);
+  nl.finalize();
+  EXPECT_THROW((void)BitslicedNetlist(nl, 0), std::invalid_argument);
+  EXPECT_THROW((void)BitslicedNetlist(nl, 513), std::invalid_argument);
+}
+
 TEST(Bitsliced, PopcountTogglesAndEnergy) {
   // One inverter, no fanout: each toggle costs exactly toggle_j, and the
   // aggregate accumulators advance popcount-at-a-time.
@@ -248,6 +285,16 @@ TEST(BitslicedEquivalence, BanyanSwitchAllMasks) {
   }
 }
 
+TEST(BitslicedEquivalence, BanyanSwitchAtEveryBlockWidth) {
+  // Multi-word lane blocks, including a ragged count that leaves the last
+  // word partially populated: every live lane still replays the scalar
+  // reference exactly.
+  for (const unsigned lanes : {128u, 200u, 256u, 512u}) {
+    SwitchHarness h = build_banyan_switch(8);
+    expect_lane_equivalence(h, 0b11u, 32, 0xB1DEull + lanes, lanes);
+  }
+}
+
 TEST(BitslicedEquivalence, SorterSwitch) {
   SwitchHarness h = build_sorter_switch(8);
   expect_lane_equivalence(h, 0b11u, 40, 0x50F7ull);
@@ -256,6 +303,12 @@ TEST(BitslicedEquivalence, SorterSwitch) {
 TEST(BitslicedEquivalence, Mux) {
   SwitchHarness h = build_mux(8, 4);
   expect_lane_equivalence(h, 0xFFu, 40, 0x3A3A3ull);
+}
+
+TEST(BitslicedEquivalence, MuxAtWidestBlock) {
+  SwitchHarness h = build_mux(8, 4);
+  expect_lane_equivalence(h, 0xFFu, 24, 0x3B3B3ull,
+                          BitslicedNetlist::kMaxLanes);
 }
 
 TEST(BitslicedEquivalence, RandomNetlists) {

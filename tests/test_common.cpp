@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdint>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bitops.hpp"
@@ -170,6 +171,107 @@ TEST(LaneRng64, LanesAreDistinctAndBalanced) {
     for (const std::uint64_t w : words) column.push_back((w >> lane) & 1u);
     EXPECT_TRUE(columns.insert(column).second) << "duplicate lane " << lane;
   }
+}
+
+TEST(LaneRngBlock, LaneKIsGlobalStreamKAtEveryWidth) {
+  // The block-width invariance contract the multi-word bit-sliced engine
+  // rests on: bit b of word w is lane (64·w + b), and that lane's bit
+  // sequence is exactly the bit-serial stream of an Rng seeded with
+  // derive_stream_seed(seed, lane) — independent of the block width that
+  // carries it.
+  constexpr std::uint64_t kSeed = 0xB10CCull;
+  constexpr unsigned kBlocks = 150;  // crosses a refill boundary (64)
+  for (const unsigned words : {1u, 2u, 4u, 8u}) {
+    LaneRngBlock block{kSeed, words};
+    ASSERT_EQ(block.words(), words);
+    ASSERT_EQ(block.lanes(), words * 64);
+    std::vector<std::uint64_t> history(kBlocks * words);
+    for (unsigned t = 0; t < kBlocks; ++t) {
+      block.next_block(history.data() + std::size_t{t} * words);
+    }
+    for (const unsigned lane :
+         {0u, 1u, 63u, 64u, 127u, words * 64 - 1}) {
+      if (lane >= words * 64) continue;
+      BitRng bits{Rng{derive_stream_seed(kSeed, lane)}};
+      for (unsigned t = 0; t < kBlocks; ++t) {
+        const std::uint64_t word = history[std::size_t{t} * words + lane / 64];
+        ASSERT_EQ(((word >> (lane % 64)) & 1u) != 0, bits.next_bit())
+            << "words " << words << " lane " << lane << " block " << t;
+      }
+    }
+  }
+}
+
+TEST(LaneRngBlock, LaneStreamInvariantUnderWidthChanges) {
+  // A lane shared by two block widths emits the identical sequence from
+  // both — the property that makes characterization results independent
+  // of the engine's block decomposition.
+  constexpr std::uint64_t kSeed = 0x1DEA;
+  constexpr unsigned kBlocks = 100;
+  LaneRngBlock narrow{kSeed, 2};   // lanes 0..127
+  LaneRngBlock wide{kSeed, 8};     // lanes 0..511
+  std::vector<std::uint64_t> n(2), w(8);
+  for (unsigned t = 0; t < kBlocks; ++t) {
+    narrow.next_block(n.data());
+    wide.next_block(w.data());
+    ASSERT_EQ(n[0], w[0]) << "block " << t;
+    ASSERT_EQ(n[1], w[1]) << "block " << t;
+  }
+}
+
+TEST(LaneRngBlock, FirstLaneOffsetsTheGlobalLaneIndex) {
+  // Pass g over a wider population hands LaneRngBlock first_lane = g·B;
+  // lane j of that block must be global lane (g·B + j)'s stream.
+  constexpr std::uint64_t kSeed = 0x0FF5E7;
+  LaneRngBlock full{kSeed, 4};       // lanes 0..255
+  LaneRngBlock tail{kSeed, 2, 128};  // lanes 128..255
+  std::vector<std::uint64_t> f(4), t(2);
+  for (unsigned step = 0; step < 80; ++step) {
+    full.next_block(f.data());
+    tail.next_block(t.data());
+    ASSERT_EQ(t[0], f[2]) << "block " << step;
+    ASSERT_EQ(t[1], f[3]) << "block " << step;
+  }
+}
+
+TEST(LaneRngBlock, Width1MatchesLaneRng64) {
+  LaneRngBlock block{42, 1};
+  LaneRng64 legacy{42};
+  for (unsigned t = 0; t < 200; ++t) {
+    std::uint64_t word = 0;
+    block.next_block(&word);
+    ASSERT_EQ(word, legacy.next_word()) << "word " << t;
+  }
+}
+
+TEST(LaneRngBlock, LanesAreDistinctAndBalancedAcrossWords) {
+  // Cross-lane independence at the widest block: every one of the 512
+  // lanes is a fair coin and no two lanes emit the same 192-bit column.
+  LaneRngBlock block{99, 8};
+  constexpr unsigned kBlocks = 192;
+  std::vector<std::uint64_t> history(kBlocks * 8);
+  for (unsigned t = 0; t < kBlocks; ++t) {
+    block.next_block(history.data() + std::size_t{t} * 8);
+  }
+  std::set<std::vector<bool>> columns;
+  for (unsigned lane = 0; lane < 512; ++lane) {
+    unsigned ones = 0;
+    std::vector<bool> column;
+    for (unsigned t = 0; t < kBlocks; ++t) {
+      const bool bit =
+          ((history[std::size_t{t} * 8 + lane / 64] >> (lane % 64)) & 1u) != 0;
+      ones += bit;
+      column.push_back(bit);
+    }
+    // 192 flips: expect ~96, allow a generous +/- 55.
+    EXPECT_GT(ones, 41u) << "lane " << lane;
+    EXPECT_LT(ones, 151u) << "lane " << lane;
+    EXPECT_TRUE(columns.insert(column).second) << "duplicate lane " << lane;
+  }
+}
+
+TEST(LaneRngBlock, RejectsZeroWords) {
+  EXPECT_THROW((void)LaneRngBlock(1, 0), std::invalid_argument);
 }
 
 TEST(SplitMix64, KnownSequenceIsStable) {

@@ -289,20 +289,127 @@ TEST(Characterize, SorterCostsMoreThanBanyanSwitch) {
   EXPECT_GT(sorter_lut[0b11], banyan_lut[0b11]);
 }
 
-TEST(Characterize, ScalarEngineStillAvailable) {
-  // The reference scalar engine remains selectable and deterministic; the
-  // bit-sliced default must land on the same physics (generous tolerance:
-  // different Monte-Carlo streams).
-  SwitchHarness h1 = build_banyan_switch(8);
-  SwitchHarness h2 = build_banyan_switch(8);
-  CharacterizationConfig scalar_cfg{2000, 64, 21, CharacterizeEngine::kScalar};
-  CharacterizationConfig sliced_cfg{2000, 64, 21,
-                                    CharacterizeEngine::kBitsliced};
-  const auto scalar = characterize(h1, {0b11u}, scalar_cfg);
-  const auto sliced = characterize(h2, {0b11u}, sliced_cfg);
-  EXPECT_GT(scalar[0].energy_per_bit_j, 0.0);
-  EXPECT_NEAR(sliced[0].energy_per_bit_j, scalar[0].energy_per_bit_j,
-              0.15 * scalar[0].energy_per_bit_j);
+// --- engine selection: every engine measures the same sample -----------------
+
+// The sample (lane population × steps) is fixed by the config; engines,
+// block widths, and kernels are processing choices only. Results must be
+// bit-identical — not close, identical — across all of them, because the
+// per-mask energy reduces from exact integer per-gate toggle counts in a
+// canonical order.
+
+/// Characterizes `build()`'s harness under every given mask with the given
+/// engine/block settings and returns the per-bit energies.
+template <typename BuildFn>
+std::vector<double> characterize_with(BuildFn build,
+                                      const std::vector<std::uint32_t>& masks,
+                                      CharacterizeEngine engine,
+                                      unsigned block_lanes) {
+  SwitchHarness h = build();
+  CharacterizationConfig cfg;
+  cfg.cycles = 1500;
+  cfg.warmup = 16;
+  cfg.seed = 21;
+  cfg.engine = engine;
+  cfg.lanes = 192;  // deliberately ragged over every block width
+  cfg.block_lanes = block_lanes;
+  std::vector<double> out;
+  for (const MaskEnergy& m : characterize(h, masks, cfg)) {
+    out.push_back(m.energy_per_bit_j);
+  }
+  return out;
+}
+
+TEST(CharacterizeEngines, BitIdenticalAcrossEnginesAndBlockWidths) {
+  struct Case {
+    const char* name;
+    SwitchHarness (*build)();
+    std::vector<std::uint32_t> masks;
+  };
+  const Case cases[] = {
+      // No idle mask here: a crosspoint has no DFFs, so mask 0 measures an
+      // exact 0.0 in every engine (covered by the equality checks below).
+      {"crosspoint", [] { return build_crosspoint(8); }, {0b1u}},
+      {"banyan2x2", [] { return build_banyan_switch(8); },
+       {0b00u, 0b01u, 0b10u, 0b11u}},
+      {"sorter2x2", [] { return build_sorter_switch(8); }, {0b11u}},
+      {"mux8", [] { return build_mux(8, 4); }, {0xFFu}},
+  };
+  for (const Case& c : cases) {
+    const auto scalar =
+        characterize_with(c.build, c.masks, CharacterizeEngine::kScalar, 0);
+    const auto block64 =
+        characterize_with(c.build, c.masks, CharacterizeEngine::kBitsliced, 64);
+    const auto widest =
+        characterize_with(c.build, c.masks, CharacterizeEngine::kBitsliced, 0);
+    ASSERT_EQ(scalar.size(), c.masks.size());
+    for (std::size_t m = 0; m < c.masks.size(); ++m) {
+      EXPECT_GT(scalar[m], 0.0) << c.name << " mask " << c.masks[m];
+      // Exact double equality is the contract, not a tolerance.
+      EXPECT_EQ(block64[m], scalar[m]) << c.name << " mask " << c.masks[m];
+      EXPECT_EQ(widest[m], scalar[m]) << c.name << " mask " << c.masks[m];
+    }
+  }
+}
+
+TEST(CharacterizeEngines, KernelChoiceDoesNotChangeResults) {
+  for (const LaneKernel kernel :
+       {LaneKernel::kPortable, LaneKernel::kAvx2, LaneKernel::kNeon}) {
+    if (!lane_kernel_available(kernel)) continue;
+    SwitchHarness h1 = build_banyan_switch(8);
+    SwitchHarness h2 = build_banyan_switch(8);
+    CharacterizationConfig portable_cfg;
+    portable_cfg.cycles = 1024;
+    portable_cfg.seed = 5;
+    portable_cfg.kernel = LaneKernel::kPortable;
+    CharacterizationConfig kernel_cfg = portable_cfg;
+    kernel_cfg.kernel = kernel;
+    const auto a = characterize(h1, {0b11u}, portable_cfg);
+    const auto b = characterize(h2, {0b11u}, kernel_cfg);
+    EXPECT_EQ(a[0].energy_per_cycle_j, b[0].energy_per_cycle_j)
+        << to_string(kernel);
+  }
+}
+
+TEST(CharacterizeEngines, DeterministicUnderRepeatedRuns) {
+  for (const CharacterizeEngine engine :
+       {CharacterizeEngine::kBitsliced, CharacterizeEngine::kScalar}) {
+    CharacterizationConfig cfg;
+    cfg.cycles = 800;
+    cfg.warmup = 8;
+    cfg.seed = 77;
+    cfg.engine = engine;
+    SwitchHarness h1 = build_banyan_switch(8);
+    const auto first = characterize(h1, {0b01u, 0b11u}, cfg);
+    SwitchHarness h2 = build_banyan_switch(8);
+    const auto second = characterize(h2, {0b01u, 0b11u}, cfg);
+    for (std::size_t m = 0; m < first.size(); ++m) {
+      EXPECT_EQ(first[m].energy_per_cycle_j, second[m].energy_per_cycle_j);
+    }
+  }
+}
+
+TEST(CharacterizeEngines, AllActiveMatchesFullMask) {
+  // characterize_all_active is the >32-port escape hatch; on a small
+  // harness it must agree exactly with the explicit all-ones mask.
+  SwitchHarness h1 = build_mux(8, 4);
+  SwitchHarness h2 = build_mux(8, 4);
+  const CharacterizationConfig cfg{1000, 16, 3};
+  const auto masked = characterize(h1, {0xFFu}, cfg);
+  const MaskEnergy all = characterize_all_active(h2, cfg);
+  EXPECT_EQ(all.energy_per_bit_j, masked[0].energy_per_bit_j);
+  EXPECT_EQ(all.mask, 0xFFFFFFFFu);
+}
+
+TEST(CharacterizeEngines, InvalidLaneAndBlockConfigsThrow) {
+  SwitchHarness h = build_crosspoint(4);
+  CharacterizationConfig too_many;
+  too_many.lanes = 513;
+  EXPECT_THROW((void)characterize(h, {0b1u}, too_many),
+               std::invalid_argument);
+  CharacterizationConfig odd_block;
+  odd_block.block_lanes = 96;  // not a multiple of 64
+  EXPECT_THROW((void)characterize(h, {0b1u}, odd_block),
+               std::invalid_argument);
 }
 
 TEST(Characterize, MuxEnergyGrowsWithInputCount) {
