@@ -28,11 +28,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/merge.hpp"
 #include "dist/shard_plan.hpp"
 #include "dist/worker.hpp"
 #include "exp/spec.hpp"
+#include "sim/lane_sim.hpp"
 #include "gatelevel/bitsliced.hpp"
 #include "gatelevel/power_sim.hpp"
 #include "gatelevel/switch_netlists.hpp"
@@ -173,6 +175,67 @@ GatelevelRow bench_gatelevel(bool quick, int reps) {
     if (row.best_block_lanes == 0 || wrow.cps > row.block_speedup * cps64) {
       row.best_block_lanes = wrow.block_lanes;
       row.block_speedup = wrow.speedup_vs_64;
+    }
+  }
+  return row;
+}
+
+// Packet-level replicate lanes: the 32-port VOQ/iSLIP crossbar saturation
+// workload at 64 replicates, a scalar per-seed loop vs the bit-sliced lane
+// engine (sim/lane_sim.hpp) over the same derive_stream_seed seed list.
+// The two engines are bit-identical by construction; the bench checks a
+// result fingerprint lane-for-lane before reporting timing, so the speedup
+// can never come from computing something different.
+struct PacketlanesRow {
+  sfab::SimConfig config;
+  unsigned replicates = 64;
+  double scalar_s = 0.0;
+  double laned_s = 0.0;
+};
+
+PacketlanesRow bench_packetlanes(const sfab::SimConfig& base, int reps) {
+  using namespace sfab;
+  PacketlanesRow row;
+  row.config = base;
+  row.config.arch = Architecture::kCrossbar;
+  row.config.ports = 32;
+  row.config.scheme = RouterScheme::kVoq;
+
+  std::vector<std::uint64_t> seeds(row.replicates);
+  for (unsigned k = 0; k < row.replicates; ++k) {
+    seeds[k] = derive_stream_seed(row.config.seed, k);
+  }
+
+  std::vector<SimResult> scalar_runs(row.replicates);
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned k = 0; k < row.replicates; ++k) {
+      SimConfig c = row.config;
+      c.seed = seeds[k];
+      scalar_runs[k] = run_simulation(c);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || s < row.scalar_s) row.scalar_s = s;
+  }
+
+  std::vector<SimResult> laned_runs;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    laned_runs = run_lane_simulations(row.config, seeds);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || s < row.laned_s) row.laned_s = s;
+  }
+
+  for (unsigned k = 0; k < row.replicates; ++k) {
+    if (laned_runs[k].delivered_packets != scalar_runs[k].delivered_packets ||
+        laned_runs[k].power_w != scalar_runs[k].power_w ||
+        laned_runs[k].mean_packet_latency_cycles !=
+            scalar_runs[k].mean_packet_latency_cycles) {
+      std::cerr << "packetlanes: lane " << k
+                << " diverged from the scalar reference\n";
+      std::abort();
     }
   }
   return row;
@@ -399,6 +462,23 @@ int main(int argc, char** argv) {
   }
   wt.print(std::cout);
 
+  const PacketlanesRow pl = bench_packetlanes(base, reps);
+  const double pl_scalar_rps =
+      static_cast<double>(pl.replicates) / pl.scalar_s;
+  const double pl_laned_rps = static_cast<double>(pl.replicates) / pl.laned_s;
+  std::cout << "\n=== Packet-level replicate lanes (crossbar "
+            << pl.config.ports << "x" << pl.config.ports
+            << " VOQ/iSLIP saturation, " << pl.replicates
+            << " replicates) ===\n\n";
+  TextTable pt;
+  pt.set_header({"engine", "wall_ms", "replicates/sec", "speedup"});
+  pt.add_row({"scalar", format_fixed(pl.scalar_s * 1e3, 1),
+              format_fixed(pl_scalar_rps, 2), "1.00"});
+  pt.add_row({"laned", format_fixed(pl.laned_s * 1e3, 1),
+              format_fixed(pl_laned_rps, 2),
+              format_fixed(pl_laned_rps / pl_scalar_rps, 2)});
+  pt.print(std::cout);
+
   std::ofstream json(out_path);
   if (!json.is_open()) {
     std::cerr << "cannot write " << out_path << "\n";
@@ -440,6 +520,18 @@ int main(int argc, char** argv) {
   json << "      ],\n      \"best_block_lanes\": " << gl.best_block_lanes
        << ",\n      \"block_speedup\": " << gl.block_speedup
        << "\n    }\n  },\n"
+       << "  \"packetlanes\": {\n"
+       << "    \"arch\": \"" << to_string(pl.config.arch)
+       << "\",\n    \"ports\": " << pl.config.ports
+       << ",\n    \"scheme\": \"" << to_string(pl.config.scheme)
+       << "\",\n    \"replicates\": " << pl.replicates
+       << ",\n    \"lanes\": " << pl.replicates
+       << ",\n    \"scalar_wall_s\": " << pl.scalar_s
+       << ",\n    \"scalar_replicates_per_sec\": " << pl_scalar_rps
+       << ",\n    \"laned_wall_s\": " << pl.laned_s
+       << ",\n    \"laned_replicates_per_sec\": " << pl_laned_rps
+       << ",\n    \"speedup\": " << pl_laned_rps / pl_scalar_rps
+       << "\n  },\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

@@ -56,6 +56,9 @@ void print_usage() {
       "  --buffer-words LIST node FIFO capacity in words          [128]\n"
       "  --packet-words LIST packet length incl. header word       [16]\n"
       "  --replicates N     seeds per grid point                     [1]\n"
+      "  --replicate-engine scalar | laned: how replicate batches run\n"
+      "                     (bit-identical; laned packs the seeds of a\n"
+      "                     grid point into bit-sliced lanes)     [laned]\n"
       "  --threads N        worker threads (0 = all cores)           [0]\n"
       "  --cycles N         measured cycles                      [20000]\n"
       "  --warmup N         warm-up cycles                        [2000]\n"
@@ -188,6 +191,7 @@ int main(int argc, char** argv) {
   spec.base.ports = 16;
   spec.base.offered_load = 0.4;
   unsigned threads = 0;
+  ReplicateEngine engine = ReplicateEngine::kLaned;
   std::string csv_path;
   unsigned shards = 0;
   int shard_index = -1;
@@ -242,6 +246,8 @@ int main(int argc, char** argv) {
             });
       } else if (flag == "--replicates") {
         spec.replicates = static_cast<unsigned>(std::stoul(next()));
+      } else if (flag == "--replicate-engine") {
+        engine = parse_replicate_engine(next());
       } else if (flag == "--threads") {
         threads = static_cast<unsigned>(std::stoul(next()));
       } else if (flag == "--cycles") {
@@ -296,6 +302,7 @@ int main(int argc, char** argv) {
       }
       dist::WorkerOptions options;
       options.threads = threads;
+      options.engine = engine;
       options.stale_after_s = stale_after_s;
       options.worker_index = static_cast<unsigned>(shard_index);
       options.log = &std::cerr;
@@ -352,7 +359,7 @@ int main(int argc, char** argv) {
     }
 
     // --- plain single-process sweep ---------------------------------------
-    const ResultSet results = run_sweep(spec, threads);
+    const ResultSet results = run_sweep(spec, threads, engine);
     // The pool never spawns more workers than there are runs.
     const std::size_t pool = std::min<std::size_t>(
         SweepRunner(threads).threads(), results.size());

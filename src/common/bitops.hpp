@@ -77,6 +77,65 @@ namespace sfab {
   return ((words[i >> 6] >> (i & 63)) & 1u) != 0;
 }
 
+/// Calls fn(base + b) for every set bit b of `word`, ascending. The single
+/// member-scan idiom (clear-lowest-set + countr_zero) every subsystem used
+/// to hand-roll: router streaming masks, Batcher-Banyan stage occupancy,
+/// gate-level lane accounting, packet-lane planes.
+template <class Fn>
+inline constexpr void for_each_set_bit(std::uint64_t word, unsigned base,
+                                       Fn&& fn) {
+  while (word != 0) {
+    fn(base + static_cast<unsigned>(std::countr_zero(word)));
+    word &= word - 1;
+  }
+}
+
+/// Array form over a multi-word bitmask: fn(i) for every set element i of
+/// words[0..word_count), ascending global order.
+template <class Fn>
+inline constexpr void for_each_set_bit(const std::uint64_t* words,
+                                       std::size_t word_count, Fn&& fn) {
+  for (std::size_t w = 0; w < word_count; ++w) {
+    for_each_set_bit(words[w], static_cast<unsigned>(w * 64), fn);
+  }
+}
+
+/// First index in the cyclic probe order start, start+1, ..., n-1, 0, ...,
+/// start-1 for which pred(index) is true; returns n when none is. This is
+/// the round-robin pointer walk of the iSLIP grant/accept phases, hoisted
+/// so the arbiter's two phases (and both of its request-source paths)
+/// share one scan.
+template <class Pred>
+[[nodiscard]] inline constexpr unsigned cyclic_first(unsigned n,
+                                                     unsigned start,
+                                                     Pred&& pred) {
+  for (unsigned k = 0; k < n; ++k) {
+    unsigned index = start + k;
+    if (index >= n) index -= n;
+    if (pred(index)) return index;
+  }
+  return n;
+}
+
+/// Mask form of cyclic_first over the low `n` bits of `mask`: the first set
+/// bit at or after `start` in cyclic order, in O(1) via rotate + ctz
+/// instead of the O(n) probe walk. `mask` must be nonzero and contain no
+/// bits at or above n; start must be < n <= 64. Identical to
+/// cyclic_first(n, start, [&](unsigned i) { return (mask >> i) & 1; }) —
+/// the bit-sliced packet engine's iSLIP uses this where the scalar arbiter
+/// walks pointers.
+[[nodiscard]] inline constexpr unsigned first_set_cyclic(
+    std::uint64_t mask, unsigned start, [[maybe_unused]] unsigned n) noexcept {
+  assert(mask != 0);
+  assert(start < n && n <= 64);
+  assert(n == 64 || (mask >> n) == 0);
+  const std::uint64_t at_or_after = mask >> start;
+  if (at_or_after != 0) {
+    return start + static_cast<unsigned>(std::countr_zero(at_or_after));
+  }
+  return static_cast<unsigned>(std::countr_zero(mask));
+}
+
 inline constexpr void set_bit(std::uint64_t* words, std::size_t i) noexcept {
   words[i >> 6] |= std::uint64_t{1} << (i & 63);
 }

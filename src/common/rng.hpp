@@ -97,6 +97,27 @@ class Rng {
   /// streams never correlate with the parent's subsequent draws.
   [[nodiscard]] Rng split() noexcept;
 
+  /// The canonical xoshiro256** state words s[0..3]. Together with
+  /// from_state this checkpoints a generator exactly: engines that advance
+  /// many lanes in structure-of-arrays form (the bit-sliced packet engine's
+  /// batched arrival coins) round-trip lane state through these without
+  /// perturbing the stream.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+
+  /// Inverse of state(): a generator that continues exactly where the
+  /// checkpointed one stopped.
+  [[nodiscard]] static Rng from_state(
+      const std::array<std::uint64_t, 4>& s) noexcept {
+    Rng rng(0);
+    rng.s_[0] = s[0];
+    rng.s_[1] = s[1];
+    rng.s_[2] = s[2];
+    rng.s_[3] = s[3];
+    return rng;
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl_(std::uint64_t x,
                                                      int k) noexcept {
@@ -105,6 +126,23 @@ class Rng {
 
   std::uint64_t s_[4];
 };
+
+/// Multi-lane integer-threshold Bernoulli draw: bit j of the result is
+/// lanes[j].next_bernoulli_threshold(threshold) for j < count (j >= count
+/// bits are zero), consuming exactly one raw u64 per listed lane. This is
+/// the packed arrival draw of the bit-sliced packet engine: one word op
+/// answers "which of these replicate lanes saw a packet this cycle", and
+/// each lane's generator advances exactly as the scalar TrafficGenerator
+/// would have advanced it, so the lanes stay draw-for-draw exchangeable
+/// with scalar runs.
+[[nodiscard]] inline std::uint64_t next_bernoulli_word(
+    Rng* lanes, unsigned count, std::uint64_t threshold) noexcept {
+  std::uint64_t word = 0;
+  for (unsigned j = 0; j < count; ++j) {
+    word |= std::uint64_t{lanes[j].next_bernoulli_threshold(threshold)} << j;
+  }
+  return word;
+}
 
 /// Bit-serial view over an Rng: successive next_bit() calls return the
 /// LSB-first bit expansion of successive next_u64() draws. This is the
@@ -198,6 +236,29 @@ class LaneRngBlock {
       out[w] = pending_[w * kWordLanes + cursor_];
     }
     ++cursor_;
+  }
+
+  /// Writes one per-lane Bernoulli(p) draw into out[0..words()): bit b of
+  /// out[w] = lane (64·w + b)'s next_bernoulli_threshold(
+  /// bernoulli_threshold(p)) draw, p clamped to [0, 1]. Every lane consumes
+  /// exactly one raw u64 per call (unlike next_block, which amortizes one
+  /// per 64 calls), so a lane's stream is a pure function of its global
+  /// lane index and the call sequence — invariant across block widths and
+  /// first_lane splits, same as next_block. Calls may interleave with
+  /// next_block; buffered Bernoulli(1/2) bits drawn at an earlier refill
+  /// are unaffected.
+  void next_bernoulli_word(double p, std::uint64_t* out) noexcept {
+    next_bernoulli_word_threshold(Rng::bernoulli_threshold(p), out);
+  }
+
+  /// next_bernoulli_word with the integer threshold precomputed via
+  /// Rng::bernoulli_threshold — the per-call form for fixed-rate arrivals.
+  void next_bernoulli_word_threshold(std::uint64_t threshold,
+                                     std::uint64_t* out) noexcept {
+    for (unsigned w = 0; w < words_; ++w) {
+      out[w] = sfab::next_bernoulli_word(
+          lanes_.data() + std::size_t{w} * kWordLanes, kWordLanes, threshold);
+    }
   }
 
  private:

@@ -59,8 +59,8 @@ std::size_t run_worker(const SweepSpec& spec, std::size_t shard_count,
       note(options, "running shard " + std::to_string(shard) + " (runs " +
                         std::to_string(range.begin) + ".." +
                         std::to_string(range.end) + ")");
-      const ResultSet results =
-          run_shard(spec, range.begin, range.end, options.threads);
+      const ResultSet results = run_shard(spec, range.begin, range.end,
+                                          options.threads, options.engine);
       std::ostringstream csv;
       write_csv(csv, results);
       ledger.commit_fragment(shard, csv.str());

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "exp/spec.hpp"
+#include "sim/lane_sim.hpp"
 
 namespace sfab::dist {
 
@@ -29,6 +30,9 @@ struct WorkerOptions {
   unsigned worker_index = 0;
   /// Progress notes (claimed/committed/reclaimed); nullptr = silent.
   std::ostream* log = nullptr;
+  /// Replicate engine handed to the sweep runner. Bit-identical either
+  /// way; kScalar is the plain reference path.
+  ReplicateEngine engine = ReplicateEngine::kLaned;
 };
 
 /// Publishes the plan for `spec` split into (at most) `shard_count` shards

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -68,6 +69,27 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
     for (std::size_t i = 0; i < records.size(); ++i) pending[i] = i;
   }
 
+  // Work units: under kLaned, one unit per grid point — replicate siblings
+  // are adjacent in expansion order (the replicate index is the fastest
+  // axis) and differ only by derived seed, so a unit's uncached members run
+  // as lanes of one bit-sliced pass. Under kScalar (or for lone members)
+  // every record is its own unit, exactly the pre-lane dispatch.
+  std::vector<std::pair<std::size_t, std::size_t>> units;  // [first, last)
+  for (std::size_t first = 0; first < pending.size();) {
+    std::size_t last = first + 1;
+    if (engine_ == ReplicateEngine::kLaned) {
+      const RunRecord& head = records[pending[first]];
+      const std::size_t grid = head.index - head.replicate;
+      while (last < pending.size()) {
+        const RunRecord& next = records[pending[last]];
+        if (next.index - next.replicate != grid) break;
+        ++last;
+      }
+    }
+    units.emplace_back(first, last);
+    first = last;
+  }
+
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
@@ -77,12 +99,25 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
     for (;;) {
       const std::size_t n =
           cursor.fetch_add(1, std::memory_order_relaxed);
-      if (n >= pending.size() || failed.load(std::memory_order_relaxed)) {
+      if (n >= units.size() || failed.load(std::memory_order_relaxed)) {
         return;
       }
-      const std::size_t i = pending[n];
+      const auto [first, last] = units[n];
       try {
-        records[i].result = run_simulation(records[i].config);
+        if (last - first == 1) {
+          const std::size_t i = pending[first];
+          records[i].result = run_simulation(records[i].config);
+        } else {
+          std::vector<std::uint64_t> seeds(last - first);
+          for (std::size_t m = first; m < last; ++m) {
+            seeds[m - first] = records[pending[m]].config.seed;
+          }
+          const std::vector<SimResult> batch =
+              run_lane_simulations(records[pending[first]].config, seeds);
+          for (std::size_t m = first; m < last; ++m) {
+            records[pending[m]].result = batch[m - first];
+          }
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -92,7 +127,7 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
   };
 
   const std::size_t pool =
-      std::min<std::size_t>(threads_, pending.size());
+      std::min<std::size_t>(threads_, units.size());
   if (pool <= 1) {
     worker();
   } else {
@@ -115,14 +150,19 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
   return ResultSet(std::move(records));
 }
 
-ResultSet run_sweep(const SweepSpec& spec, unsigned threads) {
-  return SweepRunner(threads).with_cache(ResultCache::from_env()).run(spec);
+ResultSet run_sweep(const SweepSpec& spec, unsigned threads,
+                    ReplicateEngine engine) {
+  return SweepRunner(threads)
+      .with_cache(ResultCache::from_env())
+      .with_engine(engine)
+      .run(spec);
 }
 
 ResultSet run_shard(const SweepSpec& spec, std::size_t begin, std::size_t end,
-                    unsigned threads) {
+                    unsigned threads, ReplicateEngine engine) {
   return SweepRunner(threads)
       .with_cache(ResultCache::from_env())
+      .with_engine(engine)
       .run_range(spec, begin, end);
 }
 

@@ -12,6 +12,13 @@
 // duplicate resolved configs within one sweep execute once, and every
 // fresh result is stored for the next sweep. Purity of run_simulation
 // guarantees cached rows are bit-identical to re-simulated ones.
+//
+// Replicates of one grid point differ only by derived seed, so the runner
+// batches them through the bit-sliced lane engine (sim/lane_sim.hpp) by
+// default: one work unit per grid point, all its uncached replicates in
+// lock-step lanes. The lane engine is bit-identical to scalar (and falls
+// back per-lane where unsupported), so the engine choice — like the thread
+// count — never changes a single result bit.
 #pragma once
 
 #include <vector>
@@ -19,6 +26,7 @@
 #include "exp/cache.hpp"
 #include "exp/result.hpp"
 #include "exp/spec.hpp"
+#include "sim/lane_sim.hpp"
 
 namespace sfab {
 
@@ -38,6 +46,17 @@ class SweepRunner {
 
   [[nodiscard]] ResultCache* cache() const noexcept { return cache_; }
 
+  /// Selects the replicate engine: kLaned (default) batches the replicates
+  /// of each grid point through the bit-sliced lane engine, kScalar runs
+  /// every record through plain run_simulation. Results are bit-identical
+  /// either way.
+  SweepRunner& with_engine(ReplicateEngine engine) noexcept {
+    engine_ = engine;
+    return *this;
+  }
+
+  [[nodiscard]] ReplicateEngine engine() const noexcept { return engine_; }
+
   /// Executes every run of `spec` and returns the records in expansion
   /// order. The first exception thrown by any run (e.g. an invalid
   /// architecture/port combination) stops the sweep and is rethrown.
@@ -54,20 +73,24 @@ class SweepRunner {
  private:
   unsigned threads_;
   ResultCache* cache_ = nullptr;
+  ReplicateEngine engine_ = ReplicateEngine::kLaned;
 };
 
 /// One-call convenience: SweepRunner{threads}.run(spec), with the
 /// process-wide ResultCache::from_env() cache attached when the
 /// SFAB_RESULT_CACHE environment variable names a CSV store — that is how
 /// the benches share results across processes without any plumbing.
-[[nodiscard]] ResultSet run_sweep(const SweepSpec& spec, unsigned threads = 0);
+[[nodiscard]] ResultSet run_sweep(
+    const SweepSpec& spec, unsigned threads = 0,
+    ReplicateEngine engine = ReplicateEngine::kLaned);
 
 /// Shard-worker convenience: SweepRunner{threads}.run_range(spec, begin,
 /// end) with the SFAB_RESULT_CACHE store attached when configured. Shard
 /// workers sharing one store are safe: cache appends are lockfile-guarded
 /// single writes, so concurrent workers never interleave partial rows.
-[[nodiscard]] ResultSet run_shard(const SweepSpec& spec, std::size_t begin,
-                                  std::size_t end, unsigned threads = 0);
+[[nodiscard]] ResultSet run_shard(
+    const SweepSpec& spec, std::size_t begin, std::size_t end,
+    unsigned threads = 0, ReplicateEngine engine = ReplicateEngine::kLaned);
 
 /// Runs `base` once per load value through the engine and returns the bare
 /// results in load order. Paired-sweep semantics: every load point runs

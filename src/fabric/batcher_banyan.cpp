@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/bitops.hpp"
+
 namespace sfab {
 
 BatcherBanyanFabric::BatcherBanyanFabric(FabricConfig config)
@@ -92,57 +94,53 @@ void BatcherBanyanFabric::tick_sorter_stage(unsigned stage,
   // empty at this stage during the walk (writes land in stage + 1), so
   // iterating a snapshot of each occupancy word is exact.
   const auto& occ = sw_occ_[stage];
-  for (std::size_t w = 0; w < occ.size(); ++w) {
-    for (std::uint64_t bits = occ[w]; bits != 0; bits &= bits - 1) {
-      const auto sw = static_cast<unsigned>(w * 64) +
-                      static_cast<unsigned>(std::countr_zero(bits));
-      const auto low = static_cast<unsigned>(sw & low_mask(b));
-      const unsigned high = (sw >> b) << (b + 1);
-      const PortId r0 = high | low;
-      const PortId r1 = r0 | (1u << b);
+  for_each_set_bit(occ.data(), occ.size(), [&](unsigned sw) {
+    const auto low = static_cast<unsigned>(sw & low_mask(b));
+    const unsigned high = (sw >> b) << (b + 1);
+    const PortId r0 = high | low;
+    const PortId r1 = r0 | (1u << b);
 
-      const bool has0 = row_occupied(stage, r0);
-      const bool has1 = row_occupied(stage, r1);
+    const bool has0 = row_occupied(stage, r0);
+    const bool has1 = row_occupied(stage, r1);
 
-      // Compare-exchange on destination keys; an idle input behaves as
-      // +infinity so active words concentrate toward the block's small
-      // end.
-      const bool ascending = bitonic_ascending(r0, spec.phase);
-      const std::uint64_t kIdle = ~0ull;
-      const std::uint64_t key0 = has0 ? links_[stage][r0].dest : kIdle;
-      const std::uint64_t key1 = has1 ? links_[stage][r1].dest : kIdle;
-      const bool swap = (key0 > key1) == ascending && key0 != key1;
+    // Compare-exchange on destination keys; an idle input behaves as
+    // +infinity so active words concentrate toward the block's small
+    // end.
+    const bool ascending = bitonic_ascending(r0, spec.phase);
+    const std::uint64_t kIdle = ~0ull;
+    const std::uint64_t key0 = has0 ? links_[stage][r0].dest : kIdle;
+    const std::uint64_t key1 = has1 ? links_[stage][r1].dest : kIdle;
+    const bool swap = (key0 > key1) == ascending && key0 != key1;
 
-      const PortId out_for_in0 = swap ? r1 : r0;
-      const PortId out_for_in1 = swap ? r0 : r1;
+    const PortId out_for_in0 = swap ? r1 : r0;
+    const PortId out_for_in1 = swap ? r0 : r1;
 
-      // Both outputs of a 2x2 comparator always exist, so two words never
-      // block each other; the only reason to wait is a downstream stall
-      // (possible when the banyan section back-pressures), in which case
-      // the whole pair holds to keep the cohort intact.
-      const auto slot_free = [&](PortId row) {
-        return !row_occupied(stage + 1, row);
-      };
-      if ((has0 && !slot_free(out_for_in0)) ||
-          (has1 && !slot_free(out_for_in1))) {
-        link_conflicts_ += (has0 ? 1 : 0) + (has1 ? 1 : 0);
-        continue;
-      }
-
-      unsigned moved = 0;
-      if (has0) {
-        move_word(stage, b, links_[stage][r0], out_for_in0, false, nullptr);
-        vacate(stage, r0);
-        ++moved;
-      }
-      if (has1) {
-        move_word(stage, b, links_[stage][r1], out_for_in1, false, nullptr);
-        vacate(stage, r1);
-        ++moved;
-      }
-      charge_switch_activity(spec, moved);
+    // Both outputs of a 2x2 comparator always exist, so two words never
+    // block each other; the only reason to wait is a downstream stall
+    // (possible when the banyan section back-pressures), in which case
+    // the whole pair holds to keep the cohort intact.
+    const auto slot_free = [&](PortId row) {
+      return !row_occupied(stage + 1, row);
+    };
+    if ((has0 && !slot_free(out_for_in0)) ||
+        (has1 && !slot_free(out_for_in1))) {
+      link_conflicts_ += (has0 ? 1 : 0) + (has1 ? 1 : 0);
+      return;
     }
-  }
+
+    unsigned moved = 0;
+    if (has0) {
+      move_word(stage, b, links_[stage][r0], out_for_in0, false, nullptr);
+      vacate(stage, r0);
+      ++moved;
+    }
+    if (has1) {
+      move_word(stage, b, links_[stage][r1], out_for_in1, false, nullptr);
+      vacate(stage, r1);
+      ++moved;
+    }
+    charge_switch_activity(spec, moved);
+  });
 }
 
 void BatcherBanyanFabric::tick_banyan_stage(unsigned stage,
@@ -158,48 +156,44 @@ void BatcherBanyanFabric::tick_banyan_stage(unsigned stage,
   banyan_parity_[stage] ^= 1;
 
   const auto& occ = sw_occ_[stage];
-  for (std::size_t w = 0; w < occ.size(); ++w) {
-    for (std::uint64_t bits = occ[w]; bits != 0; bits &= bits - 1) {
-      const auto sw = static_cast<unsigned>(w * 64) +
-                      static_cast<unsigned>(std::countr_zero(bits));
-      const auto low = static_cast<unsigned>(sw & low_mask(b));
-      const unsigned high = (sw >> b) << (b + 1);
-      const PortId r0 = high | low;
-      const PortId r1 = r0 | (1u << b);
+  for_each_set_bit(occ.data(), occ.size(), [&](unsigned sw) {
+    const auto low = static_cast<unsigned>(sw & low_mask(b));
+    const unsigned high = (sw >> b) << (b + 1);
+    const PortId r0 = high | low;
+    const PortId r1 = r0 | (1u << b);
 
-      // Arbitration order: if both inputs carry the same packet, the
-      // earlier sequence number must go first (word order); otherwise
-      // alternate.
-      PortId first_row = parity ? r1 : r0;
-      PortId second_row = parity ? r0 : r1;
-      const bool has0 = row_occupied(stage, r0);
-      const bool has1 = row_occupied(stage, r1);
-      if (has0 && has1 &&
-          links_[stage][r0].packet_id == links_[stage][r1].packet_id) {
-        const bool zero_first = links_[stage][r0].seq < links_[stage][r1].seq;
-        first_row = zero_first ? r0 : r1;
-        second_row = zero_first ? r1 : r0;
-      }
-
-      unsigned moved = 0;
-      for (const PortId in_row : {first_row, second_row}) {
-        if (!row_occupied(stage, in_row)) continue;
-        const Flit& slot = links_[stage][in_row];
-        const PortId out_row =
-            (in_row & ~(PortId{1} << b)) |
-            (static_cast<PortId>(bit_of(slot.dest, b)) << b);
-        const bool free = last_stage || !row_occupied(stage + 1, out_row);
-        if (!free) {
-          ++link_conflicts_;
-          continue;  // stall in place; upstream back-pressures
-        }
-        move_word(stage, b, slot, out_row, last_stage, &sink);
-        vacate(stage, in_row);
-        ++moved;
-      }
-      charge_switch_activity(spec, moved);
+    // Arbitration order: if both inputs carry the same packet, the
+    // earlier sequence number must go first (word order); otherwise
+    // alternate.
+    PortId first_row = parity ? r1 : r0;
+    PortId second_row = parity ? r0 : r1;
+    const bool has0 = row_occupied(stage, r0);
+    const bool has1 = row_occupied(stage, r1);
+    if (has0 && has1 &&
+        links_[stage][r0].packet_id == links_[stage][r1].packet_id) {
+      const bool zero_first = links_[stage][r0].seq < links_[stage][r1].seq;
+      first_row = zero_first ? r0 : r1;
+      second_row = zero_first ? r1 : r0;
     }
-  }
+
+    unsigned moved = 0;
+    for (const PortId in_row : {first_row, second_row}) {
+      if (!row_occupied(stage, in_row)) continue;
+      const Flit& slot = links_[stage][in_row];
+      const PortId out_row =
+          (in_row & ~(PortId{1} << b)) |
+          (static_cast<PortId>(bit_of(slot.dest, b)) << b);
+      const bool free = last_stage || !row_occupied(stage + 1, out_row);
+      if (!free) {
+        ++link_conflicts_;
+        continue;  // stall in place; upstream back-pressures
+      }
+      move_word(stage, b, slot, out_row, last_stage, &sink);
+      vacate(stage, in_row);
+      ++moved;
+    }
+    charge_switch_activity(spec, moved);
+  });
 }
 
 void BatcherBanyanFabric::tick(EgressSink& sink) {

@@ -82,13 +82,10 @@ void BitslicedNetlist::reset() {
 
 void BitslicedNetlist::charge_lanes(std::uint64_t diff, unsigned word_index,
                                     double coeff) noexcept {
-  const unsigned base = word_index * kWordLanes;
-  while (diff != 0) {
-    const unsigned lane = base + static_cast<unsigned>(std::countr_zero(diff));
-    diff &= diff - 1;
+  for_each_set_bit(diff, word_index * kWordLanes, [&](unsigned lane) {
     lane_energy_[lane] += coeff;
     ++lane_toggles_[lane];
-  }
+  });
 }
 
 /// Generic sweep used while per-lane accounting is on: mirrors the kernel

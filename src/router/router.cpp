@@ -1,8 +1,8 @@
 #include "router/router.hpp"
 
-#include <bit>
 #include <stdexcept>
 
+#include "common/bitops.hpp"
 #include "fabric/crossbar.hpp"
 #include "fabric/fully_connected.hpp"
 
@@ -64,14 +64,14 @@ void Router::step_impl(FabricT& fabric) {
   // walks ascending, so the grants are identical to a scan-built list's.
   requests_.clear();
   if (small_radix) {
-    std::uint64_t ready = contender_mask_ & ~arbiter_.locked_mask();
-    while (ready != 0) {
-      const auto e = static_cast<PortId>(std::countr_zero(ready));
-      ready &= ready - 1;
-      for (const PortId p : contenders_[e]) {
-        requests_.push_back(ArbiterRequest{p, e, ingresses_[p].head_since()});
-      }
-    }
+    for_each_set_bit(contender_mask_ & ~arbiter_.locked_mask(), 0,
+                     [&](unsigned bit) {
+                       const auto e = static_cast<PortId>(bit);
+                       for (const PortId p : contenders_[e]) {
+                         requests_.push_back(ArbiterRequest{
+                             p, e, ingresses_[p].head_since()});
+                       }
+                     });
   } else {
     for (PortId e = 0; e < ports(); ++e) {
       if (contenders_[e].empty() || arbiter_.locked(e)) continue;
@@ -119,12 +119,11 @@ void Router::step_impl(FabricT& fabric) {
       }
     };
     if (small_radix) {
-      std::uint64_t m = streaming_mask_;
-      while (m != 0) {
-        const auto p = static_cast<PortId>(std::countr_zero(m));
-        m &= m - 1;
-        emit_one(p);
-      }
+      // for_each_set_bit walks a copy of the mask, so emit_one clearing
+      // tail bits out of streaming_mask_ mid-walk is safe.
+      for_each_set_bit(streaming_mask_, 0, [&](unsigned p) {
+        emit_one(static_cast<PortId>(p));
+      });
     } else {
       for (PortId p = 0; p < ports(); ++p) {
         if (ingresses_[p].streaming()) emit_one(p);
@@ -149,12 +148,9 @@ void Router::step_impl(FabricT& fabric) {
       }
     };
     if (small_radix) {
-      std::uint64_t m = streaming_mask_;
-      while (m != 0) {
-        const auto p = static_cast<PortId>(std::countr_zero(m));
-        m &= m - 1;
-        try_inject(p);
-      }
+      for_each_set_bit(streaming_mask_, 0, [&](unsigned p) {
+        try_inject(static_cast<PortId>(p));
+      });
     } else {
       for (PortId p = 0; p < ports(); ++p) {
         if (ingresses_[p].streaming()) try_inject(p);

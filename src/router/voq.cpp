@@ -97,31 +97,23 @@ const std::vector<Match>& IslipArbiter::match_banks(
       if (egress_matched_[egress] || !test_bit(egress_free.data(), egress)) {
         continue;
       }
-      for (unsigned k = 0; k < ports_; ++k) {
-        PortId ingress = grant_pointer_[egress] + k;
-        if (ingress >= ports_) ingress -= ports_;
-        if (!ingress_matched_[ingress] &&
-            test_bit(ingress_free.data(), ingress) &&
-            test_bit(banks[ingress].occupancy_words().data(), egress)) {
-          grant_[egress] = ingress;
-          break;
-        }
-      }
+      const unsigned ingress =
+          cyclic_first(ports_, grant_pointer_[egress], [&](unsigned i) {
+            return !ingress_matched_[i] &&
+                   test_bit(ingress_free.data(), i) &&
+                   test_bit(banks[i].occupancy_words().data(), egress);
+          });
+      if (ingress < ports_) grant_[egress] = ingress;
     }
 
     bool any_accept = false;
     for (PortId ingress = 0; ingress < ports_; ++ingress) {
       if (ingress_matched_[ingress]) continue;
-      PortId accepted = kInvalidPort;
-      for (unsigned k = 0; k < ports_; ++k) {
-        PortId egress = accept_pointer_[ingress] + k;
-        if (egress >= ports_) egress -= ports_;
-        if (grant_[egress] == ingress) {
-          accepted = egress;
-          break;
-        }
-      }
-      if (accepted == kInvalidPort) continue;
+      const unsigned found =
+          cyclic_first(ports_, accept_pointer_[ingress],
+                       [&](unsigned e) { return grant_[e] == ingress; });
+      if (found == ports_) continue;
+      const PortId accepted = found;
 
       matches_.push_back(Match{ingress, accepted});
       ingress_matched_[ingress] = 1;
@@ -153,15 +145,12 @@ const std::vector<Match>& IslipArbiter::match_flat(
     std::fill(grant_.begin(), grant_.end(), kInvalidPort);
     for (PortId egress = 0; egress < ports_; ++egress) {
       if (egress_matched_[egress]) continue;
-      for (unsigned k = 0; k < ports_; ++k) {
-        PortId ingress = grant_pointer_[egress] + k;
-        if (ingress >= ports_) ingress -= ports_;
-        if (!ingress_matched_[ingress] &&
-            requests[static_cast<std::size_t>(ingress) * ports_ + egress]) {
-          grant_[egress] = ingress;
-          break;
-        }
-      }
+      const unsigned ingress =
+          cyclic_first(ports_, grant_pointer_[egress], [&](unsigned i) {
+            return !ingress_matched_[i] &&
+                   requests[static_cast<std::size_t>(i) * ports_ + egress];
+          });
+      if (ingress < ports_) grant_[egress] = ingress;
     }
 
     // Accept phase: each ingress accepts the first granting egress at or
@@ -169,16 +158,11 @@ const std::vector<Match>& IslipArbiter::match_flat(
     bool any_accept = false;
     for (PortId ingress = 0; ingress < ports_; ++ingress) {
       if (ingress_matched_[ingress]) continue;
-      PortId accepted = kInvalidPort;
-      for (unsigned k = 0; k < ports_; ++k) {
-        PortId egress = accept_pointer_[ingress] + k;
-        if (egress >= ports_) egress -= ports_;
-        if (grant_[egress] == ingress) {
-          accepted = egress;
-          break;
-        }
-      }
-      if (accepted == kInvalidPort) continue;
+      const unsigned found =
+          cyclic_first(ports_, accept_pointer_[ingress],
+                       [&](unsigned e) { return grant_[e] == ingress; });
+      if (found == ports_) continue;
+      const PortId accepted = found;
 
       matches_.push_back(Match{ingress, accepted});
       ingress_matched_[ingress] = 1;

@@ -1,0 +1,123 @@
+#include "sim/lane_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "sim/lane_sim_kernels.hpp"
+
+namespace sfab {
+
+std::string_view to_string(ReplicateEngine engine) noexcept {
+  switch (engine) {
+    case ReplicateEngine::kScalar:
+      return "scalar";
+    case ReplicateEngine::kLaned:
+      return "laned";
+  }
+  return "unknown";
+}
+
+ReplicateEngine parse_replicate_engine(std::string_view name) {
+  for (const ReplicateEngine engine :
+       {ReplicateEngine::kScalar, ReplicateEngine::kLaned}) {
+    if (name == to_string(engine)) return engine;
+  }
+  throw std::invalid_argument("parse_replicate_engine: unknown engine \"" +
+                              std::string(name) + "\"");
+}
+
+bool lane_sim_supported(const SimConfig& c) noexcept {
+  if (c.scheme != RouterScheme::kVoq) return false;
+  if (c.arch != Architecture::kCrossbar) return false;
+  if (c.ports < 2 || c.ports > 64) return false;
+  if (c.packet_words < 1 || c.packet_words > (1u << 20)) return false;
+  if (c.ingress_queue_packets < 1 ||
+      c.ingress_queue_packets > (std::size_t{1} << 20)) {
+    return false;
+  }
+  if (c.measure_cycles == 0) return false;  // the scalar engine throws
+
+  // Configurations the scalar constructors reject run through the fallback
+  // so the exception surfaces exactly as it would from run_simulation.
+  const double rate = c.offered_load / c.packet_words;
+  switch (c.pattern) {
+    case TrafficPatternKind::kUniform:
+      break;
+    case TrafficPatternKind::kBitReversal:
+      if (!is_pow2(c.ports)) return false;
+      break;
+    case TrafficPatternKind::kHotspot:
+      if (c.hotspot_port >= c.ports) return false;
+      if (!(c.hotspot_fraction >= 0.0 && c.hotspot_fraction <= 1.0)) {
+        return false;
+      }
+      break;
+    case TrafficPatternKind::kBursty:
+      if (!(c.mean_burst_cycles >= 1.0)) return false;
+      break;
+    default:
+      return false;
+  }
+  if (c.pattern == TrafficPatternKind::kBursty) {
+    if (!(rate >= 0.0)) return false;
+  } else {
+    if (!(rate >= 0.0 && rate <= 1.0)) return false;
+  }
+
+  // Plane-state footprint: every bank keeps capacity+1 packet slots (a
+  // popped packet streams out of its slot until the tail leaves). Cap a
+  // full 64-lane pass at ~512 MB; larger configs run per-lane scalar.
+  const std::uint64_t slots =
+      std::uint64_t{64} * c.ports * (c.ingress_queue_packets + 1);
+  const std::uint64_t bytes = slots * c.packet_words * sizeof(Word) +
+                              slots * 4 +
+                              std::uint64_t{64} * c.ports * c.ports * 8;
+  return bytes <= (std::uint64_t{1} << 29);
+}
+
+namespace {
+
+/// Picks the pass kernel once per process: the widest ISA TU that was
+/// built AND that the running CPU supports, the portable TU otherwise
+/// (mirrors gatelevel's resolve_lane_kernel).
+detail::LanePassFn resolve_lane_pass() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt")) {
+    if (const detail::LanePassFn fn = detail::lane_pass_avx2()) return fn;
+  }
+  if (__builtin_cpu_supports("popcnt")) {
+    if (const detail::LanePassFn fn = detail::lane_pass_popcnt()) return fn;
+  }
+#endif
+  return detail::lane_pass_portable();
+}
+
+}  // namespace
+
+std::vector<SimResult> run_lane_simulations(
+    const SimConfig& config, const std::vector<std::uint64_t>& lane_seeds) {
+  std::vector<SimResult> results;
+  if (!lane_sim_supported(config)) {
+    // Per-lane scalar fallback behind the same interface: identical
+    // results (and identical exceptions) at scalar speed.
+    results.reserve(lane_seeds.size());
+    for (const std::uint64_t seed : lane_seeds) {
+      SimConfig scalar = config;
+      scalar.seed = seed;
+      results.push_back(run_simulation(scalar));
+    }
+    return results;
+  }
+  static const detail::LanePassFn pass = resolve_lane_pass();
+  results.resize(lane_seeds.size());
+  for (std::size_t first = 0; first < lane_seeds.size(); first += 64) {
+    const auto lanes = static_cast<unsigned>(
+        std::min<std::size_t>(64, lane_seeds.size() - first));
+    pass(config, lane_seeds.data() + first, lanes, results.data() + first);
+  }
+  return results;
+}
+
+}  // namespace sfab

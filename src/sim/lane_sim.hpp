@@ -1,0 +1,59 @@
+// Bit-sliced packet-level replicate engine: up to 64 independent
+// Monte-Carlo replicates of one SimConfig evaluated lock-step, one lane
+// per bit of every router-state word.
+//
+// replicate() pays one full scalar Simulation per seed, and the per-cycle
+// router state it advances is already bitmask-shaped: VOQ occupancy rows,
+// iSLIP request/grant/accept masks, streaming and availability masks. The
+// lane engine generalizes those words from "bit e = egress e" to per-lane
+// planes — lane k of every plane word is an independent replicate seeded
+// with its own stream — and advances arbitration, occupancy updates and
+// Bernoulli arrivals for all lanes per pass. Inherently per-lane work
+// (payload bits, wire-flip energy, latency sums) runs over compact
+// lane-indexed arrays so each lane reproduces the scalar engine's
+// SimResult bit-for-bit: same draws in the same order per lane, same
+// floating-point accumulation order per lane.
+//
+// Coverage: the crossbar + VOQ/iSLIP path (the saturation-bench hot path)
+// for every traffic pattern. Configurations outside that envelope fall
+// back to per-lane scalar run_simulation() behind the same interface, so
+// callers never branch on support and coverage can grow stage by stage.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sfab {
+
+/// Which engine replicate() and the sweep runner use per replicate batch.
+/// Mirrors gatelevel's CharacterizeEngine: the scalar engine stays as the
+/// bit-exact reference the laned engine is pinned against.
+enum class ReplicateEngine {
+  kScalar,  ///< one scalar Simulation per seed (reference)
+  kLaned,   ///< bit-sliced lane engine, scalar fallback where unsupported
+};
+
+[[nodiscard]] std::string_view to_string(ReplicateEngine engine) noexcept;
+
+/// Inverse of to_string(ReplicateEngine); throws std::invalid_argument on
+/// an unknown name.
+[[nodiscard]] ReplicateEngine parse_replicate_engine(std::string_view name);
+
+/// True when `config` runs on the sliced fast path: crossbar fabric, VOQ +
+/// iSLIP scheme, 2..64 ports, and a state footprint the plane layout can
+/// hold. False routes run_lane_simulations() through per-lane scalar runs
+/// (results are identical either way; only wall-clock differs).
+[[nodiscard]] bool lane_sim_supported(const SimConfig& config) noexcept;
+
+/// Runs one replicate per entry of `lane_seeds`: result[k] is bit-identical
+/// to run_simulation(config with seed = lane_seeds[k]) — same counters,
+/// same floating-point sums. More than 64 seeds run as successive lane
+/// passes; unsupported configs run per-lane scalar. Throws exactly where
+/// the scalar engine throws (invalid rates, patterns, cycle counts).
+[[nodiscard]] std::vector<SimResult> run_lane_simulations(
+    const SimConfig& config, const std::vector<std::uint64_t>& lane_seeds);
+
+}  // namespace sfab

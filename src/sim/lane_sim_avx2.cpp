@@ -1,0 +1,36 @@
+// AVX2 + POPCNT lane-sim pass: the shared engine body compiled in the one
+// TU that gets the per-TU "-mavx2 -mpopcnt" flags (see CMakeLists.txt).
+// Relative to the POPCNT kernel this additionally vectorizes the batched
+// arrival coin — one xoshiro256** step for all four block lanes per ymm op
+// (the engine's coin_word picks the intrinsic path because __AVX2__ is
+// defined here). When the toolchain or target can't build AVX2 the guard
+// below reduces this TU to a stub returning nullptr and
+// run_lane_simulations() falls back to the POPCNT or portable kernel. The
+// caller has already verified the CPU supports AVX2 and POPCNT at runtime
+// before this code can execute.
+//
+// Equality contract with the other kernels: the vector coin computes the
+// identical per-lane draw (same recurrence, lane-for-lane), and the rest
+// of the statement sequence is the same file under different ISA flags, so
+// every counter and floating-point add matches bit for bit.
+#include "sim/lane_sim_kernels.hpp"
+
+#if defined(__AVX2__) && defined(__POPCNT__)
+
+#include "sim/lane_sim_engine.ipp"
+
+namespace sfab::detail {
+
+LanePassFn lane_pass_avx2() noexcept { return &lane_pass; }
+
+}  // namespace sfab::detail
+
+#else  // !(defined(__AVX2__) && defined(__POPCNT__))
+
+namespace sfab::detail {
+
+LanePassFn lane_pass_avx2() noexcept { return nullptr; }
+
+}  // namespace sfab::detail
+
+#endif

@@ -1,0 +1,703 @@
+// Lane-sim engine body, textually included by exactly three translation
+// units: lane_sim_portable.cpp (baseline ISA, always built),
+// lane_sim_popcnt.cpp (per-TU -mpopcnt) and lane_sim_avx2.cpp (per-TU
+// -mavx2 -mpopcnt, vectorized arrival coins) — runtime-dispatched, see
+// lane_sim_kernels.hpp and CMakeLists.txt. Everything here lives in an
+// anonymous namespace, so each TU gets its own copy compiled under its own
+// ISA flags; the only exported symbol per TU is its lane_pass_*() factory.
+//
+// Bit-exactness contract (all TUs, and versus the scalar engine): lane k
+// performs the same random draws in the same order and the same
+// floating-point adds in the same per-accumulator order as
+// run_simulation(config with seed = seeds[k]). ISA flags change
+// instruction selection only — popcount is an integer function and the FP
+// statement sequence is identical — so the kernels agree bit for bit.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "power/wire_energy.hpp"
+#include "sim/lane_sim_kernels.hpp"
+#include "thompson/fabric_embeddings.hpp"
+
+namespace sfab::detail {
+namespace {
+
+constexpr std::uint32_t kNullSlot = 0xFFFFFFFFu;
+
+/// Lanes advance in blocks of kLaneBlock, each block running lock-step
+/// through the whole cycle range before the next block starts. Lanes are
+/// fully independent, so any processing order gives the same results;
+/// small blocks keep a block's packet words and router planes
+/// cache-resident across cycles while the arrival coins batch into one
+/// multi-lane threshold word per port (kLaneBlock is a multiple of 4 so
+/// the coin advances whole AVX2 vectors of xoshiro states — see
+/// coin_word4_avx2 below; 8 measured fastest, 16 starts thrashing L2).
+constexpr unsigned kLaneBlock = 8;
+
+/// Block-transposed xoshiro state: s[w * kLaneBlock + j] is state word w
+/// of block lane j. This structure-of-arrays layout lets the arrival coin
+/// step advance all block lanes in one pass (vectorized where the TU's ISA
+/// allows); per-lane draws round-trip through Rng::from_state / state().
+[[nodiscard]] inline std::array<std::uint64_t, 4> lane_state(
+    const std::uint64_t* s, unsigned j) noexcept {
+  return {s[j], s[kLaneBlock + j], s[2 * kLaneBlock + j],
+          s[3 * kLaneBlock + j]};
+}
+
+inline void store_lane_state(std::uint64_t* s, unsigned j,
+                             const std::array<std::uint64_t, 4>& st) noexcept {
+  s[j] = st[0];
+  s[kLaneBlock + j] = st[1];
+  s[2 * kLaneBlock + j] = st[2];
+  s[3 * kLaneBlock + j] = st[3];
+}
+
+#if defined(__AVX2__)
+/// One xoshiro256** step for 4 block-transposed lanes held in registers:
+/// returns the four 64-bit results and advances the states in place. The
+/// recurrence mirrors Rng::next_u64 exactly, with the constant multiplies
+/// as shift-adds (AVX2 has no 64-bit vector multiply); the differential
+/// fuzz harness pins every lane against the scalar generator.
+[[nodiscard]] inline __m256i step4_avx2(__m256i& v0, __m256i& v1, __m256i& v2,
+                                        __m256i& v3) noexcept {
+  static_assert(kLaneBlock % 4 == 0,
+                "whole ymm registers per SoA state word");
+  const __m256i x5 = _mm256_add_epi64(_mm256_slli_epi64(v1, 2), v1);
+  const __m256i rot =
+      _mm256_or_si256(_mm256_slli_epi64(x5, 7), _mm256_srli_epi64(x5, 57));
+  const __m256i result = _mm256_add_epi64(_mm256_slli_epi64(rot, 3), rot);
+  const __m256i t = _mm256_slli_epi64(v1, 17);
+  v2 = _mm256_xor_si256(v2, v0);
+  v3 = _mm256_xor_si256(v3, v1);
+  v1 = _mm256_xor_si256(v1, v2);
+  v0 = _mm256_xor_si256(v0, v3);
+  v2 = _mm256_xor_si256(v2, t);
+  v3 = _mm256_or_si256(_mm256_slli_epi64(v3, 45), _mm256_srli_epi64(v3, 19));
+  return result;
+}
+
+/// One coin step for block-SoA lanes c..c+3: bit j of the return = lane
+/// c+j's next_bernoulli_threshold(threshold) draw. Both compare operands
+/// are < 2^53, so the signed vector compare is exact.
+[[nodiscard]] inline std::uint64_t coin_word4_avx2(
+    std::uint64_t* s, unsigned c, std::uint64_t threshold) noexcept {
+  __m256i v0 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(s + 0 * kLaneBlock + c));
+  __m256i v1 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(s + 1 * kLaneBlock + c));
+  __m256i v2 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(s + 2 * kLaneBlock + c));
+  __m256i v3 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(s + 3 * kLaneBlock + c));
+  const __m256i result = step4_avx2(v0, v1, v2, v3);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 0 * kLaneBlock + c), v0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 1 * kLaneBlock + c), v1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 2 * kLaneBlock + c), v2);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(s + 3 * kLaneBlock + c), v3);
+  const __m256i draw = _mm256_srli_epi64(result, 11);
+  const __m256i below = _mm256_cmpgt_epi64(
+      _mm256_set1_epi64x(static_cast<long long>(threshold)), draw);
+  return static_cast<std::uint64_t>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(below)));
+}
+#endif
+
+/// A block of per-lane generators (traffic or factory streams) behind a
+/// representation-neutral surface: the AVX2 TU keeps them
+/// block-transposed (SoA) so arrival coins and payload fills advance all
+/// block lanes in one vector xoshiro step each, every other TU keeps
+/// plain Rng objects (the SoA round-trip costs more than it saves without
+/// vector steps). Both representations advance every lane draw-for-draw
+/// like the scalar generators.
+struct RngLanes {
+#if defined(__AVX2__)
+  std::uint64_t s[4 * kLaneBlock];
+
+  void load(const std::vector<Rng>& rngs, unsigned k0,
+            unsigned count) noexcept {
+    for (unsigned j = 0; j < count; ++j) {
+      store_lane_state(s, j, rngs[k0 + j].state());
+    }
+  }
+  void save(std::vector<Rng>& rngs, unsigned k0,
+            unsigned count) const noexcept {
+    for (unsigned j = 0; j < count; ++j) {
+      rngs[k0 + j] = Rng::from_state(lane_state(s, j));
+    }
+  }
+  /// Bit j = lane j's next_bernoulli_threshold(threshold) draw.
+  [[nodiscard]] std::uint64_t coin(unsigned count,
+                                   std::uint64_t threshold) noexcept {
+    if (count == kLaneBlock) {
+      std::uint64_t hits = 0;
+      for (unsigned c = 0; c < kLaneBlock; c += 4) {
+        hits |= coin_word4_avx2(s, c, threshold) << c;
+      }
+      return hits;
+    }
+    std::uint64_t hits = 0;
+    for (unsigned j = 0; j < count; ++j) {
+      Rng lane_rng = lane(j);
+      hits |= std::uint64_t{lane_rng.next_bernoulli_threshold(threshold)}
+              << j;
+      set_lane(j, lane_rng);
+    }
+    return hits;
+  }
+  [[nodiscard]] Rng lane(unsigned j) const noexcept {
+    return Rng::from_state(lane_state(s, j));
+  }
+  void set_lane(unsigned j, const Rng& rng) noexcept {
+    store_lane_state(s, j, rng.state());
+  }
+#else
+  Rng s[kLaneBlock];
+
+  void load(const std::vector<Rng>& rngs, unsigned k0,
+            unsigned count) noexcept {
+    for (unsigned j = 0; j < count; ++j) s[j] = rngs[k0 + j];
+  }
+  void save(std::vector<Rng>& rngs, unsigned k0,
+            unsigned count) const noexcept {
+    for (unsigned j = 0; j < count; ++j) rngs[k0 + j] = s[j];
+  }
+  [[nodiscard]] std::uint64_t coin(unsigned count,
+                                   std::uint64_t threshold) noexcept {
+    return next_bernoulli_word(s, count, threshold);
+  }
+  [[nodiscard]] Rng lane(unsigned j) const noexcept { return s[j]; }
+  void set_lane(unsigned j, const Rng& rng) noexcept { s[j] = rng; }
+#endif
+};
+
+/// Per-ingress streaming cursor, packed so the word hot path touches one
+/// 16-byte record instead of four scattered arrays. `idx` is the current
+/// word's flat index into the slot-pool payload array, `left` counts words
+/// still to send (including the current one).
+struct StrCursor {
+  std::uint32_t idx = 0;
+  std::uint32_t left = 0;
+  std::uint32_t dest = 0;
+  std::uint32_t slot = 0;
+};
+
+/// One <= 64-lane pass: lane k replicates the scalar VoqRouter + fused
+/// CrossbarFabric cycle loop under seeds[k]. All cross-port router state is
+/// kept as one mask word per lane (bit i = port i); per-lane quantities
+/// (payload words, energy sums, counters) are lane-indexed flat arrays.
+/// Every random draw, counter bump and floating-point add happens in the
+/// same per-lane order as the scalar engine, which is what makes the
+/// results bit-identical rather than merely statistically equal.
+class LaneSimEngine {
+ public:
+  LaneSimEngine(const SimConfig& c, const std::uint64_t* seeds,
+                unsigned lanes)
+      : c_(c),
+        n_(c.ports),
+        pw_(c.packet_words),
+        cap_(static_cast<std::uint32_t>(c.ingress_queue_packets)),
+        spb_(cap_ + 1),
+        lanes_(lanes),
+        iterations_(c.islip_iterations == 0 ? c.ports : c.islip_iterations),
+        full_mask_(n_ == 64 ? ~std::uint64_t{0} : low_mask(n_)) {
+    // Traffic: mirror TrafficGenerator's Bernoulli fast-path detection —
+    // rate_ < 0 selects the generic (bursty) arrival path.
+    if (c.pattern == TrafficPatternKind::kBursty) {
+      const double packet_rate = c.offered_load / c.packet_words;
+      const double duty = 0.5;
+      p_on_off_ = 1.0 / c.mean_burst_cycles;
+      on_rate_ = std::min(1.0, packet_rate / duty);
+      p_off_on_ = p_on_off_ * duty / (1.0 - duty);
+      bursty_on_.assign(std::size_t{lanes_} * n_, 0);
+    } else {
+      rate_ = c.offered_load / c.packet_words;
+      threshold_ = Rng::bernoulli_threshold(rate_);
+    }
+    if (c.pattern == TrafficPatternKind::kBitReversal) {
+      const unsigned bits = log2_exact(n_);
+      perm_.resize(n_);
+      for (PortId src = 0; src < n_; ++src) {
+        PortId rev = 0;
+        for (unsigned b = 0; b < bits; ++b) {
+          rev |= bit_of(src, b) << (bits - 1 - b);
+        }
+        perm_[src] = rev;
+      }
+    }
+
+    // Crossbar energy constants, constructed exactly as CrossbarFabric's
+    // constructor does so every per-word add uses bit-identical values.
+    const WireEnergyModel wires{c.tech};
+    const thompson::CrossbarEmbedding embedding{c.ports};
+    switch_word_j_ = c.ports * c.switches.crosspoint.energy_per_bit(1u) *
+                     c.tech.bus_width;
+    row_lut_.reserve(c.tech.bus_width + 1);
+    col_lut_.reserve(c.tech.bus_width + 1);
+    for (unsigned f = 0; f <= c.tech.bus_width; ++f) {
+      row_lut_.push_back(
+          wires.flip_energy_j(static_cast<int>(f), embedding.row_wire_grids()));
+      col_lut_.push_back(wires.flip_energy_j(static_cast<int>(f),
+                                             embedding.column_wire_grids()));
+    }
+
+    traffic_rng_.reserve(lanes_);
+    factory_rng_.reserve(lanes_);
+    for (unsigned k = 0; k < lanes_; ++k) {
+      traffic_rng_.emplace_back(seeds[k]);
+      factory_rng_.emplace_back(seeds[k] ^ 0xFACADEull);
+    }
+
+    const std::size_t banks = std::size_t{lanes_} * n_;
+    slot_next_.assign(banks * spb_, kNullSlot);
+    for (std::size_t b = 0; b < banks; ++b) {
+      for (std::uint32_t s = 0; s + 1 < spb_; ++s) {
+        slot_next_[b * spb_ + s] = s + 1;
+      }
+    }
+    free_head_.assign(banks, 0);
+    // One padding word: a completed packet's parked cursor points one past
+    // its last word, and the dense streaming path loads (then discards)
+    // the word under every parked cursor.
+    words_.assign(banks * spb_ * pw_ + 1, 0);
+    head_.assign(banks * n_, kNullSlot);
+    tail_.assign(banks * n_, kNullSlot);
+    occ_.assign(banks, 0);
+    req_t_.assign(banks, 0);
+    total_.assign(banks, 0);
+
+    str_.assign(banks, StrCursor{});
+    str_start_.assign(banks, 0);
+    streaming_.assign(lanes_, 0);
+    ingress_free_.assign(lanes_, full_mask_);
+    egress_free_.assign(lanes_, full_mask_);
+    grant_ptr_.assign(banks, 0);
+    accept_ptr_.assign(banks, 0);
+
+    row_last_.assign(banks, 0);
+    col_last_.assign(banks, 0);
+
+    switch_j_.assign(lanes_, 0.0);
+    wire_j_.assign(lanes_, 0.0);
+    latency_sum_.assign(lanes_, 0.0);
+    words_cnt_.assign(lanes_, 0);
+    packets_.assign(lanes_, 0);
+    latency_cnt_.assign(lanes_, 0);
+    drops_.assign(lanes_, 0);
+    drops_before_.assign(lanes_, 0);
+  }
+
+  void run() {
+    for (unsigned k0 = 0; k0 < lanes_; k0 += kLaneBlock) {
+      run_block(k0, std::min(k0 + kLaneBlock, lanes_));
+    }
+  }
+
+  void run_block(unsigned k0, unsigned k1) {
+    const Cycle total = c_.warmup_cycles + c_.measure_cycles;
+    const bool batched = rate_ > 0.0 && rate_ < 1.0;
+    // Block-local generator state: the arrival phase owns the traffic and
+    // factory streams, so they live on the stack for the whole block run
+    // instead of bouncing every draw through the member vectors. Traffic
+    // state transposes into the block-SoA layout for the coin step.
+    const unsigned count = k1 - k0;
+    RngLanes traffic;
+    Rng frng[kLaneBlock];
+    if (batched) {
+      traffic.load(traffic_rng_, k0, count);
+      for (unsigned j = 0; j < count; ++j) frng[j] = factory_rng_[k0 + j];
+    }
+    for (Cycle cycle = 0; cycle < total; ++cycle) {
+      if (cycle == c_.warmup_cycles) reset_measurement(k0, k1);
+      if (batched) {
+        arrivals_bernoulli(k0, count, traffic, frng);
+      } else {
+        for (unsigned k = k0; k < k1; ++k) arrivals(k);
+      }
+      for (unsigned k = k0; k < k1; ++k) {
+        match(k, cycle);
+        stream(k, cycle);
+      }
+    }
+    if (batched) {
+      traffic.save(traffic_rng_, k0, count);
+      for (unsigned j = 0; j < count; ++j) factory_rng_[k0 + j] = frng[j];
+    }
+  }
+
+  [[nodiscard]] SimResult result(unsigned k) const {
+    SimResult r;
+    r.arch = c_.arch;
+    r.ports = c_.ports;
+    r.offered_load = c_.offered_load;
+    r.measured_cycles = c_.measure_cycles;
+
+    r.delivered_words = words_cnt_[k];
+    r.delivered_packets = packets_[k];
+    r.egress_throughput = static_cast<double>(words_cnt_[k]) /
+                          (static_cast<double>(c_.measure_cycles) * n_);
+    r.input_queue_drops = drops_[k] - drops_before_[k];
+    r.mean_packet_latency_cycles =
+        latency_cnt_[k] == 0
+            ? 0.0
+            : latency_sum_[k] / static_cast<double>(latency_cnt_[k]);
+
+    // EnergyLedger::total() folds switch + buffer + wire left to right with
+    // buffer exactly 0.0 on the bufferless crossbar, so the two-term sum
+    // below is the identical double.
+    const double duration_s = static_cast<double>(c_.measure_cycles) *
+                              c_.tech.cycle_time_s();
+    const double total_j = switch_j_[k] + wire_j_[k];
+    r.power_w = total_j / duration_s;
+    r.switch_power_w = switch_j_[k] / duration_s;
+    r.buffer_power_w = 0.0 / duration_s;
+    r.wire_power_w = wire_j_[k] / duration_s;
+    const double delivered_bits =
+        static_cast<double>(r.delivered_words) * c_.tech.bus_width;
+    r.energy_per_bit_j =
+        delivered_bits > 0.0 ? total_j / delivered_bits : 0.0;
+
+    r.words_buffered = 0;
+    r.sram_buffered_words = 0;
+    r.stall_cycles = 0;
+    return r;
+  }
+
+ private:
+  void reset_measurement(unsigned k0, unsigned k1) {
+    for (unsigned k = k0; k < k1; ++k) {
+      switch_j_[k] = 0.0;
+      wire_j_[k] = 0.0;
+      latency_sum_[k] = 0.0;
+      words_cnt_[k] = 0;
+      packets_[k] = 0;
+      latency_cnt_[k] = 0;
+      drops_before_[k] = drops_[k];
+    }
+    // Wire polarity memories, bank contents and in-flight packets carry
+    // across the boundary, exactly like the scalar warm-up reset (which
+    // only zeroes the ledger and the egress counters).
+  }
+
+  [[nodiscard]] PortId pick_dest(PortId source, Rng& rng) const {
+    switch (c_.pattern) {
+      case TrafficPatternKind::kBitReversal:
+        return perm_[source];
+      case TrafficPatternKind::kHotspot:
+        if (source != c_.hotspot_port &&
+            rng.next_bernoulli(c_.hotspot_fraction)) {
+          return c_.hotspot_port;
+        }
+        break;
+      case TrafficPatternKind::kUniform:
+      case TrafficPatternKind::kBursty:
+        break;
+    }
+    // UniformPattern::pick: uniform over the other ports.
+    const auto draw = static_cast<PortId>(rng.next_below(n_ - 1));
+    return draw >= source ? draw + 1 : draw;
+  }
+
+  void make_and_enqueue(unsigned k, PortId ingress, PortId dest, Rng& frng) {
+    const std::size_t b = std::size_t{k} * n_ + ingress;
+    if (total_[b] >= cap_) {
+      // The scalar PacketFactory::make ran (and advanced its generator)
+      // before VoqBank::enqueue dropped the packet — consume the same
+      // payload draws.
+      ++drops_[k];
+      if (c_.payload == PayloadKind::kRandom) {
+        for (unsigned w = 1; w < pw_; ++w) (void)frng.next_word();
+      }
+      return;
+    }
+    const std::size_t sbase = b * spb_;
+    const std::uint32_t s = free_head_[b];
+    free_head_[b] = slot_next_[sbase + s];
+
+    Word* words = words_.data() + (sbase + s) * pw_;
+    words[0] = static_cast<Word>(dest);  // header, as fill_packet_words
+    switch (c_.payload) {
+      case PayloadKind::kRandom:
+        for (unsigned w = 1; w < pw_; ++w) words[w] = frng.next_word();
+        break;
+      case PayloadKind::kAlternating:
+        for (unsigned w = 1; w < pw_; ++w) {
+          words[w] = (w % 2 != 0) ? 0xFFFFFFFFu : 0x00000000u;
+        }
+        break;
+      case PayloadKind::kZero:
+        for (unsigned w = 1; w < pw_; ++w) words[w] = 0u;
+        break;
+    }
+
+    const std::size_t q = b * n_ + dest;
+    slot_next_[sbase + s] = kNullSlot;
+    if (tail_[q] == kNullSlot) {
+      head_[q] = s;
+    } else {
+      slot_next_[sbase + tail_[q]] = s;
+    }
+    tail_[q] = s;
+    occ_[b] |= std::uint64_t{1} << dest;
+    req_t_[std::size_t{k} * n_ + dest] |= std::uint64_t{1} << ingress;
+    ++total_[b];
+  }
+
+  /// Sub-unity Bernoulli arrivals, port-outer: one multi-lane integer
+  /// threshold word per port batches every lane's arrival coin (the
+  /// LaneRngBlock::next_bernoulli_word draw) while preserving each lane's
+  /// own draw sequence — the coin for port p still immediately precedes
+  /// that port's destination and payload draws, as in the scalar
+  /// TrafficGenerator.
+  void arrivals_bernoulli(unsigned k0, unsigned count, RngLanes& traffic,
+                          Rng* frng) {
+    for (PortId p = 0; p < n_; ++p) {
+      const std::uint64_t hits = traffic.coin(count, threshold_);
+      for_each_set_bit(hits, 0, [&](unsigned j) {
+        // Hits are rare at sub-unity rates, so the arriving lane's
+        // generator materializes out of the block only here. The payload
+        // fill stays the straight-line per-lane loop: its serial xoshiro
+        // chain hides behind the surrounding independent work in the
+        // out-of-order window (a deferred block-interleaved fill measured
+        // slower than this).
+        Rng lane = traffic.lane(j);
+        const PortId dest = pick_dest(p, lane);
+        traffic.set_lane(j, lane);
+        make_and_enqueue(k0 + j, p, dest, frng[j]);
+      });
+    }
+  }
+
+  void arrivals(unsigned k) {
+    Rng trng = traffic_rng_[k];
+    Rng frng = factory_rng_[k];
+    if (rate_ >= 1.0) {
+      // Saturating rate: every port arrives, no arrival draw (the scalar
+      // fast path skips next_bernoulli for p >= 1).
+      for (PortId p = 0; p < n_; ++p) {
+        const PortId dest = pick_dest(p, trng);
+        make_and_enqueue(k, p, dest, frng);
+      }
+    } else if (rate_ == 0.0) {
+      // No arrivals, no draws.
+    } else {
+      // BurstyArrival::arrives: Markov state flip, then an in-state draw.
+      char* on = bursty_on_.data() + std::size_t{k} * n_;
+      for (PortId p = 0; p < n_; ++p) {
+        if (on[p]) {
+          if (trng.next_bernoulli(p_on_off_)) on[p] = 0;
+        } else {
+          if (trng.next_bernoulli(p_off_on_)) on[p] = 1;
+        }
+        if (on[p] == 0 || !trng.next_bernoulli(on_rate_)) continue;
+        const PortId dest = pick_dest(p, trng);
+        make_and_enqueue(k, p, dest, frng);
+      }
+    }
+    traffic_rng_[k] = trng;
+    factory_rng_[k] = frng;
+  }
+
+  /// IslipArbiter::match_banks on mask words: the grant pointer walk is a
+  /// first-set-bit in cyclic order over (requesters & available ingresses),
+  /// the accept walk the same over the egresses that granted this ingress.
+  void match(unsigned k, Cycle cycle) {
+    const std::size_t base = std::size_t{k} * n_;
+    const std::uint64_t* const req_t = req_t_.data() + base;
+    PortId* const grant_ptr = grant_ptr_.data() + base;
+    PortId* const accept_ptr = accept_ptr_.data() + base;
+    std::uint64_t matched_i = 0;
+    std::uint64_t matched_e = 0;
+    for (unsigned iter = 0; iter < iterations_; ++iter) {
+      const std::uint64_t avail_e = egress_free_[k] & ~matched_e;
+      const std::uint64_t avail_i = ingress_free_[k] & ~matched_i;
+      if (avail_e == 0 || avail_i == 0) break;
+      std::uint64_t granted = 0;
+      for_each_set_bit(avail_e, 0, [&](unsigned e) {
+        const std::uint64_t cand = req_t[e] & avail_i;
+        if (cand == 0) return;
+        const unsigned g = first_set_cyclic(cand, grant_ptr[e], n_);
+        grants_of_[g] |= std::uint64_t{1} << e;
+        granted |= std::uint64_t{1} << g;
+      });
+      if (granted == 0) break;  // no grant can be accepted
+      for_each_set_bit(granted, 0, [&](unsigned i) {
+        const unsigned e =
+            first_set_cyclic(grants_of_[i], accept_ptr[i], n_);
+        grants_of_[i] = 0;
+        matched_i |= std::uint64_t{1} << i;
+        matched_e |= std::uint64_t{1} << e;
+        // iSLIP pointer rule: advance one past the partner, first
+        // iteration only ((x + 1) % n without the division).
+        if (iter == 0) {
+          grant_ptr[e] = i + 1 == n_ ? 0 : i + 1;
+          accept_ptr[i] = e + 1 == n_ ? 0 : e + 1;
+        }
+        start_streaming(k, i, e, cycle);
+      });
+    }
+  }
+
+  /// VoqBank::pop + the router's match bookkeeping for one accepted match.
+  void start_streaming(unsigned k, unsigned ingress, unsigned egress,
+                       Cycle cycle) {
+    const std::size_t b = std::size_t{k} * n_ + ingress;
+    const std::size_t sbase = b * spb_;
+    const std::size_t q = b * n_ + egress;
+    const std::uint32_t s = head_[q];
+    head_[q] = slot_next_[sbase + s];
+    if (head_[q] == kNullSlot) {
+      tail_[q] = kNullSlot;
+      occ_[b] &= ~(std::uint64_t{1} << egress);
+      req_t_[std::size_t{k} * n_ + egress] &=
+          ~(std::uint64_t{1} << ingress);
+    }
+    --total_[b];
+
+    str_[b] = StrCursor{static_cast<std::uint32_t>((sbase + s) * pw_), pw_,
+                        egress, s};
+    str_start_[b] = cycle;  // note_head_injected: latency measures from here
+    streaming_[k] |= std::uint64_t{1} << ingress;
+    ingress_free_[k] &= ~(std::uint64_t{1} << ingress);
+    egress_free_[k] &= ~(std::uint64_t{1} << egress);
+  }
+
+  /// The fused crossbar word path, port-ascending per lane — the same
+  /// per-lane floating-point accumulation order as deliver_word under the
+  /// scalar router's streaming loop.
+  void stream(unsigned k, Cycle cycle) {
+    const std::uint64_t mask = streaming_[k];
+    if (mask == 0) return;
+    // Register accumulators: the adds happen in the identical per-port
+    // order, only the store back to the lane slot is deferred.
+    double switch_j = switch_j_[k];
+    double wire_j = wire_j_[k];
+    std::uint64_t words_cnt = words_cnt_[k];
+    const std::size_t base = std::size_t{k} * n_;
+    const Word* const words = words_.data();
+    Word* const row_last = row_last_.data() + base;
+    Word* const col_last = col_last_.data() + base;
+    StrCursor* const str = str_.data() + base;
+    const double* const row_lut = row_lut_.data();
+    const double* const col_lut = col_lut_.data();
+
+    for_each_set_bit(mask, 0, [&](unsigned p) {
+      const StrCursor cur = str[p];
+      const Word data = words[cur.idx];
+      const unsigned e = cur.dest;
+      const std::uint32_t left = cur.left - 1;
+
+      const int row_flips = toggled_bits(row_last[p], data);
+      row_last[p] = data;
+      const int col_flips = toggled_bits(col_last[e], data);
+      col_last[e] = data;
+      switch_j += switch_word_j_;
+      wire_j += row_lut[row_flips] + col_lut[col_flips];
+      ++words_cnt;
+
+      // Advance unconditionally (a dead store on the tail word, which
+      // resets the cursor at its next match anyway).
+      str[p].idx = cur.idx + 1;
+      str[p].left = left;
+
+      if (left == 0) {  // tail word: packet complete
+        const std::size_t b = base + p;
+        ++packets_[k];
+        latency_sum_[k] += static_cast<double>(cycle - str_start_[b]);
+        ++latency_cnt_[k];
+        egress_free_[k] |= std::uint64_t{1} << e;
+        slot_next_[b * spb_ + cur.slot] = free_head_[b];
+        free_head_[b] = cur.slot;
+        ingress_free_[k] |= std::uint64_t{1} << p;
+        streaming_[k] &= ~(std::uint64_t{1} << p);
+      }
+    });
+    switch_j_[k] = switch_j;
+    wire_j_[k] = wire_j;
+    words_cnt_[k] = words_cnt;
+  }
+
+  SimConfig c_;
+  unsigned n_;          ///< ports
+  unsigned pw_;         ///< words per packet
+  std::uint32_t cap_;   ///< shared packets per VOQ bank
+  std::uint32_t spb_;   ///< slots per bank = cap_ + 1
+  unsigned lanes_;
+  unsigned iterations_;
+  std::uint64_t full_mask_;
+
+  // Traffic (negative rate_ = generic/bursty arrival path, as in
+  // TrafficGenerator::bernoulli_rate_).
+  double rate_ = -1.0;
+  std::uint64_t threshold_ = 0;
+  double on_rate_ = 0.0;
+  double p_on_off_ = 0.0;
+  double p_off_on_ = 0.0;
+  std::vector<char> bursty_on_;    // [lane * N + port]
+  std::vector<PortId> perm_;       // bit-reversal table
+  std::vector<Rng> traffic_rng_;   // lane k: Rng{seed_k}
+  std::vector<Rng> factory_rng_;   // lane k: Rng{seed_k ^ 0xFACADE}
+
+  // Crossbar energy constants (shared across lanes; value-identical to
+  // CrossbarFabric's).
+  double switch_word_j_ = 0.0;
+  std::vector<double> row_lut_;
+  std::vector<double> col_lut_;
+
+  // VOQ banks: bank b = lane * N + ingress owns spb_ packet slots; VOQs are
+  // intrusive lists over the slot pool, occupancy mirrored in mask planes.
+  std::vector<std::uint32_t> slot_next_;  // [bank * spb_ + slot]
+  std::vector<std::uint32_t> free_head_;  // [bank]
+  std::vector<Word> words_;               // [(bank * spb_ + slot) * pw_]
+  std::vector<std::uint32_t> head_;       // [bank * N + egress]
+  std::vector<std::uint32_t> tail_;       // [bank * N + egress]
+  std::vector<std::uint64_t> occ_;        // [bank], bit e = VOQ e nonempty
+  std::vector<std::uint64_t> req_t_;      // [lane * N + e], bit i: transpose
+  std::vector<std::uint32_t> total_;      // [bank], queued packets
+
+  // Streaming slots (the router's per-port StreamingPacket): the word
+  // cursor is a flat index into words_ plus a countdown, so the hot path
+  // never recomputes slot addresses.
+  std::vector<StrCursor> str_;            // [lane * N + ingress]
+  std::vector<Cycle> str_start_;
+  std::vector<std::uint64_t> streaming_;  // [lane], bit i
+  std::vector<std::uint64_t> ingress_free_;
+  std::vector<std::uint64_t> egress_free_;
+
+  // iSLIP pointers + per-lane grant scratch.
+  std::vector<PortId> grant_ptr_;   // [lane * N + egress]
+  std::vector<PortId> accept_ptr_;  // [lane * N + ingress]
+  std::uint64_t grants_of_[64] = {};
+
+  // Crossbar wire polarity memories.
+  std::vector<Word> row_last_;  // [lane * N + row]
+  std::vector<Word> col_last_;  // [lane * N + column]
+
+  // Per-lane accumulators (the ledger + egress-collector state).
+  std::vector<double> switch_j_;
+  std::vector<double> wire_j_;
+  std::vector<double> latency_sum_;
+  std::vector<std::uint64_t> words_cnt_;
+  std::vector<std::uint64_t> packets_;
+  std::vector<std::uint64_t> latency_cnt_;
+  std::vector<std::uint64_t> drops_;
+  std::vector<std::uint64_t> drops_before_;
+};
+
+void lane_pass(const SimConfig& config, const std::uint64_t* seeds,
+               unsigned lanes, SimResult* out) {
+  LaneSimEngine engine(config, seeds, lanes);
+  engine.run();
+  for (unsigned k = 0; k < lanes; ++k) out[k] = engine.result(k);
+}
+
+}  // namespace
+}  // namespace sfab::detail

@@ -1,0 +1,11 @@
+// Baseline-ISA lane-sim pass: the reference kernel, always available.
+// The engine body is shared with the POPCNT TU (lane_sim_engine.ipp); this
+// TU compiles it under the library's default flags only.
+#include "sim/lane_sim_engine.ipp"
+#include "sim/lane_sim_kernels.hpp"
+
+namespace sfab::detail {
+
+LanePassFn lane_pass_portable() noexcept { return &lane_pass; }
+
+}  // namespace sfab::detail

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/rng.hpp"
+
 namespace sfab {
 
 namespace {
@@ -43,18 +45,33 @@ Statistic summarize(const std::vector<double>& samples) {
   return s;
 }
 
-ReplicatedResult replicate(SimConfig config, unsigned replications) {
+ReplicatedResult replicate(SimConfig config, unsigned replications,
+                           ReplicateEngine engine) {
   if (replications < 1) {
     throw std::invalid_argument("replicate: need >= 1 replication");
   }
+  std::vector<std::uint64_t> seeds(replications);
+  for (unsigned k = 0; k < replications; ++k) {
+    seeds[k] = derive_stream_seed(config.seed, k);
+  }
+
+  std::vector<SimResult> runs;
+  if (engine == ReplicateEngine::kLaned) {
+    runs = run_lane_simulations(config, seeds);
+  } else {
+    runs.reserve(replications);
+    for (const std::uint64_t seed : seeds) {
+      SimConfig scalar = config;
+      scalar.seed = seed;
+      runs.push_back(run_simulation(scalar));
+    }
+  }
+
   ReplicatedResult result;
   result.replications = replications;
-  result.runs.reserve(replications);
 
   std::vector<double> power, sw, buf, wire, epb, thr, lat;
-  for (unsigned k = 0; k < replications; ++k) {
-    config.seed = config.seed + (k == 0 ? 0 : 1);
-    const SimResult r = run_simulation(config);
+  for (const SimResult& r : runs) {
     power.push_back(r.power_w);
     sw.push_back(r.switch_power_w);
     buf.push_back(r.buffer_power_w);
@@ -62,8 +79,8 @@ ReplicatedResult replicate(SimConfig config, unsigned replications) {
     epb.push_back(r.energy_per_bit_j);
     thr.push_back(r.egress_throughput);
     lat.push_back(r.mean_packet_latency_cycles);
-    result.runs.push_back(r);
   }
+  result.runs = std::move(runs);
   result.power_w = summarize(power);
   result.switch_power_w = summarize(sw);
   result.buffer_power_w = summarize(buf);

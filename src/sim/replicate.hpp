@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/lane_sim.hpp"
 #include "sim/simulation.hpp"
 
 namespace sfab {
@@ -49,9 +50,17 @@ struct ReplicatedResult {
   std::vector<SimResult> runs;
 };
 
-/// Runs `config` under `replications` distinct seeds (config.seed,
-/// config.seed+1, ...) and summarizes. replications must be >= 1.
-[[nodiscard]] ReplicatedResult replicate(SimConfig config,
-                                         unsigned replications);
+/// Runs `config` under `replications` decorrelated seeds —
+/// derive_stream_seed(config.seed, k) for replicate k, the same derivation
+/// SweepSpec uses — and summarizes. replications must be >= 1.
+///
+/// The default engine packs the replicates into bit-sliced lanes
+/// (sim/lane_sim.hpp) and runs them through one shared simulation pass;
+/// configurations outside the laned fast path fall back to per-replicate
+/// scalar runs automatically. Either engine choice yields bit-identical
+/// results — kScalar exists as the plain reference path.
+[[nodiscard]] ReplicatedResult replicate(
+    SimConfig config, unsigned replications,
+    ReplicateEngine engine = ReplicateEngine::kLaned);
 
 }  // namespace sfab

@@ -274,6 +274,103 @@ TEST(LaneRngBlock, RejectsZeroWords) {
   EXPECT_THROW((void)LaneRngBlock(1, 0), std::invalid_argument);
 }
 
+TEST(LaneRngBlock, BernoulliWordMatchesScalarLaneForLane) {
+  // next_bernoulli_word's contract: bit b of word w is exactly the
+  // next_bernoulli_threshold draw of an Rng seeded with
+  // derive_stream_seed(seed, 64·w + b), one raw u64 per lane per call —
+  // the packed arrival draw of the packet-lane engine, exchangeable
+  // draw-for-draw with a scalar TrafficGenerator.
+  constexpr std::uint64_t kSeed = 0xBE12u;
+  constexpr double kRate = 0.23;
+  constexpr unsigned kWords = 3, kDraws = 120;
+  const std::uint64_t threshold = Rng::bernoulli_threshold(kRate);
+  LaneRngBlock block{kSeed, kWords};
+  std::vector<std::uint64_t> out(kWords);
+  std::vector<Rng> scalar;
+  for (unsigned lane = 0; lane < kWords * 64; ++lane) {
+    scalar.emplace_back(derive_stream_seed(kSeed, lane));
+  }
+  for (unsigned t = 0; t < kDraws; ++t) {
+    block.next_bernoulli_word(kRate, out.data());
+    for (unsigned lane = 0; lane < kWords * 64; ++lane) {
+      ASSERT_EQ(((out[lane / 64] >> (lane % 64)) & 1u) != 0,
+                scalar[lane].next_bernoulli_threshold(threshold))
+          << "draw " << t << " lane " << lane;
+    }
+  }
+}
+
+TEST(LaneRngBlock, BernoulliWordInvariantAcrossWidthsAndSplits) {
+  // A lane's Bernoulli stream is a pure function of its global lane index
+  // and the call sequence: the same lane carried by a narrow block, a wide
+  // block, and an offset (first_lane) block emits identical bits.
+  constexpr std::uint64_t kSeed = 0x5EED5;
+  constexpr double kRate = 0.61;
+  LaneRngBlock narrow{kSeed, 1};      // lanes 0..63
+  LaneRngBlock wide{kSeed, 4};        // lanes 0..255
+  LaneRngBlock tail{kSeed, 2, 128};   // lanes 128..255
+  std::vector<std::uint64_t> n(1), w(4), t(2);
+  for (unsigned step = 0; step < 100; ++step) {
+    narrow.next_bernoulli_word(kRate, n.data());
+    wide.next_bernoulli_word(kRate, w.data());
+    tail.next_bernoulli_word(kRate, t.data());
+    ASSERT_EQ(n[0], w[0]) << "step " << step;
+    ASSERT_EQ(t[0], w[2]) << "step " << step;
+    ASSERT_EQ(t[1], w[3]) << "step " << step;
+  }
+}
+
+TEST(LaneRngBlock, BernoulliWordLanesAreIndependentAtTheRightRate) {
+  // Empirical check across 128 lanes: each lane's hit rate concentrates
+  // around p, no two lanes emit the same column, and pairwise agreement
+  // between adjacent lanes stays near the independence prediction
+  // p² + (1-p)².
+  constexpr double kRate = 0.3;
+  constexpr unsigned kDraws = 4'000, kWords = 2;
+  LaneRngBlock block{777, kWords};
+  std::vector<std::uint64_t> history(kDraws * kWords);
+  for (unsigned d = 0; d < kDraws; ++d) {
+    block.next_bernoulli_word(kRate, history.data() + std::size_t{d} * kWords);
+  }
+  const auto bit_at = [&](unsigned lane, unsigned d) {
+    return ((history[std::size_t{d} * kWords + lane / 64] >> (lane % 64)) &
+            1u) != 0;
+  };
+  std::set<std::vector<bool>> columns;
+  for (unsigned lane = 0; lane < kWords * 64; ++lane) {
+    unsigned ones = 0;
+    std::vector<bool> column;
+    for (unsigned d = 0; d < kDraws; ++d) {
+      const bool bit = bit_at(lane, d);
+      ones += bit;
+      column.push_back(bit);
+    }
+    // Binomial(4000, 0.3): sd ≈ 29; allow ±6 sd.
+    EXPECT_NEAR(static_cast<double>(ones), kRate * kDraws, 6 * 29.0)
+        << "lane " << lane;
+    EXPECT_TRUE(columns.insert(column).second) << "duplicate lane " << lane;
+  }
+  for (unsigned lane = 0; lane + 1 < kWords * 64; ++lane) {
+    unsigned agree = 0;
+    for (unsigned d = 0; d < kDraws; ++d) {
+      agree += bit_at(lane, d) == bit_at(lane + 1, d);
+    }
+    // Independent lanes agree with probability p² + (1-p)² = 0.58;
+    // sd ≈ 31, allow ±6 sd.
+    EXPECT_NEAR(static_cast<double>(agree), 0.58 * kDraws, 6 * 31.0)
+        << "lanes " << lane << "," << lane + 1;
+  }
+}
+
+TEST(LaneRngBlock, BernoulliEdgeRatesSaturate) {
+  LaneRngBlock block{5, 1};
+  std::uint64_t word = 0;
+  block.next_bernoulli_word(0.0, &word);
+  EXPECT_EQ(word, 0u);
+  block.next_bernoulli_word(1.0, &word);
+  EXPECT_EQ(word, ~std::uint64_t{0});
+}
+
 TEST(SplitMix64, KnownSequenceIsStable) {
   std::uint64_t state = 0;
   const std::uint64_t first = splitmix64_next(state);
@@ -340,6 +437,49 @@ TEST(BitOps, WordArrayBitmask) {
   EXPECT_FALSE(test_bit(words.data(), 64));
   EXPECT_TRUE(test_bit(words.data(), 63));
   EXPECT_TRUE(test_bit(words.data(), 129));
+}
+
+TEST(BitOps, ForEachSetBit) {
+  std::vector<unsigned> seen;
+  for_each_set_bit(0b1010'0001u, 100, [&](unsigned i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<unsigned>{100, 105, 107}));
+  seen.clear();
+  for_each_set_bit(std::uint64_t{0}, 0, [&](unsigned i) { seen.push_back(i); });
+  EXPECT_TRUE(seen.empty());
+  // Array form: global indices ascend across word boundaries.
+  const std::uint64_t words[2] = {std::uint64_t{1} << 63, 0b11};
+  seen.clear();
+  for_each_set_bit(words, 2, [&](unsigned i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<unsigned>{63, 64, 65}));
+}
+
+TEST(BitOps, CyclicFirst) {
+  const auto is_set = [](std::uint64_t mask) {
+    return [mask](unsigned i) { return ((mask >> i) & 1u) != 0; };
+  };
+  EXPECT_EQ(cyclic_first(8, 0, is_set(0b0001'0000)), 4u);
+  EXPECT_EQ(cyclic_first(8, 5, is_set(0b0001'0000)), 4u);  // wraps
+  EXPECT_EQ(cyclic_first(8, 4, is_set(0b0001'0000)), 4u);  // start itself
+  EXPECT_EQ(cyclic_first(8, 3, is_set(0)), 8u);            // none -> n
+}
+
+TEST(BitOps, FirstSetCyclicMatchesProbeWalk) {
+  // The O(1) mask form must agree with the O(n) pointer walk on every
+  // (mask, start) pair it is defined for — the equivalence the packet-lane
+  // iSLIP relies on to mirror the scalar arbiter's pointer order.
+  Rng rng{2024};
+  for (const unsigned n : {1u, 7u, 8u, 33u, 64u}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::uint64_t mask =
+          (n == 64 ? rng.next_u64() : rng.next_u64() & low_mask(n));
+      if (mask == 0) continue;
+      const auto start = static_cast<unsigned>(rng.next_below(n));
+      EXPECT_EQ(first_set_cyclic(mask, start, n),
+                cyclic_first(n, start,
+                             [&](unsigned i) { return ((mask >> i) & 1u) != 0; }))
+          << "n " << n << " mask " << mask << " start " << start;
+    }
+  }
 }
 
 TEST(PiecewiseLinear, ExactAtCalibrationPoints) {

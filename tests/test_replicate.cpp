@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "common/rng.hpp"
 #include "sim/replicate.hpp"
 
 namespace sfab {
@@ -88,9 +89,62 @@ TEST(Replicate, ArchitecturalGapsAreStatisticallyReal) {
   EXPECT_TRUE(crossbar.power_w.distinguishable_from(fc.power_w));
 }
 
+TEST(Replicate, LanedAndScalarEnginesAgreeBitForBit) {
+  // The default (laned) engine must reproduce the scalar reference run
+  // for run: same seeds, same SimResults, same summary statistics. This is
+  // the equivalence CI pins under ASan+UBSan.
+  SimConfig c;
+  c.arch = Architecture::kCrossbar;
+  c.scheme = RouterScheme::kVoq;
+  c.ports = 8;
+  c.offered_load = 0.6;
+  c.warmup_cycles = 200;
+  c.measure_cycles = 2'000;
+  c.seed = 99;
+  const ReplicatedResult laned = replicate(c, 6);
+  const ReplicatedResult scalar = replicate(c, 6, ReplicateEngine::kScalar);
+  ASSERT_EQ(laned.runs.size(), scalar.runs.size());
+  for (std::size_t k = 0; k < laned.runs.size(); ++k) {
+    EXPECT_EQ(laned.runs[k].delivered_packets,
+              scalar.runs[k].delivered_packets);
+    EXPECT_EQ(laned.runs[k].delivered_words, scalar.runs[k].delivered_words);
+    EXPECT_EQ(laned.runs[k].power_w, scalar.runs[k].power_w);
+    EXPECT_EQ(laned.runs[k].energy_per_bit_j, scalar.runs[k].energy_per_bit_j);
+    EXPECT_EQ(laned.runs[k].mean_packet_latency_cycles,
+              scalar.runs[k].mean_packet_latency_cycles);
+  }
+  EXPECT_EQ(laned.power_w.mean, scalar.power_w.mean);
+  EXPECT_EQ(laned.power_w.ci95_half, scalar.power_w.ci95_half);
+  EXPECT_EQ(laned.egress_throughput.mean, scalar.egress_throughput.mean);
+}
+
+TEST(Replicate, SeedsMatchSweepSpecDerivation) {
+  // replicate() and SweepSpec share one seed derivation
+  // (derive_stream_seed(base, k)), so a replicate batch and a
+  // replicates-axis sweep of the same base seed sample identical streams.
+  SimConfig c;
+  c.arch = Architecture::kCrossbar;
+  c.scheme = RouterScheme::kVoq;
+  c.ports = 4;
+  c.offered_load = 0.5;
+  c.warmup_cycles = 100;
+  c.measure_cycles = 1'000;
+  c.seed = 31;
+  const ReplicatedResult batch = replicate(c, 3);
+  for (unsigned k = 0; k < 3; ++k) {
+    SimConfig single = c;
+    single.seed = derive_stream_seed(c.seed, k);
+    const SimResult reference = run_simulation(single);
+    EXPECT_EQ(batch.runs[k].power_w, reference.power_w);
+    EXPECT_EQ(batch.runs[k].delivered_packets, reference.delivered_packets);
+  }
+}
+
 TEST(Replicate, Validation) {
   SimConfig c;
   EXPECT_THROW((void)replicate(c, 0), std::invalid_argument);
+  EXPECT_THROW((void)replicate(c, 0, ReplicateEngine::kScalar),
+               std::invalid_argument);
 }
 
 }  // namespace
