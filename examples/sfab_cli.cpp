@@ -21,6 +21,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -32,6 +33,7 @@
 #include "dist/coordinator.hpp"
 #include "dist/merge.hpp"
 #include "dist/shard_plan.hpp"
+#include "dist/status.hpp"
 #include "dist/worker.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
@@ -75,9 +77,21 @@ void print_usage() {
       "  --shard-dir PATH   shared ledger directory (coordinator default:\n"
       "                     a temp dir, removed after the merge)\n"
       "  --merge            merge a completed --shard-dir, no simulation\n"
+      "  --watch            follow --shard-dir live: per-shard progress\n"
+      "                     bars until the sweep settles, then merge\n"
+      "  --shard-count N    override the shard count (default: a few\n"
+      "                     claimable shards per worker)\n"
+      "  --max-reclaims N   retry strikes before a shard is quarantined\n"
+      "                     as poisoned                              [3]\n"
+      "  --allow-quarantined  merge past quarantined shards, reporting\n"
+      "                     the precise missing run indices\n"
+      "  --no-steal         worker: never split a straggler's shard\n"
       "  --stale-after S    seconds without a heartbeat before a claim\n"
       "                     counts as abandoned                     [30]\n"
-      "  --help             this text\n";
+      "  --help             this text\n"
+      "exit codes: 0 ok, 1 error, 2 sweep settled with quarantined\n"
+      "shards (coordinator/watch), 3 worker finished but the sweep has\n"
+      "quarantined shards\n";
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -182,6 +196,44 @@ void emit_results(const ResultSet& results, const std::string& csv_path,
   }
 }
 
+/// One line per hole in a gap-tolerant merge: the exact missing indices.
+void print_gap_report(const dist::MergeOutput& merged) {
+  for (const dist::ShardGap& gap : merged.gaps) {
+    if (gap.missing_begin >= gap.missing_end) continue;
+    std::cerr << "sfab_cli: shard " << gap.key << " missing runs "
+              << gap.missing_begin << ".." << gap.missing_end << " ("
+              << gap.committed << " of " << gap.end - gap.begin
+              << " recovered from its stream";
+    if (gap.poison) {
+      std::cerr << "; quarantined after " << gap.poison->reclaims
+                << " retries";
+      if (!gap.poison->reason.empty()) {
+        std::cerr << ": " << gap.poison->reason;
+      }
+    }
+    std::cerr << ")\n";
+  }
+}
+
+/// Names the config a quarantined shard's suspect run would have
+/// executed — the thing the operator must fix or exclude.
+void print_poisoned_configs(const SweepSpec& spec,
+                            const std::vector<dist::PoisonRecord>& poisoned) {
+  const std::vector<RunPlan> plans = spec.expand();
+  for (const dist::PoisonRecord& poison : poisoned) {
+    std::cerr << "sfab_cli: shard " << poison.key
+              << " quarantined at run " << poison.suspect;
+    if (poison.suspect < plans.size()) {
+      const SimConfig& c = plans[poison.suspect].config;
+      std::cerr << " (" << to_string(c.arch) << " " << c.ports << "x"
+                << c.ports << ", load " << c.offered_load << ", seed "
+                << c.seed << ")";
+    }
+    if (!poison.reason.empty()) std::cerr << ": " << poison.reason;
+    std::cerr << '\n';
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,6 +249,11 @@ int main(int argc, char** argv) {
   int shard_index = -1;
   std::string shard_dir;
   bool merge_mode = false;
+  bool watch_mode = false;
+  bool allow_quarantined = false;
+  bool steal = true;
+  unsigned max_reclaims = 3;
+  std::size_t shard_count_override = 0;
   double stale_after_s = 30.0;
 
   try {
@@ -277,6 +334,22 @@ int main(int argc, char** argv) {
         shard_dir = next();
       } else if (flag == "--merge") {
         merge_mode = true;
+      } else if (flag == "--watch") {
+        watch_mode = true;
+      } else if (flag == "--allow-quarantined") {
+        allow_quarantined = true;
+      } else if (flag == "--no-steal") {
+        steal = false;
+      } else if (flag == "--max-reclaims") {
+        max_reclaims = static_cast<unsigned>(std::stoul(next()));
+        if (max_reclaims == 0) {
+          throw std::invalid_argument("--max-reclaims must be >= 1");
+        }
+      } else if (flag == "--shard-count") {
+        shard_count_override = std::stoull(next());
+        if (shard_count_override == 0) {
+          throw std::invalid_argument("--shard-count must be >= 1");
+        }
       } else if (flag == "--stale-after") {
         stale_after_s = std::stod(next());
       } else {
@@ -289,12 +362,46 @@ int main(int argc, char** argv) {
       if (shard_dir.empty()) {
         throw std::invalid_argument("--merge needs --shard-dir");
       }
-      const dist::MergeOutput merged = dist::merge_shards(shard_dir);
+      dist::MergeOptions merge_options;
+      merge_options.allow_quarantined = allow_quarantined;
+      const dist::MergeOutput merged =
+          dist::merge_shards(shard_dir, merge_options);
       emit_results(merged.results, csv_path, &merged.csv_text, "merged");
-      return 0;
+      print_gap_report(merged);
+      return merged.gaps.empty() ? 0 : 2;
     }
 
-    // --- worker: claim and run shards until the sweep completes -----------
+    // --- watch: follow a shard directory live, merge when it settles ------
+    if (watch_mode) {
+      if (shard_dir.empty()) {
+        throw std::invalid_argument("--watch needs --shard-dir");
+      }
+      const dist::ShardLedger ledger(shard_dir, stale_after_s);
+      for (;;) {
+        dist::SweepStatus status;
+        try {
+          status = dist::sweep_status(ledger);
+        } catch (const std::exception&) {
+          std::cerr << "[watch] waiting for a published plan in "
+                    << shard_dir << "\n";
+          std::this_thread::sleep_for(std::chrono::milliseconds(500));
+          continue;
+        }
+        std::cerr << "[watch]\n";
+        dist::render_status(std::cerr, status);
+        if (status.settled) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      }
+      dist::MergeOptions merge_options;
+      merge_options.allow_quarantined = allow_quarantined;
+      const dist::MergeOutput merged =
+          dist::merge_shards(shard_dir, merge_options);
+      emit_results(merged.results, csv_path, &merged.csv_text, "watched");
+      print_gap_report(merged);
+      return merged.gaps.empty() ? 0 : 2;
+    }
+
+    // --- worker: claim and run shards until the sweep settles -------------
     if (shard_index >= 0) {
       if (shards == 0 || shard_dir.empty()) {
         throw std::invalid_argument(
@@ -305,11 +412,16 @@ int main(int argc, char** argv) {
       options.engine = engine;
       options.stale_after_s = stale_after_s;
       options.worker_index = static_cast<unsigned>(shard_index);
+      options.max_reclaims = max_reclaims;
+      options.steal = steal;
       options.log = &std::cerr;
-      dist::run_worker(spec,
-                       dist::default_shard_count(spec.run_count(), shards),
-                       shard_dir, options);
-      return 0;
+      const std::size_t shard_count =
+          shard_count_override != 0
+              ? shard_count_override
+              : dist::default_shard_count(spec.run_count(), shards);
+      const dist::WorkerReport report =
+          dist::run_worker(spec, shard_count, shard_dir, options);
+      return report.sweep_quarantined ? 3 : 0;
     }
 
     // --- coordinator: spawn local workers, then merge ---------------------
@@ -342,13 +454,37 @@ int main(int argc, char** argv) {
       };
 
       const std::size_t shard_count =
-          dist::default_shard_count(spec.run_count(), shards);
+          shard_count_override != 0
+              ? shard_count_override
+              : dist::default_shard_count(spec.run_count(), shards);
       dist::CoordinatorOptions options;
       options.workers = shards;
       options.log = &std::cerr;
       const dist::CoordinatorReport report =
           dist::ShardCoordinator(shard_dir, worker_argv)
               .run(shard_count, options);
+
+      if (!report.poisoned.empty()) {
+        // Settled, but some shards are quarantined: name the crashing
+        // configs and exit 2. With --allow-quarantined, also emit what
+        // survived plus the precise gap report.
+        print_poisoned_configs(spec, report.poisoned);
+        if (allow_quarantined) {
+          dist::MergeOptions merge_options;
+          merge_options.expected_fingerprint = dist::fingerprint_of(spec);
+          merge_options.allow_quarantined = true;
+          const dist::MergeOutput merged =
+              dist::merge_shards(shard_dir, merge_options);
+          emit_results(merged.results, csv_path, &merged.csv_text,
+                       std::to_string(report.spawned) + " workers, " +
+                           std::to_string(merged.gaps.size()) +
+                           " quarantined shard(s)");
+          print_gap_report(merged);
+        }
+        if (!user_dir) std::filesystem::remove_all(shard_dir);
+        return 2;
+      }
+
       const dist::MergeOutput merged =
           dist::merge_shards(shard_dir, dist::fingerprint_of(spec));
       emit_results(merged.results, csv_path, &merged.csv_text,

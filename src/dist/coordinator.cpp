@@ -3,13 +3,16 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
-#include "dist/ledger.hpp"
+#include "dist/status.hpp"
 
 namespace sfab::dist {
 
@@ -37,6 +40,36 @@ namespace {
   return pid;
 }
 
+/// The sweep's settlement state; a plan that is not yet published (every
+/// worker died before publishing) reads as unsettled, not as an error.
+struct Settlement {
+  bool settled = false;
+  bool complete = false;
+  std::vector<PoisonRecord> poisoned;
+};
+
+[[nodiscard]] Settlement settlement_of(const ShardLedger& ledger) {
+  Settlement state;
+  LedgerPlan plan;
+  try {
+    plan = ledger.plan();
+  } catch (const std::exception&) {
+    return state;
+  }
+  state.settled = true;
+  state.complete = true;
+  for (const ResolvedShard& shard : resolve_shards(ledger, plan)) {
+    if (shard.covered) continue;
+    state.complete = false;
+    if (shard.poison) {
+      state.poisoned.push_back(*shard.poison);
+    } else {
+      state.settled = false;
+    }
+  }
+  return state;
+}
+
 }  // namespace
 
 ShardCoordinator::ShardCoordinator(
@@ -46,8 +79,10 @@ ShardCoordinator::ShardCoordinator(
 
 CoordinatorReport ShardCoordinator::run(std::size_t shard_count,
                                         const CoordinatorOptions& options) {
+  (void)shard_count;  // completion is judged from the ledger's own plan
   const ShardLedger ledger(shard_dir_);
   CoordinatorReport report;
+  double backoff_s = options.backoff_initial_s;
 
   for (unsigned wave = 0; wave <= options.max_respawn_waves; ++wave) {
     ++report.waves;
@@ -79,15 +114,42 @@ CoordinatorReport ShardCoordinator::run(std::size_t shard_count,
       }
     }
 
-    if (ledger.fragments_missing(shard_count) == 0) return report;
-    if (options.log != nullptr) {
-      *options.log << "[coordinator] wave " << report.waves
-                   << " ended with fragments missing; respawning\n";
+    const Settlement state = settlement_of(ledger);
+    if (state.settled) {
+      report.complete = state.complete;
+      report.poisoned = state.poisoned;
+      if (options.log != nullptr && !state.poisoned.empty()) {
+        for (const PoisonRecord& poison : state.poisoned) {
+          *options.log << "[coordinator] shard " << poison.key
+                       << " quarantined (suspect run " << poison.suspect
+                       << " after " << poison.reclaims
+                       << " retries: " << poison.reason << ")\n";
+        }
+      }
+      return report;
+    }
+
+    if (wave < options.max_respawn_waves) {
+      if (options.log != nullptr) {
+        *options.log << "[coordinator] wave " << report.waves
+                     << " ended with the sweep unsettled; respawning in "
+                     << backoff_s << " s\n";
+      }
+      if (backoff_s > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff_s));
+        backoff_s = std::min(backoff_s * 2.0, options.backoff_cap_s);
+      }
     }
   }
   throw std::runtime_error(
-      "ShardCoordinator: sweep incomplete after " +
-      std::to_string(report.waves) + " waves (" + shard_dir_ + ")");
+      "ShardCoordinator: sweep still unsettled after " +
+      std::to_string(report.waves) + " waves (" +
+      std::to_string(report.spawned) + " workers spawned, " +
+      std::to_string(report.failed) +
+      " failed) — the worker command is likely crashing before it can "
+      "claim work; check the binary and flags (" +
+      shard_dir_ + ")");
 }
 
 }  // namespace sfab::dist

@@ -1,10 +1,16 @@
 #include "dist/ledger.hpp"
 
 #include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -19,25 +25,108 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kPlanMagic[] = "sfab-shard-plan v1";
+constexpr char kSplitMagic[] = "sfab-split v1";
+constexpr char kPoisonMagic[] = "sfab-poison v1";
+constexpr char kProgressMagic[] = "sfab-progress v1";
 
-/// Writes `text` to `final_path` durably: temp file (unique per pid so
-/// concurrent writers never share one), flush, atomic rename. Rename
-/// either installs the complete file or changes nothing.
-void write_file_atomic(const fs::path& final_path, const std::string& text) {
+/// Chaos hook (tests/chaos): when SFAB_CHAOS_COMMIT_ENOSPC=<n> is set, the
+/// n-th fragment commit in this process writes a truncated temp file and
+/// fails as a full disk would — the rename never happens, so the protocol
+/// must treat the attempt as if it never was.
+[[nodiscard]] bool chaos_commit_enospc() {
+  static std::atomic<long> remaining{[] {
+    const char* env = std::getenv("SFAB_CHAOS_COMMIT_ENOSPC");
+    return env == nullptr ? -1L : std::atol(env);
+  }()};
+  long seen = remaining.load(std::memory_order_relaxed);
+  while (seen > 0) {
+    if (remaining.compare_exchange_weak(seen, seen - 1,
+                                        std::memory_order_relaxed)) {
+      return seen == 1;
+    }
+  }
+  return false;
+}
+
+void fsync_fd_or_throw(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    throw std::runtime_error("ShardLedger: fsync " + what + " failed: " +
+                             std::strerror(errno));
+  }
+}
+
+/// Flushes the directory entry itself so the rename that installed a file
+/// survives a power loss, not just the file's bytes.
+void fsync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: not all filesystems allow it
+  (void)::fsync(fd);
+  ::close(fd);
+}
+
+/// Writes `text` to `final_path` via a pid-unique temp file and an atomic
+/// rename. With `durable`, the temp file is fsync'd before the rename and
+/// the directory after it, so a host power loss can never expose a
+/// complete-looking truncated file. With `simulate_enospc`, only half the
+/// bytes land and the call fails without renaming (chaos harness).
+void write_file_atomic(const fs::path& final_path, const std::string& text,
+                       bool durable, bool simulate_enospc = false) {
+  const fs::path tmp =
+      final_path.string() + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("ShardLedger: cannot write " + tmp.string());
+  }
+  const std::size_t to_write =
+      simulate_enospc ? text.size() / 2 : text.size();
+  std::size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, to_write - written);
+    if (n < 0) {
+      ::close(fd);
+      throw std::runtime_error("ShardLedger: short write to " +
+                               tmp.string() + ": " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (simulate_enospc) {
+    ::close(fd);
+    throw std::runtime_error("ShardLedger: no space left on device (chaos) "
+                             "writing " + tmp.string());
+  }
+  if (durable) fsync_fd_or_throw(fd, tmp.string());
+  ::close(fd);
+  fs::rename(tmp, final_path);
+  if (durable) fsync_dir(final_path.parent_path());
+}
+
+/// First-publisher-wins install: write a private temp file, then link(2)
+/// it to the final name. Link fails with EEXIST when the record is already
+/// installed — never overwrites — so racing writers resolve to exactly one
+/// complete record. Returns true when this caller's content won.
+bool install_exclusive(const fs::path& final_path, const std::string& text) {
   const fs::path tmp =
       final_path.string() + ".tmp." + std::to_string(::getpid());
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      throw std::runtime_error("ShardLedger: cannot write " + tmp.string());
-    }
     out << text;
     out.flush();
     if (!out.good()) {
-      throw std::runtime_error("ShardLedger: short write to " + tmp.string());
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("ShardLedger: cannot write " + tmp.string());
     }
   }
-  fs::rename(tmp, final_path);
+  const int linked = ::link(tmp.c_str(), final_path.c_str());
+  const int link_errno = errno;
+  std::error_code ec;
+  fs::remove(tmp, ec);
+  if (linked == 0) return true;
+  if (link_errno == EEXIST) return false;
+  throw std::runtime_error(std::string("ShardLedger: cannot install ") +
+                           final_path.string() + ": " +
+                           std::strerror(link_errno));
 }
 
 [[nodiscard]] std::string read_file(const fs::path& path) {
@@ -50,6 +139,50 @@ void write_file_atomic(const fs::path& final_path, const std::string& text) {
   return text.str();
 }
 
+[[nodiscard]] std::optional<std::string> read_file_if_exists(
+    const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Reads "key value" lines after a magic header into a keyed accessor.
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& text) : in_(text) {
+    std::getline(in_, magic_);
+  }
+  [[nodiscard]] const std::string& magic() const { return magic_; }
+  /// Next "key rest-of-line" pair; false at end.
+  bool next(std::string& key, std::string& value) {
+    std::string line;
+    if (!std::getline(in_, line)) return false;
+    const std::size_t space = line.find(' ');
+    key = line.substr(0, space);
+    value = space == std::string::npos ? "" : line.substr(space + 1);
+    return true;
+  }
+
+ private:
+  std::istringstream in_;
+  std::string magic_;
+};
+
+template <class T>
+[[nodiscard]] bool parse_unsigned(const std::string& text, T& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+[[nodiscard]] std::string shard_file(const char* subdir, const ShardKey& key,
+                                     const char* suffix,
+                                     const std::string& dir) {
+  return (fs::path(dir) / subdir / ("shard-" + key + suffix)).string();
+}
+
 }  // namespace
 
 // --- Claim heartbeat ---------------------------------------------------------
@@ -60,15 +193,24 @@ struct ShardLedger::Claim::Beat {
   std::mutex mutex;
   std::condition_variable wake;
   bool stop = false;
+  // Chaos hook (tests/chaos): SFAB_CHAOS_FREEZE_HEARTBEAT_AFTER_BEATS=<n>
+  // silences the heartbeat after n refreshes while the process keeps
+  // running — the "live worker that looks dead" straggler case.
+  long beats_allowed;
+  long beats = 0;
   std::thread thread;
 
   Beat(std::string p, double s) : path(std::move(p)), interval_s(s) {
+    const char* freeze = std::getenv("SFAB_CHAOS_FREEZE_HEARTBEAT_AFTER_BEATS");
+    beats_allowed = freeze == nullptr ? -1 : std::atol(freeze);
     thread = std::thread([this] {
       std::unique_lock<std::mutex> lock(mutex);
       for (;;) {
         wake.wait_for(lock, std::chrono::duration<double>(interval_s),
                       [this] { return stop; });
         if (stop) return;
+        if (beats_allowed >= 0 && beats >= beats_allowed) continue;
+        ++beats;
         std::error_code ec;  // claim may have been reclaimed under us
         fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
       }
@@ -115,40 +257,33 @@ ShardLedger::ShardLedger(std::string dir, double stale_after_s)
   if (stale_s_ <= 0.0) {
     throw std::invalid_argument("ShardLedger: stale_after_s must be > 0");
   }
-  fs::create_directories(fs::path(dir_) / "claims");
-  fs::create_directories(fs::path(dir_) / "frags");
+  for (const char* sub :
+       {"claims", "frags", "parts", "progress", "splits", "retries",
+        "poison"}) {
+    fs::create_directories(fs::path(dir_) / sub);
+  }
+  // Sweep tombstones orphaned by a reclaimer that crashed between its
+  // winning rename and the unlink — they are dead weight the moment the
+  // rename won, so removal can never race a live claim.
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "claims", ec)) {
+    if (entry.path().filename().string().find(".stale.") !=
+        std::string::npos) {
+      std::error_code rm;
+      fs::remove(entry.path(), rm);
+    }
+  }
 }
 
 void ShardLedger::publish(const LedgerPlan& plan) {
   std::ostringstream text;
   text << kPlanMagic << "\nruns " << plan.total_runs << "\nshards "
        << plan.shard_count << "\nfingerprint " << plan.fingerprint << '\n';
-
-  // First-publisher-wins install: write a private temp file, then link(2)
-  // it to the final name. Link fails with EEXIST when a plan is already
-  // installed — never overwrites — so even two workers of *different*
-  // sweeps racing on an empty directory resolve to exactly one plan, and
-  // the loser's verify below throws. (Rename would silently last-wins.)
-  const fs::path path = fs::path(dir_) / "plan";
-  const fs::path tmp =
-      path.string() + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << text.str();
-    out.flush();
-    if (!out.good()) {
-      throw std::runtime_error("ShardLedger: cannot write " + tmp.string());
-    }
-  }
-  const int linked = ::link(tmp.c_str(), path.c_str());
-  const int link_errno = errno;
-  std::error_code ec;
-  fs::remove(tmp, ec);
-  if (linked != 0 && link_errno != EEXIST) {
-    throw std::runtime_error(
-        std::string("ShardLedger: cannot install plan: ") +
-        std::strerror(link_errno));
-  }
+  // First publisher wins; even two workers of *different* sweeps racing on
+  // an empty directory resolve to exactly one plan, and the loser's verify
+  // below throws. (Rename would silently last-wins.)
+  install_exclusive(fs::path(dir_) / "plan", text.str());
   const LedgerPlan existing = this->plan();
   if (existing.total_runs != plan.total_runs ||
       existing.shard_count != plan.shard_count ||
@@ -175,15 +310,13 @@ LedgerPlan ShardLedger::plan() const {
   return plan;
 }
 
-std::string ShardLedger::claim_path(std::size_t shard) const {
-  return (fs::path(dir_) / "claims" /
-          ("shard-" + std::to_string(shard) + ".claim"))
-      .string();
+std::string ShardLedger::claim_path(const ShardKey& key) const {
+  return shard_file("claims", key, ".claim", dir_);
 }
 
 std::optional<ShardLedger::Claim> ShardLedger::try_claim(
-    std::size_t shard, const std::string& worker_id) {
-  const std::string path = claim_path(shard);
+    const ShardKey& key, const std::string& worker_id) {
+  const std::string path = claim_path(key);
   // O_CREAT|O_EXCL is the mutual exclusion: exactly one process creates
   // the file; everyone else gets EEXIST.
   const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
@@ -195,8 +328,8 @@ std::optional<ShardLedger::Claim> ShardLedger::try_claim(
   return Claim(path, stale_s_ / 4.0);
 }
 
-bool ShardLedger::reclaim_if_stale(std::size_t shard) noexcept {
-  const std::string path = claim_path(shard);
+bool ShardLedger::reclaim_if_stale(const ShardKey& key) noexcept {
+  const std::string path = claim_path(key);
   std::error_code ec;
   const auto mtime = fs::last_write_time(path, ec);
   if (ec) return false;  // no claim (or just released) — nothing to break
@@ -205,6 +338,8 @@ bool ShardLedger::reclaim_if_stale(std::size_t shard) noexcept {
 
   // Break it: rename to a tombstone unique to this process. Rename has
   // exactly one winner; a loser's rename fails because the source is gone.
+  // The winner unlinks its tombstone immediately (a crash inside this
+  // window leaves an orphan that the constructor sweep removes).
   const std::string tombstone =
       path + ".stale." + std::to_string(::getpid());
   fs::rename(path, tombstone, ec);
@@ -213,32 +348,310 @@ bool ShardLedger::reclaim_if_stale(std::size_t shard) noexcept {
   return true;
 }
 
-std::string ShardLedger::fragment_path(std::size_t shard) const {
-  return (fs::path(dir_) / "frags" /
-          ("shard-" + std::to_string(shard) + ".csv"))
-      .string();
-}
-
-bool ShardLedger::fragment_exists(std::size_t shard) const {
+std::optional<double> ShardLedger::claim_age_s(const ShardKey& key) const {
   std::error_code ec;
-  return fs::exists(fragment_path(shard), ec);
+  const auto mtime = fs::last_write_time(claim_path(key), ec);
+  if (ec) return std::nullopt;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return std::chrono::duration<double>(age).count();
 }
 
-std::size_t ShardLedger::fragments_missing(std::size_t shard_count) const {
-  std::size_t missing = 0;
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    if (!fragment_exists(s)) ++missing;
-  }
-  return missing;
+std::string ShardLedger::fragment_path(const ShardKey& key) const {
+  return shard_file("frags", key, ".csv", dir_);
 }
 
-void ShardLedger::commit_fragment(std::size_t shard,
+bool ShardLedger::fragment_exists(const ShardKey& key) const {
+  std::error_code ec;
+  return fs::exists(fragment_path(key), ec);
+}
+
+void ShardLedger::commit_fragment(const ShardKey& key,
                                   const std::string& csv_text) {
-  write_file_atomic(fragment_path(shard), csv_text);
+  write_file_atomic(fragment_path(key), csv_text, /*durable=*/true,
+                    chaos_commit_enospc());
 }
 
-std::string ShardLedger::read_fragment(std::size_t shard) const {
-  return read_file(fragment_path(shard));
+std::string ShardLedger::read_fragment(const ShardKey& key) const {
+  return read_file(fragment_path(key));
+}
+
+// --- incremental result streaming --------------------------------------------
+
+void ShardLedger::append_rows(const ShardKey& key,
+                              const std::vector<std::string>& rows) {
+  if (rows.empty()) return;
+  std::string text;
+  for (const std::string& row : rows) {
+    text += row;
+    text += '\n';
+  }
+  const std::string path = shard_file("parts", key, ".rows", dir_);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("ShardLedger: cannot append to " + path);
+  }
+  if (::flock(fd, LOCK_EX) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ShardLedger: cannot lock " + path);
+  }
+  const ssize_t written = ::write(fd, text.data(), text.size());
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+  if (written != static_cast<ssize_t>(text.size())) {
+    throw std::runtime_error("ShardLedger: short append to " + path);
+  }
+}
+
+std::vector<std::string> ShardLedger::committed_prefix(
+    const ShardKey& key, std::size_t begin, std::size_t end,
+    std::size_t expected_fields) const {
+  const auto text =
+      read_file_if_exists(shard_file("parts", key, ".rows", dir_));
+  if (!text) return {};
+
+  // Index every well-formed, properly terminated line by its leading run
+  // index; duplicates (a reclaimed shard's zombie re-appending) keep the
+  // first occurrence — the bytes are identical by determinism anyway.
+  std::vector<std::optional<std::string>> by_index(end - begin);
+  std::size_t at = 0;
+  while (at < text->size()) {
+    const std::size_t eol = text->find('\n', at);
+    if (eol == std::string::npos) break;  // torn trailing append: drop
+    const std::string line = text->substr(at, eol - at);
+    at = eol + 1;
+    std::size_t index = 0;
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos ||
+        !parse_unsigned(line.substr(0, comma), index)) {
+      continue;
+    }
+    if (index < begin || index >= end) continue;
+    if (expected_fields != 0) {
+      const std::size_t commas =
+          static_cast<std::size_t>(std::count(line.begin(), line.end(), ','));
+      if (commas + 1 != expected_fields) continue;
+    }
+    auto& slot = by_index[index - begin];
+    if (!slot) slot = line;
+  }
+
+  std::vector<std::string> prefix;
+  for (auto& slot : by_index) {
+    if (!slot) break;
+    prefix.push_back(std::move(*slot));
+  }
+  return prefix;
+}
+
+void ShardLedger::write_progress(const ShardKey& key,
+                                 const ProgressRecord& progress) {
+  std::ostringstream text;
+  text << kProgressMagic << "\ndone " << progress.done << "\ntotal "
+       << progress.total << "\nstamp_ms " << progress.stamp_ms << '\n';
+  // Advisory record: atomic rename so readers never see a torn file, but
+  // no fsync — losing the last progress write costs nothing.
+  write_file_atomic(shard_file("progress", key, ".prog", dir_), text.str(),
+                    /*durable=*/false);
+}
+
+std::optional<ProgressRecord> ShardLedger::read_progress(
+    const ShardKey& key) const {
+  const auto text =
+      read_file_if_exists(shard_file("progress", key, ".prog", dir_));
+  if (!text) return std::nullopt;
+  RecordReader reader(*text);
+  if (reader.magic() != kProgressMagic) return std::nullopt;
+  ProgressRecord progress;
+  std::string field, value;
+  while (reader.next(field, value)) {
+    if (field == "done") {
+      if (!parse_unsigned(value, progress.done)) return std::nullopt;
+    } else if (field == "total") {
+      if (!parse_unsigned(value, progress.total)) return std::nullopt;
+    } else if (field == "stamp_ms") {
+      progress.stamp_ms = std::atoll(value.c_str());
+    }
+  }
+  return progress;
+}
+
+void ShardLedger::cleanup_shard(const ShardKey& key) noexcept {
+  std::error_code ec;
+  fs::remove(shard_file("parts", key, ".rows", dir_), ec);
+  fs::remove(shard_file("progress", key, ".prog", dir_), ec);
+}
+
+// --- work stealing -----------------------------------------------------------
+
+bool ShardLedger::create_split(const SplitRecord& record) {
+  if (record.child != child_of(record.parent) ||
+      record.child_begin >= record.child_end) {
+    throw std::invalid_argument("ShardLedger: malformed split record");
+  }
+  std::ostringstream text;
+  text << kSplitMagic << "\nparent " << record.parent << "\nchild "
+       << record.child << "\nbegin " << record.child_begin << "\nend "
+       << record.child_end << '\n';
+  return install_exclusive(
+      shard_file("splits", record.parent, ".split", dir_), text.str());
+}
+
+namespace {
+
+[[nodiscard]] std::optional<SplitRecord> parse_split(const std::string& text) {
+  RecordReader reader(text);
+  if (reader.magic() != kSplitMagic) return std::nullopt;
+  SplitRecord record;
+  std::string field, value;
+  bool have_begin = false, have_end = false;
+  while (reader.next(field, value)) {
+    if (field == "parent") {
+      record.parent = value;
+    } else if (field == "child") {
+      record.child = value;
+    } else if (field == "begin") {
+      have_begin = parse_unsigned(value, record.child_begin);
+    } else if (field == "end") {
+      have_end = parse_unsigned(value, record.child_end);
+    }
+  }
+  if (record.parent.empty() || record.child != child_of(record.parent) ||
+      !have_begin || !have_end || record.child_begin >= record.child_end) {
+    return std::nullopt;
+  }
+  return record;
+}
+
+}  // namespace
+
+std::optional<SplitRecord> ShardLedger::read_split(
+    const ShardKey& parent) const {
+  const auto text =
+      read_file_if_exists(shard_file("splits", parent, ".split", dir_));
+  if (!text) return std::nullopt;
+  return parse_split(*text);
+}
+
+std::vector<SplitRecord> ShardLedger::splits() const {
+  std::vector<SplitRecord> records;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "splits", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 7 || name.compare(name.size() - 6, 6, ".split") != 0) {
+      continue;  // temp files from in-flight installs
+    }
+    if (const auto text = read_file_if_exists(entry.path())) {
+      if (auto record = parse_split(*text)) records.push_back(*record);
+    }
+  }
+  return records;
+}
+
+// --- retry budget + quarantine -----------------------------------------------
+
+unsigned ShardLedger::reclaim_count(const ShardKey& key) const {
+  const std::string stem = "shard-" + key + ".r";
+  unsigned count = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "retries", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= stem.size() || name.compare(0, stem.size(), stem) != 0) {
+      continue;
+    }
+    unsigned n = 0;
+    if (parse_unsigned(name.substr(stem.size()), n)) {
+      count = std::max(count, n);
+    }
+  }
+  return count;
+}
+
+unsigned ShardLedger::record_reclaim(const ShardKey& key) {
+  unsigned n = reclaim_count(key) + 1;
+  for (;;) {
+    const std::string path =
+        shard_file("retries", key, (".r" + std::to_string(n)).c_str(), dir_);
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      return n;
+    }
+    if (errno != EEXIST) {
+      throw std::runtime_error("ShardLedger: cannot record retry strike " +
+                               path + ": " + std::strerror(errno));
+    }
+    ++n;  // a racing worker took this strike number; the next is ours
+  }
+}
+
+bool ShardLedger::quarantine(const PoisonRecord& record) {
+  std::ostringstream text;
+  text << kPoisonMagic << "\nkey " << record.key << "\nbegin " << record.begin
+       << "\nend " << record.end << "\ncommitted " << record.committed
+       << "\nsuspect " << record.suspect << "\nreclaims " << record.reclaims
+       << "\nworker " << record.worker << "\nreason " << record.reason
+       << '\n';
+  return install_exclusive(
+      shard_file("poison", record.key, ".poison", dir_), text.str());
+}
+
+namespace {
+
+[[nodiscard]] std::optional<PoisonRecord> parse_poison(
+    const std::string& text) {
+  RecordReader reader(text);
+  if (reader.magic() != kPoisonMagic) return std::nullopt;
+  PoisonRecord record;
+  std::string field, value;
+  while (reader.next(field, value)) {
+    if (field == "key") {
+      record.key = value;
+    } else if (field == "begin") {
+      if (!parse_unsigned(value, record.begin)) return std::nullopt;
+    } else if (field == "end") {
+      if (!parse_unsigned(value, record.end)) return std::nullopt;
+    } else if (field == "committed") {
+      if (!parse_unsigned(value, record.committed)) return std::nullopt;
+    } else if (field == "suspect") {
+      if (!parse_unsigned(value, record.suspect)) return std::nullopt;
+    } else if (field == "reclaims") {
+      if (!parse_unsigned(value, record.reclaims)) return std::nullopt;
+    } else if (field == "worker") {
+      record.worker = value;
+    } else if (field == "reason") {
+      record.reason = value;
+    }
+  }
+  if (record.key.empty() || record.begin >= record.end) return std::nullopt;
+  return record;
+}
+
+}  // namespace
+
+std::optional<PoisonRecord> ShardLedger::read_poison(
+    const ShardKey& key) const {
+  const auto text =
+      read_file_if_exists(shard_file("poison", key, ".poison", dir_));
+  if (!text) return std::nullopt;
+  return parse_poison(*text);
+}
+
+std::vector<PoisonRecord> ShardLedger::poisoned() const {
+  std::vector<PoisonRecord> records;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "poison", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 8 || name.compare(name.size() - 7, 7, ".poison") != 0) {
+      continue;
+    }
+    if (const auto text = read_file_if_exists(entry.path())) {
+      if (auto record = parse_poison(*text)) records.push_back(*record);
+    }
+  }
+  return records;
 }
 
 std::string local_worker_id(const std::string& tag) {

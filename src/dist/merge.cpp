@@ -1,11 +1,11 @@
 #include "dist/merge.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
 
-#include "dist/ledger.hpp"
-#include "dist/shard_plan.hpp"
+#include "dist/status.hpp"
 #include "exp/report.hpp"
 
 namespace sfab::dist {
@@ -37,43 +37,112 @@ struct FragmentRows {
   return out;
 }
 
+void append_terminated(std::string& csv, std::string_view rows) {
+  csv.append(rows);
+  if (!csv.empty() && csv.back() != '\n') csv.push_back('\n');
+}
+
 }  // namespace
 
 MergeOutput merge_shards(const std::string& shard_dir,
-                         const std::string& expected_fingerprint) {
+                         const MergeOptions& options) {
   const ShardLedger ledger(shard_dir);
   const LedgerPlan plan = ledger.plan();
-  if (!expected_fingerprint.empty() &&
-      expected_fingerprint != plan.fingerprint) {
+  if (!options.expected_fingerprint.empty() &&
+      options.expected_fingerprint != plan.fingerprint) {
     throw std::runtime_error(
         "merge_shards: " + shard_dir +
         " was produced by a different sweep (fingerprint mismatch)");
   }
-  const ShardPlan shards(plan.total_runs, plan.shard_count);
+
+  const std::string header = csv_header();
+  const std::size_t fields = static_cast<std::size_t>(std::count(
+                                 header.begin(), header.end(), ',')) +
+                             1;
 
   MergeOutput out;
-  out.csv_text = csv_header() + '\n';
-  for (std::size_t s = 0; s < shards.shard_count(); ++s) {
-    if (!ledger.fragment_exists(s)) {
-      throw std::runtime_error("merge_shards: shard " + std::to_string(s) +
+  out.total_runs = plan.total_runs;
+  out.csv_text = header + '\n';
+
+  std::size_t covered_until = 0;
+  for (const ResolvedShard& shard : resolve_shards(ledger, plan)) {
+    // Subsumed by an over-covering ancestor whose fragment already
+    // supplied these rows.
+    if (shard.end <= covered_until) continue;
+    if (shard.begin != covered_until) {
+      throw std::runtime_error(
+          "merge_shards: shard " + shard.key + " starts at run " +
+          std::to_string(shard.begin) + " but the stitch is at run " +
+          std::to_string(covered_until) + " (corrupt ledger)");
+    }
+
+    if (shard.committed) {
+      const std::string text = ledger.read_fragment(shard.key);
+      const FragmentRows frag = split_fragment(text);
+      if (frag.header != header) {
+        throw std::runtime_error("merge_shards: shard " + shard.key +
+                                 " fragment has a mismatched header");
+      }
+      // Two legal sizes for a split parent: effective range, or full
+      // extent (committed before the split marker landed — subsumes the
+      // child subtree, whose rows would be byte-identical anyway).
+      if (frag.rows == shard.end - shard.begin) {
+        covered_until = shard.end;
+      } else if (frag.rows == shard.full_end - shard.begin) {
+        covered_until = shard.full_end;
+      } else {
+        throw std::runtime_error(
+            "merge_shards: shard " + shard.key + " holds " +
+            std::to_string(frag.rows) + " rows, expected " +
+            std::to_string(shard.end - shard.begin) + " (or " +
+            std::to_string(shard.full_end - shard.begin) +
+            " for a pre-split commit)");
+      }
+      append_terminated(out.csv_text, frag.body);
+      continue;
+    }
+
+    if (shard.poison) {
+      if (!options.allow_quarantined) {
+        std::string message =
+            "merge_shards: refusing to merge " + shard_dir +
+            ": shard " + shard.key + " is quarantined (suspect run " +
+            std::to_string(shard.poison->suspect) + " after " +
+            std::to_string(shard.poison->reclaims) + " retries";
+        if (!shard.poison->reason.empty()) {
+          message += ": " + shard.poison->reason;
+        }
+        message += "); pass --allow-quarantined to merge with a gap report";
+        throw std::runtime_error(message);
+      }
+    } else if (!options.allow_incomplete) {
+      throw std::runtime_error("merge_shards: shard " + shard.key +
                                " has no fragment yet (sweep incomplete)");
     }
-    const std::string text = ledger.read_fragment(s);
-    const FragmentRows frag = split_fragment(text);
-    if (frag.header != csv_header()) {
-      throw std::runtime_error("merge_shards: shard " + std::to_string(s) +
-                               " fragment has a mismatched header");
+
+    // Recover what the shard durably streamed before it stopped.
+    const std::vector<std::string> prefix =
+        ledger.committed_prefix(shard.key, shard.begin, shard.end, fields);
+    for (const std::string& row : prefix) {
+      out.csv_text += row;
+      out.csv_text += '\n';
     }
-    if (frag.rows != shards.range_of(s).size()) {
-      throw std::runtime_error(
-          "merge_shards: shard " + std::to_string(s) + " holds " +
-          std::to_string(frag.rows) + " rows, expected " +
-          std::to_string(shards.range_of(s).size()));
-    }
-    out.csv_text.append(frag.body);
-    if (!out.csv_text.empty() && out.csv_text.back() != '\n') {
-      out.csv_text.push_back('\n');
-    }
+    ShardGap gap;
+    gap.key = shard.key;
+    gap.begin = shard.begin;
+    gap.end = shard.end;
+    gap.committed = prefix.size();
+    gap.missing_begin = shard.begin + prefix.size();
+    gap.missing_end = shard.end;
+    gap.poison = shard.poison;
+    out.gaps.push_back(std::move(gap));
+    covered_until = shard.end;
+  }
+
+  if (covered_until != plan.total_runs) {
+    throw std::runtime_error(
+        "merge_shards: stitch covered " + std::to_string(covered_until) +
+        " of " + std::to_string(plan.total_runs) + " runs (corrupt ledger)");
   }
 
   std::istringstream parse(out.csv_text);

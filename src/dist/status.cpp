@@ -1,0 +1,172 @@
+#include "dist/status.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "dist/shard_plan.hpp"
+
+namespace sfab::dist {
+
+namespace {
+
+/// Data rows in a committed fragment (first line is the CSV header).
+[[nodiscard]] std::size_t fragment_rows(const std::string& text) {
+  std::size_t lines = 0;
+  for (std::size_t at = 0; at < text.size();) {
+    const std::size_t eol = text.find('\n', at);
+    ++lines;
+    if (eol == std::string::npos) break;
+    at = eol + 1;
+  }
+  return lines == 0 ? 0 : lines - 1;
+}
+
+}  // namespace
+
+std::vector<ResolvedShard> resolve_shards(const ShardLedger& ledger,
+                                          const LedgerPlan& plan) {
+  const ShardPlan shard_plan(plan.total_runs, plan.shard_count);
+  std::vector<ResolvedShard> out;
+  out.reserve(shard_plan.shard_count());
+
+  for (std::size_t base = 0; base < shard_plan.shard_count(); ++base) {
+    const ShardRange range = shard_plan.range_of(base);
+    ShardKey key = shard_key(base);
+    std::size_t begin = range.begin;
+    std::size_t full_end = range.end;
+    bool ancestor_covers = false;
+
+    for (;;) {
+      const auto split = ledger.read_split(key);
+      if (split && (split->child_begin <= begin ||
+                    split->child_begin >= full_end ||
+                    split->child_end != full_end)) {
+        throw std::runtime_error(
+            "resolve_shards: corrupt split chain at shard " + key);
+      }
+
+      ResolvedShard shard;
+      shard.key = key;
+      shard.begin = begin;
+      shard.end = split ? split->child_begin : full_end;
+      shard.full_end = full_end;
+      shard.committed = ledger.fragment_exists(key);
+      if (shard.committed && split) {
+        // Two legal sizes: effective (split honored) or full extent
+        // (committed in the race window before the marker landed).
+        shard.over_covering =
+            fragment_rows(ledger.read_fragment(key)) == full_end - begin;
+      }
+      shard.covered = ancestor_covers || shard.committed;
+      shard.poison = ledger.read_poison(key);
+      out.push_back(shard);
+
+      if (!split) break;
+      ancestor_covers = ancestor_covers || shard.over_covering;
+      key = split->child;
+      begin = split->child_begin;
+    }
+  }
+  return out;
+}
+
+const char* to_string(ShardState state) noexcept {
+  switch (state) {
+    case ShardState::kPending:
+      return "pending";
+    case ShardState::kRunning:
+      return "running";
+    case ShardState::kStale:
+      return "stale";
+    case ShardState::kDone:
+      return "done";
+    case ShardState::kPoisoned:
+      return "poisoned";
+  }
+  return "?";
+}
+
+SweepStatus sweep_status(const ShardLedger& ledger) {
+  SweepStatus status;
+  status.plan = ledger.plan();
+  status.complete = true;
+  status.settled = true;
+
+  for (ResolvedShard& shard : resolve_shards(ledger, status.plan)) {
+    ShardStatus entry;
+    entry.claim_age_s = ledger.claim_age_s(shard.key);
+    if (shard.covered) {
+      entry.state = ShardState::kDone;
+      entry.done = shard.size();
+    } else if (shard.poison) {
+      entry.state = ShardState::kPoisoned;
+      entry.done = std::min(shard.poison->committed, shard.size());
+      status.quarantined.push_back(*shard.poison);
+    } else {
+      const auto progress = ledger.read_progress(shard.key);
+      entry.done =
+          progress ? std::min(progress->done, shard.size()) : std::size_t{0};
+      if (entry.claim_age_s) {
+        entry.state = *entry.claim_age_s < ledger.stale_after_s()
+                          ? ShardState::kRunning
+                          : ShardState::kStale;
+      } else {
+        entry.state = ShardState::kPending;
+      }
+    }
+    if (!shard.covered) {
+      status.complete = false;
+      if (!shard.poison) status.settled = false;
+    }
+    status.runs_done += entry.done;
+    entry.shard = std::move(shard);
+    status.shards.push_back(std::move(entry));
+  }
+  return status;
+}
+
+void render_status(std::ostream& out, const SweepStatus& status) {
+  std::size_t key_width = 5;
+  for (const ShardStatus& entry : status.shards) {
+    key_width = std::max(key_width, entry.shard.key.size());
+  }
+
+  for (const ShardStatus& entry : status.shards) {
+    const std::size_t total = entry.shard.size();
+    constexpr std::size_t kBar = 24;
+    const std::size_t filled =
+        total == 0 ? kBar : (entry.done * kBar) / total;
+    out << "  shard " << entry.shard.key
+        << std::string(key_width - entry.shard.key.size(), ' ') << " [";
+    for (std::size_t i = 0; i < kBar; ++i) {
+      out << (i < filled ? '#' : '-');
+    }
+    out << "] " << entry.done << '/' << total << "  "
+        << to_string(entry.state);
+    if (entry.state == ShardState::kRunning ||
+        entry.state == ShardState::kStale) {
+      if (entry.claim_age_s) {
+        out << " (heartbeat "
+            << static_cast<long>(*entry.claim_age_s * 10.0) / 10.0 << "s ago)";
+      }
+    }
+    if (entry.shard.poison) {
+      out << " (suspect run " << entry.shard.poison->suspect << ")";
+    }
+    out << '\n';
+  }
+
+  out << "  total " << status.runs_done << '/' << status.plan.total_runs
+      << " runs";
+  if (status.plan.total_runs != 0) {
+    out << " (" << (status.runs_done * 100) / status.plan.total_runs << "%)";
+  }
+  if (!status.quarantined.empty()) {
+    out << ", " << status.quarantined.size() << " shard(s) quarantined";
+  }
+  if (status.complete) out << ", complete";
+  out << '\n';
+}
+
+}  // namespace sfab::dist

@@ -1,0 +1,83 @@
+// Resolving the live shape of a sweep from the ledger.
+//
+// Splits turn the plan's fixed base shards into chains: shard "3" may be
+// truncated by a split marker to [begin, c) with child "3.1" owning
+// [c, end), recursively. resolve_shards walks those chains into a flat,
+// begin-ordered list of effective ranges — the single source of truth the
+// worker loop, the coordinator's completion check, merge_shards' stitcher,
+// and the --watch view all share.
+//
+// One race is legal and handled here rather than forbidden: a shard's
+// owner may commit its fragment over the FULL extent in the instant
+// before a thief installs the split marker. Such an "over-covering"
+// fragment subsumes the whole child subtree (rows are deterministic,
+// byte-identical either way); descendants of an over-covering ancestor
+// are reported covered with no fragment of their own.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/ledger.hpp"
+
+namespace sfab::dist {
+
+/// One shard chain link with its effective range resolved.
+struct ResolvedShard {
+  ShardKey key;
+  std::size_t begin = 0;
+  std::size_t end = 0;       ///< effective end (split honored)
+  std::size_t full_end = 0;  ///< extent end ignoring this shard's split
+  bool committed = false;    ///< this shard's own fragment exists
+  /// Fragment spans [begin, full_end) — committed in the race window
+  /// before the split marker landed; subsumes the child subtree.
+  bool over_covering = false;
+  /// Rows [begin, end) are durably accounted for: own fragment, or an
+  /// over-covering ancestor's.
+  bool covered = false;
+  std::optional<PoisonRecord> poison;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Walks every base shard's split chain. Returns effective ranges sorted
+/// by begin, tiling [0, plan.total_runs) exactly. Throws
+/// std::runtime_error on a corrupt split chain (ranges that don't nest).
+[[nodiscard]] std::vector<ResolvedShard> resolve_shards(
+    const ShardLedger& ledger, const LedgerPlan& plan);
+
+enum class ShardState { kPending, kRunning, kStale, kDone, kPoisoned };
+
+[[nodiscard]] const char* to_string(ShardState state) noexcept;
+
+/// ResolvedShard plus live observability for the --watch view.
+struct ShardStatus {
+  ResolvedShard shard;
+  ShardState state = ShardState::kPending;
+  std::size_t done = 0;  ///< rows durably streamed (== size() when covered)
+  std::optional<double> claim_age_s;
+};
+
+struct SweepStatus {
+  LedgerPlan plan;
+  std::vector<ShardStatus> shards;
+  std::size_t runs_done = 0;
+  /// Every effective range is covered by a fragment: merge-ready with no
+  /// gaps.
+  bool complete = false;
+  /// No work remains: every shard is covered or quarantined.
+  bool settled = false;
+  std::vector<PoisonRecord> quarantined;
+};
+
+/// Snapshot of the sweep's live state (requires a published plan; throws
+/// while the plan file is still absent).
+[[nodiscard]] SweepStatus sweep_status(const ShardLedger& ledger);
+
+/// Renders per-shard progress bars plus a totals line — the --watch frame.
+void render_status(std::ostream& out, const SweepStatus& status);
+
+}  // namespace sfab::dist

@@ -55,6 +55,7 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
       keys[i] = ResultCache::key_of(records[i].config);
       if (const auto cached = cache_->lookup_key(keys[i])) {
         records[i].result = *cached;
+        if (on_record_) on_record_(records[i]);
         continue;
       }
       const auto [it, inserted] = leader_of.emplace(keys[i], i);
@@ -94,6 +95,7 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  std::mutex callback_mutex;
 
   const auto worker = [&]() noexcept {
     for (;;) {
@@ -116,6 +118,12 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
               run_lane_simulations(records[pending[first]].config, seeds);
           for (std::size_t m = first; m < last; ++m) {
             records[pending[m]].result = batch[m - first];
+          }
+        }
+        if (on_record_) {
+          const std::lock_guard<std::mutex> lock(callback_mutex);
+          for (std::size_t m = first; m < last; ++m) {
+            on_record_(records[pending[m]]);
           }
         }
       } catch (...) {
@@ -145,6 +153,7 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
     }
     for (const auto& [to, from] : followers) {
       records[to].result = records[from].result;
+      if (on_record_) on_record_(records[to]);
     }
   }
   return ResultSet(std::move(records));

@@ -21,6 +21,7 @@
 // count — never changes a single result bit.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "exp/cache.hpp"
@@ -57,6 +58,20 @@ class SweepRunner {
 
   [[nodiscard]] ReplicateEngine engine() const noexcept { return engine_; }
 
+  /// Attaches a per-run completion callback, invoked exactly once per
+  /// record of the sweep with the record fully populated: cache-satisfied
+  /// records fire before dispatch, computed records fire as their work
+  /// unit finishes, and in-sweep duplicates (followers) fire after their
+  /// leader's result is copied at the end. Calls are serialized (one
+  /// mutex), may arrive in any index order, and run on worker threads —
+  /// keep the callback cheap. A throwing callback aborts the sweep like a
+  /// failed run.
+  SweepRunner& with_on_record(
+      std::function<void(const RunRecord&)> on_record) {
+    on_record_ = std::move(on_record);
+    return *this;
+  }
+
   /// Executes every run of `spec` and returns the records in expansion
   /// order. The first exception thrown by any run (e.g. an invalid
   /// architecture/port combination) stops the sweep and is rethrown.
@@ -74,6 +89,7 @@ class SweepRunner {
   unsigned threads_;
   ResultCache* cache_ = nullptr;
   ReplicateEngine engine_ = ReplicateEngine::kLaned;
+  std::function<void(const RunRecord&)> on_record_;
 };
 
 /// One-call convenience: SweepRunner{threads}.run(spec), with the

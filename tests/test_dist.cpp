@@ -17,9 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "dist/coordinator.hpp"
 #include "dist/ledger.hpp"
 #include "dist/merge.hpp"
 #include "dist/shard_plan.hpp"
+#include "dist/status.hpp"
 #include "dist/worker.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
@@ -235,7 +237,8 @@ TEST_F(DistTest, ThreeWorkerSweepMergesBitIdenticalToSingleProcess) {
       options.threads = 1;
       options.worker_index = w;
       options.stale_after_s = 30.0;
-      committed[w] = dist::run_worker(spec, shard_count, dir_, options);
+      committed[w] =
+          dist::run_worker(spec, shard_count, dir_, options).committed;
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -288,12 +291,356 @@ TEST_F(DistTest, DeadWorkersShardIsReclaimedAndCompleted) {
   options.threads = 1;
   options.worker_index = 0;
   options.stale_after_s = 0.5;
-  const std::size_t done = dist::run_worker(spec, shard_count, dir_, options);
+  const std::size_t done =
+      dist::run_worker(spec, shard_count, dir_, options).committed;
   EXPECT_EQ(done, plan.shard_count());
 
   std::ostringstream reference;
   write_csv(reference, SweepRunner(1).run(spec));
   EXPECT_EQ(dist::merge_shards(dir_).csv_text, reference.str());
+}
+
+// --- tombstone hygiene -------------------------------------------------------
+
+TEST_F(DistTest, ReclaimUnlinksTombstonesAndOpenSweepsOrphans) {
+  dist::ShardLedger ledger(dir_, 0.5);
+  const fs::path claims = fs::path(dir_) / "claims";
+
+  // Reclaim the same dead claim twice; afterwards the claims dir must
+  // hold only live files — no .stale.<pid> tombstones left behind.
+  for (int round = 0; round < 2; ++round) {
+    {
+      std::ofstream out(claims / "shard-0.claim");
+      out << "worker-dead\n";
+    }
+    fs::last_write_time(claims / "shard-0.claim",
+                        fs::file_time_type::clock::now() -
+                            std::chrono::seconds(60));
+    EXPECT_TRUE(ledger.reclaim_if_stale(0)) << "round " << round;
+  }
+  for (const auto& entry : fs::directory_iterator(claims)) {
+    EXPECT_EQ(entry.path().filename().string().find(".stale."),
+              std::string::npos)
+        << "tombstone left behind: " << entry.path();
+  }
+
+  // A reclaimer that crashes between rename and unlink leaves an orphan
+  // tombstone; opening the ledger must sweep it and spare live claims.
+  {
+    std::ofstream out(claims / "shard-9.claim.stale.12345");
+    out << "worker-crashed-mid-reclaim\n";
+  }
+  auto live = ledger.try_claim(2, "worker-live");
+  ASSERT_TRUE(live.has_value());
+  dist::ShardLedger reopened(dir_, 0.5);
+  EXPECT_FALSE(fs::exists(claims / "shard-9.claim.stale.12345"))
+      << "orphan tombstone must be swept at open";
+  EXPECT_TRUE(fs::exists(claims / "shard-2.claim"))
+      << "live claims must survive the sweep";
+}
+
+TEST_F(DistTest, CommitLeavesOnlyTheFragmentBehind) {
+  dist::ShardLedger ledger(dir_, 30.0);
+  ledger.commit_fragment(dist::ShardKey("0"), "header\nrow\n");
+  EXPECT_EQ(ledger.read_fragment(dist::ShardKey("0")), "header\nrow\n");
+  std::size_t entries = 0;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(dir_) / "frags")) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << "no temp files may survive a commit";
+}
+
+// --- incremental streaming ---------------------------------------------------
+
+TEST_F(DistTest, CommittedPrefixDedupesAndStopsAtTheFirstGap) {
+  dist::ShardLedger ledger(dir_, 30.0);
+  const dist::ShardKey key("0");
+  ledger.append_rows(key, {"0,a,b", "1,c,d"});
+  // Zombie re-append of run 1 with different bytes: first wins.
+  ledger.append_rows(key, {"1,X,X"});
+  // Out-of-range and torn (wrong field count) rows are ignored.
+  ledger.append_rows(key, {"9,e,f", "2,g"});
+  // Run 3 exists but run 2 does not: the prefix must stop at 2.
+  ledger.append_rows(key, {"3,h,i"});
+
+  const std::vector<std::string> prefix =
+      ledger.committed_prefix(key, 0, 6, 3);
+  ASSERT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix[0], "0,a,b");
+  EXPECT_EQ(prefix[1], "1,c,d");
+
+  // An unterminated trailing line (crash mid-append) is dropped.
+  std::ofstream out(fs::path(dir_) / "parts" / "shard-0.rows",
+                    std::ios::app | std::ios::binary);
+  out << "2,torn";
+  out.close();
+  EXPECT_EQ(ledger.committed_prefix(key, 0, 6, 3).size(), 2u);
+}
+
+TEST_F(DistTest, WorkerResumesFromTheCommittedRowPrefix) {
+  const SweepSpec spec = quick_spec();
+  const ResultSet full = SweepRunner(1).run(spec);
+  std::ostringstream reference;
+  write_csv(reference, full);
+
+  // A predecessor streamed runs 0..3 of shard "0" ([0,6)) before dying.
+  dist::ShardLedger ledger(dir_, 30.0);
+  ledger.publish(
+      dist::LedgerPlan{spec.run_count(), 2, dist::fingerprint_of(spec)});
+  ledger.append_rows(dist::ShardKey("0"), {csv_row(full[0]), csv_row(full[1]),
+                                           csv_row(full[2])});
+
+  dist::WorkerOptions options;
+  options.threads = 1;
+  const dist::WorkerReport report = dist::run_worker(spec, 2, dir_, options);
+  EXPECT_EQ(report.committed, 2u);
+  EXPECT_GE(report.resumed_rows, 3u)
+      << "the predecessor's streamed rows must be reused, not recomputed";
+  EXPECT_FALSE(report.sweep_quarantined);
+  EXPECT_EQ(dist::merge_shards(dir_).csv_text, reference.str());
+}
+
+// --- work stealing -----------------------------------------------------------
+
+TEST_F(DistTest, SplitMarkersAreOneWinner) {
+  dist::ShardLedger ledger(dir_, 30.0);
+  dist::SplitRecord split{"2", "2.1", 5, 9};
+  EXPECT_TRUE(ledger.create_split(split));
+  EXPECT_FALSE(ledger.create_split(split)) << "one split per key, ever";
+  const auto read = ledger.read_split(dist::ShardKey("2"));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->child, "2.1");
+  EXPECT_EQ(read->child_begin, 5u);
+  EXPECT_EQ(read->child_end, 9u);
+  EXPECT_EQ(ledger.splits().size(), 1u);
+  EXPECT_THROW(ledger.create_split(dist::SplitRecord{"3", "9.1", 5, 9}),
+               std::invalid_argument);
+  EXPECT_THROW(ledger.create_split(dist::SplitRecord{"3", "3.1", 9, 9}),
+               std::invalid_argument);
+}
+
+TEST_F(DistTest, MergeStitchesSplitFragmentsByteIdentical) {
+  const SweepSpec spec = quick_spec();
+  const ResultSet full = SweepRunner(1).run(spec);
+  std::ostringstream reference;
+  write_csv(reference, full);
+  const auto fragment = [&](std::size_t begin, std::size_t end) {
+    std::string text = csv_header() + '\n';
+    for (std::size_t i = begin; i < end; ++i) {
+      text += csv_row(full[i]);
+      text += '\n';
+    }
+    return text;
+  };
+
+  // Plan [0,6) + [6,12); shard "1" split at 9 into child "1.1".
+  dist::ShardLedger ledger(dir_, 30.0);
+  ledger.publish(
+      dist::LedgerPlan{spec.run_count(), 2, dist::fingerprint_of(spec)});
+  ASSERT_TRUE(ledger.create_split(dist::SplitRecord{"1", "1.1", 9, 12}));
+  ledger.commit_fragment(dist::ShardKey("0"), fragment(0, 6));
+  ledger.commit_fragment(dist::ShardKey("1"), fragment(6, 9));
+  ledger.commit_fragment(dist::ShardKey("1.1"), fragment(9, 12));
+  EXPECT_EQ(dist::merge_shards(dir_).csv_text, reference.str())
+      << "split fragments must stitch back into canonical row order";
+
+  // Over-covering variant: shard "1" committed its FULL extent in the
+  // race window before the split marker landed. The child subtree is
+  // subsumed — even when the child fragment never materialized.
+  ledger.commit_fragment(dist::ShardKey("1"), fragment(6, 12));
+  fs::remove(ledger.fragment_path(dist::ShardKey("1.1")));
+  EXPECT_EQ(dist::merge_shards(dir_).csv_text, reference.str())
+      << "an over-covering parent fragment must subsume the child";
+
+  // Any other row count is corruption, not a legal race outcome.
+  ledger.commit_fragment(dist::ShardKey("1"), fragment(6, 10));
+  EXPECT_THROW((void)dist::merge_shards(dir_), std::runtime_error);
+}
+
+TEST_F(DistTest, FinishedWorkerStealsTheStragglersTail) {
+  const SweepSpec spec = quick_spec();
+  std::ostringstream reference;
+  write_csv(reference, SweepRunner(1).run(spec));
+
+  // Two big shards; worker 0 is an injected straggler (sleeps after each
+  // run), worker 1 finishes its shard fast and must steal the tail.
+  std::vector<std::thread> workers;
+  std::vector<dist::WorkerReport> reports(2);
+  for (unsigned w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      dist::WorkerOptions options;
+      options.threads = 1;
+      options.worker_index = w;
+      options.stale_after_s = 30.0;
+      options.run_delay_ms = w == 0 ? 150 : 0;
+      try {
+        reports[w] = dist::run_worker(spec, 2, dir_, options);
+      } catch (const std::exception& error) {
+        // Fail the test instead of std::terminate-ing the binary.
+        ADD_FAILURE() << "worker " << w << " threw: " << error.what();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_GE(reports[0].splits + reports[1].splits, 1u)
+      << "the idle worker must have split the straggler's shard";
+  const dist::MergeOutput merged =
+      dist::merge_shards(dir_, dist::fingerprint_of(spec));
+  EXPECT_EQ(merged.csv_text, reference.str())
+      << "stolen work must still merge byte-identical";
+}
+
+// --- retry budget + quarantine -----------------------------------------------
+
+TEST_F(DistTest, RetryBudgetExhaustionQuarantinesTheShard) {
+  const SweepSpec spec = quick_spec();
+  const ResultSet full = SweepRunner(1).run(spec);
+
+  // Shard "1" ([6,12)) has crashed twice already (two strikes), streamed
+  // run 6, and its dead owner's claim has gone stale.
+  dist::ShardLedger ledger(dir_, 0.5);
+  ledger.publish(
+      dist::LedgerPlan{spec.run_count(), 2, dist::fingerprint_of(spec)});
+  ledger.append_rows(dist::ShardKey("1"), {csv_row(full[6])});
+  EXPECT_EQ(ledger.record_reclaim(dist::ShardKey("1")), 1u);
+  EXPECT_EQ(ledger.record_reclaim(dist::ShardKey("1")), 2u);
+  {
+    std::ofstream out(fs::path(dir_) / "claims" / "shard-1.claim");
+    out << "worker-crashing\n";
+  }
+  fs::last_write_time(fs::path(dir_) / "claims" / "shard-1.claim",
+                      fs::file_time_type::clock::now() -
+                          std::chrono::seconds(60));
+
+  // The reclaim is the third strike: the worker must quarantine shard "1"
+  // rather than re-run it, finish shard "0", and report the poisoned sweep.
+  dist::WorkerOptions options;
+  options.threads = 1;
+  options.stale_after_s = 0.5;
+  options.max_reclaims = 3;
+  const dist::WorkerReport report = dist::run_worker(spec, 2, dir_, options);
+  EXPECT_EQ(report.committed, 1u);
+  EXPECT_TRUE(report.sweep_quarantined);
+  ASSERT_EQ(report.poisoned.size(), 1u);
+  EXPECT_EQ(report.poisoned[0].key, "1");
+  EXPECT_EQ(report.poisoned[0].committed, 1u);
+  EXPECT_EQ(report.poisoned[0].suspect, 7u)
+      << "the suspect is the first run missing from the streamed prefix";
+  EXPECT_GE(report.poisoned[0].reclaims, 3u);
+
+  // Strict merges refuse a quarantined sweep by name.
+  try {
+    (void)dist::merge_shards(dir_);
+    FAIL() << "merge must refuse quarantined shards by default";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("quarantined"),
+              std::string::npos)
+        << error.what();
+  }
+
+  // --allow-quarantined merges what survived and reports the exact gap.
+  dist::MergeOptions merge_options;
+  merge_options.allow_quarantined = true;
+  const dist::MergeOutput merged = dist::merge_shards(dir_, merge_options);
+  ASSERT_EQ(merged.gaps.size(), 1u);
+  EXPECT_EQ(merged.gaps[0].key, "1");
+  EXPECT_EQ(merged.gaps[0].committed, 1u);
+  EXPECT_EQ(merged.gaps[0].missing_begin, 7u);
+  EXPECT_EQ(merged.gaps[0].missing_end, 12u);
+  ASSERT_TRUE(merged.gaps[0].poison.has_value());
+
+  // Surviving rows: shard "0" complete plus shard "1"'s streamed run 6 —
+  // byte-identical to the single-process prefix.
+  std::ostringstream expected;
+  expected << csv_header() << '\n';
+  for (std::size_t i = 0; i < 7; ++i) expected << csv_row(full[i]) << '\n';
+  EXPECT_EQ(merged.csv_text, expected.str());
+  ASSERT_EQ(merged.results.size(), 7u);
+
+  // Workers skip quarantined shards: another pass finds nothing to do.
+  const dist::WorkerReport again = dist::run_worker(spec, 2, dir_, options);
+  EXPECT_EQ(again.committed, 0u);
+  EXPECT_TRUE(again.sweep_quarantined);
+}
+
+// --- sweep status ------------------------------------------------------------
+
+TEST_F(DistTest, SweepStatusTracksShardStates) {
+  const SweepSpec spec = quick_spec();
+  dist::ShardLedger ledger(dir_, 30.0);
+  ledger.publish(
+      dist::LedgerPlan{spec.run_count(), 2, dist::fingerprint_of(spec)});
+
+  // Shard "0" committed, shard "1" live-claimed with streamed progress.
+  std::string fragment = csv_header() + '\n';
+  for (int i = 0; i < 6; ++i) fragment += std::to_string(i) + ",x\n";
+  ledger.commit_fragment(dist::ShardKey("0"), fragment);
+  auto claim = ledger.try_claim(dist::ShardKey("1"), "worker-live");
+  ASSERT_TRUE(claim.has_value());
+  ledger.write_progress(dist::ShardKey("1"), dist::ProgressRecord{2, 6, 0});
+
+  dist::SweepStatus status = dist::sweep_status(ledger);
+  ASSERT_EQ(status.shards.size(), 2u);
+  EXPECT_EQ(status.shards[0].state, dist::ShardState::kDone);
+  EXPECT_EQ(status.shards[0].done, 6u);
+  EXPECT_EQ(status.shards[1].state, dist::ShardState::kRunning);
+  EXPECT_EQ(status.shards[1].done, 2u);
+  EXPECT_EQ(status.runs_done, 8u);
+  EXPECT_FALSE(status.complete);
+  EXPECT_FALSE(status.settled);
+
+  // Quarantining the open shard settles the sweep without completing it.
+  claim->release();
+  dist::PoisonRecord poison;
+  poison.key = "1";
+  poison.begin = 6;
+  poison.end = 12;
+  poison.committed = 2;
+  poison.suspect = 8;
+  poison.reclaims = 3;
+  ASSERT_TRUE(ledger.quarantine(poison));
+  status = dist::sweep_status(ledger);
+  EXPECT_EQ(status.shards[1].state, dist::ShardState::kPoisoned);
+  EXPECT_FALSE(status.complete);
+  EXPECT_TRUE(status.settled);
+  ASSERT_EQ(status.quarantined.size(), 1u);
+  EXPECT_EQ(status.quarantined[0].suspect, 8u);
+
+  std::ostringstream rendered;
+  dist::render_status(rendered, status);
+  EXPECT_NE(rendered.str().find("poisoned"), std::string::npos);
+  EXPECT_NE(rendered.str().find("suspect run 8"), std::string::npos);
+}
+
+// --- coordinator backoff -----------------------------------------------------
+
+TEST_F(DistTest, CoordinatorFailsFastOnASystematicallyCrashingBinary) {
+  dist::ShardCoordinator coordinator(dir_, [](unsigned) {
+    return std::vector<std::string>{"/bin/false"};
+  });
+  dist::CoordinatorOptions options;
+  options.workers = 2;
+  options.max_respawn_waves = 1;
+  options.backoff_initial_s = 0.05;
+  options.backoff_cap_s = 0.1;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)coordinator.run(4, options);
+    FAIL() << "a never-publishing worker binary must exhaust the wave budget";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("unsettled"), std::string::npos) << what;
+    EXPECT_NE(what.find("crashing"), std::string::npos)
+        << "the message must point at the crashing worker command: " << what;
+    EXPECT_NE(what.find("4 workers spawned"), std::string::npos) << what;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.04) << "waves must be separated by backoff";
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 // thread count, error propagation, and the migrated load-sweep semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "exp/runner.hpp"
 
@@ -105,6 +109,54 @@ TEST(SweepRunner, SelectAndStatAggregateReplicates) {
       metrics::power_w);
   EXPECT_GT(power.mean, 0.0);
   EXPECT_GE(power.max, power.min);
+}
+
+TEST(SweepRunner, OnRecordFiresExactlyOncePerRecord) {
+  // The streaming callback contract: exactly one call per record — for
+  // computed leaders, replicate followers, and cache hits alike — with the
+  // result already filled in.
+  SweepSpec spec;
+  spec.base = quick_base();
+  spec.over_architectures({Architecture::kCrossbar, Architecture::kBanyan})
+      .over_loads({0.2, 0.5})
+      .with_replicates(3);
+  ASSERT_EQ(spec.run_count(), 12u);
+
+  std::mutex mutex;
+  std::vector<int> calls(spec.run_count(), 0);
+  auto count = [&](const RunRecord& rec) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_LT(rec.index, calls.size());
+    ++calls[rec.index];
+    EXPECT_GT(rec.result.delivered_words, 0u)
+        << "callback must see a completed result";
+  };
+
+  const ResultSet direct =
+      SweepRunner(3).with_on_record(count).run(spec);
+  for (std::size_t i = 0; i < calls.size(); ++i)
+    EXPECT_EQ(calls[i], 1) << "run " << i;
+
+  // A warm cache short-circuits the simulation but not the callback.
+  ResultCache cache;
+  (void)SweepRunner(1).with_cache(&cache).run(spec);
+  std::fill(calls.begin(), calls.end(), 0);
+  const ResultSet cached =
+      SweepRunner(2).with_cache(&cache).with_on_record(count).run(spec);
+  for (std::size_t i = 0; i < calls.size(); ++i)
+    EXPECT_EQ(calls[i], 1) << "cached run " << i;
+  expect_bit_identical(direct, cached);
+}
+
+TEST(SweepRunner, ThrowingOnRecordCallbackAbortsTheSweep) {
+  SweepSpec spec;
+  spec.base = quick_base();
+  spec.over_loads({0.2, 0.5});
+  auto boom = [](const RunRecord&) {
+    throw std::runtime_error("stream sink failed");
+  };
+  EXPECT_THROW((void)SweepRunner(2).with_on_record(boom).run(spec),
+               std::runtime_error);
 }
 
 // --- migrated sweep_offered_load ---------------------------------------------
