@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -37,6 +38,10 @@
 #include "dist/worker.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "obs/log.hpp"
+#include "obs/probe.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
 #include "sim/report.hpp"
 
 namespace {
@@ -88,6 +93,23 @@ void print_usage() {
       "  --no-steal         worker: never split a straggler's shard\n"
       "  --stale-after S    seconds without a heartbeat before a claim\n"
       "                     counts as abandoned                     [30]\n"
+      "observability (see README \"Observability\"):\n"
+      "  --metrics-out PATH write the metrics-registry snapshot as JSON\n"
+      "                     on exit (%p in PATH expands to the pid, so\n"
+      "                     coordinator-spawned workers write distinct\n"
+      "                     files)\n"
+      "  --profile          time named sim/sweep/dist phases; per-phase\n"
+      "                     totals land in the metrics JSON under\n"
+      "                     \"phases\"\n"
+      "  --trace-out PATH   write profiled phase spans as Chrome\n"
+      "                     trace-event JSON on exit (%p = pid;\n"
+      "                     implies --profile)\n"
+      "  --probe-out PATH   single run only: sample per-cycle series\n"
+      "                     (occupancy, delivered words, grants, stalls,\n"
+      "                     energy split, per-port words) to a CSV;\n"
+      "                     bit-identical to the unobserved run\n"
+      "  --probe-stride N   sample every N cycles                   [64]\n"
+      "  env: SFAB_LOG=error|warn|info|debug, SFAB_METRICS=0|1\n"
       "  --help             this text\n"
       "exit codes: 0 ok, 1 error, 2 sweep settled with quarantined\n"
       "shards (coordinator/watch), 3 worker finished but the sweep has\n"
@@ -234,10 +256,70 @@ void print_poisoned_configs(const SweepSpec& spec,
   }
 }
 
+/// Expands every "%p" in an output path to this process's pid, so
+/// coordinator-spawned workers given the same flag write distinct files.
+std::string expand_pid(std::string path) {
+  const std::string pid = std::to_string(::getpid());
+  for (std::size_t at = path.find("%p"); at != std::string::npos;
+       at = path.find("%p", at + pid.size())) {
+    path.replace(at, 2, pid);
+  }
+  return path;
+}
+
+/// Writes the observability outputs on every exit path (including error
+/// returns): the registry snapshot plus per-phase totals to --metrics-out
+/// and the profiled spans to --trace-out. Failures warn, never throw.
+struct ObsOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+
+  ~ObsOutputs() {
+    if (!metrics_path.empty()) {
+      std::ofstream file(expand_pid(metrics_path), std::ios::binary);
+      if (!file) {
+        obs::log_warn("cli", "cannot open ", metrics_path,
+                      " for the metrics snapshot");
+      } else {
+        file << "{\n  \"metrics\": ";
+        obs::Registry::global().write_json(file, 2);
+        file << ",\n  \"phases\": ";
+        obs::Profiler::global().write_stats_json(file, 2);
+        file << "\n}\n";
+      }
+    }
+    if (!trace_path.empty()) {
+      std::ofstream file(expand_pid(trace_path), std::ios::binary);
+      if (!file) {
+        obs::log_warn("cli", "cannot open ", trace_path,
+                      " for the trace export");
+      } else {
+        obs::Profiler::global().write_trace_json(file);
+      }
+    }
+  }
+};
+
+/// One line on stderr when a result cache was in play this sweep.
+void print_cache_summary() {
+  const auto& registry = obs::Registry::global();
+  const std::uint64_t hits = registry.counter_value("exp.cache.hits");
+  const std::uint64_t misses = registry.counter_value("exp.cache.misses");
+  if (hits + misses == 0) return;  // no cache attached (or metrics off)
+  obs::log_info("cli", "cache: ", hits, " hits, ", misses, " misses, ",
+                registry.counter_value("exp.cache.inserts"), " inserts");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sfab;
+
+  // The CLI is interactive: default the log level to info so worker and
+  // coordinator progress is visible. SFAB_LOG still wins when set.
+  if (std::getenv("SFAB_LOG") == nullptr) {
+    obs::set_log_level(obs::LogLevel::kInfo);
+  }
 
   SweepSpec spec;
   spec.base.ports = 16;
@@ -245,6 +327,9 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   ReplicateEngine engine = ReplicateEngine::kLaned;
   std::string csv_path;
+  ObsOutputs obs_outputs;
+  std::string probe_path;
+  std::uint64_t probe_stride = 64;
   unsigned shards = 0;
   int shard_index = -1;
   std::string shard_dir;
@@ -352,6 +437,20 @@ int main(int argc, char** argv) {
         }
       } else if (flag == "--stale-after") {
         stale_after_s = std::stod(next());
+      } else if (flag == "--metrics-out") {
+        obs_outputs.metrics_path = next();
+      } else if (flag == "--profile") {
+        obs::Profiler::global().set_enabled(true);
+      } else if (flag == "--trace-out") {
+        obs_outputs.trace_path = next();
+        obs::Profiler::global().set_spans_enabled(true);
+      } else if (flag == "--probe-out") {
+        probe_path = next();
+      } else if (flag == "--probe-stride") {
+        probe_stride = std::stoull(next());
+        if (probe_stride == 0) {
+          throw std::invalid_argument("--probe-stride must be >= 1");
+        }
       } else {
         throw std::invalid_argument("unknown option " + flag);
       }
@@ -414,7 +513,6 @@ int main(int argc, char** argv) {
       options.worker_index = static_cast<unsigned>(shard_index);
       options.max_reclaims = max_reclaims;
       options.steal = steal;
-      options.log = &std::cerr;
       const std::size_t shard_count =
           shard_count_override != 0
               ? shard_count_override
@@ -459,7 +557,6 @@ int main(int argc, char** argv) {
               : dist::default_shard_count(spec.run_count(), shards);
       dist::CoordinatorOptions options;
       options.workers = shards;
-      options.log = &std::cerr;
       const dist::CoordinatorReport report =
           dist::ShardCoordinator(shard_dir, worker_argv)
               .run(shard_count, options);
@@ -494,6 +591,36 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // --- probed single run: per-cycle series sampled to a CSV -------------
+    if (!probe_path.empty()) {
+      if (spec.run_count() != 1) {
+        throw std::invalid_argument(
+            "--probe-out needs a single run (one value per axis, "
+            "--replicates 1), got " + std::to_string(spec.run_count()));
+      }
+      std::vector<RunPlan> plans = spec.expand();
+      obs::ProbeRecorder recorder(probe_stride);
+      std::vector<RunRecord> records(1);
+      records[0].index = plans[0].index;
+      records[0].replicate = plans[0].replicate;
+      records[0].config = std::move(plans[0].config);
+      records[0].result = run_simulation(records[0].config, &recorder);
+      {
+        const std::string path = expand_pid(probe_path);
+        std::ofstream file(path, std::ios::binary);
+        if (!file) {
+          throw std::runtime_error("cannot open " + path + " for writing");
+        }
+        recorder.write_csv(file);
+        obs::log_info("cli", "wrote ", recorder.samples(),
+                      " probe samples (stride ", probe_stride, ") to ",
+                      path);
+      }
+      emit_results(ResultSet(std::move(records)), csv_path, nullptr,
+                   "probed");
+      return 0;
+    }
+
     // --- plain single-process sweep ---------------------------------------
     const ResultSet results = run_sweep(spec, threads, engine);
     // The pool never spawns more workers than there are runs.
@@ -501,6 +628,7 @@ int main(int argc, char** argv) {
         SweepRunner(threads).threads(), results.size());
     emit_results(results, csv_path, nullptr,
                  std::to_string(pool) + " threads");
+    print_cache_summary();
   } catch (const std::exception& error) {
     std::cerr << "sfab_cli: " << error.what() << "\n\n";
     print_usage();

@@ -7,12 +7,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <ostream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "dist/status.hpp"
+#include "obs/log.hpp"
 
 namespace sfab::dist {
 
@@ -102,15 +102,12 @@ CoordinatorReport ShardCoordinator::run(std::size_t shard_count,
       const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
       if (!clean) {
         ++report.failed;
-        if (options.log != nullptr) {
-          *options.log << "[coordinator] worker pid " << pid
-                       << (WIFSIGNALED(status)
-                               ? " killed by signal " +
-                                     std::to_string(WTERMSIG(status))
-                               : " exited " +
-                                     std::to_string(WEXITSTATUS(status)))
-                       << '\n';
-        }
+        obs::log_warn("coordinator", "worker pid ", pid,
+                      WIFSIGNALED(status)
+                          ? " killed by signal " +
+                                std::to_string(WTERMSIG(status))
+                          : " exited " +
+                                std::to_string(WEXITSTATUS(status)));
       }
     }
 
@@ -118,23 +115,19 @@ CoordinatorReport ShardCoordinator::run(std::size_t shard_count,
     if (state.settled) {
       report.complete = state.complete;
       report.poisoned = state.poisoned;
-      if (options.log != nullptr && !state.poisoned.empty()) {
-        for (const PoisonRecord& poison : state.poisoned) {
-          *options.log << "[coordinator] shard " << poison.key
-                       << " quarantined (suspect run " << poison.suspect
-                       << " after " << poison.reclaims
-                       << " retries: " << poison.reason << ")\n";
-        }
+      for (const PoisonRecord& poison : state.poisoned) {
+        obs::log_warn("coordinator", "shard ", poison.key,
+                      " quarantined (suspect run ", poison.suspect,
+                      " after ", poison.reclaims,
+                      " retries: ", poison.reason, ")");
       }
       return report;
     }
 
     if (wave < options.max_respawn_waves) {
-      if (options.log != nullptr) {
-        *options.log << "[coordinator] wave " << report.waves
-                     << " ended with the sweep unsettled; respawning in "
-                     << backoff_s << " s\n";
-      }
+      obs::log_info("coordinator", "wave ", report.waves,
+                    " ended with the sweep unsettled; respawning in ",
+                    backoff_s, " s");
       if (backoff_s > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(backoff_s));

@@ -19,7 +19,6 @@
 
 #include <cstddef>
 #include <functional>
-#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -34,9 +33,10 @@ struct CoordinatorOptions {
   unsigned max_respawn_waves = 2;
   /// Exponential backoff between waves: initial delay, doubled per wave,
   /// capped. Zero disables the wait.
+  /// (Worker deaths and quarantines go through obs::log at warn level,
+  /// respawn notices at info; set SFAB_LOG to filter.)
   double backoff_initial_s = 0.5;
   double backoff_cap_s = 8.0;
-  std::ostream* log = nullptr;
 };
 
 struct CoordinatorReport {

@@ -18,6 +18,9 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+
 namespace sfab::dist {
 
 namespace fs = std::filesystem;
@@ -211,8 +214,12 @@ struct ShardLedger::Claim::Beat {
         if (stop) return;
         if (beats_allowed >= 0 && beats >= beats_allowed) continue;
         ++beats;
+        static obs::Histogram& refresh_ns =
+            obs::Registry::global().histogram("dist.ledger.heartbeat_refresh_ns");
+        const std::uint64_t t0 = obs::now_ns();
         std::error_code ec;  // claim may have been reclaimed under us
         fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+        refresh_ns.observe(obs::now_ns() - t0);
       }
     });
   }
@@ -325,6 +332,9 @@ std::optional<ShardLedger::Claim> ShardLedger::try_claim(
   // Best-effort attribution only; the claim is the file's existence.
   (void)!::write(fd, body.data(), body.size());
   ::close(fd);
+  static obs::Counter& claims =
+      obs::Registry::global().counter("dist.ledger.claims");
+  claims.increment();
   return Claim(path, stale_s_ / 4.0);
 }
 
@@ -345,6 +355,9 @@ bool ShardLedger::reclaim_if_stale(const ShardKey& key) noexcept {
   fs::rename(path, tombstone, ec);
   if (ec) return false;
   fs::remove(tombstone, ec);
+  static obs::Counter& steals =
+      obs::Registry::global().counter("dist.ledger.steals");
+  steals.increment();
   return true;
 }
 
@@ -369,6 +382,9 @@ void ShardLedger::commit_fragment(const ShardKey& key,
                                   const std::string& csv_text) {
   write_file_atomic(fragment_path(key), csv_text, /*durable=*/true,
                     chaos_commit_enospc());
+  static obs::Counter& commits =
+      obs::Registry::global().counter("dist.ledger.commits");
+  commits.increment();
 }
 
 std::string ShardLedger::read_fragment(const ShardKey& key) const {
@@ -492,8 +508,14 @@ bool ShardLedger::create_split(const SplitRecord& record) {
   text << kSplitMagic << "\nparent " << record.parent << "\nchild "
        << record.child << "\nbegin " << record.child_begin << "\nend "
        << record.child_end << '\n';
-  return install_exclusive(
+  const bool installed = install_exclusive(
       shard_file("splits", record.parent, ".split", dir_), text.str());
+  if (installed) {
+    static obs::Counter& splits =
+        obs::Registry::global().counter("dist.ledger.splits");
+    splits.increment();
+  }
+  return installed;
 }
 
 namespace {
@@ -576,6 +598,9 @@ unsigned ShardLedger::record_reclaim(const ShardKey& key) {
     const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
     if (fd >= 0) {
       ::close(fd);
+      static obs::Counter& reclaims =
+          obs::Registry::global().counter("dist.ledger.reclaims");
+      reclaims.increment();
       return n;
     }
     if (errno != EEXIST) {
@@ -593,8 +618,14 @@ bool ShardLedger::quarantine(const PoisonRecord& record) {
        << "\nsuspect " << record.suspect << "\nreclaims " << record.reclaims
        << "\nworker " << record.worker << "\nreason " << record.reason
        << '\n';
-  return install_exclusive(
+  const bool installed = install_exclusive(
       shard_file("poison", record.key, ".poison", dir_), text.str());
+  if (installed) {
+    static obs::Counter& quarantines =
+        obs::Registry::global().counter("dist.ledger.quarantines");
+    quarantines.increment();
+  }
+  return installed;
 }
 
 namespace {

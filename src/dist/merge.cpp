@@ -7,6 +7,7 @@
 
 #include "dist/status.hpp"
 #include "exp/report.hpp"
+#include "obs/profiler.hpp"
 
 namespace sfab::dist {
 
@@ -46,6 +47,9 @@ void append_terminated(std::string& csv, std::string_view rows) {
 
 MergeOutput merge_shards(const std::string& shard_dir,
                          const MergeOptions& options) {
+  static const obs::PhaseId merge_phase =
+      obs::Profiler::global().phase("dist.merge");
+  const obs::ScopedPhase merge_timer(merge_phase);
   const ShardLedger ledger(shard_dir);
   const LedgerPlan plan = ledger.plan();
   if (!options.expected_fingerprint.empty() &&

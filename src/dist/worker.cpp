@@ -7,7 +7,6 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
-#include <ostream>
 #include <sstream>
 #include <thread>
 
@@ -15,16 +14,19 @@
 #include "dist/status.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
+#include "obs/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace sfab::dist {
 
 namespace {
 
 void note(const WorkerOptions& options, const std::string& message) {
-  if (options.log != nullptr) {
-    *options.log << "[worker " << options.worker_index << "] " << message
-                 << '\n';
-  }
+  obs::log_info("worker", options.worker_index, ": ", message);
+}
+
+void warn(const WorkerOptions& options, const std::string& message) {
+  obs::log_warn("worker", options.worker_index, ": ", message);
 }
 
 [[nodiscard]] std::size_t csv_field_count() {
@@ -159,7 +161,12 @@ class ShardStream {
       ++at;
     }
     if (batch.empty()) return;
-    ledger_.append_rows(key_, batch);
+    static const obs::PhaseId stream_phase =
+        obs::Profiler::global().phase("dist.stream");
+    {
+      const obs::ScopedPhase stream_timer(stream_phase);
+      ledger_.append_rows(key_, batch);
+    }
     flushed_ = at;
     ledger_.write_progress(key_,
                            ProgressRecord{flushed_, eff_end_ - begin_,
@@ -202,7 +209,7 @@ void strike_shard(ShardLedger& ledger, const ShardKey& key,
   if (const auto split = ledger.read_split(key)) {
     eff_end = std::min(eff_end, split->child_begin);
   }
-  note(options, "shard " + key + " strike " + std::to_string(strikes) +
+  warn(options, "shard " + key + " strike " + std::to_string(strikes) +
                     "/" + std::to_string(options.max_reclaims) + ": " +
                     reason);
   if (strikes < options.max_reclaims) return;
@@ -218,7 +225,7 @@ void strike_shard(ShardLedger& ledger, const ShardKey& key,
   poison.worker = worker_id;
   poison.reason = single_line(reason);
   if (ledger.quarantine(poison)) {
-    note(options, "quarantined shard " + key + " (suspect run " +
+    warn(options, "quarantined shard " + key + " (suspect run " +
                       std::to_string(poison.suspect) + ")");
     report.poisoned.push_back(poison);
   }
@@ -229,6 +236,9 @@ void strike_shard(ShardLedger& ledger, const ShardKey& key,
 /// shard. Returns true when a split marker was installed.
 bool try_steal(ShardLedger& ledger, const LedgerPlan& plan,
                const WorkerOptions& options, WorkerReport& report) {
+  static const obs::PhaseId steal_phase =
+      obs::Profiler::global().phase("dist.steal");
+  const obs::ScopedPhase steal_timer(steal_phase);
   const ResolvedShard* victim = nullptr;
   std::size_t victim_remaining = 0;
   const std::vector<ResolvedShard> resolved = resolve_shards(ledger, plan);
@@ -293,14 +303,18 @@ WorkerReport run_worker(const SweepSpec& spec, std::size_t shard_count,
       if (shard.covered || shard.poison) continue;
       settled = false;
 
+      static const obs::PhaseId claim_phase =
+          obs::Profiler::global().phase("dist.claim");
+      obs::ScopedPhase claim_timer(claim_phase);
       auto claim = ledger.try_claim(shard.key, worker_id);
       if (!claim && ledger.reclaim_if_stale(shard.key)) {
-        note(options, "reclaimed stale shard " + shard.key);
+        warn(options, "reclaimed stale shard " + shard.key);
         strike_shard(ledger, shard.key, shard.begin, shard.full_end,
                      options, worker_id, "stale claim reclaimed", report);
         if (ledger.read_poison(shard.key)) continue;
         claim = ledger.try_claim(shard.key, worker_id);
       }
+      claim_timer.finish();
       if (!claim) continue;
       // The previous owner may have committed between our coverage check
       // and the claim (commit precedes claim release): nothing to redo.
@@ -310,6 +324,9 @@ WorkerReport run_worker(const SweepSpec& spec, std::size_t shard_count,
                         std::to_string(shard.begin) + ".." +
                         std::to_string(shard.end) + ")");
       try {
+        static const obs::PhaseId shard_phase =
+            obs::Profiler::global().phase("dist.shard");
+        const obs::ScopedPhase shard_timer(shard_phase);
         ShardStream(ledger, spec, shard, options, report).run();
         ++report.committed;
         progressed = true;

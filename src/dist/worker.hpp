@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstddef>
-#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -38,9 +37,9 @@ struct WorkerOptions {
   /// Claim-staleness threshold handed to the ledger.
   double stale_after_s = 30.0;
   /// This worker's index: claim attribution and starting shard offset.
+  /// Progress goes through obs::log (component "worker", level info;
+  /// strikes and quarantines at warn) — set SFAB_LOG to filter.
   unsigned worker_index = 0;
-  /// Progress notes (claimed/committed/reclaimed/stolen); nullptr = silent.
-  std::ostream* log = nullptr;
   /// Replicate engine handed to the sweep runner. Bit-identical either
   /// way; kScalar is the plain reference path.
   ReplicateEngine engine = ReplicateEngine::kLaned;

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace sfab {
 
 namespace {
@@ -190,13 +192,19 @@ std::optional<SimResult> ResultCache::lookup(const SimConfig& config) {
 }
 
 std::optional<SimResult> ResultCache::lookup_key(const std::string& key) {
+  static obs::Counter& hit_counter =
+      obs::Registry::global().counter("exp.cache.hits");
+  static obs::Counter& miss_counter =
+      obs::Registry::global().counter("exp.cache.misses");
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    miss_counter.increment();
     return std::nullopt;
   }
   ++hits_;
+  hit_counter.increment();
   return it->second;
 }
 
@@ -205,9 +213,12 @@ void ResultCache::store(const SimConfig& config, const SimResult& result) {
 }
 
 void ResultCache::store_key(const std::string& key, const SimResult& result) {
+  static obs::Counter& insert_counter =
+      obs::Registry::global().counter("exp.cache.inserts");
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto [it, inserted] = entries_.emplace(key, result);
   (void)it;
+  if (inserted) insert_counter.increment();
   if (inserted && !csv_path_.empty()) append_row(key, result);
 }
 

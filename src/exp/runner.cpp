@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace sfab {
 
 namespace {
@@ -30,6 +32,9 @@ ResultSet SweepRunner::run(const SweepSpec& spec) const {
 
 ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
                                  std::size_t end) const {
+  static const obs::PhaseId sweep_phase =
+      obs::Profiler::global().phase("exp.sweep");
+  const obs::ScopedPhase sweep_timer(sweep_phase);
   std::vector<RunPlan> plans = spec.expand();
   if (begin > end || end > plans.size()) {
     throw std::out_of_range("SweepRunner::run_range: bad range");
@@ -97,6 +102,8 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
   std::exception_ptr first_error;
   std::mutex callback_mutex;
 
+  static const obs::PhaseId unit_phase =
+      obs::Profiler::global().phase("exp.unit");
   const auto worker = [&]() noexcept {
     for (;;) {
       const std::size_t n =
@@ -105,6 +112,7 @@ ResultSet SweepRunner::run_range(const SweepSpec& spec, std::size_t begin,
         return;
       }
       const auto [first, last] = units[n];
+      const obs::ScopedPhase unit_timer(unit_phase);
       try {
         if (last - first == 1) {
           const std::size_t i = pending[first];

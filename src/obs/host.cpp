@@ -1,0 +1,67 @@
+#include "obs/host.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <thread>
+
+#include "gatelevel/lane_kernels.hpp"
+#include "sim/lane_sim.hpp"
+
+namespace sfab::obs {
+
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    // x86 "model name", aarch64 "Processor"/"CPU part" variants; take the
+    // first "model name" style key.
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = line.substr(0, line.find_last_not_of(" \t", colon - 1) + 1);
+    if (key == "model name" || key == "Processor") {
+      const std::size_t start = line.find_first_not_of(" \t", colon + 1);
+      if (start != std::string::npos) return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+HostInfo probe_host() {
+  HostInfo info;
+  info.cpu_model = read_cpu_model();
+  info.logical_cores = std::thread::hardware_concurrency();
+  info.gate_lane_kernel = std::string(sfab::gatelevel::to_string(
+      sfab::gatelevel::resolve_lane_kernel(sfab::gatelevel::LaneKernel::kAuto)));
+  info.packet_lane_kernel = std::string(sfab::lane_sim_kernel_name());
+  return info;
+}
+
+void write_escaped(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+}  // namespace
+
+const HostInfo& host_info() {
+  static const HostInfo info = probe_host();
+  return info;
+}
+
+void write_host_json(std::ostream& out) {
+  const HostInfo& info = host_info();
+  out << "{\"cpu_model\": \"";
+  write_escaped(out, info.cpu_model);
+  out << "\", \"logical_cores\": " << info.logical_cores
+      << ", \"gate_lane_kernel\": \"";
+  write_escaped(out, info.gate_lane_kernel);
+  out << "\", \"packet_lane_kernel\": \"";
+  write_escaped(out, info.packet_lane_kernel);
+  out << "\"}";
+}
+
+}  // namespace sfab::obs

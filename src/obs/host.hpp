@@ -1,0 +1,25 @@
+// Host metadata for benchmark provenance: the BENCH_*.json trajectory is
+// only interpretable across machines when each record says what machine
+// and kernel selection produced it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace sfab::obs {
+
+struct HostInfo {
+  std::string cpu_model;        ///< from /proc/cpuinfo; "unknown" elsewhere
+  unsigned logical_cores = 0;   ///< std::thread::hardware_concurrency
+  std::string gate_lane_kernel;    ///< dispatched gatelevel kernel name
+  std::string packet_lane_kernel;  ///< dispatched packet-lane kernel name
+};
+
+/// Probes the current host (cached after the first call).
+[[nodiscard]] const HostInfo& host_info();
+
+/// {"cpu_model": "...", "logical_cores": N, "gate_lane_kernel": "...",
+/// "packet_lane_kernel": "..."} — one line, no trailing newline.
+void write_host_json(std::ostream& out);
+
+}  // namespace sfab::obs

@@ -1,0 +1,86 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace sfab::obs {
+
+namespace {
+
+std::atomic<int>& level_flag() noexcept {
+  static std::atomic<int> level{static_cast<int>(
+      parse_log_level(std::getenv("SFAB_LOG"), LogLevel::kWarn))};
+  return level;
+}
+
+std::atomic<std::ostream*>& sink_slot() noexcept {
+  static std::atomic<std::ostream*> sink{nullptr};
+  return sink;
+}
+
+constexpr std::string_view level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_flag().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_flag().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const char* text, LogLevel fallback) noexcept {
+  if (text == nullptr) return fallback;
+  const std::string_view name(text);
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return fallback;
+}
+
+void set_log_sink(std::ostream* sink) noexcept {
+  sink_slot().store(sink, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  // Assemble the whole line first so concurrent writers interleave at
+  // line granularity, then emit with one insertion.
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_tag(level);
+  line += "] [";
+  line += component;
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::ostream* sink = sink_slot().load(std::memory_order_relaxed);
+  if (sink != nullptr) {
+    *sink << line << std::flush;
+  } else {
+    std::cerr << line << std::flush;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace sfab::obs

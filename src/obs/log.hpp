@@ -1,0 +1,73 @@
+// Leveled logging for the library and tools.
+//
+// One process-wide level, initialised from the SFAB_LOG environment
+// variable ("error" | "warn" | "info" | "debug"; default "warn" so the
+// library is quiet unless asked). Call sites check the level with one
+// relaxed atomic load before formatting anything, so disabled levels
+// cost a predictable branch. Each line is written with a single ostream
+// flush-terminated insertion, tagged `[level] [component] message`, so
+// concurrent writers (worker threads, heartbeat threads) interleave at
+// line granularity at worst.
+//
+// The sink defaults to stderr; tests (and embedders) can redirect it
+// with set_log_sink().
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace sfab::obs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current process-wide level (initialised from SFAB_LOG on first use).
+[[nodiscard]] LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "error"/"warn"/"info"/"debug" (case-sensitive); returns the
+/// fallback on anything else (including nullptr).
+[[nodiscard]] LogLevel parse_log_level(const char* text,
+                                       LogLevel fallback) noexcept;
+
+/// Redirects log output; nullptr restores stderr. The sink must outlive
+/// all logging (intended for test scopes).
+void set_log_sink(std::ostream* sink) noexcept;
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+namespace detail {
+/// Writes one formatted `[level] [component] message\n` line to the sink.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+}  // namespace detail
+
+/// Logs `parts...` (streamed through an ostringstream) at `level`,
+/// tagged with `component` ("worker", "coordinator", "ledger", ...).
+template <class... Parts>
+void log(LogLevel level, std::string_view component, const Parts&... parts) {
+  if (!log_enabled(level)) return;
+  std::ostringstream message;
+  (message << ... << parts);
+  detail::log_line(level, component, message.str());
+}
+
+template <class... Parts>
+void log_error(std::string_view component, const Parts&... parts) {
+  log(LogLevel::kError, component, parts...);
+}
+template <class... Parts>
+void log_warn(std::string_view component, const Parts&... parts) {
+  log(LogLevel::kWarn, component, parts...);
+}
+template <class... Parts>
+void log_info(std::string_view component, const Parts&... parts) {
+  log(LogLevel::kInfo, component, parts...);
+}
+template <class... Parts>
+void log_debug(std::string_view component, const Parts&... parts) {
+  log(LogLevel::kDebug, component, parts...);
+}
+
+}  // namespace sfab::obs

@@ -1,0 +1,234 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <ostream>
+#include <vector>
+
+namespace sfab::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> enabled{[] {
+    const char* env = std::getenv("SFAB_METRICS");
+    return env == nullptr || std::string_view(env) != "0";
+  }()};
+  return enabled;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+unsigned thread_shard() noexcept {
+  static std::atomic<unsigned> next{0};
+  static thread_local const unsigned shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace detail
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::string name) : name_(std::move(name)) {}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  if (!metrics_enabled()) return;
+  Shard& shard = shards_[detail::thread_shard()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+  shard.buckets[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (snap.count != 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: handles
+  return *instance;                            // outlive every static dtor
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::uint64_t Registry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    for (auto& slot : counter->slots_) {
+      slot.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, hist] : histograms_) {
+    for (auto& shard : hist->shards_) {
+      shard.count.store(0, std::memory_order_relaxed);
+      shard.sum.store(0, std::memory_order_relaxed);
+      for (auto& bucket : shard.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+    hist->min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    hist->max_.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// One leaf of the rendered metrics tree, pre-serialized as JSON.
+struct Leaf {
+  std::string name;  // full dotted path
+  std::string json;  // value text
+};
+
+void write_tree(std::ostream& out, const std::vector<Leaf>& leaves,
+                std::size_t begin, std::size_t end, std::size_t depth,
+                const std::string& pad) {
+  // Leaves are sorted by full name, so equal path prefixes are adjacent:
+  // walk each distinct component at `depth`, recursing where the leaf
+  // path continues and emitting the value where it ends.
+  const auto component = [&](const std::string& name) -> std::string {
+    std::size_t start = 0;
+    for (std::size_t d = 0; d < depth; ++d) start = name.find('.', start) + 1;
+    const std::size_t dot = name.find('.', start);
+    return name.substr(start,
+                       dot == std::string::npos ? dot : dot - start);
+  };
+  const auto is_leaf_here = [&](const std::string& name) {
+    std::size_t start = 0;
+    for (std::size_t d = 0; d < depth; ++d) start = name.find('.', start) + 1;
+    return name.find('.', start) == std::string::npos;
+  };
+
+  out << "{\n";
+  std::size_t i = begin;
+  bool first = true;
+  while (i < end) {
+    const std::string comp = component(leaves[i].name);
+    std::size_t j = i + 1;
+    while (j < end && component(leaves[j].name) == comp) ++j;
+    if (!first) out << ",\n";
+    first = false;
+    out << pad << "  \"" << comp << "\": ";
+    if (j == i + 1 && is_leaf_here(leaves[i].name)) {
+      out << leaves[i].json;
+    } else {
+      write_tree(out, leaves, i, j, depth + 1, pad + "  ");
+    }
+    i = j;
+  }
+  out << "\n" << pad << "}";
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& out, int indent) const {
+  std::vector<Leaf> leaves;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, counter] : counters_) {
+      leaves.push_back({name, std::to_string(counter->value())});
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      leaves.push_back({name, std::to_string(gauge->value())});
+    }
+    for (const auto& [name, hist] : histograms_) {
+      const Histogram::Snapshot snap = hist->snapshot();
+      std::string json = "{\"count\": " + std::to_string(snap.count) +
+                         ", \"sum\": " + std::to_string(snap.sum) +
+                         ", \"mean\": " + std::to_string(snap.mean()) +
+                         ", \"min\": " + std::to_string(snap.min) +
+                         ", \"max\": " + std::to_string(snap.max) + "}";
+      leaves.push_back({name, std::move(json)});
+    }
+  }
+  // std::map iteration is sorted per kind; re-sort the merged list so the
+  // tree walk sees adjacent prefixes across kinds too.
+  std::sort(leaves.begin(), leaves.end(),
+            [](const Leaf& a, const Leaf& b) { return a.name < b.name; });
+  write_tree(out, leaves, 0, leaves.size(), 0,
+             std::string(static_cast<std::size_t>(indent), ' '));
+}
+
+}  // namespace sfab::obs

@@ -66,6 +66,12 @@ class EgressCollector final : public EgressSink {
     return total_packets_;
   }
   [[nodiscard]] std::uint64_t words_at(PortId egress) const;
+  /// Per-port delivered-word counters (index = egress port); the probes
+  /// snapshot this without copying.
+  [[nodiscard]] const std::vector<std::uint64_t>& words_per_port()
+      const noexcept {
+    return words_per_port_;
+  }
 
   /// Mean packet latency in cycles (head injected -> tail delivered).
   [[nodiscard]] double mean_packet_latency() const;

@@ -1,0 +1,30 @@
+// Interned profiler phase ids for the simulation cycle, shared by both
+// router schemes. The per-cycle loop is split into the paper's stages:
+// arrival (traffic into input queues), arbitration (contention
+// resolution / iSLIP matching), transfer (word injection + fabric
+// advance, where the energy ledger accrues), and accounting (egress
+// unlock and latency bookkeeping).
+#pragma once
+
+#include "obs/profiler.hpp"
+
+namespace sfab {
+
+struct SimPhaseIds {
+  obs::PhaseId arrival;
+  obs::PhaseId arbitration;
+  obs::PhaseId transfer;
+  obs::PhaseId accounting;
+};
+
+inline const SimPhaseIds& sim_phases() {
+  static const SimPhaseIds ids{
+      obs::Profiler::global().phase("sim.arrival"),
+      obs::Profiler::global().phase("sim.arbitration"),
+      obs::Profiler::global().phase("sim.transfer"),
+      obs::Profiler::global().phase("sim.accounting"),
+  };
+  return ids;
+}
+
+}  // namespace sfab

@@ -5,6 +5,7 @@
 #include "common/bitops.hpp"
 #include "fabric/crossbar.hpp"
 #include "fabric/fully_connected.hpp"
+#include "router/phases.hpp"
 
 namespace sfab {
 
@@ -34,7 +35,7 @@ Router::Router(std::unique_ptr<SwitchFabric> fabric,
   arrivals_.reserve(fabric_->ports());
 }
 
-template <class FabricT>
+template <class FabricT, bool kProfiled>
 void Router::step_impl(FabricT& fabric) {
   egress_.set_now(cycle_);
 
@@ -44,6 +45,7 @@ void Router::step_impl(FabricT& fabric) {
   // idle, empty ingress becomes that port's head-of-line packet and joins
   // its destination's contender list.
   if (traffic_enabled_) {
+    const obs::MaybeScopedPhase<kProfiled> timer(sim_phases().arrival);
     arrivals_.clear();
     traffic_->poll_cycle(cycle_, arena_, arrivals_);
     for (const Packet& packet : arrivals_) {
@@ -62,32 +64,36 @@ void Router::step_impl(FabricT& fabric) {
   // locked, so the arbiter only sees the contenders of just-freed ports.
   // Winner selection inside arbitrate() is order-independent and the mask
   // walks ascending, so the grants are identical to a scan-built list's.
-  requests_.clear();
-  if (small_radix) {
-    for_each_set_bit(contender_mask_ & ~arbiter_.locked_mask(), 0,
-                     [&](unsigned bit) {
-                       const auto e = static_cast<PortId>(bit);
-                       for (const PortId p : contenders_[e]) {
-                         requests_.push_back(ArbiterRequest{
-                             p, e, ingresses_[p].head_since()});
-                       }
-                     });
-  } else {
-    for (PortId e = 0; e < ports(); ++e) {
-      if (contenders_[e].empty() || arbiter_.locked(e)) continue;
-      for (const PortId p : contenders_[e]) {
-        requests_.push_back(ArbiterRequest{p, e, ingresses_[p].head_since()});
+  {
+    const obs::MaybeScopedPhase<kProfiled> timer(sim_phases().arbitration);
+    requests_.clear();
+    if (small_radix) {
+      for_each_set_bit(contender_mask_ & ~arbiter_.locked_mask(), 0,
+                       [&](unsigned bit) {
+                         const auto e = static_cast<PortId>(bit);
+                         for (const PortId p : contenders_[e]) {
+                           requests_.push_back(ArbiterRequest{
+                               p, e, ingresses_[p].head_since()});
+                         }
+                       });
+    } else {
+      for (PortId e = 0; e < ports(); ++e) {
+        if (contenders_[e].empty() || arbiter_.locked(e)) continue;
+        for (const PortId p : contenders_[e]) {
+          requests_.push_back(ArbiterRequest{p, e, ingresses_[p].head_since()});
+        }
       }
     }
-  }
-  if (!requests_.empty()) {
-    for (const ArbiterRequest& grant : arbiter_.arbitrate(requests_)) {
-      arbiter_.lock(grant.egress);
-      ingresses_[grant.ingress].grant(cycle_);
-      streaming_mask_ |= mask_bit(grant.ingress);
-      egress_.note_head_injected(
-          ingresses_[grant.ingress].streaming_packet_id(), cycle_);
-      remove_contender(grant.egress, grant.ingress);
+    if (!requests_.empty()) {
+      for (const ArbiterRequest& grant : arbiter_.arbitrate(requests_)) {
+        arbiter_.lock(grant.egress);
+        ingresses_[grant.ingress].grant(cycle_);
+        streaming_mask_ |= mask_bit(grant.ingress);
+        egress_.note_head_injected(
+            ingresses_[grant.ingress].streaming_packet_id(), cycle_);
+        remove_contender(grant.egress, grant.ingress);
+        ++grants_;
+      }
     }
   }
 
@@ -97,6 +103,7 @@ void Router::step_impl(FabricT& fabric) {
   // straight through — same per-row op order as inject()+tick(), minus the
   // slot round-trip and a second scan. Other fabrics take the generic
   // inject-then-tick path with back-pressure.
+  obs::MaybeScopedPhase<kProfiled> transfer_timer(sim_phases().transfer);
   const bool fixed_latency = fabric.fixed_latency();
   if constexpr (requires {
                   fabric.begin_cycle();
@@ -165,14 +172,18 @@ void Router::step_impl(FabricT& fabric) {
     }
   }
 
+  transfer_timer.finish();
+
   // 5. Unlock egresses whose packet tail arrived (variable-latency
   // fabrics only; fixed-latency ones already unlocked at tail injection).
+  obs::MaybeScopedPhase<kProfiled> accounting_timer(sim_phases().accounting);
   if (!fixed_latency) {
     for (const PortId egress : egress_.pending_unlocks()) {
       arbiter_.unlock(egress);
     }
   }
   egress_.pending_unlocks().clear();
+  accounting_timer.finish();
 
   ++cycle_;
 }
@@ -183,7 +194,23 @@ void Router::run(Cycle cycles) {
   // Monomorphized loops for the bufferless single-slot fabrics: with the
   // concrete type visible, the per-word can_accept/inject/tick/deliver
   // chain fully inlines (the dynamic_cast runs once per run(), not per
-  // cycle).
+  // cycle). Phase timing instantiates separate profiled loops so the
+  // default path carries no timer code at all.
+  if (obs::Profiler::global().enabled()) {
+    if (auto* xbar = dynamic_cast<CrossbarFabric*>(fabric_.get())) {
+      for (Cycle c = 0; c < cycles; ++c) step_impl<CrossbarFabric, true>(*xbar);
+    } else if (auto* fc =
+                   dynamic_cast<FullyConnectedFabric*>(fabric_.get())) {
+      for (Cycle c = 0; c < cycles; ++c) {
+        step_impl<FullyConnectedFabric, true>(*fc);
+      }
+    } else {
+      for (Cycle c = 0; c < cycles; ++c) {
+        step_impl<SwitchFabric, true>(*fabric_);
+      }
+    }
+    return;
+  }
   if (auto* xbar = dynamic_cast<CrossbarFabric*>(fabric_.get())) {
     for (Cycle c = 0; c < cycles; ++c) step_impl(*xbar);
   } else if (auto* fc = dynamic_cast<FullyConnectedFabric*>(fabric_.get())) {

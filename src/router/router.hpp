@@ -74,6 +74,10 @@ class Router {
   [[nodiscard]] const IngressUnit& ingress(PortId port) const;
   [[nodiscard]] const Arbiter& arbiter() const noexcept { return arbiter_; }
 
+  /// Arbitration grants since construction (one per packet admitted to
+  /// the fabric); the probes' grant-rate series.
+  [[nodiscard]] std::uint64_t grants() const noexcept { return grants_; }
+
   /// Sum of input-queue drops over all ingress units.
   [[nodiscard]] std::uint64_t total_drops() const;
   /// Packets currently queued across all ingress units.
@@ -88,7 +92,10 @@ class Router {
   /// One cycle against `fabric`, whose static type steers inlining: the
   /// generic step() instantiates it with SwitchFabric (virtual dispatch),
   /// run() with the concrete fabric class where one is recognized.
-  template <class FabricT>
+  /// kProfiled adds scoped phase timers (run() picks the profiled
+  /// instantiations when the profiler is enabled); the default
+  /// instantiation is byte-for-byte free of timer code.
+  template <class FabricT, bool kProfiled = false>
   void step_impl(FabricT& fabric);
 
   [[nodiscard]] static std::uint64_t mask_bit(PortId p) noexcept {
@@ -129,6 +136,7 @@ class Router {
   std::vector<ArbiterRequest> requests_;  ///< per-cycle scratch
   std::vector<Packet> arrivals_;          ///< per-cycle scratch
   Cycle cycle_ = 0;
+  std::uint64_t grants_ = 0;
   bool traffic_enabled_ = true;
 };
 

@@ -6,6 +6,7 @@
 #include "common/bitops.hpp"
 #include "fabric/crossbar.hpp"
 #include "fabric/fully_connected.hpp"
+#include "router/phases.hpp"
 
 namespace sfab {
 
@@ -42,12 +43,13 @@ VoqRouter::VoqRouter(std::unique_ptr<SwitchFabric> fabric,
   arrivals_.reserve(fabric_->ports());
 }
 
-template <class FabricT>
+template <class FabricT, bool kProfiled>
 void VoqRouter::step_impl(FabricT& fabric) {
   egress_.set_now(cycle_);
 
   // 1. Traffic arrivals into the VOQ banks.
   if (traffic_enabled_) {
+    const obs::MaybeScopedPhase<kProfiled> timer(sim_phases().arrival);
     arrivals_.clear();
     traffic_->poll_cycle(cycle_, arena_, arrivals_);
     for (const Packet& packet : arrivals_) {
@@ -59,18 +61,23 @@ void VoqRouter::step_impl(FabricT& fabric) {
   // request matrix is never materialized: the banks' occupancy rows are
   // maintained on enqueue/pop and the availability masks where streaming
   // slots and egress locks change.
-  for (const Match& m : islip_.match_banks(banks_, ingress_free_,
-                                           egress_free_)) {
-    StreamingPacket s;
-    s.packet = banks_[m.ingress].pop(m.egress);
-    egress_.note_head_injected(s.packet.id, cycle_);
-    streaming_[m.ingress] = s;
-    clear_bit(ingress_free_.data(), m.ingress);
-    clear_bit(egress_free_.data(), m.egress);
+  {
+    const obs::MaybeScopedPhase<kProfiled> timer(sim_phases().arbitration);
+    for (const Match& m : islip_.match_banks(banks_, ingress_free_,
+                                             egress_free_)) {
+      StreamingPacket s;
+      s.packet = banks_[m.ingress].pop(m.egress);
+      egress_.note_head_injected(s.packet.id, cycle_);
+      streaming_[m.ingress] = s;
+      clear_bit(ingress_free_.data(), m.ingress);
+      clear_bit(egress_free_.data(), m.egress);
+      ++grants_;
+    }
   }
 
   // 3 + 4. Word injection and fabric advance (fused for bufferless
   // single-slot fabrics, generic inject-then-tick otherwise; see Router).
+  obs::MaybeScopedPhase<kProfiled> transfer_timer(sim_phases().transfer);
   const bool fixed_latency = fabric.fixed_latency();
   constexpr bool kFused = requires {
     fabric.begin_cycle();
@@ -110,14 +117,17 @@ void VoqRouter::step_impl(FabricT& fabric) {
       fabric.tick(egress_);
     }
   }
+  transfer_timer.finish();
 
   // 5. Variable-latency fabrics free their egress on tail delivery.
+  obs::MaybeScopedPhase<kProfiled> accounting_timer(sim_phases().accounting);
   if (!fixed_latency) {
     for (const PortId egress : egress_.pending_unlocks()) {
       set_bit(egress_free_.data(), egress);
     }
   }
   egress_.pending_unlocks().clear();
+  accounting_timer.finish();
 
   ++cycle_;
 }
@@ -125,6 +135,23 @@ void VoqRouter::step_impl(FabricT& fabric) {
 void VoqRouter::step() { step_impl(*fabric_); }
 
 void VoqRouter::run(Cycle cycles) {
+  // Phase timing instantiates separate profiled loops so the default
+  // path carries no timer code at all (see Router::run).
+  if (obs::Profiler::global().enabled()) {
+    if (auto* xbar = dynamic_cast<CrossbarFabric*>(fabric_.get())) {
+      for (Cycle c = 0; c < cycles; ++c) step_impl<CrossbarFabric, true>(*xbar);
+    } else if (auto* fc =
+                   dynamic_cast<FullyConnectedFabric*>(fabric_.get())) {
+      for (Cycle c = 0; c < cycles; ++c) {
+        step_impl<FullyConnectedFabric, true>(*fc);
+      }
+    } else {
+      for (Cycle c = 0; c < cycles; ++c) {
+        step_impl<SwitchFabric, true>(*fabric_);
+      }
+    }
+    return;
+  }
   if (auto* xbar = dynamic_cast<CrossbarFabric*>(fabric_.get())) {
     for (Cycle c = 0; c < cycles; ++c) step_impl(*xbar);
   } else if (auto* fc = dynamic_cast<FullyConnectedFabric*>(fabric_.get())) {

@@ -65,6 +65,10 @@ class VoqRouter {
   [[nodiscard]] std::size_t total_queued() const;
   [[nodiscard]] bool quiescent() const;
 
+  /// iSLIP matches granted since construction (one per packet admitted
+  /// to the fabric); the probes' grant-rate series.
+  [[nodiscard]] std::uint64_t grants() const noexcept { return grants_; }
+
   /// The arena backing every queued packet's words (introspection).
   [[nodiscard]] const PacketArena& arena() const noexcept { return arena_; }
 
@@ -74,8 +78,10 @@ class VoqRouter {
     std::uint32_t word = 0;
   };
 
-  /// One cycle against `fabric`; static type steers inlining (see Router).
-  template <class FabricT>
+  /// One cycle against `fabric`; static type steers inlining (see
+  /// Router). kProfiled adds scoped phase timers; the default
+  /// instantiation is byte-for-byte free of timer code.
+  template <class FabricT, bool kProfiled = false>
   void step_impl(FabricT& fabric);
 
   std::unique_ptr<SwitchFabric> fabric_;
@@ -93,6 +99,7 @@ class VoqRouter {
   std::vector<std::uint64_t> egress_free_;
   std::vector<Packet> arrivals_;  ///< per-cycle scratch
   Cycle cycle_ = 0;
+  std::uint64_t grants_ = 0;
   bool traffic_enabled_ = true;
 };
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/bitops.hpp"
+#include "obs/registry.hpp"
 #include "sim/lane_sim_kernels.hpp"
 
 namespace sfab {
@@ -98,15 +99,32 @@ detail::LanePassFn resolve_lane_pass() noexcept {
 
 std::vector<SimResult> run_lane_simulations(
     const SimConfig& config, const std::vector<std::uint64_t>& lane_seeds) {
+  return run_lane_simulations(config, lane_seeds, nullptr);
+}
+
+std::vector<SimResult> run_lane_simulations(
+    const SimConfig& config, const std::vector<std::uint64_t>& lane_seeds,
+    obs::SimObserver* observer) {
+  static obs::Counter& laned_passes =
+      obs::Registry::global().counter("sim.lane.laned_passes");
+  static obs::Counter& laned_lanes =
+      obs::Registry::global().counter("sim.lane.laned_lanes");
+  static obs::Counter& fallback_lanes =
+      obs::Registry::global().counter("sim.lane.fallback_lanes");
+
   std::vector<SimResult> results;
-  if (!lane_sim_supported(config)) {
+  if (!lane_sim_supported(config) || observer != nullptr) {
     // Per-lane scalar fallback behind the same interface: identical
-    // results (and identical exceptions) at scalar speed.
+    // results (and identical exceptions) at scalar speed. Observed
+    // batches take this path too — the sliced engine has no per-lane
+    // cycle boundary — with the observer on lane 0 only.
+    fallback_lanes.add(lane_seeds.size());
     results.reserve(lane_seeds.size());
     for (const std::uint64_t seed : lane_seeds) {
       SimConfig scalar = config;
       scalar.seed = seed;
-      results.push_back(run_simulation(scalar));
+      results.push_back(run_simulation(
+          scalar, results.empty() ? observer : nullptr));
     }
     return results;
   }
@@ -116,8 +134,24 @@ std::vector<SimResult> run_lane_simulations(
     const auto lanes = static_cast<unsigned>(
         std::min<std::size_t>(64, lane_seeds.size() - first));
     pass(config, lane_seeds.data() + first, lanes, results.data() + first);
+    laned_passes.increment();
+    laned_lanes.add(lanes);
   }
   return results;
+}
+
+std::string_view lane_sim_kernel_name() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt") &&
+      detail::lane_pass_avx2() != nullptr) {
+    return "avx2";
+  }
+  if (__builtin_cpu_supports("popcnt") &&
+      detail::lane_pass_popcnt() != nullptr) {
+    return "popcnt";
+  }
+#endif
+  return "portable";
 }
 
 }  // namespace sfab

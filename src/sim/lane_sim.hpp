@@ -56,4 +56,17 @@ enum class ReplicateEngine {
 [[nodiscard]] std::vector<SimResult> run_lane_simulations(
     const SimConfig& config, const std::vector<std::uint64_t>& lane_seeds);
 
+/// Observed variant: a non-null `observer` watches lane 0's run at cycle
+/// resolution. The sliced engine has no per-lane cycle boundary to hook,
+/// so observation routes the whole batch through the per-lane scalar
+/// path — results stay bit-identical (the fallback is pinned to the
+/// sliced engine by the fuzz harness), only wall-clock differs.
+[[nodiscard]] std::vector<SimResult> run_lane_simulations(
+    const SimConfig& config, const std::vector<std::uint64_t>& lane_seeds,
+    obs::SimObserver* observer);
+
+/// Name of the packet-lane pass kernel runtime dispatch selects on this
+/// build + CPU ("avx2", "popcnt" or "portable"); bench provenance.
+[[nodiscard]] std::string_view lane_sim_kernel_name() noexcept;
+
 }  // namespace sfab

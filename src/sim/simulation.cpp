@@ -1,7 +1,10 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "obs/probe.hpp"
+#include "obs/registry.hpp"
 #include "router/voq_router.hpp"
 
 namespace sfab {
@@ -84,13 +87,54 @@ FabricConfig make_fabric_config(const SimConfig& config) {
   return fc;
 }
 
+/// Runs `cycles` through the generic step() path, sampling for
+/// `observer` at its stride (and on the final cycle of the window).
+/// step() and the monomorphized run() loops are pinned bit-identical by
+/// tests/test_bit_identity, and sampling only reads counters the
+/// simulation maintains anyway, so observation never changes a result.
+template <class AnyRouter>
+void run_observed(AnyRouter& router, Cycle cycles, const SimConfig& config,
+                  obs::SimObserver& observer) {
+  const std::uint64_t stride = std::max<std::uint64_t>(1, observer.stride());
+  for (Cycle c = 0; c < cycles; ++c) {
+    router.step();
+    if (router.now() % stride != 0 && c + 1 != cycles) continue;
+    obs::CycleSample sample;
+    sample.cycle = router.now();
+    sample.queued_packets = router.total_queued();
+    // Packets are fixed-length in this harness, so ingress occupancy in
+    // words is exact, not modeled.
+    sample.queued_words =
+        sample.queued_packets * std::uint64_t{config.packet_words};
+    sample.delivered_words = router.egress().words_delivered();
+    sample.delivered_packets = router.egress().packets_delivered();
+    sample.grants = router.grants();
+    sample.stall_cycles = router.fabric().stall_cycles();
+    sample.buffered_words = router.fabric().words_buffered();
+    const EnergyLedger& ledger = router.fabric().ledger();
+    sample.switch_energy_j = ledger.of(EnergyKind::kSwitch);
+    sample.buffer_energy_j = ledger.of(EnergyKind::kBuffer);
+    sample.wire_energy_j = ledger.of(EnergyKind::kWire);
+    const auto& per_port = router.egress().words_per_port();
+    sample.words_per_port = per_port.data();
+    sample.ports = static_cast<unsigned>(per_port.size());
+    observer.on_cycle(sample);
+  }
+}
+
 /// Warm-up / measure / report, identical for both router schemes (Router
 /// and VoqRouter expose the same measurement surface without sharing a
 /// base class).
 template <class AnyRouter>
-SimResult measure(AnyRouter& router, const SimConfig& config) {
+SimResult measure(AnyRouter& router, const SimConfig& config,
+                  obs::SimObserver* observer = nullptr) {
   // Warm-up: reach steady state, then zero the meters.
-  router.run(config.warmup_cycles);
+  if (observer != nullptr) {
+    observer->on_run_begin(config.ports);
+    run_observed(router, config.warmup_cycles, config, *observer);
+  } else {
+    router.run(config.warmup_cycles);
+  }
   router.fabric().reset_energy();
   router.egress().reset_counters();
   const std::uint64_t drops_before = router.total_drops();
@@ -98,7 +142,11 @@ SimResult measure(AnyRouter& router, const SimConfig& config) {
   const std::uint64_t sram_before = router.fabric().sram_words_buffered();
   const std::uint64_t stalls_before = router.fabric().stall_cycles();
 
-  router.run(config.measure_cycles);
+  if (observer != nullptr) {
+    run_observed(router, config.measure_cycles, config, *observer);
+  } else {
+    router.run(config.measure_cycles);
+  }
 
   const EnergyLedger& ledger = router.fabric().ledger();
   const double duration_s =
@@ -129,12 +177,22 @@ SimResult measure(AnyRouter& router, const SimConfig& config) {
   r.sram_buffered_words =
       router.fabric().sram_words_buffered() - sram_before;
   r.stall_cycles = router.fabric().stall_cycles() - stalls_before;
+
+  if (observer != nullptr) observer->on_run_end(router.now());
+
+  static obs::Gauge& arena_high_water =
+      obs::Registry::global().gauge("sim.arena.high_water_words");
+  arena_high_water.observe_max(router.arena().slab_words());
   return r;
 }
 
 }  // namespace
 
 SimResult run_simulation(const SimConfig& config) {
+  return run_simulation(config, nullptr);
+}
+
+SimResult run_simulation(const SimConfig& config, obs::SimObserver* observer) {
   if (config.measure_cycles == 0) {
     throw std::invalid_argument("run_simulation: measure_cycles >= 1");
   }
@@ -146,14 +204,14 @@ SimResult run_simulation(const SimConfig& config) {
       Router router(make_fabric(config.arch, fabric_config),
                     make_traffic(config),
                     RouterConfig{config.ingress_queue_packets});
-      return measure(router, config);
+      return measure(router, config, observer);
     }
     case RouterScheme::kVoq: {
       VoqRouter router(
           make_fabric(config.arch, fabric_config), make_traffic(config),
           VoqRouterConfig{config.ingress_queue_packets,
                           config.islip_iterations});
-      return measure(router, config);
+      return measure(router, config, observer);
     }
   }
   throw std::invalid_argument("run_simulation: unknown router scheme");

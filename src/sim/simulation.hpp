@@ -110,10 +110,21 @@ struct SimResult {
   Cycle measured_cycles = 0;
 };
 
+namespace obs {
+class SimObserver;
+}
+
 /// Runs one simulation to completion and returns its measurements.
 /// Side-effect-free: concurrent calls with independent configs are safe,
 /// which is what exp/SweepRunner exploits.
 [[nodiscard]] SimResult run_simulation(const SimConfig& config);
+
+/// Observed variant: `observer` (nullable) receives a CycleSample every
+/// observer->stride() cycles across warmup and measurement. Observation
+/// is passive — the returned SimResult is bit-identical to the
+/// unobserved overload (enforced by tests/test_obs_identity.cpp).
+[[nodiscard]] SimResult run_simulation(const SimConfig& config,
+                                       obs::SimObserver* observer);
 
 // Sweeps over SimConfig axes live in the experiment layer: see
 // exp/spec.hpp (SweepSpec) and exp/runner.hpp (SweepRunner,
