@@ -183,8 +183,9 @@ GatelevelRow bench_gatelevel(bool quick, int reps) {
   return row;
 }
 
-// Packet-level replicate lanes: the 32-port VOQ/iSLIP crossbar saturation
-// workload at 64 replicates, a scalar per-seed loop vs the bit-sliced lane
+// Packet-level replicate lanes: the 32-port VOQ/iSLIP saturation workload
+// at 64 replicates, one row per architecture (crossbar, fully-connected,
+// Batcher-Banyan, banyan), a scalar per-seed loop vs the bit-sliced lane
 // engine (sim/lane_sim.hpp) over the same derive_stream_seed seed list.
 // The two engines are bit-identical by construction; the bench checks a
 // result fingerprint lane-for-lane before reporting timing, so the speedup
@@ -196,12 +197,14 @@ struct PacketlanesRow {
   double laned_s = 0.0;
 };
 
-PacketlanesRow bench_packetlanes(const sfab::SimConfig& base, int reps) {
+PacketlanesRow bench_packetlanes(const sfab::SimConfig& base,
+                                 sfab::Architecture arch, unsigned ports,
+                                 int reps) {
   using namespace sfab;
   PacketlanesRow row;
   row.config = base;
-  row.config.arch = Architecture::kCrossbar;
-  row.config.ports = 32;
+  row.config.arch = arch;
+  row.config.ports = ports;
   row.config.scheme = RouterScheme::kVoq;
 
   std::vector<std::uint64_t> seeds(row.replicates);
@@ -491,21 +494,36 @@ int main(int argc, char** argv) {
   }
   wt.print(std::cout);
 
-  const PacketlanesRow pl = bench_packetlanes(base, reps);
-  const double pl_scalar_rps =
-      static_cast<double>(pl.replicates) / pl.scalar_s;
-  const double pl_laned_rps = static_cast<double>(pl.replicates) / pl.laned_s;
-  std::cout << "\n=== Packet-level replicate lanes (crossbar "
-            << pl.config.ports << "x" << pl.config.ports
-            << " VOQ/iSLIP saturation, " << pl.replicates
-            << " replicates) ===\n\n";
+  // One scalar-vs-laned row per architecture of the sweep grid. Crossbar
+  // first: its laned rate is the headline the regression gate tracks.
+  const std::vector<Architecture> lane_archs = {
+      Architecture::kCrossbar, Architecture::kFullyConnected,
+      Architecture::kBatcherBanyan, Architecture::kBanyan};
+  std::vector<PacketlanesRow> pls;
+  for (const Architecture arch : lane_archs) {
+    pls.push_back(bench_packetlanes(base, arch, 32, reps));
+  }
+  const auto scalar_rps = [](const PacketlanesRow& row) {
+    return static_cast<double>(row.replicates) / row.scalar_s;
+  };
+  const auto laned_rps = [](const PacketlanesRow& row) {
+    return static_cast<double>(row.replicates) / row.laned_s;
+  };
+  std::cout << "\n=== Packet-level replicate lanes (32x32 VOQ/iSLIP "
+               "saturation, "
+            << pls.front().replicates << " replicates, kernel: "
+            << lane_sim_kernel_name() << ") ===\n\n";
   TextTable pt;
-  pt.set_header({"engine", "wall_ms", "replicates/sec", "speedup"});
-  pt.add_row({"scalar", format_fixed(pl.scalar_s * 1e3, 1),
-              format_fixed(pl_scalar_rps, 2), "1.00"});
-  pt.add_row({"laned", format_fixed(pl.laned_s * 1e3, 1),
-              format_fixed(pl_laned_rps, 2),
-              format_fixed(pl_laned_rps / pl_scalar_rps, 2)});
+  pt.set_header({"arch", "scalar ms", "laned ms", "scalar reps/s",
+                 "laned reps/s", "speedup"});
+  for (const PacketlanesRow& row : pls) {
+    pt.add_row({std::string(to_string(row.config.arch)),
+                format_fixed(row.scalar_s * 1e3, 1),
+                format_fixed(row.laned_s * 1e3, 1),
+                format_fixed(scalar_rps(row), 2),
+                format_fixed(laned_rps(row), 2),
+                format_fixed(laned_rps(row) / scalar_rps(row), 2)});
+  }
   pt.print(std::cout);
 
   std::ofstream json(out_path);
@@ -552,17 +570,33 @@ int main(int argc, char** argv) {
        << ",\n      \"block_speedup\": " << gl.block_speedup
        << "\n    }\n  },\n"
        << "  \"packetlanes\": {\n"
-       << "    \"arch\": \"" << to_string(pl.config.arch)
-       << "\",\n    \"ports\": " << pl.config.ports
-       << ",\n    \"scheme\": \"" << to_string(pl.config.scheme)
-       << "\",\n    \"replicates\": " << pl.replicates
-       << ",\n    \"lanes\": " << pl.replicates
-       << ",\n    \"scalar_wall_s\": " << pl.scalar_s
-       << ",\n    \"scalar_replicates_per_sec\": " << pl_scalar_rps
-       << ",\n    \"laned_wall_s\": " << pl.laned_s
-       << ",\n    \"laned_replicates_per_sec\": " << pl_laned_rps
-       << ",\n    \"speedup\": " << pl_laned_rps / pl_scalar_rps
-       << "\n  },\n"
+       << "    \"arch\": \"" << to_string(pls.front().config.arch)
+       << "\",\n    \"ports\": " << pls.front().config.ports
+       << ",\n    \"scheme\": \"" << to_string(pls.front().config.scheme)
+       << "\",\n    \"replicates\": " << pls.front().replicates
+       << ",\n    \"lanes\": " << pls.front().replicates
+       << ",\n    \"kernel\": \"" << lane_sim_kernel_name()
+       << "\",\n    \"scalar_wall_s\": " << pls.front().scalar_s
+       << ",\n    \"scalar_replicates_per_sec\": " << scalar_rps(pls.front())
+       << ",\n    \"laned_wall_s\": " << pls.front().laned_s
+       << ",\n    \"laned_replicates_per_sec\": " << laned_rps(pls.front())
+       << ",\n    \"speedup\": "
+       << laned_rps(pls.front()) / scalar_rps(pls.front())
+       << ",\n    \"rows\": [\n";
+  for (std::size_t i = 0; i < pls.size(); ++i) {
+    const PacketlanesRow& row = pls[i];
+    json << "      {\"arch\": \"" << to_string(row.config.arch)
+         << "\", \"ports\": " << row.config.ports << ", \"scheme\": \""
+         << to_string(row.config.scheme)
+         << "\", \"replicates\": " << row.replicates
+         << ", \"scalar_wall_s\": " << row.scalar_s
+         << ", \"scalar_replicates_per_sec\": " << scalar_rps(row)
+         << ", \"laned_wall_s\": " << row.laned_s
+         << ", \"laned_replicates_per_sec\": " << laned_rps(row)
+         << ", \"speedup\": " << laned_rps(row) / scalar_rps(row) << "}"
+         << (i + 1 < pls.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];

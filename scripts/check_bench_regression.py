@@ -8,6 +8,8 @@ Usage:
 Checks the throughput numbers CI is meant to hold steady:
   * packets_per_sec for every (arch, ports) row present in the baseline
   * packetlanes.laned_replicates_per_sec (the bit-sliced replicate engine)
+  * packetlanes.rows[*].laned_replicates_per_sec for every per-arch row
+    present in the baseline's laned_replicates_per_sec_rows map
 
 A metric outside [baseline * (1 - tol), baseline * (1 + tol)] fails the
 check (exit 1). Both directions are out of band on purpose: a large
@@ -86,6 +88,21 @@ def main():
             args.tolerance,
             failures,
         )
+
+    lane_rows = {
+        (row["arch"], row["ports"]): row["laned_replicates_per_sec"]
+        for row in lanes.get("rows", [])
+    }
+    for key, expected in baseline.get(
+            "laned_replicates_per_sec_rows", {}).items():
+        arch, ports = key.rsplit("@", 1)
+        row = (arch, int(ports))
+        if row not in lane_rows:
+            print(f"  FAIL packetlanes.rows[{key}]: missing from bench JSON")
+            failures.append(key)
+            continue
+        check(f"packetlanes.rows[{key}]", lane_rows[row], expected,
+              args.tolerance, failures)
 
     if failures:
         print(f"{len(failures)} metric(s) out of band; if the change is "

@@ -1,6 +1,7 @@
 #include "sim/lane_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <string>
 
@@ -29,16 +30,78 @@ ReplicateEngine parse_replicate_engine(std::string_view name) {
                               std::string(name) + "\"");
 }
 
-bool lane_sim_supported(const SimConfig& c) noexcept {
-  if (c.scheme != RouterScheme::kVoq) return false;
-  if (c.arch != Architecture::kCrossbar) return false;
-  if (c.ports < 2 || c.ports > 64) return false;
-  if (c.packet_words < 1 || c.packet_words > (1u << 20)) return false;
+std::string_view to_string(LaneFallbackReason reason) noexcept {
+  switch (reason) {
+    case LaneFallbackReason::kNone:
+      return "none";
+    case LaneFallbackReason::kArch:
+      return "arch";
+    case LaneFallbackReason::kScheme:
+      return "scheme";
+    case LaneFallbackReason::kPorts:
+      return "ports";
+    case LaneFallbackReason::kPacketWords:
+      return "packet_words";
+    case LaneFallbackReason::kQueue:
+      return "queue";
+    case LaneFallbackReason::kMeasure:
+      return "measure";
+    case LaneFallbackReason::kPattern:
+      return "pattern";
+    case LaneFallbackReason::kRate:
+      return "rate";
+    case LaneFallbackReason::kFootprint:
+      return "footprint";
+    case LaneFallbackReason::kObserver:
+      return "observer";
+  }
+  return "unknown";
+}
+
+LaneFallbackReason lane_sim_fallback_reason(const SimConfig& c) noexcept {
+  using R = LaneFallbackReason;
+  // Every scheme is sliced (VOQ/iSLIP and FIFO/HOL fronts); the check
+  // guards a future enum extension from mis-slicing.
+  if (c.scheme != RouterScheme::kVoq && c.scheme != RouterScheme::kFifo) {
+    return R::kScheme;
+  }
+  switch (c.arch) {
+    case Architecture::kCrossbar:
+    case Architecture::kFullyConnected:
+      break;
+    case Architecture::kBatcherBanyan:
+      if (!is_pow2(c.ports) || c.ports < 4) return R::kPorts;
+      break;
+    case Architecture::kBanyan:
+      if (!is_pow2(c.ports)) return R::kPorts;
+      break;
+    case Architecture::kMesh:
+    default:
+      return R::kArch;
+  }
+  if (c.ports < 2 || c.ports > 64) return R::kPorts;
+  if (c.packet_words < 1 || c.packet_words > (1u << 20)) {
+    return R::kPacketWords;
+  }
   if (c.ingress_queue_packets < 1 ||
       c.ingress_queue_packets > (std::size_t{1} << 20)) {
-    return false;
+    return R::kQueue;
   }
-  if (c.measure_cycles == 0) return false;  // the scalar engine throws
+  if (c.measure_cycles == 0) return R::kMeasure;  // the scalar engine throws
+  // The staged lane fabrics stamp flits with 32-bit injection cycles and
+  // (Batcher-Banyan) 32-bit packet ids. Bound the cycle horizon so neither
+  // can wrap: ids advance at most `ports` per cycle. Scalar runs at these
+  // horizons take hours, so real sweeps never hit this.
+  if (c.arch == Architecture::kBatcherBanyan ||
+      c.arch == Architecture::kBanyan) {
+    const std::uint64_t horizon =
+        std::uint64_t{c.warmup_cycles} + c.measure_cycles;
+    if (horizon >= (std::uint64_t{1} << 30) ||
+        (c.arch == Architecture::kBatcherBanyan &&
+         horizon * c.ports >= (std::uint64_t{1} << 31))) {
+      return R::kMeasure;
+    }
+  }
 
   // Configurations the scalar constructors reject run through the fallback
   // so the exception surfaces exactly as it would from run_simulation.
@@ -47,35 +110,73 @@ bool lane_sim_supported(const SimConfig& c) noexcept {
     case TrafficPatternKind::kUniform:
       break;
     case TrafficPatternKind::kBitReversal:
-      if (!is_pow2(c.ports)) return false;
+      if (!is_pow2(c.ports)) return R::kPattern;
       break;
     case TrafficPatternKind::kHotspot:
-      if (c.hotspot_port >= c.ports) return false;
+      if (c.hotspot_port >= c.ports) return R::kPattern;
       if (!(c.hotspot_fraction >= 0.0 && c.hotspot_fraction <= 1.0)) {
-        return false;
+        return R::kPattern;
       }
       break;
     case TrafficPatternKind::kBursty:
-      if (!(c.mean_burst_cycles >= 1.0)) return false;
+      if (!(c.mean_burst_cycles >= 1.0)) return R::kPattern;
       break;
     default:
-      return false;
+      return R::kPattern;
   }
   if (c.pattern == TrafficPatternKind::kBursty) {
-    if (!(rate >= 0.0)) return false;
+    if (!(rate >= 0.0)) return R::kRate;
   } else {
-    if (!(rate >= 0.0 && rate <= 1.0)) return false;
+    if (!(rate >= 0.0 && rate <= 1.0)) return R::kRate;
   }
 
-  // Plane-state footprint: every bank keeps capacity+1 packet slots (a
-  // popped packet streams out of its slot until the tail leaves). Cap a
-  // full 64-lane pass at ~512 MB; larger configs run per-lane scalar.
-  const std::uint64_t slots =
-      std::uint64_t{64} * c.ports * (c.ingress_queue_packets + 1);
-  const std::uint64_t bytes = slots * c.packet_words * sizeof(Word) +
-                              slots * 4 +
-                              std::uint64_t{64} * c.ports * c.ports * 8;
-  return bytes <= (std::uint64_t{1} << 29);
+  // Plane-state footprint of a full 64-lane pass, capped at ~512 MB;
+  // larger configs run per-lane scalar. The ingress front keeps
+  // capacity(+1) packet slots per bank (a granted packet streams out of
+  // its slot until the tail leaves); the fused engines add their energy
+  // LUTs + deferred event buffers, the staged fabrics their per-stage
+  // link/wire planes (and, for banyan, the node-FIFO ring planes).
+  const std::uint64_t lanes = 64;
+  const std::uint64_t banks = lanes * c.ports;
+  const std::uint64_t slots = banks * (c.ingress_queue_packets + 1);
+  std::uint64_t bytes = slots * c.packet_words * sizeof(Word) +
+                        slots * 16 + banks * c.ports * 8;
+  const std::uint64_t bw1 = std::uint64_t{c.tech.bus_width} + 1;
+  if (bw1 > (std::uint64_t{1} << 20)) return R::kFootprint;
+  constexpr std::uint64_t kLaneFlitBytes = 32;  // detail::LaneFlit
+  switch (c.arch) {
+    case Architecture::kCrossbar:
+      // Pair LUT [(bw+1)^2 doubles] + per-lane event buffers + polarity.
+      bytes += bw1 * bw1 * 8 + lanes * 4096 * 4 + 2 * banks * 4;
+      break;
+    case Architecture::kFullyConnected:
+      bytes += bw1 * 8 + lanes * 4096 * 4 + banks * 4;
+      break;
+    case Architecture::kBatcherBanyan: {
+      const std::uint64_t d = log2_exact(c.ports);
+      const std::uint64_t stages = d * (d + 1) / 2 + d;
+      bytes += lanes * stages * (c.ports * (kLaneFlitBytes + 4) + 16);
+      break;
+    }
+    case Architecture::kBanyan: {
+      if (c.buffer_words_per_switch > (1u << 20)) return R::kFootprint;
+      const std::uint64_t stages = log2_exact(c.ports);
+      const std::uint64_t rings = lanes * stages * c.ports;  // (N/2) * 2
+      bytes += lanes * stages * (c.ports * (kLaneFlitBytes + 4) + 24) +
+               rings * (std::uint64_t{c.buffer_words_per_switch} *
+                            (kLaneFlitBytes + 1) +
+                        8);
+      break;
+    }
+    case Architecture::kMesh:
+      break;  // unreachable: rejected above
+  }
+  if (bytes > (std::uint64_t{1} << 29)) return R::kFootprint;
+  return R::kNone;
+}
+
+bool lane_sim_supported(const SimConfig& c) noexcept {
+  return lane_sim_fallback_reason(c) == LaneFallbackReason::kNone;
 }
 
 namespace {
@@ -111,14 +212,41 @@ std::vector<SimResult> run_lane_simulations(
       obs::Registry::global().counter("sim.lane.laned_lanes");
   static obs::Counter& fallback_lanes =
       obs::Registry::global().counter("sim.lane.fallback_lanes");
+  // One counter per fallback reason, created eagerly so every snapshot
+  // renders the full reason vector (zeros included) and the bench smoke
+  // can grep for the fields unconditionally. Indexed by the enum value.
+  static const std::array<obs::Counter*, 11> fallback_reasons = [] {
+    std::array<obs::Counter*, 11> counters{};
+    for (const LaneFallbackReason reason :
+         {LaneFallbackReason::kNone, LaneFallbackReason::kArch,
+          LaneFallbackReason::kScheme, LaneFallbackReason::kPorts,
+          LaneFallbackReason::kPacketWords, LaneFallbackReason::kQueue,
+          LaneFallbackReason::kMeasure, LaneFallbackReason::kPattern,
+          LaneFallbackReason::kRate, LaneFallbackReason::kFootprint,
+          LaneFallbackReason::kObserver}) {
+      counters[static_cast<std::size_t>(reason)] =
+          reason == LaneFallbackReason::kNone
+              ? nullptr
+              : &obs::Registry::global().counter(
+                    "sim.lane.fallback." +
+                    std::string(to_string(reason)));
+    }
+    return counters;
+  }();
 
   std::vector<SimResult> results;
-  if (!lane_sim_supported(config) || observer != nullptr) {
+  LaneFallbackReason reason = lane_sim_fallback_reason(config);
+  if (reason == LaneFallbackReason::kNone && observer != nullptr) {
+    reason = LaneFallbackReason::kObserver;
+  }
+  if (reason != LaneFallbackReason::kNone) {
     // Per-lane scalar fallback behind the same interface: identical
     // results (and identical exceptions) at scalar speed. Observed
     // batches take this path too — the sliced engine has no per-lane
     // cycle boundary — with the observer on lane 0 only.
     fallback_lanes.add(lane_seeds.size());
+    fallback_reasons[static_cast<std::size_t>(reason)]->add(
+        lane_seeds.size());
     results.reserve(lane_seeds.size());
     for (const std::uint64_t seed : lane_seeds) {
       SimConfig scalar = config;

@@ -14,10 +14,15 @@
 // SimResult bit-for-bit: same draws in the same order per lane, same
 // floating-point accumulation order per lane.
 //
-// Coverage: the crossbar + VOQ/iSLIP path (the saturation-bench hot path)
-// for every traffic pattern. Configurations outside that envelope fall
-// back to per-lane scalar run_simulation() behind the same interface, so
-// callers never branch on support and coverage can grow stage by stage.
+// Coverage: every (architecture, scheme) cell of the sweep grid — crossbar
+// and fully-connected through the fused single-hop engine, Batcher-Banyan
+// and banyan through the staged multi-hop engine, each behind either the
+// VOQ/iSLIP or the FIFO/HOL ingress front, for every traffic pattern.
+// Configurations outside that envelope (mesh, > 64 ports, oversized state
+// footprints, observed batches) fall back to per-lane scalar
+// run_simulation() behind the same interface, so callers never branch on
+// support; lane_sim_fallback_reason() names why a config falls back and
+// the sim.lane.fallback.* counters tally each reason.
 #pragma once
 
 #include <cstdint>
@@ -42,10 +47,37 @@ enum class ReplicateEngine {
 /// an unknown name.
 [[nodiscard]] ReplicateEngine parse_replicate_engine(std::string_view name);
 
-/// True when `config` runs on the sliced fast path: crossbar fabric, VOQ +
-/// iSLIP scheme, 2..64 ports, and a state footprint the plane layout can
-/// hold. False routes run_lane_simulations() through per-lane scalar runs
-/// (results are identical either way; only wall-clock differs).
+/// Why a config falls back to per-lane scalar runs. kNone = laned. Each
+/// non-none reason has a matching sim.lane.fallback.<reason> counter;
+/// kObserver is a call-site condition (observed batches), never returned
+/// by lane_sim_fallback_reason().
+enum class LaneFallbackReason {
+  kNone,         ///< laned fast path
+  kArch,         ///< architecture not sliced (mesh)
+  kScheme,       ///< router scheme not sliced (none today)
+  kPorts,        ///< ports outside 2..64, or not a pow2 the fabric needs
+  kPacketWords,  ///< packet_words outside 1..2^20
+  kQueue,        ///< ingress_queue_packets outside 1..2^20
+  kMeasure,      ///< measure_cycles == 0 (the scalar engine throws)
+  kPattern,      ///< pattern parameters the scalar constructors reject
+  kRate,         ///< offered load outside the pattern's valid range
+  kFootprint,    ///< 64-lane plane state would exceed the memory cap
+  kObserver,     ///< observed batch (no per-lane cycle boundary to hook)
+};
+
+[[nodiscard]] std::string_view to_string(LaneFallbackReason reason) noexcept;
+
+/// Why `config` would fall back (kNone = it runs laned). Configurations
+/// the scalar constructors reject (bad rates, patterns, cycle counts) also
+/// report a reason so the fallback surfaces the scalar exception.
+[[nodiscard]] LaneFallbackReason lane_sim_fallback_reason(
+    const SimConfig& config) noexcept;
+
+/// True when `config` runs on the sliced fast path — every (arch, scheme)
+/// cell of the sweep grid except mesh, 2..64 ports, and a state footprint
+/// the plane layout can hold. False routes run_lane_simulations() through
+/// per-lane scalar runs (results are identical either way; only wall-clock
+/// differs). Equivalent to lane_sim_fallback_reason() == kNone.
 [[nodiscard]] bool lane_sim_supported(const SimConfig& config) noexcept;
 
 /// Runs one replicate per entry of `lane_seeds`: result[k] is bit-identical

@@ -12,6 +12,30 @@
 // run_simulation(config with seed = seeds[k]). ISA flags change
 // instruction selection only — popcount is an integer function and the FP
 // statement sequence is identical — so the kernels agree bit for bit.
+//
+// Coverage: every (architecture, scheme) cell of the sweep grid is laned —
+// crossbar and fully-connected through the fused single-hop engine,
+// Batcher-Banyan and banyan through the staged multi-hop engine, each
+// behind either a VOQ/iSLIP or a FIFO/HOL ingress front. Mesh and any
+// config rejected by lane_sim_supported() fall back per-lane (see
+// lane_sim_fallback_reason()).
+//
+// Lane-major energy ledger (the fused engines): the per-word hot loop no
+// longer performs the serial per-lane FP chain
+//     wire_j += row_lut[row_flips] + col_lut[col_flips]
+// Instead each measured word records one uint32 *event index* (a flip-class
+// key) into a per-lane buffer; at flush boundaries (buffer full, end of the
+// block run) the buffer is replayed serially per lane:
+//     switch_j += switch_word_j;  wire_j += event_lut[index]
+// in the exact delivery order. Replay preserves each accumulator's operand
+// sequence — the scalar chain's adds, in the scalar chain's order — so the
+// totals are bit-identical; only the interleaving *between* independent
+// accumulators changes, which no accumulator observes. The crossbar's
+// two-term LUT sum collapses into a precomputed pair LUT whose entries are
+// built with the identical expression (row_lut[rf] + col_lut[cf]), hence
+// identical doubles. Nothing is recorded during warmup (those adds are
+// zeroed at the boundary anyway); polarity memories still update so the
+// flip sequence carries across the boundary exactly like the scalar run.
 
 #include <algorithm>
 #include <array>
@@ -24,6 +48,8 @@
 
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
+#include "fabric/bitonic.hpp"
+#include "power/buffer_energy.hpp"
 #include "power/wire_energy.hpp"
 #include "sim/lane_sim_kernels.hpp"
 #include "thompson/fabric_embeddings.hpp"
@@ -190,34 +216,79 @@ struct StrCursor {
   std::uint32_t slot = 0;
 };
 
-/// One <= 64-lane pass: lane k replicates the scalar VoqRouter + fused
-/// CrossbarFabric cycle loop under seeds[k]. All cross-port router state is
-/// kept as one mask word per lane (bit i = port i); per-lane quantities
-/// (payload words, energy sums, counters) are lane-indexed flat arrays.
-/// Every random draw, counter bump and floating-point add happens in the
-/// same per-lane order as the scalar engine, which is what makes the
-/// results bit-identical rather than merely statistically equal.
-class LaneSimEngine {
- public:
-  LaneSimEngine(const SimConfig& c, const std::uint64_t* seeds,
-                unsigned lanes)
-      : c_(c),
-        n_(c.ports),
-        pw_(c.packet_words),
-        cap_(static_cast<std::uint32_t>(c.ingress_queue_packets)),
-        spb_(cap_ + 1),
-        lanes_(lanes),
-        iterations_(c.islip_iterations == 0 ? c.ports : c.islip_iterations),
-        full_mask_(n_ == 64 ? ~std::uint64_t{0} : low_mask(n_)) {
-    // Traffic: mirror TrafficGenerator's Bernoulli fast-path detection —
-    // rate_ < 0 selects the generic (bursty) arrival path.
+/// An in-fabric word for the staged (multi-stage pipeline) fabrics — the
+/// lane-plane mirror of the scalar Flit. `seq + 1 == packet_words` derives
+/// the tail flag; `id` is only consulted for equality (the Batcher-banyan
+/// same-packet arbitration rule), so a per-lane counter matches the scalar
+/// factory's global ids; `inj` carries the grant cycle so tail delivery
+/// computes latency without the scalar collector's inflight map.
+// The staged fabrics (Batcher-Banyan, banyan) each define a 16-byte Flit
+// carrying only what their tick reads; lane_sim_fallback_reason bounds the
+// cycle horizon so the 32-bit injection stamps and packet ids cannot wrap.
+
+/// fill_packet_words: header word then payload, identical draw order to
+/// the scalar PacketFactory.
+inline void fill_payload(Word* words, PortId dest, unsigned pw,
+                         PayloadKind payload, Rng& frng) {
+  words[0] = static_cast<Word>(dest);
+  switch (payload) {
+    case PayloadKind::kRandom:
+      for (unsigned w = 1; w < pw; ++w) words[w] = frng.next_word();
+      break;
+    case PayloadKind::kAlternating:
+      for (unsigned w = 1; w < pw; ++w) {
+        words[w] = (w % 2 != 0) ? 0xFFFFFFFFu : 0x00000000u;
+      }
+      break;
+    case PayloadKind::kZero:
+      for (unsigned w = 1; w < pw; ++w) words[w] = 0u;
+      break;
+  }
+}
+
+/// The scalar PacketFactory::make ran (and advanced its generator) before
+/// the ingress dropped the packet — consume the same payload draws.
+inline void consume_payload_draws(unsigned pw, PayloadKind payload,
+                                  Rng& frng) {
+  if (payload == PayloadKind::kRandom) {
+    for (unsigned w = 1; w < pw; ++w) (void)frng.next_word();
+  }
+}
+
+/// Per-lane traffic state shared by every engine: destination patterns,
+/// Bernoulli/bursty arrival processes, and the lane generator streams.
+/// Draw order per lane matches the scalar TrafficGenerator exactly.
+struct TrafficLanes {
+  unsigned n_ = 0;
+  TrafficPatternKind pattern_ = TrafficPatternKind::kUniform;
+  PortId hotspot_port_ = 0;
+  double hotspot_fraction_ = 0.0;
+  // Negative rate_ = generic/bursty arrival path, as in
+  // TrafficGenerator::bernoulli_rate_.
+  double rate_ = -1.0;
+  std::uint64_t threshold_ = 0;
+  double on_rate_ = 0.0;
+  double p_on_off_ = 0.0;
+  double p_off_on_ = 0.0;
+  std::vector<char> bursty_on_;   // [lane * N + port]
+  std::vector<PortId> perm_;      // bit-reversal table
+  std::vector<Rng> traffic_rng_;  // lane k: Rng{seed_k}
+  std::vector<Rng> factory_rng_;  // lane k: Rng{seed_k ^ 0xFACADE}
+
+  void init(const SimConfig& c, const std::uint64_t* seeds, unsigned lanes) {
+    n_ = c.ports;
+    pattern_ = c.pattern;
+    hotspot_port_ = c.hotspot_port;
+    hotspot_fraction_ = c.hotspot_fraction;
+    // Mirror TrafficGenerator's Bernoulli fast-path detection — rate_ < 0
+    // selects the generic (bursty) arrival path.
     if (c.pattern == TrafficPatternKind::kBursty) {
       const double packet_rate = c.offered_load / c.packet_words;
       const double duty = 0.5;
       p_on_off_ = 1.0 / c.mean_burst_cycles;
       on_rate_ = std::min(1.0, packet_rate / duty);
       p_off_on_ = p_on_off_ * duty / (1.0 - duty);
-      bursty_on_.assign(std::size_t{lanes_} * n_, 0);
+      bursty_on_.assign(std::size_t{lanes} * n_, 0);
     } else {
       rate_ = c.offered_load / c.packet_words;
       threshold_ = Rng::bernoulli_threshold(rate_);
@@ -233,168 +304,26 @@ class LaneSimEngine {
         perm_[src] = rev;
       }
     }
-
-    // Crossbar energy constants, constructed exactly as CrossbarFabric's
-    // constructor does so every per-word add uses bit-identical values.
-    const WireEnergyModel wires{c.tech};
-    const thompson::CrossbarEmbedding embedding{c.ports};
-    switch_word_j_ = c.ports * c.switches.crosspoint.energy_per_bit(1u) *
-                     c.tech.bus_width;
-    row_lut_.reserve(c.tech.bus_width + 1);
-    col_lut_.reserve(c.tech.bus_width + 1);
-    for (unsigned f = 0; f <= c.tech.bus_width; ++f) {
-      row_lut_.push_back(
-          wires.flip_energy_j(static_cast<int>(f), embedding.row_wire_grids()));
-      col_lut_.push_back(wires.flip_energy_j(static_cast<int>(f),
-                                             embedding.column_wire_grids()));
-    }
-
-    traffic_rng_.reserve(lanes_);
-    factory_rng_.reserve(lanes_);
-    for (unsigned k = 0; k < lanes_; ++k) {
+    traffic_rng_.reserve(lanes);
+    factory_rng_.reserve(lanes);
+    for (unsigned k = 0; k < lanes; ++k) {
       traffic_rng_.emplace_back(seeds[k]);
       factory_rng_.emplace_back(seeds[k] ^ 0xFACADEull);
     }
-
-    const std::size_t banks = std::size_t{lanes_} * n_;
-    slot_next_.assign(banks * spb_, kNullSlot);
-    for (std::size_t b = 0; b < banks; ++b) {
-      for (std::uint32_t s = 0; s + 1 < spb_; ++s) {
-        slot_next_[b * spb_ + s] = s + 1;
-      }
-    }
-    free_head_.assign(banks, 0);
-    // One padding word: a completed packet's parked cursor points one past
-    // its last word, and the dense streaming path loads (then discards)
-    // the word under every parked cursor.
-    words_.assign(banks * spb_ * pw_ + 1, 0);
-    head_.assign(banks * n_, kNullSlot);
-    tail_.assign(banks * n_, kNullSlot);
-    occ_.assign(banks, 0);
-    req_t_.assign(banks, 0);
-    total_.assign(banks, 0);
-
-    str_.assign(banks, StrCursor{});
-    str_start_.assign(banks, 0);
-    streaming_.assign(lanes_, 0);
-    ingress_free_.assign(lanes_, full_mask_);
-    egress_free_.assign(lanes_, full_mask_);
-    grant_ptr_.assign(banks, 0);
-    accept_ptr_.assign(banks, 0);
-
-    row_last_.assign(banks, 0);
-    col_last_.assign(banks, 0);
-
-    switch_j_.assign(lanes_, 0.0);
-    wire_j_.assign(lanes_, 0.0);
-    latency_sum_.assign(lanes_, 0.0);
-    words_cnt_.assign(lanes_, 0);
-    packets_.assign(lanes_, 0);
-    latency_cnt_.assign(lanes_, 0);
-    drops_.assign(lanes_, 0);
-    drops_before_.assign(lanes_, 0);
   }
 
-  void run() {
-    for (unsigned k0 = 0; k0 < lanes_; k0 += kLaneBlock) {
-      run_block(k0, std::min(k0 + kLaneBlock, lanes_));
-    }
-  }
-
-  void run_block(unsigned k0, unsigned k1) {
-    const Cycle total = c_.warmup_cycles + c_.measure_cycles;
-    const bool batched = rate_ > 0.0 && rate_ < 1.0;
-    // Block-local generator state: the arrival phase owns the traffic and
-    // factory streams, so they live on the stack for the whole block run
-    // instead of bouncing every draw through the member vectors. Traffic
-    // state transposes into the block-SoA layout for the coin step.
-    const unsigned count = k1 - k0;
-    RngLanes traffic;
-    Rng frng[kLaneBlock];
-    if (batched) {
-      traffic.load(traffic_rng_, k0, count);
-      for (unsigned j = 0; j < count; ++j) frng[j] = factory_rng_[k0 + j];
-    }
-    for (Cycle cycle = 0; cycle < total; ++cycle) {
-      if (cycle == c_.warmup_cycles) reset_measurement(k0, k1);
-      if (batched) {
-        arrivals_bernoulli(k0, count, traffic, frng);
-      } else {
-        for (unsigned k = k0; k < k1; ++k) arrivals(k);
-      }
-      for (unsigned k = k0; k < k1; ++k) {
-        match(k, cycle);
-        stream(k, cycle);
-      }
-    }
-    if (batched) {
-      traffic.save(traffic_rng_, k0, count);
-      for (unsigned j = 0; j < count; ++j) factory_rng_[k0 + j] = frng[j];
-    }
-  }
-
-  [[nodiscard]] SimResult result(unsigned k) const {
-    SimResult r;
-    r.arch = c_.arch;
-    r.ports = c_.ports;
-    r.offered_load = c_.offered_load;
-    r.measured_cycles = c_.measure_cycles;
-
-    r.delivered_words = words_cnt_[k];
-    r.delivered_packets = packets_[k];
-    r.egress_throughput = static_cast<double>(words_cnt_[k]) /
-                          (static_cast<double>(c_.measure_cycles) * n_);
-    r.input_queue_drops = drops_[k] - drops_before_[k];
-    r.mean_packet_latency_cycles =
-        latency_cnt_[k] == 0
-            ? 0.0
-            : latency_sum_[k] / static_cast<double>(latency_cnt_[k]);
-
-    // EnergyLedger::total() folds switch + buffer + wire left to right with
-    // buffer exactly 0.0 on the bufferless crossbar, so the two-term sum
-    // below is the identical double.
-    const double duration_s = static_cast<double>(c_.measure_cycles) *
-                              c_.tech.cycle_time_s();
-    const double total_j = switch_j_[k] + wire_j_[k];
-    r.power_w = total_j / duration_s;
-    r.switch_power_w = switch_j_[k] / duration_s;
-    r.buffer_power_w = 0.0 / duration_s;
-    r.wire_power_w = wire_j_[k] / duration_s;
-    const double delivered_bits =
-        static_cast<double>(r.delivered_words) * c_.tech.bus_width;
-    r.energy_per_bit_j =
-        delivered_bits > 0.0 ? total_j / delivered_bits : 0.0;
-
-    r.words_buffered = 0;
-    r.sram_buffered_words = 0;
-    r.stall_cycles = 0;
-    return r;
-  }
-
- private:
-  void reset_measurement(unsigned k0, unsigned k1) {
-    for (unsigned k = k0; k < k1; ++k) {
-      switch_j_[k] = 0.0;
-      wire_j_[k] = 0.0;
-      latency_sum_[k] = 0.0;
-      words_cnt_[k] = 0;
-      packets_[k] = 0;
-      latency_cnt_[k] = 0;
-      drops_before_[k] = drops_[k];
-    }
-    // Wire polarity memories, bank contents and in-flight packets carry
-    // across the boundary, exactly like the scalar warm-up reset (which
-    // only zeroes the ledger and the egress counters).
+  [[nodiscard]] bool batched() const noexcept {
+    return rate_ > 0.0 && rate_ < 1.0;
   }
 
   [[nodiscard]] PortId pick_dest(PortId source, Rng& rng) const {
-    switch (c_.pattern) {
+    switch (pattern_) {
       case TrafficPatternKind::kBitReversal:
         return perm_[source];
       case TrafficPatternKind::kHotspot:
-        if (source != c_.hotspot_port &&
-            rng.next_bernoulli(c_.hotspot_fraction)) {
-          return c_.hotspot_port;
+        if (source != hotspot_port_ &&
+            rng.next_bernoulli(hotspot_fraction_)) {
+          return hotspot_port_;
         }
         break;
       case TrafficPatternKind::kUniform:
@@ -406,77 +335,32 @@ class LaneSimEngine {
     return draw >= source ? draw + 1 : draw;
   }
 
-  void make_and_enqueue(unsigned k, PortId ingress, PortId dest, Rng& frng) {
-    const std::size_t b = std::size_t{k} * n_ + ingress;
-    if (total_[b] >= cap_) {
-      // The scalar PacketFactory::make ran (and advanced its generator)
-      // before VoqBank::enqueue dropped the packet — consume the same
-      // payload draws.
-      ++drops_[k];
-      if (c_.payload == PayloadKind::kRandom) {
-        for (unsigned w = 1; w < pw_; ++w) (void)frng.next_word();
-      }
-      return;
-    }
-    const std::size_t sbase = b * spb_;
-    const std::uint32_t s = free_head_[b];
-    free_head_[b] = slot_next_[sbase + s];
-
-    Word* words = words_.data() + (sbase + s) * pw_;
-    words[0] = static_cast<Word>(dest);  // header, as fill_packet_words
-    switch (c_.payload) {
-      case PayloadKind::kRandom:
-        for (unsigned w = 1; w < pw_; ++w) words[w] = frng.next_word();
-        break;
-      case PayloadKind::kAlternating:
-        for (unsigned w = 1; w < pw_; ++w) {
-          words[w] = (w % 2 != 0) ? 0xFFFFFFFFu : 0x00000000u;
-        }
-        break;
-      case PayloadKind::kZero:
-        for (unsigned w = 1; w < pw_; ++w) words[w] = 0u;
-        break;
-    }
-
-    const std::size_t q = b * n_ + dest;
-    slot_next_[sbase + s] = kNullSlot;
-    if (tail_[q] == kNullSlot) {
-      head_[q] = s;
-    } else {
-      slot_next_[sbase + tail_[q]] = s;
-    }
-    tail_[q] = s;
-    occ_[b] |= std::uint64_t{1} << dest;
-    req_t_[std::size_t{k} * n_ + dest] |= std::uint64_t{1} << ingress;
-    ++total_[b];
-  }
-
   /// Sub-unity Bernoulli arrivals, port-outer: one multi-lane integer
-  /// threshold word per port batches every lane's arrival coin (the
-  /// LaneRngBlock::next_bernoulli_word draw) while preserving each lane's
-  /// own draw sequence — the coin for port p still immediately precedes
-  /// that port's destination and payload draws, as in the scalar
-  /// TrafficGenerator.
-  void arrivals_bernoulli(unsigned k0, unsigned count, RngLanes& traffic,
-                          Rng* frng) {
+  /// threshold word per port batches every lane's arrival coin while
+  /// preserving each lane's own draw sequence — the coin for port p still
+  /// immediately precedes that port's destination and payload draws, as in
+  /// the scalar TrafficGenerator. `enq(j, p, dest)` enqueues into block
+  /// lane j (the caller owns the factory stream).
+  template <class Enq>
+  void arrivals_bernoulli(unsigned count, RngLanes& traffic, Enq&& enq) {
     for (PortId p = 0; p < n_; ++p) {
       const std::uint64_t hits = traffic.coin(count, threshold_);
       for_each_set_bit(hits, 0, [&](unsigned j) {
         // Hits are rare at sub-unity rates, so the arriving lane's
-        // generator materializes out of the block only here. The payload
-        // fill stays the straight-line per-lane loop: its serial xoshiro
-        // chain hides behind the surrounding independent work in the
-        // out-of-order window (a deferred block-interleaved fill measured
-        // slower than this).
+        // generator materializes out of the block only here.
         Rng lane = traffic.lane(j);
         const PortId dest = pick_dest(p, lane);
         traffic.set_lane(j, lane);
-        make_and_enqueue(k0 + j, p, dest, frng[j]);
+        enq(j, p, dest);
       });
     }
   }
 
-  void arrivals(unsigned k) {
+  /// Saturating / silent / bursty arrivals for one lane, straight from the
+  /// member generator streams. `enq(p, dest, frng)` enqueues with the
+  /// lane's factory stream.
+  template <class Enq>
+  void arrivals(unsigned k, Enq&& enq) {
     Rng trng = traffic_rng_[k];
     Rng frng = factory_rng_[k];
     if (rate_ >= 1.0) {
@@ -484,7 +368,7 @@ class LaneSimEngine {
       // fast path skips next_bernoulli for p >= 1).
       for (PortId p = 0; p < n_; ++p) {
         const PortId dest = pick_dest(p, trng);
-        make_and_enqueue(k, p, dest, frng);
+        enq(p, dest, frng);
       }
     } else if (rate_ == 0.0) {
       // No arrivals, no draws.
@@ -499,17 +383,137 @@ class LaneSimEngine {
         }
         if (on[p] == 0 || !trng.next_bernoulli(on_rate_)) continue;
         const PortId dest = pick_dest(p, trng);
-        make_and_enqueue(k, p, dest, frng);
+        enq(p, dest, frng);
       }
     }
     traffic_rng_[k] = trng;
     factory_rng_[k] = frng;
   }
+};
+
+/// VOQ/iSLIP ingress front: per-(lane, ingress) banks of virtual output
+/// queues over a shared slot pool, matched by the mask-word iSLIP from the
+/// scalar VoqRouter. One mask word per lane holds each cross-port set
+/// (occupancy, requests, free ports, streaming); per-lane quantities are
+/// lane-indexed flat arrays. Transliterated from the scalar
+/// VoqBank/IslipArbiter pair — same draw order, same pointer updates.
+struct VoqFront {
+  unsigned n_ = 0;
+  unsigned pw_ = 0;
+  std::uint32_t cap_ = 0;  ///< shared packets per VOQ bank
+  std::uint32_t spb_ = 0;  ///< slots per bank = cap_ + 1
+  unsigned iterations_ = 0;
+  PayloadKind payload_ = PayloadKind::kRandom;
+  std::uint64_t full_mask_ = 0;
+  bool with_ids_ = false;
+
+  // VOQ banks: bank b = lane * N + ingress owns spb_ packet slots; VOQs
+  // are intrusive lists over the slot pool, occupancy mirrored in mask
+  // planes.
+  std::vector<std::uint32_t> slot_next_;  // [bank * spb_ + slot]
+  std::vector<std::uint32_t> free_head_;  // [bank]
+  std::vector<Word> words_;               // [(bank * spb_ + slot) * pw_]
+  std::vector<std::uint64_t> ids_;        // [bank * spb_ + slot], with_ids_
+  std::vector<std::uint64_t> next_id_;    // [lane]
+  std::vector<std::uint32_t> head_;       // [bank * N + egress]
+  std::vector<std::uint32_t> tail_;       // [bank * N + egress]
+  std::vector<std::uint64_t> occ_;        // [bank], bit e = VOQ e nonempty
+  std::vector<std::uint64_t> req_t_;      // [lane * N + e], bit i: transpose
+  std::vector<std::uint32_t> total_;      // [bank], queued packets
+
+  std::vector<StrCursor> str_;            // [lane * N + ingress]
+  std::vector<Cycle> str_start_;
+  std::vector<std::uint64_t> streaming_;  // [lane], bit i
+  std::vector<std::uint64_t> ingress_free_;
+  std::vector<std::uint64_t> egress_free_;
+
+  // iSLIP pointers + per-front grant scratch.
+  std::vector<PortId> grant_ptr_;   // [lane * N + egress]
+  std::vector<PortId> accept_ptr_;  // [lane * N + ingress]
+  std::uint64_t grants_of_[64] = {};
+
+  std::vector<std::uint64_t> drops_;
+  std::vector<std::uint64_t> drops_before_;
+
+  void init(const SimConfig& c, unsigned lanes, bool with_ids) {
+    n_ = c.ports;
+    pw_ = c.packet_words;
+    cap_ = static_cast<std::uint32_t>(c.ingress_queue_packets);
+    spb_ = cap_ + 1;
+    iterations_ = c.islip_iterations == 0 ? c.ports : c.islip_iterations;
+    payload_ = c.payload;
+    full_mask_ = n_ == 64 ? ~std::uint64_t{0} : low_mask(n_);
+    with_ids_ = with_ids;
+
+    const std::size_t banks = std::size_t{lanes} * n_;
+    slot_next_.assign(banks * spb_, kNullSlot);
+    for (std::size_t b = 0; b < banks; ++b) {
+      for (std::uint32_t s = 0; s + 1 < spb_; ++s) {
+        slot_next_[b * spb_ + s] = s + 1;
+      }
+    }
+    free_head_.assign(banks, 0);
+    // One padding word: a completed packet's parked cursor points one past
+    // its last word.
+    words_.assign(banks * spb_ * pw_ + 1, 0);
+    if (with_ids_) {
+      ids_.assign(banks * spb_, 0);
+      next_id_.assign(lanes, 0);
+    }
+    head_.assign(banks * n_, kNullSlot);
+    tail_.assign(banks * n_, kNullSlot);
+    occ_.assign(banks, 0);
+    req_t_.assign(banks, 0);
+    total_.assign(banks, 0);
+
+    str_.assign(banks, StrCursor{});
+    str_start_.assign(banks, 0);
+    streaming_.assign(lanes, 0);
+    ingress_free_.assign(lanes, full_mask_);
+    egress_free_.assign(lanes, full_mask_);
+    grant_ptr_.assign(banks, 0);
+    accept_ptr_.assign(banks, 0);
+
+    drops_.assign(lanes, 0);
+    drops_before_.assign(lanes, 0);
+  }
+
+  void enqueue(unsigned k, PortId ingress, PortId dest, Cycle /*cycle*/,
+               Rng& frng) {
+    const std::size_t b = std::size_t{k} * n_ + ingress;
+    std::uint64_t id = 0;
+    if (with_ids_) id = next_id_[k]++;  // factory id advances even on drop
+    if (total_[b] >= cap_) {
+      ++drops_[k];
+      consume_payload_draws(pw_, payload_, frng);
+      return;
+    }
+    const std::size_t sbase = b * spb_;
+    const std::uint32_t s = free_head_[b];
+    free_head_[b] = slot_next_[sbase + s];
+
+    fill_payload(words_.data() + (sbase + s) * pw_, dest, pw_, payload_,
+                 frng);
+    if (with_ids_) ids_[sbase + s] = id;
+
+    const std::size_t q = b * n_ + dest;
+    slot_next_[sbase + s] = kNullSlot;
+    if (tail_[q] == kNullSlot) {
+      head_[q] = s;
+    } else {
+      slot_next_[sbase + tail_[q]] = s;
+    }
+    tail_[q] = s;
+    occ_[b] |= std::uint64_t{1} << dest;
+    req_t_[std::size_t{k} * n_ + dest] |= std::uint64_t{1} << ingress;
+    ++total_[b];
+  }
 
   /// IslipArbiter::match_banks on mask words: the grant pointer walk is a
-  /// first-set-bit in cyclic order over (requesters & available ingresses),
-  /// the accept walk the same over the egresses that granted this ingress.
-  void match(unsigned k, Cycle cycle) {
+  /// first-set-bit in cyclic order over (requesters & available
+  /// ingresses), the accept walk the same over the egresses that granted
+  /// this ingress.
+  void schedule(unsigned k, Cycle cycle) {
     const std::size_t base = std::size_t{k} * n_;
     const std::uint64_t* const req_t = req_t_.data() + base;
     PortId* const grant_ptr = grant_ptr_.data() + base;
@@ -570,133 +574,1216 @@ class LaneSimEngine {
     egress_free_[k] &= ~(std::uint64_t{1} << egress);
   }
 
-  /// The fused crossbar word path, port-ascending per lane — the same
-  /// per-lane floating-point accumulation order as deliver_word under the
-  /// scalar router's streaming loop.
-  void stream(unsigned k, Cycle cycle) {
-    const std::uint64_t mask = streaming_[k];
-    if (mask == 0) return;
-    // Register accumulators: the adds happen in the identical per-port
-    // order, only the store back to the lane slot is deferred.
-    double switch_j = switch_j_[k];
-    double wire_j = wire_j_[k];
-    std::uint64_t words_cnt = words_cnt_[k];
-    const std::size_t base = std::size_t{k} * n_;
-    const Word* const words = words_.data();
-    Word* const row_last = row_last_.data() + base;
-    Word* const col_last = col_last_.data() + base;
-    StrCursor* const str = str_.data() + base;
-    const double* const row_lut = row_lut_.data();
-    const double* const col_lut = col_lut_.data();
-
-    for_each_set_bit(mask, 0, [&](unsigned p) {
-      const StrCursor cur = str[p];
-      const Word data = words[cur.idx];
-      const unsigned e = cur.dest;
-      const std::uint32_t left = cur.left - 1;
-
-      const int row_flips = toggled_bits(row_last[p], data);
-      row_last[p] = data;
-      const int col_flips = toggled_bits(col_last[e], data);
-      col_last[e] = data;
-      switch_j += switch_word_j_;
-      wire_j += row_lut[row_flips] + col_lut[col_flips];
-      ++words_cnt;
-
-      // Advance unconditionally (a dead store on the tail word, which
-      // resets the cursor at its next match anyway).
-      str[p].idx = cur.idx + 1;
-      str[p].left = left;
-
-      if (left == 0) {  // tail word: packet complete
-        const std::size_t b = base + p;
-        ++packets_[k];
-        latency_sum_[k] += static_cast<double>(cycle - str_start_[b]);
-        ++latency_cnt_[k];
-        egress_free_[k] |= std::uint64_t{1} << e;
-        slot_next_[b * spb_ + cur.slot] = free_head_[b];
-        free_head_[b] = cur.slot;
-        ingress_free_[k] |= std::uint64_t{1} << p;
-        streaming_[k] &= ~(std::uint64_t{1} << p);
-      }
-    });
-    switch_j_[k] = switch_j;
-    wire_j_[k] = wire_j;
-    words_cnt_[k] = words_cnt;
+  /// Tail-word retirement: free the slot and reopen the ingress; the
+  /// egress reopens here only for fixed-latency fabrics (otherwise it
+  /// unlocks at tail *delivery* via unlock_mask).
+  void on_tail(unsigned k, unsigned p, unsigned e, std::uint32_t slot,
+               Cycle /*cycle*/, bool fixed_latency) {
+    const std::size_t b = std::size_t{k} * n_ + p;
+    if (fixed_latency) egress_free_[k] |= std::uint64_t{1} << e;
+    slot_next_[b * spb_ + slot] = free_head_[b];
+    free_head_[b] = slot;
+    ingress_free_[k] |= std::uint64_t{1} << p;
+    streaming_[k] &= ~(std::uint64_t{1} << p);
   }
 
-  SimConfig c_;
-  unsigned n_;          ///< ports
-  unsigned pw_;         ///< words per packet
-  std::uint32_t cap_;   ///< shared packets per VOQ bank
-  std::uint32_t spb_;   ///< slots per bank = cap_ + 1
-  unsigned lanes_;
-  unsigned iterations_;
-  std::uint64_t full_mask_;
+  void unlock_mask(unsigned k, std::uint64_t egresses) {
+    egress_free_[k] |= egresses;
+  }
 
-  // Traffic (negative rate_ = generic/bursty arrival path, as in
-  // TrafficGenerator::bernoulli_rate_).
-  double rate_ = -1.0;
-  std::uint64_t threshold_ = 0;
-  double on_rate_ = 0.0;
-  double p_on_off_ = 0.0;
-  double p_off_on_ = 0.0;
-  std::vector<char> bursty_on_;    // [lane * N + port]
-  std::vector<PortId> perm_;       // bit-reversal table
-  std::vector<Rng> traffic_rng_;   // lane k: Rng{seed_k}
-  std::vector<Rng> factory_rng_;   // lane k: Rng{seed_k ^ 0xFACADE}
+  [[nodiscard]] std::uint64_t id_of(unsigned k, PortId p,
+                                    std::uint32_t slot) const {
+    return with_ids_
+               ? ids_[(std::size_t{k} * n_ + p) * spb_ + slot]
+               : 0;
+  }
 
-  // Crossbar energy constants (shared across lanes; value-identical to
-  // CrossbarFabric's).
-  double switch_word_j_ = 0.0;
-  std::vector<double> row_lut_;
-  std::vector<double> col_lut_;
-
-  // VOQ banks: bank b = lane * N + ingress owns spb_ packet slots; VOQs are
-  // intrusive lists over the slot pool, occupancy mirrored in mask planes.
-  std::vector<std::uint32_t> slot_next_;  // [bank * spb_ + slot]
-  std::vector<std::uint32_t> free_head_;  // [bank]
-  std::vector<Word> words_;               // [(bank * spb_ + slot) * pw_]
-  std::vector<std::uint32_t> head_;       // [bank * N + egress]
-  std::vector<std::uint32_t> tail_;       // [bank * N + egress]
-  std::vector<std::uint64_t> occ_;        // [bank], bit e = VOQ e nonempty
-  std::vector<std::uint64_t> req_t_;      // [lane * N + e], bit i: transpose
-  std::vector<std::uint32_t> total_;      // [bank], queued packets
-
-  // Streaming slots (the router's per-port StreamingPacket): the word
-  // cursor is a flat index into words_ plus a countdown, so the hot path
-  // never recomputes slot addresses.
-  std::vector<StrCursor> str_;            // [lane * N + ingress]
-  std::vector<Cycle> str_start_;
-  std::vector<std::uint64_t> streaming_;  // [lane], bit i
-  std::vector<std::uint64_t> ingress_free_;
-  std::vector<std::uint64_t> egress_free_;
-
-  // iSLIP pointers + per-lane grant scratch.
-  std::vector<PortId> grant_ptr_;   // [lane * N + egress]
-  std::vector<PortId> accept_ptr_;  // [lane * N + ingress]
-  std::uint64_t grants_of_[64] = {};
-
-  // Crossbar wire polarity memories.
-  std::vector<Word> row_last_;  // [lane * N + row]
-  std::vector<Word> col_last_;  // [lane * N + column]
-
-  // Per-lane accumulators (the ledger + egress-collector state).
-  std::vector<double> switch_j_;
-  std::vector<double> wire_j_;
-  std::vector<double> latency_sum_;
-  std::vector<std::uint64_t> words_cnt_;
-  std::vector<std::uint64_t> packets_;
-  std::vector<std::uint64_t> latency_cnt_;
-  std::vector<std::uint64_t> drops_;
-  std::vector<std::uint64_t> drops_before_;
+  void snapshot_drops(unsigned k) { drops_before_[k] = drops_[k]; }
 };
 
+/// FIFO/HOL ingress front: one ring of packets per (lane, ingress) with
+/// head-of-line arbitration per egress — the scalar Router + IngressUnit +
+/// RoundRobinArbiter, transliterated. The arbiter's winner per egress is
+/// the strict minimum of (head_since, round-robin distance); distances are
+/// injective per egress, so the fused per-egress compute-and-apply walk
+/// (egress-ascending, as the scalar grant emission) picks the identical
+/// winners. The granted packet stays at its ring front until tail
+/// injection, exactly like IngressUnit (ring capacity == queue_packets,
+/// no +1 slot).
+struct FifoFront {
+  unsigned n_ = 0;
+  unsigned pw_ = 0;
+  std::uint32_t cap_ = 0;  ///< packets per ingress ring
+  PayloadKind payload_ = PayloadKind::kRandom;
+  bool with_ids_ = false;
+
+  std::vector<std::uint32_t> head_;   // [bank]
+  std::vector<std::uint32_t> size_;   // [bank]
+  std::vector<Word> words_;           // [(bank * cap_ + pos) * pw_]
+  std::vector<std::uint64_t> ids_;    // [bank * cap_ + pos], with_ids_
+  std::vector<std::uint64_t> next_id_;  // [lane]
+  std::vector<Cycle> head_since_;     // [bank]: IngressUnit::head_since
+
+  std::vector<std::uint64_t> cont_;      // [lane * N + e], bit i contends
+  std::vector<std::uint64_t> cont_any_;  // [lane], bit e = list nonempty
+  std::vector<std::uint64_t> locked_;    // [lane], bit e = egress locked
+  std::vector<PortId> rr_next_;          // [lane * N + egress]
+
+  std::vector<StrCursor> str_;            // [bank]
+  std::vector<Cycle> str_start_;          // [bank]
+  std::vector<std::uint64_t> streaming_;  // [lane], bit i
+
+  std::vector<std::uint64_t> drops_;
+  std::vector<std::uint64_t> drops_before_;
+
+  void init(const SimConfig& c, unsigned lanes, bool with_ids) {
+    n_ = c.ports;
+    pw_ = c.packet_words;
+    cap_ = static_cast<std::uint32_t>(c.ingress_queue_packets);
+    payload_ = c.payload;
+    with_ids_ = with_ids;
+
+    const std::size_t banks = std::size_t{lanes} * n_;
+    head_.assign(banks, 0);
+    size_.assign(banks, 0);
+    words_.assign(banks * cap_ * pw_ + 1, 0);
+    if (with_ids_) {
+      ids_.assign(banks * cap_, 0);
+      next_id_.assign(lanes, 0);
+    }
+    head_since_.assign(banks, 0);
+    cont_.assign(banks, 0);
+    cont_any_.assign(lanes, 0);
+    locked_.assign(lanes, 0);
+    rr_next_.assign(banks, 0);
+    str_.assign(banks, StrCursor{});
+    str_start_.assign(banks, 0);
+    streaming_.assign(lanes, 0);
+    drops_.assign(lanes, 0);
+    drops_before_.assign(lanes, 0);
+  }
+
+  void enqueue(unsigned k, PortId ingress, PortId dest, Cycle cycle,
+               Rng& frng) {
+    const std::size_t b = std::size_t{k} * n_ + ingress;
+    std::uint64_t id = 0;
+    if (with_ids_) id = next_id_[k]++;  // factory id advances even on drop
+    if (size_[b] == cap_) {
+      ++drops_[k];
+      consume_payload_draws(pw_, payload_, frng);
+      return;
+    }
+    std::uint32_t pos = head_[b] + size_[b];
+    if (pos >= cap_) pos -= cap_;
+    fill_payload(words_.data() + (b * cap_ + pos) * pw_, dest, pw_,
+                 payload_, frng);
+    if (with_ids_) ids_[b * cap_ + pos] = id;
+    // IngressUnit::enqueue: head_since stamps only when the packet becomes
+    // the head of line (empty queue, not streaming); the router then adds
+    // it as a contender for its destination.
+    const bool becomes_hol =
+        size_[b] == 0 && ((streaming_[k] >> ingress) & 1) == 0;
+    ++size_[b];
+    if (becomes_hol) {
+      head_since_[b] = cycle;
+      cont_[std::size_t{k} * n_ + dest] |= std::uint64_t{1} << ingress;
+      cont_any_[k] |= std::uint64_t{1} << dest;
+    }
+  }
+
+  /// RoundRobinArbiter::arbitrate fused with the router's grant
+  /// application. Requests exist for every (unlocked egress, contender)
+  /// pair; the winner per egress is the strict min of (waiting-since,
+  /// round-robin distance) — unique, because distances are injective per
+  /// egress — so computing and applying per egress in ascending order
+  /// equals the scalar's compute-all-then-apply (grants were emitted
+  /// egress-ascending there too, and no two egresses share state).
+  void schedule(unsigned k, Cycle cycle) {
+    const std::uint64_t avail = cont_any_[k] & ~locked_[k];
+    if (avail == 0) return;
+    const std::size_t base = std::size_t{k} * n_;
+    for_each_set_bit(avail, 0, [&](unsigned e) {
+      const std::uint64_t cand = cont_[base + e];  // nonempty by invariant
+      const PortId rrn = rr_next_[base + e];
+      bool valid = false;
+      unsigned best = 0;
+      Cycle best_since = 0;
+      unsigned best_dist = 0;
+      for_each_set_bit(cand, 0, [&](unsigned i) {
+        unsigned d = i + n_ - rrn;
+        if (d >= n_) d -= n_;
+        const Cycle since = head_since_[base + i];
+        if (!valid || since < best_since ||
+            (since == best_since && d < best_dist)) {
+          valid = true;
+          best = i;
+          best_since = since;
+          best_dist = d;
+        }
+      });
+      // Apply the grant: pointer one past the winner, egress locked,
+      // IngressUnit::grant (stream from the ring front) and
+      // note_head_injected.
+      rr_next_[base + e] =
+          best + 1 == n_ ? 0 : static_cast<PortId>(best + 1);
+      locked_[k] |= std::uint64_t{1} << e;
+      const std::size_t b = base + best;
+      const std::uint32_t pos = head_[b];
+      str_[b] = StrCursor{
+          static_cast<std::uint32_t>((b * cap_ + pos) * pw_), pw_,
+          static_cast<std::uint32_t>(e), pos};
+      str_start_[b] = cycle;
+      streaming_[k] |= std::uint64_t{1} << best;
+      cont_[base + e] &= ~(std::uint64_t{1} << best);
+      if (cont_[base + e] == 0) cont_any_[k] &= ~(std::uint64_t{1} << e);
+    });
+  }
+
+  /// Tail-word retirement (IngressUnit::emit_word/advance tail branch +
+  /// the router's tail handling): pop the ring, restamp head_since, and
+  /// promote the next head of line to contender.
+  void on_tail(unsigned k, unsigned p, unsigned e, std::uint32_t /*slot*/,
+               Cycle cycle, bool fixed_latency) {
+    const std::size_t b = std::size_t{k} * n_ + p;
+    std::uint32_t h = head_[b] + 1;
+    if (h == cap_) h = 0;
+    head_[b] = h;
+    --size_[b];
+    streaming_[k] &= ~(std::uint64_t{1} << p);
+    head_since_[b] = cycle;
+    if (fixed_latency) locked_[k] &= ~(std::uint64_t{1} << e);
+    if (size_[b] != 0) {
+      const auto hdest =
+          static_cast<PortId>(words_[(b * cap_ + h) * pw_]);
+      cont_[std::size_t{k} * n_ + hdest] |= std::uint64_t{1} << p;
+      cont_any_[k] |= std::uint64_t{1} << hdest;
+    }
+  }
+
+  void unlock_mask(unsigned k, std::uint64_t egresses) {
+    locked_[k] &= ~egresses;
+  }
+
+  [[nodiscard]] std::uint64_t id_of(unsigned k, PortId p,
+                                    std::uint32_t slot) const {
+    return with_ids_ ? ids_[(std::size_t{k} * n_ + p) * cap_ + slot] : 0;
+  }
+
+  void snapshot_drops(unsigned k) { drops_before_[k] = drops_[k]; }
+};
+
+/// Deferred-ledger event buffer depth per lane (uint32 keys). Sized so a
+/// flush replay stays L1/L2-resident; the hot loop flushes whenever fewer
+/// than one full port set of headroom remains.
+constexpr unsigned kEventCap = 4096;
+
+/// Per-lane measurement accumulators shared by every engine — one slot per
+/// lane, mirroring the scalar EnergyLedger buckets and EgressCollector /
+/// fabric counters. FP members only ever receive the scalar run's adds in
+/// the scalar run's per-accumulator order, so the derived SimResult fields
+/// match bit for bit.
+struct LaneAccum {
+  std::vector<double> switch_j, buffer_j, wire_j, latency_sum;
+  std::vector<std::uint64_t> words, packets, latency_cnt;
+  // Cumulative-since-construction fabric counters + their measure-boundary
+  // snapshots (the scalar reports deltas across the measurement window).
+  std::vector<std::uint64_t> buffered, sram, stalls;
+  std::vector<std::uint64_t> buffered_before, sram_before, stalls_before;
+
+  void init(unsigned lanes) {
+    switch_j.assign(lanes, 0.0);
+    buffer_j.assign(lanes, 0.0);
+    wire_j.assign(lanes, 0.0);
+    latency_sum.assign(lanes, 0.0);
+    words.assign(lanes, 0);
+    packets.assign(lanes, 0);
+    latency_cnt.assign(lanes, 0);
+    buffered.assign(lanes, 0);
+    sram.assign(lanes, 0);
+    stalls.assign(lanes, 0);
+    buffered_before.assign(lanes, 0);
+    sram_before.assign(lanes, 0);
+    stalls_before.assign(lanes, 0);
+  }
+
+  /// The warmup->measure boundary: reset_energy + egress reset_counters +
+  /// counter snapshots, per lane.
+  void reset_measurement(unsigned k) {
+    switch_j[k] = 0.0;
+    buffer_j[k] = 0.0;
+    wire_j[k] = 0.0;
+    latency_sum[k] = 0.0;
+    words[k] = 0;
+    packets[k] = 0;
+    latency_cnt[k] = 0;
+    buffered_before[k] = buffered[k];
+    sram_before[k] = sram[k];
+    stalls_before[k] = stalls[k];
+  }
+};
+
+/// SimResult derivation for lane k — the measure() epilogue, field for
+/// field. The scalar ledger total folds kSwitch, kBuffer, kWire in kind
+/// order starting from 0.0; switch_j is a sum of non-negative adds (never
+/// -0.0), so 0.0 + switch_j == switch_j bitwise and the fold reduces to
+/// (switch + buffer) + wire.
+[[nodiscard]] inline SimResult lane_result(const SimConfig& c,
+                                           const LaneAccum& a,
+                                           std::uint64_t drops_delta,
+                                           unsigned k) {
+  SimResult r;
+  r.arch = c.arch;
+  r.ports = c.ports;
+  r.offered_load = c.offered_load;
+  r.measured_cycles = c.measure_cycles;
+
+  r.delivered_words = a.words[k];
+  r.delivered_packets = a.packets[k];
+  r.egress_throughput = static_cast<double>(a.words[k]) /
+                        (static_cast<double>(c.measure_cycles) * c.ports);
+  r.input_queue_drops = drops_delta;
+  r.mean_packet_latency_cycles =
+      a.latency_cnt[k] == 0
+          ? 0.0
+          : a.latency_sum[k] / static_cast<double>(a.latency_cnt[k]);
+
+  const double duration_s =
+      static_cast<double>(c.measure_cycles) * c.tech.cycle_time_s();
+  const double total_j = (a.switch_j[k] + a.buffer_j[k]) + a.wire_j[k];
+  r.power_w = total_j / duration_s;
+  r.switch_power_w = a.switch_j[k] / duration_s;
+  r.buffer_power_w = a.buffer_j[k] / duration_s;
+  r.wire_power_w = a.wire_j[k] / duration_s;
+  const double delivered_bits =
+      static_cast<double>(r.delivered_words) * c.tech.bus_width;
+  r.energy_per_bit_j = delivered_bits > 0.0 ? total_j / delivered_bits : 0.0;
+
+  r.words_buffered = a.buffered[k] - a.buffered_before[k];
+  r.sram_buffered_words = a.sram[k] - a.sram_before[k];
+  r.stall_cycles = a.stalls[k] - a.stalls_before[k];
+  return r;
+}
+
+/// Fused single-hop engine: crossbar and fully-connected, behind either
+/// ingress front. Every injected word is delivered the same cycle
+/// (begin_cycle + transfer in the scalar routers), so the whole per-word
+/// energy path is two LUT-able adds — exactly the shape the lane-major
+/// deferred ledger removes from the hot loop. A measured word records one
+/// uint32 flip-class key; flush() replays the keys serially per lane in
+/// delivery order (see the file header for the bit-exactness argument).
+template <Architecture kArch, class FrontT>
+struct FusedEngine {
+  static constexpr bool kXbar = (kArch == Architecture::kCrossbar);
+
+  unsigned n_ = 0;
+  unsigned pw_ = 0;
+  std::uint32_t bw1_ = 0;  ///< bus_width + 1 (pair-LUT row stride)
+  /// Eq. 3's per-word switch constant: N * E_S (crossbar crosspoint row)
+  /// or the N-input mux (fully-connected) — identical expression to the
+  /// scalar fabric constructors.
+  double switch_word_j_ = 0.0;
+  /// Crossbar: pair LUT [rf * bw1_ + cf] = row_lut[rf] + col_lut[cf],
+  /// built with the identical scalar expressions, hence identical doubles.
+  /// Fully-connected: [flips] = flip_energy_j(flips, path_grids()).
+  std::vector<double> lut_;
+  std::vector<Word> row_last_;  // [lane * N + ingress] wire polarity
+  std::vector<Word> col_last_;  // [lane * N + egress], crossbar only
+  std::vector<std::uint32_t> ebuf_;  // [lane * kEventCap] event keys
+  std::vector<std::uint32_t> ecnt_;  // [lane]
+  FrontT front_;
+  LaneAccum acc_;
+
+  void init(const SimConfig& c, unsigned lanes) {
+    n_ = c.ports;
+    pw_ = c.packet_words;
+    bw1_ = c.tech.bus_width + 1;
+    const WireEnergyModel wires{c.tech};
+    if constexpr (kXbar) {
+      const thompson::CrossbarEmbedding embedding{c.ports};
+      switch_word_j_ = c.ports * c.switches.crosspoint.energy_per_bit(1u) *
+                       c.tech.bus_width;
+      std::vector<double> row_lut, col_lut;
+      row_lut.reserve(bw1_);
+      col_lut.reserve(bw1_);
+      for (unsigned f = 0; f <= c.tech.bus_width; ++f) {
+        row_lut.push_back(wires.flip_energy_j(static_cast<int>(f),
+                                              embedding.row_wire_grids()));
+        col_lut.push_back(wires.flip_energy_j(static_cast<int>(f),
+                                              embedding.column_wire_grids()));
+      }
+      lut_.resize(std::size_t{bw1_} * bw1_);
+      for (unsigned rf = 0; rf < bw1_; ++rf) {
+        for (unsigned cf = 0; cf < bw1_; ++cf) {
+          lut_[std::size_t{rf} * bw1_ + cf] = row_lut[rf] + col_lut[cf];
+        }
+      }
+      col_last_.assign(std::size_t{lanes} * n_, 0);
+    } else {
+      const thompson::FullyConnectedEmbedding embedding{c.ports};
+      switch_word_j_ =
+          c.switches.mux_energy_per_bit(c.ports) * c.tech.bus_width;
+      lut_.reserve(bw1_);
+      for (unsigned f = 0; f <= c.tech.bus_width; ++f) {
+        lut_.push_back(wires.flip_energy_j(static_cast<int>(f),
+                                           embedding.path_grids()));
+      }
+    }
+    row_last_.assign(std::size_t{lanes} * n_, 0);
+    ebuf_.assign(std::size_t{lanes} * kEventCap, 0);
+    ecnt_.assign(lanes, 0);
+    front_.init(c, lanes, /*with_ids=*/false);
+    acc_.init(lanes);
+  }
+
+  void enqueue(unsigned k, PortId ingress, PortId dest, Cycle cycle,
+               Rng& frng) {
+    front_.enqueue(k, ingress, dest, cycle, frng);
+  }
+
+  /// Replay lane k's deferred events against the ledger accumulators, in
+  /// delivery order: the scalar per-word (switch const, wire LUT) add
+  /// pair, per accumulator.
+  void flush(unsigned k) {
+    const std::uint32_t cnt = ecnt_[k];
+    if (cnt == 0) return;
+    const std::uint32_t* const ev = ebuf_.data() + std::size_t{k} * kEventCap;
+    double sj = acc_.switch_j[k];
+    double wj = acc_.wire_j[k];
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      sj += switch_word_j_;
+      wj += lut_[ev[i]];
+    }
+    acc_.switch_j[k] = sj;
+    acc_.wire_j[k] = wj;
+    ecnt_[k] = 0;
+  }
+
+  template <bool kMeasured>
+  void step(unsigned k, Cycle cycle) {
+    front_.schedule(k, cycle);
+    const std::size_t base = std::size_t{k} * n_;
+    Word* const rl = row_last_.data() + base;
+    // col_last_ is empty for fully-connected; only form the pointer when
+    // the plane exists.
+    Word* const cl = [&]() -> Word* {
+      if constexpr (kXbar) return col_last_.data() + base;
+      return nullptr;
+    }();
+    std::uint32_t* const ev = ebuf_.data() + std::size_t{k} * kEventCap;
+    std::uint32_t ecnt = ecnt_[k];
+    std::uint64_t wcnt = 0;
+    // Scalar fused transfer loop: streaming ports ascending, each word
+    // delivered within the same cycle.
+    for_each_set_bit(front_.streaming_[k], 0, [&](unsigned p) {
+      StrCursor& cur = front_.str_[base + p];
+      const Word data = front_.words_[cur.idx];
+      const unsigned e = cur.dest;
+      // Wire polarity always advances (warmup included); the energy add is
+      // deferred as one event key when measuring.
+      std::uint32_t key;
+      if constexpr (kXbar) {
+        const auto rf =
+            static_cast<std::uint32_t>(toggled_bits(rl[p], data));
+        rl[p] = data;
+        const auto cf =
+            static_cast<std::uint32_t>(toggled_bits(cl[e], data));
+        cl[e] = data;
+        key = rf * bw1_ + cf;
+      } else {
+        key = static_cast<std::uint32_t>(toggled_bits(rl[p], data));
+        rl[p] = data;
+      }
+      if constexpr (kMeasured) {
+        ev[ecnt++] = key;
+        ++wcnt;
+      } else {
+        (void)key;
+      }
+      cur.idx += 1;
+      const std::uint32_t left = cur.left;
+      cur.left = left - 1;
+      if (left == 1) {
+        // Tail delivered this cycle: packet + latency bookkeeping, then
+        // retire the stream (fixed-latency: egress reopens immediately).
+        if constexpr (kMeasured) {
+          ++acc_.packets[k];
+          acc_.latency_sum[k] +=
+              static_cast<double>(cycle - front_.str_start_[base + p]);
+          ++acc_.latency_cnt[k];
+        }
+        front_.on_tail(k, p, e, cur.slot, cycle, /*fixed_latency=*/true);
+      }
+    });
+    if constexpr (kMeasured) {
+      ecnt_[k] = ecnt;
+      acc_.words[k] += wcnt;
+      if (ecnt + n_ > kEventCap) flush(k);
+    }
+  }
+
+  void reset_measurement(unsigned k) {
+    acc_.reset_measurement(k);
+    front_.snapshot_drops(k);
+  }
+
+  void finish(unsigned k) { flush(k); }
+
+  [[nodiscard]] SimResult result(const SimConfig& c, unsigned k) const {
+    return lane_result(c, acc_, front_.drops_[k] - front_.drops_before_[k],
+                       k);
+  }
+};
+
+/// Batcher-Banyan lane fabric: the scalar BatcherBanyanFabric's per-stage
+/// links / row-occupancy / switch-occupancy vectors become per-lane plane
+/// words (N <= 64 rows fit one uint64 per (lane, stage)). The tick is a
+/// statement-for-statement transliteration of tick_sorter_stage /
+/// tick_banyan_stage, walking occupied switches ascending per stage so the
+/// per-kind energy adds land in the scalar ledger order. The scalar
+/// per-stage banyan_parity_ char toggles once per tick unconditionally, so
+/// it equals cycle & 1 and needs no storage.
+struct BatcherLanes {
+  static constexpr bool kFixedLatency = true;  ///< sorter+banyan, no buffers
+  static constexpr bool kNeedsIds = true;      ///< same-packet arbitration rule
+
+  struct Stage {
+    bool sorter = false;
+    unsigned span_log2 = 0;
+    unsigned phase = 0;
+    double act1 = 0.0;   ///< switch energy, one word moved (mask 0b01)
+    double act2 = 0.0;   ///< switch energy, both words moved (mask 0b11)
+    double grids = 0.0;  ///< crossing wire length: 4 * 2^span (Eq. 6)
+    /// Bit sw: bitonic_ascending(r0(sw), phase). The direction is a pure
+    /// function of (stage, switch), so the tick tests a mask bit instead
+    /// of recomputing it per occupied switch per cycle.
+    std::uint64_t asc = 0;
+  };
+
+  /// 16-byte link word: the sorter compares via the dest_ byte plane and
+  /// the row is implied by position, so neither is carried.
+  struct Flit {
+    Word data = 0;
+    std::uint32_t id = 0;   ///< same-packet rule; exact under the gate
+    std::uint32_t inj = 0;  ///< head-injection cycle stamp
+    std::uint32_t seq = 0;
+  };
+
+  unsigned n_ = 0;
+  unsigned n_stages_ = 0;
+  WireEnergyModel wires_ = WireEnergyModel{};
+  std::vector<Stage> specs_;
+  std::vector<Flit> links_;  // [(lane * n_stages_ + stage) * n_ + row]
+  std::vector<std::uint64_t> row_occ_;  // [lane * n_stages_ + stage]
+  std::vector<std::uint64_t> sw_occ_;   // [lane * n_stages_ + stage]
+  std::vector<Word> wire_last_;  // [(lane * n_stages_ + stage) * n_ + row]
+  /// Sorter compare keys, mirrored out of the 32-byte flits: dest < 64
+  /// fits a byte, so a stage's whole key plane is one cache line and the
+  /// compare-exchange never touches the flit rows it does not move.
+  std::vector<std::uint8_t> dest_;  // [(lane * n_stages_ + stage) * n_ + row]
+
+  void init(const SimConfig& c, unsigned lanes) {
+    n_ = c.ports;
+    wires_ = WireEnergyModel{c.tech};
+    const unsigned dimension = log2_exact(n_);
+    for (const BitonicStage& s : bitonic_schedule(n_)) {
+      specs_.push_back(Stage{true, s.span_log2, s.phase, 0.0, 0.0, 0.0});
+    }
+    // Banyan section MSB-first, as the scalar constructor.
+    for (unsigned s = dimension; s-- > 0;) {
+      specs_.push_back(Stage{false, s, 0, 0.0, 0.0, 0.0});
+    }
+    for (Stage& spec : specs_) {
+      const auto& lut =
+          spec.sorter ? c.switches.sorter2x2 : c.switches.banyan2x2;
+      spec.act1 = lut.energy_per_bit(0b01u) * c.tech.bus_width;
+      spec.act2 = lut.energy_per_bit(0b11u) * c.tech.bus_width;
+      spec.grids = 4.0 * static_cast<double>(1u << spec.span_log2);
+      if (spec.sorter) {
+        for (unsigned sw = 0; sw < n_ / 2; ++sw) {
+          const unsigned low = sw & low_mask(spec.span_log2);
+          const unsigned high = (sw >> spec.span_log2)
+                                << (spec.span_log2 + 1);
+          if (bitonic_ascending(static_cast<PortId>(high | low),
+                                spec.phase)) {
+            spec.asc |= std::uint64_t{1} << sw;
+          }
+        }
+      }
+    }
+    n_stages_ = static_cast<unsigned>(specs_.size());
+    const std::size_t planes = std::size_t{lanes} * n_stages_;
+    links_.assign(planes * n_, Flit{});
+    row_occ_.assign(planes, 0);
+    sw_occ_.assign(planes, 0);
+    wire_last_.assign(planes * n_, 0);
+    dest_.assign(planes * n_, 0);
+  }
+
+  [[nodiscard]] static unsigned switch_of(PortId row, unsigned b) {
+    const auto low = static_cast<unsigned>(row & low_mask(b));
+    const unsigned high = (row >> (b + 1)) << b;
+    return high | low;
+  }
+
+  void occupy(std::size_t sb, unsigned stage, PortId row) {
+    row_occ_[sb + stage] |= std::uint64_t{1} << row;
+    sw_occ_[sb + stage] |= std::uint64_t{1}
+                           << switch_of(row, specs_[stage].span_log2);
+  }
+
+  [[nodiscard]] bool can_accept(unsigned k, PortId ingress) const {
+    return ((row_occ_[std::size_t{k} * n_stages_] >> ingress) & 1) == 0;
+  }
+
+  void inject(unsigned k, PortId ingress, PortId dest, Word data,
+              std::uint32_t seq, std::uint64_t id, Cycle inj) {
+    const std::size_t sb = std::size_t{k} * n_stages_;
+    links_[sb * n_ + ingress] =
+        Flit{data, static_cast<std::uint32_t>(id),
+             static_cast<std::uint32_t>(inj), seq};
+    dest_[sb * n_ + ingress] = static_cast<std::uint8_t>(dest);
+    occupy(sb, 0, ingress);
+  }
+
+  /// The tick keeps the stage's and its successor's occupancy words in
+  /// locals for the whole stage walk (the walk only ever touches rows of
+  /// the current plane pair, and rows of distinct switches are disjoint),
+  /// writing them back once per stage. Successor-plane state lives in the
+  /// *_next locals; vacate/move_word from the scalar become the in-lambda
+  /// bit updates below.
+  template <bool kMeasured, class Deliver>
+  void tick(unsigned k, Cycle cycle, LaneAccum& acc, Deliver&& deliver) {
+    const std::size_t sb = std::size_t{k} * n_stages_;
+    const bool parity = (cycle & 1) != 0;
+    // Energy accumulators live in registers for the whole tick (the adds
+    // themselves keep the scalar order, so the totals stay bit-identical);
+    // through the LaneAccum arrays every other double store would force a
+    // reload.
+    double wire_acc = 0.0;
+    double switch_acc = 0.0;
+    if constexpr (kMeasured) {
+      wire_acc = acc.wire_j[k];
+      switch_acc = acc.switch_j[k];
+    }
+    // Downstream stages first, as the scalar tick.
+    for (unsigned stage = n_stages_; stage-- > 0;) {
+      std::uint64_t sw_here = sw_occ_[sb + stage];
+      if (sw_here == 0) continue;  // scalar walks no occupied switch
+      const Stage& spec = specs_[stage];
+      const unsigned b = spec.span_log2;
+      const bool last_stage = (stage == n_stages_ - 1);
+      Flit* const links = links_.data() + (sb + stage) * n_;
+      Word* const wl = wire_last_.data() + (sb + stage) * n_;
+      std::uint8_t* const dst = dest_.data() + (sb + stage) * n_;
+      std::uint64_t row_here = row_occ_[sb + stage];
+      std::uint64_t row_next = last_stage ? 0 : row_occ_[sb + stage + 1];
+      std::uint64_t sw_next = last_stage ? 0 : sw_occ_[sb + stage + 1];
+      const unsigned b_next = last_stage ? 0 : specs_[stage + 1].span_log2;
+
+      // move_word: charge the crossing wire (polarity always advances;
+      // the energy add is measurement-gated), place the word at stage + 1.
+      const auto move_next = [&](const Flit& flit, std::uint8_t dest,
+                                 PortId out_row) {
+        const int flips = toggled_bits(wl[out_row], flit.data);
+        wl[out_row] = flit.data;
+        if constexpr (kMeasured) {
+          wire_acc += wires_.flip_energy_j(flips, spec.grids);
+        } else {
+          (void)flips;
+        }
+        links[n_ + out_row] = flit;  // stage + 1 plane is contiguous
+        dst[n_ + out_row] = dest;
+        row_next |= std::uint64_t{1} << out_row;
+        sw_next |= std::uint64_t{1} << switch_of(out_row, b_next);
+      };
+      const auto vacate_here = [&](PortId row) {
+        row_here &= ~(std::uint64_t{1} << row);
+        const PortId sibling = row ^ (PortId{1} << b);
+        if (((row_here >> sibling) & 1) == 0) {
+          sw_here &= ~(std::uint64_t{1} << switch_of(row, b));
+        }
+      };
+      const auto charge_activity = [&](unsigned moved) {
+        if constexpr (kMeasured) {
+          if (moved != 0) {
+            switch_acc += moved >= 2 ? spec.act2 : spec.act1;
+          }
+        } else {
+          (void)moved;
+        }
+      };
+
+      if (spec.sorter) {
+        // Word-parallel stall precheck. Switch outputs never alias across
+        // switches, so movability per switch depends only on the pre-walk
+        // successor occupancy: a full pair holds on any occupied output
+        // (compare-exchange uses both rows); a lone word always sorts
+        // toward r0 when ascending (the idle key, +infinity, loses every
+        // comparison), so it stalls only on that one row. Every visited
+        // switch therefore moves; stalled switches are exactly the
+        // scalar's no-op iterations and charge nothing.
+        const unsigned span = 1u << b;
+        const std::uint64_t occ0 = compress_even_blocks(row_here, b);
+        const std::uint64_t occ1 = compress_even_blocks(row_here >> span, b);
+        const std::uint64_t nxt0 = compress_even_blocks(row_next, b);
+        const std::uint64_t nxt1 = compress_even_blocks(row_next >> span, b);
+        const std::uint64_t both = occ0 & occ1;
+        const std::uint64_t lone = occ0 ^ occ1;
+        const std::uint64_t movable =
+            (both & ~(nxt0 | nxt1)) |
+            (lone & ~((spec.asc & nxt0) | (~spec.asc & nxt1)));
+        for_each_set_bit(movable, 0, [&](unsigned sw) {
+          const auto low = static_cast<unsigned>(sw & low_mask(b));
+          const unsigned high = (sw >> b) << (b + 1);
+          const PortId r0 = high | low;
+          const PortId r1 = r0 | (PortId{1} << b);
+          const bool ascending = ((spec.asc >> sw) & 1) != 0;
+
+          if (((both >> sw) & 1) != 0) {
+            // Compare-exchange on destination keys.
+            const std::uint8_t key0 = dst[r0];
+            const std::uint8_t key1 = dst[r1];
+            const bool swap = (key0 > key1) == ascending && key0 != key1;
+            const PortId out_for_in0 = swap ? r1 : r0;
+            const PortId out_for_in1 = swap ? r0 : r1;
+            move_next(links[r0], key0, out_for_in0);
+            move_next(links[r1], key1, out_for_in1);
+            row_here &=
+                ~((std::uint64_t{1} << r0) | (std::uint64_t{1} << r1));
+            if constexpr (kMeasured) switch_acc += spec.act2;
+          } else {
+            const PortId in_row =
+                ((row_here >> r0) & 1) != 0 ? r0 : r1;
+            const PortId out_row = ascending ? r0 : r1;
+            move_next(links[in_row], dst[in_row], out_row);
+            row_here &= ~(std::uint64_t{1} << in_row);
+            if constexpr (kMeasured) switch_acc += spec.act1;
+          }
+        });
+        sw_here &= ~movable;  // every movable switch drained fully
+      } else {
+        // Snapshot walk: a vacate only clears the switch being walked.
+        const std::uint64_t walk = sw_here;
+        for_each_set_bit(walk, 0, [&](unsigned sw) {
+          const auto low = static_cast<unsigned>(sw & low_mask(b));
+          const unsigned high = (sw >> b) << (b + 1);
+          const PortId r0 = high | low;
+          const PortId r1 = r0 | (PortId{1} << b);
+
+          // Same-packet word order overrides the alternating priority.
+          PortId first_row = parity ? r1 : r0;
+          PortId second_row = parity ? r0 : r1;
+          const bool has0 = ((row_here >> r0) & 1) != 0;
+          const bool has1 = ((row_here >> r1) & 1) != 0;
+          if (has0 && has1 && links[r0].id == links[r1].id) {
+            const bool zero_first = links[r0].seq < links[r1].seq;
+            first_row = zero_first ? r0 : r1;
+            second_row = zero_first ? r1 : r0;
+          }
+
+          unsigned moved = 0;
+          for (const PortId in_row : {first_row, second_row}) {
+            if (((row_here >> in_row) & 1) == 0) continue;
+            const std::uint8_t dest = dst[in_row];
+            const PortId out_row =
+                (in_row & ~(PortId{1} << b)) |
+                (static_cast<PortId>((dest >> b) & 1u) << b);
+            const bool free =
+                last_stage || ((row_next >> out_row) & 1) == 0;
+            if (!free) continue;  // stall in place; upstream back-pressures
+            const Flit& slot = links[in_row];
+            if (last_stage) {
+              // move_word's delivery arm: wire charge, then straight to
+              // the egress (out_row == dest by the self-routing
+              // invariant the scalar asserts).
+              const int flips = toggled_bits(wl[out_row], slot.data);
+              wl[out_row] = slot.data;
+              if constexpr (kMeasured) {
+                wire_acc += wires_.flip_energy_j(flips, spec.grids);
+              } else {
+                (void)flips;
+              }
+              deliver(slot, out_row);
+            } else {
+              move_next(slot, dest, out_row);
+            }
+            vacate_here(in_row);
+            ++moved;
+          }
+          charge_activity(moved);
+        });
+      }
+
+      row_occ_[sb + stage] = row_here;
+      sw_occ_[sb + stage] = sw_here;
+      if (!last_stage) {
+        row_occ_[sb + stage + 1] = row_next;
+        sw_occ_[sb + stage + 1] = sw_next;
+      }
+    }
+    if constexpr (kMeasured) {
+      acc.wire_j[k] = wire_acc;
+      acc.switch_j[k] = switch_acc;
+    }
+  }
+};
+
+/// Banyan lane fabric: links and occupancy become per-lane plane words and
+/// each node FIFO's two index rings (one per switch output bit) become
+/// lane-indexed ring planes with a parallel in-SRAM flag array. The scalar
+/// tick walks every switch of a stage; an idle switch (no input words, empty
+/// FIFO) contributes nothing except its priority toggle — which toggles
+/// every tick unconditionally and therefore equals cycle & 1 — so the lane
+/// tick walks an active-switch mask instead, bit-identically. Buffer
+/// READ/WRITE energy and the buffered/SRAM/stall counters follow the scalar
+/// order exactly; the counters accumulate across warmup (the scalar reports
+/// measurement-window deltas).
+struct BanyanLanes {
+  static constexpr bool kFixedLatency = false;  ///< queueing varies latency
+  static constexpr bool kNeedsIds = false;      ///< no same-packet rule
+
+  /// 16-byte link/FIFO word; dest and row fit a byte each (N <= 64).
+  struct Flit {
+    Word data = 0;
+    std::uint32_t inj = 0;  ///< head-injection cycle stamp
+    std::uint32_t seq = 0;
+    std::uint8_t dest = 0;
+    std::uint8_t row = 0;   ///< straight-vs-cross wire classification
+  };
+
+  unsigned n_ = 0;
+  unsigned stages_ = 0;
+  std::uint32_t cap_ = 0;   ///< buffer_words_per_switch
+  std::uint32_t skid_ = 0;  ///< buffer_skid_words
+  bool charge_rw_ = false;
+  bool dram_ = false;
+  double access_j_ = 0.0;   ///< SRAM access energy per word
+  double refresh_j_ = 0.0;  ///< DRAM refresh energy per cycle (Eq. 1 E_ref)
+  double act1_ = 0.0;
+  double act2_ = 0.0;
+  double straight_grids_ = 0.0;
+  std::vector<double> cross_grids_;  // [stage]
+  WireEnergyModel wires_ = WireEnergyModel{};
+
+  std::vector<Flit> links_;  // [(lane * stages_ + stage) * n_ + row]
+  std::vector<std::uint64_t> occ_;  // [lane * stages_ + stage]
+  std::vector<Word> wire_last_;  // [(lane * stages_ + stage) * n_ + row]
+  /// Bit sw: switch has any input word or buffered word — the only
+  /// switches whose scalar iteration does anything.
+  std::vector<std::uint64_t> active_;  // [lane * stages_ + stage]
+
+  // Node FIFO ring planes. Ring r = ((lane * stages_ + stage) * (n_/2) +
+  // sw) * 2 + out_bit; slot = r * cap_ + pos.
+  std::vector<Flit> fifo_flit_;
+  std::vector<char> fifo_sram_;  ///< parallel in-SRAM flags (READ charging)
+  std::vector<std::uint32_t> fifo_head_;  // [ring]
+  std::vector<std::uint32_t> fifo_size_;  // [ring]
+
+  void init(const SimConfig& c, unsigned lanes) {
+    n_ = c.ports;
+    stages_ = log2_exact(n_);
+    cap_ = static_cast<std::uint32_t>(c.buffer_words_per_switch);
+    skid_ = static_cast<std::uint32_t>(c.buffer_skid_words);
+    charge_rw_ = c.charge_buffer_read_and_write;
+    dram_ = c.dram_buffers;
+    wires_ = WireEnergyModel{c.tech};
+    const SramBufferModel buffer_model = SramBufferModel::for_banyan(
+        c.ports,
+        static_cast<double>(c.buffer_words_per_switch) * c.tech.bus_width);
+    access_j_ = buffer_model.access_energy_per_bit_j() * c.tech.bus_width;
+    if (dram_) {
+      // The scalar tick rebuilds this model every cycle; the product is a
+      // pure function of the config, so one evaluation is the same double.
+      const DramBufferModel dram{buffer_model.capacity_bits(),
+                                 c.dram_retention_s};
+      refresh_j_ = dram.refresh_power_w() * c.tech.cycle_time_s();
+    }
+    act1_ = c.switches.banyan2x2.energy_per_bit(0b01u) * c.tech.bus_width;
+    act2_ = c.switches.banyan2x2.energy_per_bit(0b11u) * c.tech.bus_width;
+    const thompson::BanyanEmbedding embedding{c.ports};
+    straight_grids_ = embedding.straight_link_grids();
+    cross_grids_.reserve(stages_);
+    for (unsigned s = 0; s < stages_; ++s) {
+      cross_grids_.push_back(embedding.cross_link_grids(s));
+    }
+
+    const std::size_t planes = std::size_t{lanes} * stages_;
+    links_.assign(planes * n_, Flit{});
+    occ_.assign(planes, 0);
+    wire_last_.assign(planes * n_, 0);
+    active_.assign(planes, 0);
+    const std::size_t rings = planes * (n_ / 2) * 2;
+    fifo_flit_.assign(rings * cap_, Flit{});
+    fifo_sram_.assign(rings * cap_, 0);
+    fifo_head_.assign(rings, 0);
+    fifo_size_.assign(rings, 0);
+  }
+
+  [[nodiscard]] static unsigned switch_of(unsigned stage, PortId row) {
+    const auto low = static_cast<unsigned>(row & low_mask(stage));
+    const unsigned high = (row >> (stage + 1)) << stage;
+    return high | low;
+  }
+
+  [[nodiscard]] bool can_accept(unsigned k, PortId ingress) const {
+    return ((occ_[std::size_t{k} * stages_] >> ingress) & 1) == 0;
+  }
+
+  void inject(unsigned k, PortId ingress, PortId dest, Word data,
+              std::uint32_t seq, std::uint64_t /*id*/, Cycle inj) {
+    const std::size_t sb = std::size_t{k} * stages_;
+    links_[sb * n_ + ingress] =
+        Flit{data, static_cast<std::uint32_t>(inj), seq,
+             static_cast<std::uint8_t>(dest),
+             static_cast<std::uint8_t>(ingress)};
+    occ_[sb] |= std::uint64_t{1} << ingress;
+    active_[sb] |= std::uint64_t{1} << switch_of(0, ingress);
+  }
+
+  template <bool kMeasured, class Deliver>
+  void tick(unsigned k, Cycle cycle, LaneAccum& acc, Deliver&& deliver) {
+    // Register-held energy accumulators, as in the Batcher-Banyan tick:
+    // same adds in the same order, written back once.
+    double wire_acc = 0.0;
+    double switch_acc = 0.0;
+    double buffer_acc = 0.0;
+    if constexpr (kMeasured) {
+      wire_acc = acc.wire_j[k];
+      switch_acc = acc.switch_j[k];
+      buffer_acc = acc.buffer_j[k];
+      if (dram_) buffer_acc += refresh_j_;
+    }
+    const std::size_t sb = std::size_t{k} * stages_;
+    const unsigned half = n_ / 2;
+    const bool parity = (cycle & 1) != 0;  // input_priority_, all switches
+    for (unsigned stage = stages_; stage-- > 0;) {
+      // Snapshot walk over the active mask; occupancy and activity words
+      // stay in locals for the stage (switches touch disjoint rows) and
+      // are stored back once.
+      const std::uint64_t walk = active_[sb + stage];
+      if (walk == 0) continue;  // scalar iterates only no-op switches
+      const bool last_stage = (stage == stages_ - 1);
+      Flit* const links = links_.data() + (sb + stage) * n_;
+      Word* const wl = wire_last_.data() + (sb + stage) * n_;
+      const std::size_t fbase = (sb + stage) * half;
+      std::uint64_t occ_here = occ_[sb + stage];
+      std::uint64_t act_here = walk;
+      std::uint64_t occ_next = last_stage ? 0 : occ_[sb + stage + 1];
+      std::uint64_t act_next = last_stage ? 0 : active_[sb + stage + 1];
+      for_each_set_bit(walk, 0, [&](unsigned sw) {
+        const auto low = static_cast<unsigned>(sw & low_mask(stage));
+        const unsigned high = (sw >> stage) << (stage + 1);
+        const PortId r0 = high | low;
+        const PortId r1 = r0 | (PortId{1} << stage);
+        const std::size_t fi = (fbase + sw) * 2;  // ring pair base
+        const PortId first_row = parity ? r1 : r0;
+        const PortId second_row = parity ? r0 : r1;
+        unsigned moved = 0;
+
+        for (const unsigned out_bit : {0u, 1u}) {
+          const PortId out_row = (r0 & ~(PortId{1} << stage)) |
+                                 (static_cast<PortId>(out_bit) << stage);
+          const bool slot_free =
+              last_stage || ((occ_next >> out_row) & 1) == 0;
+          if (!slot_free) continue;
+
+          // Oldest buffered word for this output goes first; otherwise
+          // take the priority input whose destination bit matches.
+          Flit mover;
+          bool have = false;
+          const std::size_t ring = fi + out_bit;
+          if (fifo_size_[ring] != 0) {
+            const std::size_t slot =
+                ring * cap_ + fifo_head_[ring];
+            mover = fifo_flit_[slot];
+            if (fifo_sram_[slot] != 0 && charge_rw_) {
+              if constexpr (kMeasured) {
+                buffer_acc += access_j_;  // the READ back out
+              }
+            }
+            if (++fifo_head_[ring] == cap_) fifo_head_[ring] = 0;
+            --fifo_size_[ring];
+            have = true;
+          } else {
+            for (const PortId in_row : {first_row, second_row}) {
+              if (((occ_here >> in_row) & 1) != 0 &&
+                  ((links[in_row].dest >> stage) & 1u) == out_bit) {
+                mover = links[in_row];
+                occ_here &= ~(std::uint64_t{1} << in_row);
+                have = true;
+                break;
+              }
+            }
+          }
+          if (!have) continue;
+
+          // charge_wire: straight link vs stage crossing.
+          const double grids = mover.row == out_row ? straight_grids_
+                                                    : cross_grids_[stage];
+          const int flips = toggled_bits(wl[out_row], mover.data);
+          wl[out_row] = mover.data;
+          if constexpr (kMeasured) {
+            wire_acc += wires_.flip_energy_j(flips, grids);
+          } else {
+            (void)flips;
+          }
+          mover.row = static_cast<std::uint8_t>(out_row);
+          ++moved;
+          if (last_stage) {
+            deliver(mover, out_row);
+          } else {
+            links[n_ + out_row] = mover;  // stage + 1 plane is contiguous
+            occ_next |= std::uint64_t{1} << out_row;
+            act_next |= std::uint64_t{1} << switch_of(stage + 1, out_row);
+          }
+        }
+
+        // Losers go to the FIFO (skid slots free, deeper backlog pays the
+        // SRAM WRITE); a full FIFO stalls them in place.
+        for (const PortId in_row : {r0, r1}) {
+          if (((occ_here >> in_row) & 1) == 0) continue;
+          if (fifo_size_[fi] + fifo_size_[fi + 1] < cap_) {
+            const bool in_sram =
+                fifo_size_[fi] + fifo_size_[fi + 1] >= skid_;
+            if (in_sram) {
+              if constexpr (kMeasured) {
+                buffer_acc += access_j_;  // the WRITE
+              }
+              ++acc.sram[k];
+            }
+            ++acc.buffered[k];
+            const Flit& slot = links[in_row];
+            const unsigned bit = (slot.dest >> stage) & 1u;
+            const std::size_t ring = fi + bit;
+            std::uint32_t tail = fifo_head_[ring] + fifo_size_[ring];
+            if (tail >= cap_) tail -= cap_;
+            fifo_flit_[ring * cap_ + tail] = slot;
+            fifo_sram_[ring * cap_ + tail] = in_sram ? 1 : 0;
+            ++fifo_size_[ring];
+            occ_here &= ~(std::uint64_t{1} << in_row);
+          } else {
+            ++acc.stalls[k];
+          }
+        }
+
+        if constexpr (kMeasured) {
+          if (moved != 0) {
+            switch_acc += moved >= 2 ? act2_ : act1_;
+          }
+        }
+        // Dormancy: drop the switch from the active mask once it holds no
+        // state (the scalar would keep iterating it as a no-op).
+        if ((((occ_here >> r0) | (occ_here >> r1)) & 1) == 0 &&
+            fifo_size_[fi] == 0 && fifo_size_[fi + 1] == 0) {
+          act_here &= ~(std::uint64_t{1} << sw);
+        }
+      });
+      occ_[sb + stage] = occ_here;
+      active_[sb + stage] = act_here;
+      if (!last_stage) {
+        occ_[sb + stage + 1] = occ_next;
+        active_[sb + stage + 1] = act_next;
+      }
+    }
+    if constexpr (kMeasured) {
+      acc.wire_j[k] = wire_acc;
+      acc.switch_j[k] = switch_acc;
+      acc.buffer_j[k] = buffer_acc;
+    }
+  }
+};
+
+/// Multi-hop engine: an ingress front feeding a staged lane fabric
+/// (Batcher-Banyan or banyan) through the scalar routers' generic
+/// inject-then-tick path — per-port can_accept back-pressure, fabric tick
+/// after all injections, and (for variable-latency fabrics) egress unlocks
+/// collected at tail delivery and applied after the tick.
+template <class Fab, class FrontT>
+struct StagedEngine {
+  unsigned n_ = 0;
+  unsigned pw_ = 0;
+  Fab fab_;
+  FrontT front_;
+  LaneAccum acc_;
+
+  void init(const SimConfig& c, unsigned lanes) {
+    n_ = c.ports;
+    pw_ = c.packet_words;
+    fab_.init(c, lanes);
+    front_.init(c, lanes, /*with_ids=*/Fab::kNeedsIds);
+    acc_.init(lanes);
+  }
+
+  void enqueue(unsigned k, PortId ingress, PortId dest, Cycle cycle,
+               Rng& frng) {
+    front_.enqueue(k, ingress, dest, cycle, frng);
+  }
+
+  template <bool kMeasured>
+  void step(unsigned k, Cycle cycle) {
+    front_.schedule(k, cycle);
+    const std::size_t base = std::size_t{k} * n_;
+    // Word injection: streaming ports ascending, with fabric back-pressure
+    // (a refused word leaves the cursor untouched, as the scalar
+    // try_inject).
+    for_each_set_bit(front_.streaming_[k], 0, [&](unsigned p) {
+      if (!fab_.can_accept(k, static_cast<PortId>(p))) return;
+      StrCursor& cur = front_.str_[base + p];
+      const std::uint32_t slot = cur.slot;
+      const unsigned e = cur.dest;
+      const std::uint32_t left = cur.left;
+      const std::uint32_t idx = cur.idx;
+      cur.idx = idx + 1;
+      cur.left = left - 1;
+      fab_.inject(k, static_cast<PortId>(p), static_cast<PortId>(e),
+                  front_.words_[idx], pw_ - left,
+                  front_.id_of(k, static_cast<PortId>(p), slot),
+                  front_.str_start_[base + p]);
+      if (left == 1) {
+        front_.on_tail(k, p, e, slot, cycle, Fab::kFixedLatency);
+      }
+    });
+    // Fabric advance; tail deliveries unlock egresses after the tick
+    // (variable-latency fabrics only), exactly the routers' step 5.
+    [[maybe_unused]] std::uint64_t pending = 0;
+    fab_.template tick<kMeasured>(
+        k, cycle, acc_, [&](const typename Fab::Flit& f, PortId out_row) {
+          if constexpr (kMeasured) ++acc_.words[k];
+          if (f.seq + 1 == pw_) {
+            if constexpr (kMeasured) {
+              ++acc_.packets[k];
+              acc_.latency_sum[k] += static_cast<double>(cycle - f.inj);
+              ++acc_.latency_cnt[k];
+            }
+            if constexpr (!Fab::kFixedLatency) {
+              pending |= std::uint64_t{1} << out_row;
+            }
+          }
+        });
+    if constexpr (!Fab::kFixedLatency) {
+      if (pending != 0) front_.unlock_mask(k, pending);
+    }
+  }
+
+  void reset_measurement(unsigned k) {
+    acc_.reset_measurement(k);
+    front_.snapshot_drops(k);
+  }
+
+  void finish(unsigned /*k*/) {}  // nothing deferred
+
+  [[nodiscard]] SimResult result(const SimConfig& c, unsigned k) const {
+    return lane_result(c, acc_, front_.drops_[k] - front_.drops_before_[k],
+                       k);
+  }
+};
+
+/// One block of <= kLaneBlock lanes through the full warmup + measurement
+/// range. Arrivals batch across the block's lanes (one threshold word per
+/// port on the Bernoulli fast path); per-lane steps then run in lane order.
+/// Lanes are fully independent, so interleaving arrival batching with
+/// per-lane stepping preserves each lane's scalar event order.
+template <class Eng>
+void run_block(Eng& eng, TrafficLanes& tr, const SimConfig& c, unsigned k0,
+               unsigned count) {
+  const bool batched = tr.batched();
+  RngLanes traffic;
+  if (batched) traffic.load(tr.traffic_rng_, k0, count);
+  const auto arrive = [&](Cycle cycle) {
+    if (batched) {
+      tr.arrivals_bernoulli(count, traffic,
+                            [&](unsigned j, PortId p, PortId dest) {
+                              eng.enqueue(k0 + j, p, dest, cycle,
+                                          tr.factory_rng_[k0 + j]);
+                            });
+    } else {
+      // Saturating / silent / bursty arrivals per lane (no cross-lane
+      // batching; the lane's generator streams advance draw-for-draw).
+      for (unsigned j = 0; j < count; ++j) {
+        tr.arrivals(k0 + j, [&](PortId p, PortId dest, Rng& frng) {
+          eng.enqueue(k0 + j, p, dest, cycle, frng);
+        });
+      }
+    }
+  };
+  Cycle cycle = 0;
+  for (Cycle t = 0; t < c.warmup_cycles; ++t) {
+    arrive(cycle);
+    for (unsigned j = 0; j < count; ++j) {
+      eng.template step<false>(k0 + j, cycle);
+    }
+    ++cycle;
+  }
+  for (unsigned j = 0; j < count; ++j) eng.reset_measurement(k0 + j);
+  for (Cycle t = 0; t < c.measure_cycles; ++t) {
+    arrive(cycle);
+    for (unsigned j = 0; j < count; ++j) {
+      eng.template step<true>(k0 + j, cycle);
+    }
+    ++cycle;
+  }
+  for (unsigned j = 0; j < count; ++j) eng.finish(k0 + j);
+  if (batched) traffic.save(tr.traffic_rng_, k0, count);
+}
+
+template <class Eng>
+void run_engine(Eng&& eng, const SimConfig& c, const std::uint64_t* seeds,
+                unsigned lanes, SimResult* out) {
+  eng.init(c, lanes);
+  TrafficLanes tr;
+  tr.init(c, seeds, lanes);
+  for (unsigned k0 = 0; k0 < lanes; k0 += kLaneBlock) {
+    run_block(eng, tr, c, k0, std::min(kLaneBlock, lanes - k0));
+  }
+  for (unsigned k = 0; k < lanes; ++k) out[k] = eng.result(c, k);
+}
+
+/// The per-TU pass entry point: dispatch (architecture x scheme) to the
+/// monomorphized engine. The caller has already verified
+/// lane_sim_supported(), so every reachable cell has an engine.
 void lane_pass(const SimConfig& config, const std::uint64_t* seeds,
                unsigned lanes, SimResult* out) {
-  LaneSimEngine engine(config, seeds, lanes);
-  engine.run();
-  for (unsigned k = 0; k < lanes; ++k) out[k] = engine.result(k);
+  const bool voq = config.scheme == RouterScheme::kVoq;
+  switch (config.arch) {
+    case Architecture::kCrossbar:
+      if (voq) {
+        run_engine(FusedEngine<Architecture::kCrossbar, VoqFront>{}, config,
+                   seeds, lanes, out);
+      } else {
+        run_engine(FusedEngine<Architecture::kCrossbar, FifoFront>{},
+                   config, seeds, lanes, out);
+      }
+      return;
+    case Architecture::kFullyConnected:
+      if (voq) {
+        run_engine(FusedEngine<Architecture::kFullyConnected, VoqFront>{},
+                   config, seeds, lanes, out);
+      } else {
+        run_engine(FusedEngine<Architecture::kFullyConnected, FifoFront>{},
+                   config, seeds, lanes, out);
+      }
+      return;
+    case Architecture::kBatcherBanyan:
+      if (voq) {
+        run_engine(StagedEngine<BatcherLanes, VoqFront>{}, config, seeds,
+                   lanes, out);
+      } else {
+        run_engine(StagedEngine<BatcherLanes, FifoFront>{}, config, seeds,
+                   lanes, out);
+      }
+      return;
+    case Architecture::kBanyan:
+      if (voq) {
+        run_engine(StagedEngine<BanyanLanes, VoqFront>{}, config, seeds,
+                   lanes, out);
+      } else {
+        run_engine(StagedEngine<BanyanLanes, FifoFront>{}, config, seeds,
+                   lanes, out);
+      }
+      return;
+    case Architecture::kMesh:
+      break;  // unreachable behind lane_sim_supported()
+  }
 }
 
 }  // namespace

@@ -1,15 +1,18 @@
 // Differential fuzz harness for the bit-sliced packet-lane engine.
 //
-// Random VOQ/iSLIP crossbar configurations (ports, packet length, queue
-// depth, traffic pattern, payload kind, iSLIP rounds) are replicated at
-// ragged lane counts through run_lane_simulations and pinned lane-for-lane
-// against the scalar reference: lane k must reproduce the SimResult of
-// run_simulation under derive_stream_seed(seed, k) bit for bit — every
-// counter and every double compared by bit pattern, so a single FP add in
-// the wrong order fails loudly. Unsupported configurations (other fabrics,
-// FIFO ingress) route through the same interface's per-lane fallback and
-// are pinned identically, which keeps the contract uniform as coverage
-// grows. Same idiom as tests/test_bitsliced_fuzz.cpp at the gate level.
+// Random configurations across every laned (arch, scheme) cell — crossbar,
+// fully-connected, Batcher-Banyan, and banyan, each under VOQ/iSLIP and
+// FIFO/HOL ingress, with randomized shape, traffic pattern, payload kind,
+// scheduler depth, and (for banyan) node-FIFO capacity / skid / DRAM
+// knobs — are replicated at ragged lane counts through
+// run_lane_simulations and pinned lane-for-lane against the scalar
+// reference: lane k must reproduce the SimResult of run_simulation under
+// derive_stream_seed(seed, k) bit for bit — every counter and every double
+// compared by bit pattern, so a single FP add in the wrong order fails
+// loudly. Unsupported configurations (mesh, > 64 ports) route through the
+// same interface's per-lane fallback and are pinned identically, which
+// keeps the contract uniform as coverage grows. Same idiom as
+// tests/test_bitsliced_fuzz.cpp at the gate level.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -17,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "sim/lane_sim.hpp"
 #include "sim/simulation.hpp"
@@ -79,15 +83,27 @@ void pin_lanes(const SimConfig& config, unsigned lanes,
   }
 }
 
-/// A random supported configuration: VOQ/iSLIP crossbar with randomized
-/// shape, pattern, payload, and scheduler depth. Cycle counts stay small —
-/// divergence shows up within a few hundred cycles or not at all.
-SimConfig random_config(std::uint64_t seed) {
+/// A random supported configuration in the given (arch, scheme) cell,
+/// with randomized shape, pattern, payload, and scheduler depth — plus
+/// the banyan node-FIFO knobs when the cell has node FIFOs. Cycle counts
+/// stay small — divergence shows up within a few hundred cycles or not
+/// at all.
+SimConfig random_config(Architecture arch, RouterScheme scheme,
+                        std::uint64_t seed) {
   Rng rng{seed};
   SimConfig c;
-  c.arch = Architecture::kCrossbar;
-  c.scheme = RouterScheme::kVoq;
+  c.arch = arch;
+  c.scheme = scheme;
   c.ports = 2 + static_cast<unsigned>(rng.next_below(15));  // 2..16
+  if (arch == Architecture::kBatcherBanyan) {
+    c.ports = 4u << rng.next_below(3);  // 4..16, power of two
+  } else if (arch == Architecture::kBanyan) {
+    c.ports = 2u << rng.next_below(4);  // 2..16, power of two
+    c.buffer_words_per_switch = 1 + static_cast<unsigned>(rng.next_below(6));
+    c.buffer_skid_words = static_cast<unsigned>(rng.next_below(3));
+    c.charge_buffer_read_and_write = rng.next_below(2) == 0;
+    c.dram_buffers = rng.next_below(4) == 0;
+  }
   c.packet_words = 1 + static_cast<unsigned>(rng.next_below(8));
   c.ingress_queue_packets = 1 + rng.next_below(8);
   c.islip_iterations = static_cast<unsigned>(rng.next_below(3));  // 0 = maximal
@@ -117,24 +133,46 @@ SimConfig random_config(std::uint64_t seed) {
       break;
     default:
       c.pattern = TrafficPatternKind::kBitReversal;
-      c.ports = 1u << (1 + rng.next_below(4));  // 2..16, power of two
+      if (!is_pow2(c.ports)) {
+        c.ports = 1u << (1 + rng.next_below(4));  // 2..16, power of two
+      }
       break;
   }
   return c;
 }
 
 TEST(LaneSimFuzz, RandomConfigsMatchScalarLaneForLane) {
-  // Ragged lane counts cycle through the cases: lone lane, partial block,
-  // block boundary straddles, and a full 64-lane word.
+  // Every laned (arch, scheme) cell x ragged lane counts: lone lane,
+  // partial block, block boundary straddles, and a full 64-lane word.
+  // Three random shapes per cell; the case counter strides the lane-count
+  // table so each cell sees different raggedness.
+  constexpr Architecture kArchs[] = {
+      Architecture::kCrossbar, Architecture::kFullyConnected,
+      Architecture::kBatcherBanyan, Architecture::kBanyan};
+  constexpr RouterScheme kSchemes[] = {RouterScheme::kVoq,
+                                       RouterScheme::kFifo};
   constexpr unsigned kLaneCounts[] = {1, 2, 5, 7, 8, 9, 16, 64};
-  for (std::uint64_t case_seed = 1; case_seed <= 12; ++case_seed) {
-    const SimConfig config = random_config(0xF02 + case_seed * 0x9E37);
-    const unsigned lanes =
-        kLaneCounts[(case_seed - 1) % std::size(kLaneCounts)];
-    pin_lanes(config, lanes,
-              "case " + std::to_string(case_seed) + " (" +
-                  std::to_string(config.ports) + "p load " +
-                  std::to_string(config.offered_load) + ")");
+  std::uint64_t case_seed = 0;
+  for (const Architecture arch : kArchs) {
+    for (const RouterScheme scheme : kSchemes) {
+      for (int shape = 0; shape < 3; ++shape) {
+        ++case_seed;
+        const SimConfig config =
+            random_config(arch, scheme, 0xF02 + case_seed * 0x9E37);
+        ASSERT_TRUE(lane_sim_supported(config))
+            << "case " << case_seed << " must exercise the laned path, "
+            << "not the fallback (reason: "
+            << to_string(lane_sim_fallback_reason(config)) << ")";
+        const unsigned lanes =
+            kLaneCounts[(case_seed - 1) % std::size(kLaneCounts)];
+        pin_lanes(config, lanes,
+                  "case " + std::to_string(case_seed) + " (" +
+                      std::string(to_string(arch)) + "/" +
+                      std::string(to_string(scheme)) + " " +
+                      std::to_string(config.ports) + "p load " +
+                      std::to_string(config.offered_load) + ")");
+      }
+    }
   }
 }
 
@@ -168,10 +206,15 @@ TEST(LaneSimFuzz, MoreThanSixtyFourLanesChunk) {
   c.offered_load = 0.6;
   c.seed = 7;
   pin_lanes(c, 65, "65 lanes");
+  // The staged engines keep per-stage plane state the chunk restart must
+  // also rebuild — pin the boundary once through the deepest fabric too.
+  c.arch = Architecture::kBatcherBanyan;
+  c.scheme = RouterScheme::kFifo;
+  pin_lanes(c, 65, "65 lanes batcher-banyan fifo");
 }
 
 TEST(LaneSimFuzz, UnsupportedConfigsFallBackIdentically) {
-  // Other fabrics / FIFO ingress take the per-lane scalar fallback behind
+  // Mesh and > 64-port configs take the per-lane scalar fallback behind
   // the same interface — trivially identical, pinned so the routing stays
   // honest as laned coverage grows.
   SimConfig c;
@@ -181,12 +224,16 @@ TEST(LaneSimFuzz, UnsupportedConfigsFallBackIdentically) {
   c.measure_cycles = 300;
   c.offered_load = 0.5;
   c.seed = 11;
-  c.arch = Architecture::kBanyan;
+  c.arch = Architecture::kMesh;
   c.scheme = RouterScheme::kFifo;
-  pin_lanes(c, 3, "banyan fifo fallback");
-  c.arch = Architecture::kBatcherBanyan;
+  c.ports = 9;  // k x k mesh needs a perfect square
+  EXPECT_EQ(lane_sim_fallback_reason(c), LaneFallbackReason::kArch);
+  pin_lanes(c, 3, "mesh fallback");
+  c.arch = Architecture::kCrossbar;
   c.scheme = RouterScheme::kVoq;
-  pin_lanes(c, 2, "batcher-banyan voq fallback");
+  c.ports = 80;  // > 64 lanes of egress state per plane word
+  EXPECT_EQ(lane_sim_fallback_reason(c), LaneFallbackReason::kPorts);
+  pin_lanes(c, 2, "80-port fallback");
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "obs/registry.hpp"
+#include "sim/lane_sim.hpp"
 #include "sim/replicate.hpp"
 
 namespace sfab {
@@ -116,6 +118,51 @@ TEST(Replicate, LanedAndScalarEnginesAgreeBitForBit) {
   EXPECT_EQ(laned.power_w.mean, scalar.power_w.mean);
   EXPECT_EQ(laned.power_w.ci95_half, scalar.power_w.ci95_half);
   EXPECT_EQ(laned.egress_throughput.mean, scalar.egress_throughput.mean);
+}
+
+TEST(Replicate, SupportedGridNeverFallsBack) {
+  // Every (arch, scheme) cell of the sweep grid except mesh is laned: a
+  // replicate batch over the supported grid must never take the per-lane
+  // scalar fallback. Pinned through the fallback counters so a support
+  // regression (or a footprint mis-estimate) fails here, not silently in
+  // a 60x-slower sweep.
+  obs::Counter& fallback =
+      obs::Registry::global().counter("sim.lane.fallback_lanes");
+  obs::Counter& laned =
+      obs::Registry::global().counter("sim.lane.laned_lanes");
+  const std::uint64_t fallback_before = fallback.value();
+  const std::uint64_t laned_before = laned.value();
+  constexpr Architecture kArchs[] = {
+      Architecture::kCrossbar, Architecture::kFullyConnected,
+      Architecture::kBatcherBanyan, Architecture::kBanyan};
+  constexpr RouterScheme kSchemes[] = {RouterScheme::kVoq,
+                                       RouterScheme::kFifo};
+  std::uint64_t batches = 0;
+  for (const Architecture arch : kArchs) {
+    for (const RouterScheme scheme : kSchemes) {
+      SimConfig c;
+      c.arch = arch;
+      c.scheme = scheme;
+      c.ports = 8;
+      c.offered_load = 0.5;
+      c.warmup_cycles = 50;
+      c.measure_cycles = 200;
+      c.seed = 5;
+      ASSERT_EQ(lane_sim_fallback_reason(c), LaneFallbackReason::kNone)
+          << to_string(arch) << "/" << to_string(scheme) << " would fall "
+          << "back: " << to_string(lane_sim_fallback_reason(c));
+      ASSERT_TRUE(lane_sim_supported(c));
+      std::vector<std::uint64_t> seeds(3);
+      for (unsigned k = 0; k < seeds.size(); ++k) {
+        seeds[k] = derive_stream_seed(c.seed, k);
+      }
+      ASSERT_EQ(run_lane_simulations(c, seeds).size(), seeds.size());
+      ++batches;
+    }
+  }
+  EXPECT_EQ(fallback.value(), fallback_before)
+      << "a supported-grid batch took the scalar fallback";
+  EXPECT_EQ(laned.value(), laned_before + batches * 3);
 }
 
 TEST(Replicate, SeedsMatchSweepSpecDerivation) {
