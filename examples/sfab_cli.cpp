@@ -376,6 +376,22 @@ int main(int argc, char** argv) {
             [](const std::string& s) { return parse_router_scheme(s); });
       } else if (flag == "--tech") {
         spec.tech_nodes = split_list(next());
+        // Validate at parse time: an unknown node would otherwise surface
+        // as a generic exception + full usage dump when the sweep expands.
+        for (const std::string& node : spec.tech_nodes) {
+          try {
+            (void)TechnologyParams::preset(node);
+          } catch (const std::invalid_argument&) {
+            std::cerr << "sfab_cli: unknown --tech preset '" << node
+                      << "'. Valid presets:";
+            for (const std::string& known :
+                 TechnologyParams::preset_names()) {
+              std::cerr << ' ' << known;
+            }
+            std::cerr << '\n';
+            return 1;
+          }
+        }
       } else if (flag == "--buffer-words") {
         spec.buffer_words =
             parse_list<unsigned>(next(), [](const std::string& s) {

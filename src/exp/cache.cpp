@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <bit>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -88,21 +89,37 @@ void format_row(std::ostream& out, const std::string& key,
     throw std::invalid_argument("bad key");
   }
   const auto f64 = [&](std::size_t i) {
+    const std::string& text = fields[i];
+    // strtod skips leading whitespace — a corrupted field like " 1.0"
+    // must not pass the fully-consumed check by accident.
+    if (text.empty() || text[0] == ' ' || text[0] == '\t') {
+      throw std::invalid_argument("bad double field");
+    }
+    errno = 0;
     char* end = nullptr;
-    const double v = std::strtod(fields[i].c_str(), &end);
-    if (fields[i].empty() || end != fields[i].c_str() + fields[i].size()) {
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || errno == ERANGE) {
       throw std::invalid_argument("bad double field");
     }
     return v;
   };
   const auto u64 = [&](std::size_t i) {
-    char* end = nullptr;
-    const auto v = static_cast<std::uint64_t>(
-        std::strtoull(fields[i].c_str(), &end, 10));
-    if (fields[i].empty() || end != fields[i].c_str() + fields[i].size()) {
+    // strtoull alone is too permissive for a durability check: it skips
+    // leading whitespace, accepts a sign ("-5" wraps to 2^64-5), honours
+    // 0x prefixes, and flags overflow only through errno. Counters are
+    // written as plain decimal digits, so require exactly that.
+    const std::string& text = fields[i];
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
       throw std::invalid_argument("bad integer field");
     }
-    return v;
+    errno = 0;
+    char* end = nullptr;
+    const auto v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || errno == ERANGE) {
+      throw std::invalid_argument("bad integer field");
+    }
+    return static_cast<std::uint64_t>(v);
   };
   SimResult r;
   r.arch = parse_architecture(fields[1]);
@@ -129,6 +146,8 @@ void format_row(std::ostream& out, const std::string& key,
 
 ResultCache::ResultCache(std::string csv_path)
     : csv_path_(std::move(csv_path)) {
+  static obs::Counter& parse_error_counter =
+      obs::Registry::global().counter("exp.cache.parse_errors");
   std::ifstream in(csv_path_);
   if (!in.is_open()) return;  // fresh store; created on first append
   std::string line;
@@ -144,6 +163,7 @@ ResultCache::ResultCache(std::string csv_path)
     } catch (const std::invalid_argument&) {
       // Damaged row (truncated or interleaved append): drop it; the grid
       // point re-simulates and re-appends on the next sweep.
+      parse_error_counter.increment();
       continue;
     }
   }

@@ -11,6 +11,7 @@ std::string_view to_string(LaneKernel kernel) noexcept {
     case LaneKernel::kAuto: return "auto";
     case LaneKernel::kPortable: return "portable";
     case LaneKernel::kAvx2: return "avx2";
+    case LaneKernel::kAvx512: return "avx512";
     case LaneKernel::kNeon: return "neon";
   }
   return "?";
@@ -23,6 +24,8 @@ bool lane_kernel_available(LaneKernel kernel) noexcept {
       return true;
     case LaneKernel::kAvx2:
       return lane_sweep_avx2() != nullptr;
+    case LaneKernel::kAvx512:
+      return lane_sweep_avx512() != nullptr;
     case LaneKernel::kNeon:
       return lane_sweep_neon() != nullptr;
   }
@@ -31,6 +34,7 @@ bool lane_kernel_available(LaneKernel kernel) noexcept {
 
 LaneKernel resolve_lane_kernel(LaneKernel requested) {
   if (requested == LaneKernel::kAuto) {
+    if (lane_sweep_avx512() != nullptr) return LaneKernel::kAvx512;
     if (lane_sweep_avx2() != nullptr) return LaneKernel::kAvx2;
     if (lane_sweep_neon() != nullptr) return LaneKernel::kNeon;
     return LaneKernel::kPortable;
@@ -45,6 +49,7 @@ LaneKernel resolve_lane_kernel(LaneKernel requested) {
 LaneSweepFn lane_sweep_fn(LaneKernel kernel) {
   switch (resolve_lane_kernel(kernel)) {
     case LaneKernel::kAvx2: return lane_sweep_avx2();
+    case LaneKernel::kAvx512: return lane_sweep_avx512();
     case LaneKernel::kNeon: return lane_sweep_neon();
     default: return lane_sweep_portable();
   }

@@ -4,8 +4,9 @@
 // combinational lane program, W words (64·W Monte-Carlo lanes) per net:
 // per op it evaluates the lanes, XORs against the stored block, popcounts
 // the masked diff, and accumulates toggles and energy. That inner loop is
-// pure word-parallel boolean algebra, so it widens onto AVX2 (4 words per
-// 256-bit vector) and NEON (2 words per 128-bit vector) without changing a
+// pure word-parallel boolean algebra, so it widens onto AVX-512 (8 words
+// per 512-bit vector, in-register vpopcntq), AVX2 (4 words per 256-bit
+// vector) and NEON (2 words per 128-bit vector) without changing a
 // single observable: every kernel computes the same per-op integer flip
 // count and then executes the identical floating-point accumulation
 // sequence, so aggregate energy is bit-identical across kernels. The
@@ -13,8 +14,9 @@
 // at runtime via CPU feature detection (kAuto).
 //
 // ISA-specific code lives in its own translation unit compiled with
-// per-TU flags (see CMakeLists.txt): lane_kernels_avx2.cpp gets -mavx2 on
-// x86-64 toolchains that support it and compiles to a stub elsewhere, so
+// per-TU flags (see CMakeLists.txt): lane_kernels_avx2.cpp gets -mavx2 and
+// lane_kernels_avx512.cpp gets -mavx512f -mavx512vpopcntdq on x86-64
+// toolchains that support them and each compiles to a stub elsewhere, so
 // the rest of the library never needs a global -march bump.
 #pragma once
 
@@ -29,6 +31,7 @@ enum class LaneKernel : std::uint8_t {
   kAuto,      ///< pick the widest ISA the CPU supports (default)
   kPortable,  ///< scalar uint64_t words — always available, the reference
   kAvx2,      ///< 256-bit AVX2 words (x86-64, runtime-detected)
+  kAvx512,    ///< 512-bit AVX-512F+VPOPCNTDQ words (x86-64, runtime-detected)
   kNeon,      ///< 128-bit NEON words (aarch64)
 };
 
@@ -74,6 +77,7 @@ using LaneSweepFn = std::uint64_t (*)(const LaneSweepProgram& program,
 /// the running CPU lacks it. (lane_sweep_portable never returns nullptr.)
 [[nodiscard]] LaneSweepFn lane_sweep_portable() noexcept;
 [[nodiscard]] LaneSweepFn lane_sweep_avx2() noexcept;
+[[nodiscard]] LaneSweepFn lane_sweep_avx512() noexcept;
 [[nodiscard]] LaneSweepFn lane_sweep_neon() noexcept;
 
 }  // namespace sfab::gatelevel

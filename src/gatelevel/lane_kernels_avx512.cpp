@@ -1,0 +1,117 @@
+// AVX-512 sweep kernel: 8 lane words (512 Monte-Carlo lanes) per vector op.
+//
+// This TU is the only one compiled with -mavx512f -mavx512vpopcntdq (per-TU
+// flags, see CMakeLists.txt); when the toolchain can't build AVX-512 the
+// guard below reduces it to a stub returning nullptr and
+// resolve_lane_kernel() falls back to AVX2 or portable. The caller has
+// already verified the CPU supports both AVX-512F and VPOPCNTDQ at runtime
+// before this code can execute.
+//
+// What VPOPCNTDQ buys over the AVX2 kernel: the diff popcount happens
+// in-register (`vpopcntq` per 64-bit lane word + horizontal add) instead of
+// storing the vector and popcounting 4 extracted scalars, and a full
+// 512-lane block is one vector op per net instead of two.
+//
+// Equality contract with the portable kernel: flips per op is the same
+// integer (popcount of the identically masked diff), and the accumulate
+// sequence (`op_toggles[g] += flips; *energy_j += coeff * flips` in op
+// order) is identical, so aggregate toggles/energy match bit for bit.
+#include "gatelevel/lane_kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+namespace sfab::gatelevel {
+namespace {
+
+/// 8-word lane evaluation, one 512-bit vector = lanes [64v, 64v+512).
+inline __m512i evaluate_lanes_512(GateType type, __m512i a, __m512i b,
+                                  __m512i s) noexcept {
+  const __m512i ones = _mm512_set1_epi64(-1);
+  switch (type) {
+    case GateType::kBuf: return a;
+    case GateType::kInv: return _mm512_xor_si512(a, ones);
+    case GateType::kAnd2: return _mm512_and_si512(a, b);
+    case GateType::kOr2: return _mm512_or_si512(a, b);
+    case GateType::kNand2:
+      return _mm512_xor_si512(_mm512_and_si512(a, b), ones);
+    case GateType::kNor2:
+      return _mm512_xor_si512(_mm512_or_si512(a, b), ones);
+    case GateType::kXor2: return _mm512_xor_si512(a, b);
+    case GateType::kMux2:
+      // (b & s) | (a & ~s); andnot computes ~first & second.
+      return _mm512_or_si512(_mm512_and_si512(b, s),
+                             _mm512_andnot_si512(s, a));
+    case GateType::kDff: return a;  // unreachable: DFFs are not in the program
+  }
+  return _mm512_setzero_si512();
+}
+
+std::uint64_t sweep_avx512_8(const LaneSweepProgram& program,
+                             std::uint64_t* values, unsigned /*words*/,
+                             const std::uint64_t* word_masks,
+                             std::uint64_t* op_toggles, double* energy_j) {
+  const __m512i mask = _mm512_loadu_si512(word_masks);
+  std::uint64_t total = 0;
+  const std::uint32_t* pins = program.pins;
+  for (std::size_t g = 0; g < program.n_ops; ++g, pins += 3) {
+    const __m512i a = _mm512_loadu_si512(values + std::size_t{pins[0]} * 8);
+    const __m512i b = _mm512_loadu_si512(values + std::size_t{pins[1]} * 8);
+    const __m512i s = _mm512_loadu_si512(values + std::size_t{pins[2]} * 8);
+    std::uint64_t* out = values + std::size_t{program.outs[g]} * 8;
+    const __m512i next = evaluate_lanes_512(program.types[g], a, b, s);
+    const __m512i old = _mm512_loadu_si512(out);
+    const __m512i diff =
+        _mm512_and_si512(_mm512_xor_si512(old, next), mask);
+    _mm512_storeu_si512(out, next);
+    // vpopcntq: per-word popcount in-register, then a horizontal add —
+    // replaces the AVX2 kernel's store + 4 scalar popcounts.
+    const auto flips = static_cast<unsigned>(
+        _mm512_reduce_add_epi64(_mm512_popcnt_epi64(diff)));
+    if (flips != 0) {
+      total += flips;
+      op_toggles[g] += flips;
+      *energy_j += program.coeffs[g] * flips;
+    }
+  }
+  return total;
+}
+
+std::uint64_t sweep_avx512(const LaneSweepProgram& program,
+                           std::uint64_t* values, unsigned words,
+                           const std::uint64_t* word_masks,
+                           std::uint64_t* op_toggles, double* energy_j) {
+  if (words == 8) {
+    return sweep_avx512_8(program, values, words, word_masks, op_toggles,
+                          energy_j);
+  }
+  // Blocks narrower than one zmm vector: the AVX2 / portable kernels
+  // compute the identical result, so delegate rather than duplicate.
+  const LaneSweepFn avx2 = lane_sweep_avx2();
+  return (avx2 != nullptr ? avx2 : lane_sweep_portable())(
+      program, values, words, word_masks, op_toggles, energy_j);
+}
+
+}  // namespace
+
+LaneSweepFn lane_sweep_avx512() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return (__builtin_cpu_supports("avx512f") &&
+          __builtin_cpu_supports("avx512vpopcntdq"))
+             ? &sweep_avx512
+             : nullptr;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sfab::gatelevel
+
+#else  // !(__AVX512F__ && __AVX512VPOPCNTDQ__): toolchain can't build it
+
+namespace sfab::gatelevel {
+LaneSweepFn lane_sweep_avx512() noexcept { return nullptr; }
+}  // namespace sfab::gatelevel
+
+#endif

@@ -1,8 +1,12 @@
 #include "gatelevel/power_sim.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "gatelevel/bitsliced.hpp"
 
@@ -24,7 +28,7 @@ namespace {
 /// width, and kernel processes exactly this sample.
 struct SampleGrid {
   unsigned lanes = 0;
-  unsigned steps = 0;
+  std::uint64_t steps = 0;
 };
 
 SampleGrid grid_of(const CharacterizationConfig& config) {
@@ -34,8 +38,37 @@ SampleGrid grid_of(const CharacterizationConfig& config) {
   if (grid.lanes > BitslicedNetlist::kMaxLanes) {
     throw std::invalid_argument("characterize: lanes must be <= 512");
   }
+  // Toggle counters are exact uint64 accumulators bounded by one flip per
+  // lane per (warmup + measured) step; reject budgets where that bound —
+  // or the ceil rounding below — cannot be represented, instead of letting
+  // the "exact integer counts" invariance contract silently wrap.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (config.cycles > kMax - (grid.lanes - 1)) {
+    throw std::overflow_error(
+        "characterize: cycles overflows the exact toggle accumulators");
+  }
   grid.steps = (config.cycles + grid.lanes - 1) / grid.lanes;
+  if (grid.steps > kMax / grid.lanes - config.warmup) {
+    throw std::overflow_error(
+        "characterize: cycles + warmup overflows the exact toggle "
+        "accumulators");
+  }
   return grid;
+}
+
+/// The DFF idle term multiplies num_dffs into lane_cycles; it is the one
+/// accumulator product a representable grid can still overflow. Checked at
+/// measurer construction, where the netlist is known.
+std::uint64_t checked_idle_lane_cycles(std::size_t num_dffs,
+                                       const SampleGrid& grid) {
+  const std::uint64_t lane_cycles = std::uint64_t{grid.lanes} * grid.steps;
+  if (num_dffs > 1 &&
+      lane_cycles > std::numeric_limits<std::uint64_t>::max() / num_dffs) {
+    throw std::overflow_error(
+        "characterize: cycles * num_dffs overflows the DFF idle-energy "
+        "accumulator");
+  }
+  return num_dffs * lane_cycles;
 }
 
 /// Canonical exact energy reduction: DFF idle events, then per-DFF toggle
@@ -93,6 +126,7 @@ class BitslicedMeasurer final : public DriveMeasurer {
             BitslicedNetlist(harness.netlist, pass.lanes, config.kernel));
       }
     }
+    checked_idle_lane_cycles(engines_.front().second.num_dffs(), grid_);
   }
 
   double energy_per_cycle(const MaskDrive& drive) override {
@@ -122,7 +156,7 @@ class BitslicedMeasurer final : public DriveMeasurer {
       for (unsigned c = 0; c < config_.warmup; ++c) drive_step();
       const std::vector<std::uint64_t> op_base = engine.op_toggle_counts();
       const std::vector<std::uint64_t> dff_base = engine.dff_toggle_counts();
-      for (unsigned c = 0; c < grid_.steps; ++c) drive_step();
+      for (std::uint64_t c = 0; c < grid_.steps; ++c) drive_step();
       const auto& op_now = engine.op_toggle_counts();
       const auto& dff_now = engine.dff_toggle_counts();
       for (std::size_t g = 0; g < op_deltas.size(); ++g) {
@@ -136,7 +170,8 @@ class BitslicedMeasurer final : public DriveMeasurer {
     const std::uint64_t lane_cycles =
         std::uint64_t{grid_.lanes} * grid_.steps;
     const double energy = reduce_exact_energy(
-        program, program.num_dffs() * lane_cycles, dff_deltas, op_deltas);
+        program, checked_idle_lane_cycles(program.num_dffs(), grid_),
+        dff_deltas, op_deltas);
     return energy / static_cast<double>(lane_cycles);
   }
 
@@ -173,7 +208,9 @@ class ScalarMeasurer final : public DriveMeasurer {
         config_(config),
         grid_(grid_of(config)),
         program_(harness.netlist, BitslicedNetlist::kWordLanes,
-                 LaneKernel::kPortable) {}
+                 LaneKernel::kPortable) {
+    checked_idle_lane_cycles(program_.num_dffs(), grid_);
+  }
 
   double energy_per_cycle(const MaskDrive& drive) override {
     Netlist& nl = harness_.netlist;
@@ -198,7 +235,7 @@ class ScalarMeasurer final : public DriveMeasurer {
 
       for (unsigned c = 0; c < config_.warmup; ++c) drive_cycle();
       const std::vector<std::uint64_t> base = nl.gate_toggle_counts();
-      for (unsigned c = 0; c < grid_.steps; ++c) drive_cycle();
+      for (std::uint64_t c = 0; c < grid_.steps; ++c) drive_cycle();
       const auto& now = nl.gate_toggle_counts();
       for (std::size_t i = 0; i < order.size(); ++i) {
         op_deltas[i] += now[order[i]] - base[order[i]];
@@ -211,7 +248,8 @@ class ScalarMeasurer final : public DriveMeasurer {
     const std::uint64_t lane_cycles =
         std::uint64_t{grid_.lanes} * grid_.steps;
     const double energy = reduce_exact_energy(
-        program_, program_.num_dffs() * lane_cycles, dff_deltas, op_deltas);
+        program_, checked_idle_lane_cycles(program_.num_dffs(), grid_),
+        dff_deltas, op_deltas);
     return energy / static_cast<double>(lane_cycles);
   }
 
@@ -245,19 +283,77 @@ MaskEnergy entry_for(const SwitchHarness& harness, std::uint32_t mask,
   return entry;
 }
 
+unsigned worker_count(const CharacterizationConfig& config,
+                      std::size_t n_masks) {
+  const unsigned requested =
+      config.threads != 0 ? config.threads
+                          : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(requested, std::max<std::size_t>(n_masks, 1)));
+}
+
 }  // namespace
 
 std::vector<MaskEnergy> characterize(SwitchHarness& harness,
                                      const std::vector<std::uint32_t>& masks,
                                      const CharacterizationConfig& config) {
-  const auto measurer = make_measurer(harness, config);
-  std::vector<MaskEnergy> results;
-  results.reserve(masks.size());
-  for (const std::uint32_t mask : masks) {
-    const MaskDrive drive = harness.drive_schedule(mask);
-    results.push_back(
-        entry_for(harness, mask, measurer->energy_per_cycle(drive)));
+  const unsigned workers = worker_count(config, masks.size());
+  if (workers <= 1) {
+    const auto measurer = make_measurer(harness, config);
+    std::vector<MaskEnergy> results;
+    results.reserve(masks.size());
+    for (const std::uint32_t mask : masks) {
+      const MaskDrive drive = harness.drive_schedule(mask);
+      results.push_back(
+          entry_for(harness, mask, measurer->energy_per_cycle(drive)));
+    }
+    return results;
   }
+
+  // Worker pool across masks. Every mask's sample and drive plan are pure
+  // functions of (config, harness, mask), and results land in results[i]
+  // by canonical index, so which worker measures which mask is invisible —
+  // output is bit-identical at any thread count. Drive plans are computed
+  // up front on the calling thread; each worker owns a private harness
+  // copy (the scalar engine mutates its netlist) and a private engine
+  // stack, so workers share nothing mutable.
+  std::vector<MaskDrive> drives;
+  drives.reserve(masks.size());
+  for (const std::uint32_t mask : masks) {
+    drives.push_back(harness.drive_schedule(mask));
+  }
+  // Validate config/harness on the calling thread so invalid inputs throw
+  // the same exceptions they would serially.
+  make_measurer(harness, config);
+
+  std::vector<MaskEnergy> results(masks.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    try {
+      SwitchHarness local = harness;
+      const auto measurer = make_measurer(local, config);
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= masks.size()) break;
+        results[i] = entry_for(local, masks[i],
+                               measurer->energy_per_cycle(drives[i]));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

@@ -20,8 +20,11 @@
 //    lane by lane with the identical bit streams (BitRng).
 // Per-mask energy is reduced from exact integer per-gate toggle counts in
 // a canonical order, so characterize() results are bit-identical across
-// engines, block widths, and kernels — the fast path is pinned to the
-// reference not just statistically but double for double.
+// engines, block widths, kernels, and worker-thread counts — the fast
+// path is pinned to the reference not just statistically but double for
+// double. Masks are independent samples, so characterize() can fan them
+// out across a worker pool (config.threads), one private engine per
+// worker, results written back in canonical mask order.
 #pragma once
 
 #include <cstdint>
@@ -41,8 +44,10 @@ enum class CharacterizeEngine : std::uint8_t {
 struct CharacterizationConfig {
   /// Measured Monte-Carlo lane-cycles per occupancy mask (after warm-up).
   /// Covered as `lanes` streams of ceil(cycles / lanes) cycles each
-  /// (rounding up to whole cycles, never under-sampling).
-  unsigned cycles = 4000;
+  /// (rounding up to whole cycles, never under-sampling). Budgets whose
+  /// toggle accumulators cannot be represented exactly in 64 bits are
+  /// rejected with std::overflow_error rather than wrapping.
+  std::uint64_t cycles = 4000;
   /// Warm-up cycles excluded from the energy average, per lane.
   unsigned warmup = 64;
   std::uint64_t seed = 0xC0FFEEull;
@@ -57,6 +62,12 @@ struct CharacterizationConfig {
   unsigned block_lanes = 0;
   /// kBitsliced: sweep ISA (kAuto = best the CPU supports).
   LaneKernel kernel = LaneKernel::kAuto;
+  /// Worker threads across occupancy masks (masks are independent samples,
+  /// so they are embarrassingly parallel). Each worker owns a private
+  /// harness copy + engine; results land in canonical mask order, so the
+  /// output is bit-identical at any thread count. 0 = one worker per
+  /// hardware thread; 1 (default) = serial.
+  unsigned threads = 1;
 };
 
 struct MaskEnergy {

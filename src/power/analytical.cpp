@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "power/lut_artifact.hpp"
 
 namespace sfab {
 
@@ -17,6 +18,14 @@ AnalyticalModel::AnalyticalModel(TechnologyParams tech,
     throw std::invalid_argument(
         "AnalyticalModel: per-switch buffer bits must be positive");
   }
+}
+
+AnalyticalModel AnalyticalModel::from_lut_artifact(
+    const LutArtifact& artifact, const std::string& preset,
+    double per_switch_buffer_bits) {
+  return AnalyticalModel(TechnologyParams::preset(preset),
+                         artifact.switch_tables(preset),
+                         per_switch_buffer_bits);
 }
 
 unsigned AnalyticalModel::require_pow2_ports(unsigned ports, unsigned minimum) {

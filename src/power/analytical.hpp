@@ -18,12 +18,23 @@
 
 namespace sfab {
 
+struct LutArtifact;
+
 class AnalyticalModel {
  public:
   explicit AnalyticalModel(TechnologyParams tech = {},
                            SwitchEnergyTables switches =
                                SwitchEnergyTables::paper_defaults(),
                            double per_switch_buffer_bits = 4096.0);
+
+  /// Model whose switch tables come from a gate-level characterization
+  /// artifact (power/lut_artifact.hpp) instead of the hardcoded Table 1
+  /// constants: `preset` picks both the TechnologyParams and the artifact
+  /// section measured at that node. Throws std::out_of_range when the
+  /// artifact has no tables for the preset.
+  [[nodiscard]] static AnalyticalModel from_lut_artifact(
+      const LutArtifact& artifact, const std::string& preset,
+      double per_switch_buffer_bits = 4096.0);
 
   // --- Thompson wire lengths (grids) travelled by one bit ----------------
 

@@ -33,8 +33,18 @@ TechnologyParams TechnologyParams::preset(const std::string& name) {
     t.wire_pitch_um = 0.7;
     return t;
   }
+  std::string valid;
+  for (const std::string& known : preset_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += known;
+  }
   throw std::invalid_argument("TechnologyParams::preset: unknown node '" +
-                              name + "'");
+                              name + "' (valid presets: " + valid + ")");
+}
+
+const std::vector<std::string>& TechnologyParams::preset_names() {
+  static const std::vector<std::string> names{"0.25um", "0.18um", "0.13um"};
+  return names;
 }
 
 }  // namespace sfab

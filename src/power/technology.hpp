@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace sfab {
 
@@ -55,8 +56,14 @@ struct TechnologyParams {
   ///   "0.25um" -> 2.5 V, 100 MHz   "0.18um" -> 3.3 V, 133 MHz (reference;
   ///   the paper's SRAM is a 3.3 V part even at 0.18 um)
   ///   "0.13um" -> 1.2 V, 200 MHz
-  /// Throws std::invalid_argument for unknown names.
+  /// Throws std::invalid_argument (naming the valid presets) for unknown
+  /// names.
   [[nodiscard]] static TechnologyParams preset(const std::string& name);
+
+  /// Every name preset() accepts, in feature-size order. The LUT-artifact
+  /// ladder characterizes exactly this axis, and sfab_cli prints it when
+  /// rejecting an unknown --tech value.
+  [[nodiscard]] static const std::vector<std::string>& preset_names();
 
   /// The paper's reference technology (same as default construction).
   [[nodiscard]] static TechnologyParams paper_reference() noexcept {

@@ -166,38 +166,52 @@ TEST(BitslicedFuzz, EveryWidthMatchesScalarReferenceLaneForLane) {
 }
 
 TEST(BitslicedFuzz, SimdKernelMatchesPortableBitForBit) {
-  const LaneKernel best = resolve_lane_kernel(LaneKernel::kAuto);
-  if (best == LaneKernel::kPortable) {
+  // Every SIMD kernel this CPU/build can run is pinned to the portable
+  // reference — not just the kAuto pick, so an AVX-512 machine still
+  // differentially tests its AVX2 kernel (and vice versa nothing is
+  // silently skipped when kAuto prefers the wider ISA).
+  std::vector<LaneKernel> kernels;
+  for (const LaneKernel kernel :
+       {LaneKernel::kAvx2, LaneKernel::kAvx512, LaneKernel::kNeon}) {
+    if (lane_kernel_available(kernel)) kernels.push_back(kernel);
+  }
+  if (kernels.empty()) {
     GTEST_SKIP() << "no SIMD kernel available on this CPU/build";
   }
-  for (const FuzzCase& fuzz : kCases) {
-    Netlist nl = random_netlist(fuzz.seed, fuzz.inputs, fuzz.gates,
-                                fuzz.energy_scale);
-    const unsigned steps = 24;
-    for (const unsigned lanes : kLaneCounts) {
-      BitslicedNetlist portable(nl, lanes, LaneKernel::kPortable);
-      BitslicedNetlist simd(nl, lanes, best);
-      ASSERT_EQ(simd.kernel(), best);
-      drive_block_engine(portable, steps, fuzz.seed);
-      drive_block_engine(simd, steps, fuzz.seed);
+  for (const LaneKernel kernel : kernels) {
+    for (const FuzzCase& fuzz : kCases) {
+      Netlist nl = random_netlist(fuzz.seed, fuzz.inputs, fuzz.gates,
+                                  fuzz.energy_scale);
+      const unsigned steps = 24;
+      for (const unsigned lanes : kLaneCounts) {
+        BitslicedNetlist portable(nl, lanes, LaneKernel::kPortable);
+        BitslicedNetlist simd(nl, lanes, kernel);
+        ASSERT_EQ(simd.kernel(), kernel);
+        drive_block_engine(portable, steps, fuzz.seed);
+        drive_block_engine(simd, steps, fuzz.seed);
 
-      EXPECT_EQ(simd.toggles(), portable.toggles())
-          << "case " << fuzz.seed << " lanes " << lanes;
-      // Identical FP accumulation sequence, so exact equality — not NEAR.
-      EXPECT_EQ(simd.energy_j(), portable.energy_j())
-          << "case " << fuzz.seed << " lanes " << lanes;
-      ASSERT_EQ(simd.op_toggle_counts(), portable.op_toggle_counts())
-          << "case " << fuzz.seed << " lanes " << lanes;
-      ASSERT_EQ(simd.dff_toggle_counts(), portable.dff_toggle_counts())
-          << "case " << fuzz.seed << " lanes " << lanes;
-      for (NetId net = 0; net < nl.num_nets(); ++net) {
-        for (unsigned w = 0; w < simd.words(); ++w) {
-          const std::uint64_t live = w + 1 == simd.words()
-                                         ? last_word_lane_mask(lanes)
-                                         : ~std::uint64_t{0};
-          ASSERT_EQ(simd.word(net, w) & live, portable.word(net, w) & live)
-              << "case " << fuzz.seed << " lanes " << lanes << " net " << net
-              << " word " << w;
+        EXPECT_EQ(simd.toggles(), portable.toggles())
+            << to_string(kernel) << " case " << fuzz.seed << " lanes "
+            << lanes;
+        // Identical FP accumulation sequence, so exact equality — not NEAR.
+        EXPECT_EQ(simd.energy_j(), portable.energy_j())
+            << to_string(kernel) << " case " << fuzz.seed << " lanes "
+            << lanes;
+        ASSERT_EQ(simd.op_toggle_counts(), portable.op_toggle_counts())
+            << to_string(kernel) << " case " << fuzz.seed << " lanes "
+            << lanes;
+        ASSERT_EQ(simd.dff_toggle_counts(), portable.dff_toggle_counts())
+            << to_string(kernel) << " case " << fuzz.seed << " lanes "
+            << lanes;
+        for (NetId net = 0; net < nl.num_nets(); ++net) {
+          for (unsigned w = 0; w < simd.words(); ++w) {
+            const std::uint64_t live = w + 1 == simd.words()
+                                           ? last_word_lane_mask(lanes)
+                                           : ~std::uint64_t{0};
+            ASSERT_EQ(simd.word(net, w) & live, portable.word(net, w) & live)
+                << to_string(kernel) << " case " << fuzz.seed << " lanes "
+                << lanes << " net " << net << " word " << w;
+          }
         }
       }
     }

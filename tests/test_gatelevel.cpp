@@ -2,6 +2,10 @@
 // the paper's Synopsys Power Compiler flow).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
 #include "common/units.hpp"
 #include "gatelevel/gates.hpp"
 #include "gatelevel/netlist.hpp"
@@ -353,7 +357,8 @@ TEST(CharacterizeEngines, BitIdenticalAcrossEnginesAndBlockWidths) {
 
 TEST(CharacterizeEngines, KernelChoiceDoesNotChangeResults) {
   for (const LaneKernel kernel :
-       {LaneKernel::kPortable, LaneKernel::kAvx2, LaneKernel::kNeon}) {
+       {LaneKernel::kPortable, LaneKernel::kAvx2, LaneKernel::kAvx512,
+        LaneKernel::kNeon}) {
     if (!lane_kernel_available(kernel)) continue;
     SwitchHarness h1 = build_banyan_switch(8);
     SwitchHarness h2 = build_banyan_switch(8);
@@ -410,6 +415,109 @@ TEST(CharacterizeEngines, InvalidLaneAndBlockConfigsThrow) {
   odd_block.block_lanes = 96;  // not a multiple of 64
   EXPECT_THROW((void)characterize(h, {0b1u}, odd_block),
                std::invalid_argument);
+}
+
+TEST(CharacterizeEngines, OverflowingCycleBudgetsThrow) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // The ceil(cycles / lanes) rounding itself overflows at the very top of
+  // the cycles range: the guard must throw, not wrap to a tiny sample.
+  SwitchHarness cross = build_crosspoint(4);
+  CharacterizationConfig top;
+  top.cycles = kMax;
+  EXPECT_THROW((void)characterize(cross, {0b1u}, top), std::overflow_error);
+
+  // A representable lane-cycle total whose DFF idle product
+  // (num_dffs * lane_cycles) overflows: caught at measurer construction
+  // for both engines, before any simulation runs.
+  SwitchHarness banyan = build_banyan_switch(8);
+  CharacterizationConfig idle;
+  idle.cycles = kMax / 2;
+  EXPECT_THROW((void)characterize(banyan, {0b1u}, idle), std::overflow_error);
+  CharacterizationConfig idle_scalar = idle;
+  idle_scalar.engine = CharacterizeEngine::kScalar;
+  EXPECT_THROW((void)characterize(banyan, {0b1u}, idle_scalar),
+               std::overflow_error);
+
+  // Just inside the guards, construction validates fine (run one tiny
+  // budget to prove the path still works end to end).
+  CharacterizationConfig small;
+  small.cycles = 512;
+  small.warmup = 4;
+  EXPECT_GT(characterize(banyan, {0b1u}, small)[0].energy_per_cycle_j, 0.0);
+}
+
+TEST(CharacterizeEngines, ThreadCountInvariance) {
+  // Masks are independent samples; the worker pool must be invisible in
+  // the output — bit-identical, not merely close, at every thread count.
+  struct Case {
+    const char* name;
+    SwitchHarness (*build)();
+    std::vector<std::uint32_t> masks;
+  };
+  const Case cases[] = {
+      {"crosspoint", [] { return build_crosspoint(8); }, {0b0u, 0b1u}},
+      {"banyan2x2", [] { return build_banyan_switch(8); },
+       {0b00u, 0b01u, 0b10u, 0b11u}},
+      {"sorter2x2", [] { return build_sorter_switch(8); },
+       {0b00u, 0b01u, 0b10u, 0b11u}},
+      {"mux8", [] { return build_mux(8, 4); }, {0x0Fu, 0xFFu}},
+  };
+  for (const Case& c : cases) {
+    for (const CharacterizeEngine engine :
+         {CharacterizeEngine::kBitsliced, CharacterizeEngine::kScalar}) {
+      CharacterizationConfig cfg;
+      cfg.cycles = 700;
+      cfg.warmup = 8;
+      cfg.seed = 31;
+      cfg.engine = engine;
+      cfg.lanes = 128;
+      cfg.threads = 1;
+      SwitchHarness serial_h = c.build();
+      const auto serial = characterize(serial_h, c.masks, cfg);
+      for (const unsigned threads : {2u, 3u, 8u}) {
+        cfg.threads = threads;
+        SwitchHarness pooled_h = c.build();
+        const auto pooled = characterize(pooled_h, c.masks, cfg);
+        ASSERT_EQ(pooled.size(), serial.size());
+        for (std::size_t m = 0; m < serial.size(); ++m) {
+          EXPECT_EQ(pooled[m].mask, serial[m].mask) << c.name;
+          EXPECT_EQ(pooled[m].energy_per_cycle_j, serial[m].energy_per_cycle_j)
+              << c.name << " mask " << serial[m].mask << " threads "
+              << threads;
+          EXPECT_EQ(pooled[m].energy_per_bit_j, serial[m].energy_per_bit_j)
+              << c.name << " mask " << serial[m].mask << " threads "
+              << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(CharacterizeEngines, ThreadedCharacterizeValidatesInputsUpFront) {
+  SwitchHarness h = build_mux(4, 4);
+  CharacterizationConfig cfg;
+  cfg.cycles = 200;
+  cfg.threads = 4;
+  // Invalid mask: rejected on the calling thread before workers spawn.
+  EXPECT_THROW((void)characterize(h, {0x1u, 1u << 30}, cfg),
+               std::invalid_argument);
+  // Invalid config: the threaded path throws exactly what serial would.
+  CharacterizationConfig bad = cfg;
+  bad.lanes = 513;
+  EXPECT_THROW((void)characterize(h, {0x1u, 0x3u}, bad),
+               std::invalid_argument);
+}
+
+TEST(LaneKernelRegistry, Avx512RegistryIsConsistent) {
+  EXPECT_EQ(to_string(LaneKernel::kAvx512), "avx512");
+  if (lane_kernel_available(LaneKernel::kAvx512)) {
+    EXPECT_EQ(resolve_lane_kernel(LaneKernel::kAvx512), LaneKernel::kAvx512);
+    // kAuto prefers the widest ISA: with AVX-512 present it must win.
+    EXPECT_EQ(resolve_lane_kernel(LaneKernel::kAuto), LaneKernel::kAvx512);
+  } else {
+    EXPECT_THROW((void)resolve_lane_kernel(LaneKernel::kAvx512),
+                 std::invalid_argument);
+  }
 }
 
 TEST(Characterize, MuxEnergyGrowsWithInputCount) {

@@ -4,10 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "exp/cache.hpp"
 #include "exp/runner.hpp"
+#include "obs/registry.hpp"
 
 namespace sfab {
 namespace {
@@ -128,6 +132,80 @@ TEST(ResultCache, CsvRoundTripIsBitExact) {
   const auto cached = reader.lookup(config);
   ASSERT_TRUE(cached.has_value());
   expect_same_result(*cached, result);  // hexfloat rows round-trip exactly
+}
+
+// --- malformed rows ---------------------------------------------------------
+
+/// Reads the single data row a fresh cache file contains.
+std::string read_data_row(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  return last;
+}
+
+/// Returns `row` with field `index` replaced by `value`.
+std::string with_field(const std::string& row, std::size_t index,
+                       const std::string& value) {
+  std::vector<std::string> fields;
+  std::stringstream stream(row);
+  std::string field;
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  fields.at(index) = value;
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += fields[i];
+  }
+  return out;
+}
+
+TEST(ResultCache, MalformedRowsAreDroppedAndCounted) {
+  obs::set_metrics_enabled(true);
+  TempCsv csv{"sfab_cache_malformed.csv"};
+  const SimConfig config = small_config();
+  const SimResult result = run_simulation(config);
+  {
+    ResultCache writer{csv.path};
+    writer.store(config, result);
+  }
+  const std::string good = read_data_row(csv.path);
+  ASSERT_FALSE(good.empty());
+
+  // Corruptions a torn or interleaved append can produce. Each must be
+  // dropped, not half-parsed into a poisoned hit: a negative count
+  // (strtoull would silently wrap "-5" to 2^64-5), an overflowing count
+  // (strtoull saturates and only errno tells), trailing garbage, a
+  // whitespace-prefixed double, a truncated row, and a wrong-length key.
+  const std::string bad_rows[] = {
+      with_field(good, 2, "-5"),
+      with_field(good, 5, "99999999999999999999999999"),
+      with_field(good, 14, "12x"),
+      with_field(good, 16, "0x10"),
+      with_field(good, 3, " 0.5"),
+      good.substr(0, good.size() / 2),
+      with_field(good, 0, "abc123"),
+  };
+  {
+    std::ofstream out(csv.path, std::ios::app);
+    for (const std::string& row : bad_rows) out << row << '\n';
+  }
+
+  const std::uint64_t errors_before =
+      obs::Registry::global().counter("exp.cache.parse_errors").value();
+  ResultCache reader{csv.path};
+  // Only the intact row survives, and it round-trips exactly.
+  EXPECT_EQ(reader.size(), 1u);
+  const auto cached = reader.lookup(config);
+  ASSERT_TRUE(cached.has_value());
+  expect_same_result(*cached, result);
+  EXPECT_EQ(
+      obs::Registry::global().counter("exp.cache.parse_errors").value() -
+          errors_before,
+      std::size(bad_rows));
 }
 
 // --- SweepRunner integration ------------------------------------------------

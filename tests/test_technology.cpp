@@ -60,6 +60,23 @@ TEST(Technology, PresetsExist) {
 
 TEST(Technology, UnknownPresetThrows) {
   EXPECT_THROW((void)TechnologyParams::preset("7nm"), std::invalid_argument);
+  // The error names the valid presets so a CLI can surface them directly.
+  try {
+    (void)TechnologyParams::preset("7nm");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    for (const std::string& name : TechnologyParams::preset_names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(Technology, PresetNamesRoundTrip) {
+  ASSERT_FALSE(TechnologyParams::preset_names().empty());
+  for (const std::string& name : TechnologyParams::preset_names()) {
+    EXPECT_NO_THROW((void)TechnologyParams::preset(name)) << name;
+  }
 }
 
 TEST(Technology, WireEnergyScalesWithVoltageSquared) {
